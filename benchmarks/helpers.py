@@ -1,0 +1,35 @@
+"""Shared utilities for the benchmark drivers.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+the timing numbers collected by ``pytest-benchmark``, each driver writes the
+regenerated artefact (the table rows / curve points the paper reports) to a
+plain-text file under ``benchmarks/results/`` and echoes it to stdout, so the
+reproduction can be compared against the paper side by side.
+
+Scale note: the drivers run the UCI stand-ins at reduced tuple counts and
+pdf sample counts so the whole suite finishes in minutes on a laptop.  The
+``REPRO_BENCH_SCALE`` and ``REPRO_BENCH_SAMPLES`` environment variables
+increase them towards the paper's full setting (scale 1.0, s = 100).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Directory in which the regenerated tables/figures are stored.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global scale factor applied to the stand-in dataset sizes.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Number of pdf sample points (the paper uses s = 100).
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "40"))
+
+
+def save_artifact(name: str, title: str, body: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = f"{title}\n{'=' * len(title)}\n\n{body}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")

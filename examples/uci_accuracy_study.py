@@ -1,0 +1,57 @@
+"""Accuracy study: AVG vs UDT on UCI-shaped datasets (Table 3 style).
+
+Run with::
+
+    python examples/uci_accuracy_study.py [dataset ...]
+
+For each dataset stand-in the script injects the paper's Gaussian error
+model at several widths ``w`` and compares the cross-validated accuracy of
+the Averaging baseline against the Distribution-based UDT classifier —
+the experiment behind Table 3 of the paper.  Without arguments a small
+representative subset of the ten datasets is used so the script finishes in
+about a minute.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval import AccuracyExperiment, format_accuracy_results
+
+#: Default subset (name, scale) — chosen to finish quickly on a laptop.
+DEFAULT_DATASETS = (
+    ("Iris", 0.6),
+    ("Glass", 0.4),
+    ("BreastCancer", 0.2),
+    ("JapaneseVowel", 0.08),
+)
+
+
+def main(argv: list[str]) -> None:
+    if argv:
+        requested = [(name, 0.3) for name in argv]
+    else:
+        requested = list(DEFAULT_DATASETS)
+
+    all_results = []
+    for name, scale in requested:
+        print(f"Running accuracy experiment on {name!r} (scale {scale}) ...")
+        experiment = AccuracyExperiment(
+            name, scale=scale, n_samples=30, n_folds=3, strategy="UDT-ES", seed=7
+        )
+        results = experiment.run(width_fractions=(0.05, 0.10), error_models=("gaussian",))
+        all_results.extend(results)
+
+    print("\nTable 3 style report (AVG vs UDT accuracy):")
+    print(format_accuracy_results(all_results))
+
+    wins = sum(1 for r in all_results if r.improvement >= 0)
+    print(
+        f"\nUDT matches or beats AVG in {wins} of {len(all_results)} configurations. "
+        "The paper reports UDT ahead on almost every dataset, the more so the better "
+        "the pdf width models the real measurement error."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

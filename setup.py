@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` can fall back to the legacy editable install in
+offline environments where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of "Decision Trees for Uncertain Data" (Tsang et al.).
+
+The package implements the Distribution-based decision-tree classifier (UDT)
+for data whose numerical attributes are probability density functions, the
+Averaging baseline (AVG), the safe pruning strategies UDT-BP / UDT-LP /
+UDT-GP / UDT-ES, and the full experimental harness (uncertainty injection,
+UCI-shaped synthetic datasets, cross validation, and the benchmark drivers
+that regenerate the paper's tables and figures).
+
+Quickstart
+----------
+
+>>> from repro import SampledPdf, UncertainDataset, UncertainTuple, Attribute, UDTClassifier
+>>> attrs = [Attribute.numerical("temperature")]
+>>> tuples = [
+...     UncertainTuple([SampledPdf.gaussian(37.0, 0.2)], label="healthy"),
+...     UncertainTuple([SampledPdf.gaussian(39.5, 0.2)], label="fever"),
+... ]
+>>> data = UncertainDataset(attrs, tuples)
+>>> model = UDTClassifier().fit(data)
+>>> model.predict(tuples[0])
+'healthy'
+"""
+
+from repro.core import (
+    Attribute,
+    AttributeKind,
+    AveragingClassifier,
+    BuildStats,
+    CategoricalDistribution,
+    DecisionTree,
+    EntropyMeasure,
+    GainRatioMeasure,
+    GiniMeasure,
+    Pdf,
+    SampledPdf,
+    STRATEGY_NAMES,
+    TreeBuilder,
+    UDTClassifier,
+    UncertainDataset,
+    UncertainTuple,
+    get_measure,
+    get_strategy,
+)
+from repro.exceptions import (
+    DatasetError,
+    ExperimentError,
+    PdfError,
+    ReproError,
+    SplitError,
+    TreeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AveragingClassifier",
+    "BuildStats",
+    "CategoricalDistribution",
+    "DatasetError",
+    "DecisionTree",
+    "EntropyMeasure",
+    "ExperimentError",
+    "GainRatioMeasure",
+    "GiniMeasure",
+    "Pdf",
+    "PdfError",
+    "ReproError",
+    "STRATEGY_NAMES",
+    "SampledPdf",
+    "SplitError",
+    "TreeBuilder",
+    "TreeError",
+    "UDTClassifier",
+    "UncertainDataset",
+    "UncertainTuple",
+    "get_measure",
+    "get_strategy",
+    "__version__",
+]

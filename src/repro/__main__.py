@@ -1,0 +1,10 @@
+"""``python -m repro`` — run the paper's experiments from the command line."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

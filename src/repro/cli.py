@@ -1,0 +1,151 @@
+"""Command-line interface for running the paper's experiments.
+
+The CLI mirrors the experiment runners in :mod:`repro.eval.experiment` so a
+user can regenerate any of the paper's artefacts without writing code::
+
+    python -m repro example                      # Table 1 / Figs. 2-3 walkthrough
+    python -m repro accuracy --dataset Iris      # Table 3 rows for one dataset
+    python -m repro noise --dataset Segment      # Fig. 4 curves
+    python -m repro efficiency --dataset Glass   # Figs. 6-7 per-algorithm costs
+    python -m repro sensitivity --dataset Glass --parameter s   # Fig. 8 / Fig. 9
+    python -m repro datasets                     # list the Table 2 stand-ins
+
+Every command accepts ``--scale`` and ``--samples`` to trade fidelity for
+speed (the defaults finish in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.core import AveragingClassifier, UDTClassifier
+from repro.data import dataset_names, table1_dataset
+from repro.eval import (
+    AccuracyExperiment,
+    EfficiencyExperiment,
+    NoiseModelExperiment,
+    SensitivityExperiment,
+    format_accuracy_results,
+    format_efficiency_results,
+    format_noise_model_results,
+    format_sensitivity_results,
+    format_table,
+)
+from repro.data.uci import TABLE2_DATASETS
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Decision Trees for Uncertain Data'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, default_scale: float = 0.25) -> None:
+        sub.add_argument("--dataset", default="Iris", help="Table 2 dataset stand-in name")
+        sub.add_argument("--scale", type=float, default=default_scale,
+                         help="tuple-count scale factor (1.0 = paper-size)")
+        sub.add_argument("--samples", type=int, default=30,
+                         help="pdf sample count s (paper uses 100)")
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+
+    subparsers.add_parser("example", help="run the Table 1 handcrafted example")
+    subparsers.add_parser("datasets", help="list the Table 2 dataset stand-ins")
+
+    accuracy = subparsers.add_parser("accuracy", help="Table 3: AVG vs UDT accuracy")
+    add_common(accuracy)
+    accuracy.add_argument("--widths", type=float, nargs="+", default=[0.05, 0.10],
+                          help="pdf widths w (fractions of the attribute range)")
+    accuracy.add_argument("--error-model", choices=("gaussian", "uniform"), default="gaussian")
+    accuracy.add_argument("--folds", type=int, default=3)
+
+    noise = subparsers.add_parser("noise", help="Fig. 4: controlled-noise study")
+    add_common(noise, default_scale=0.1)
+    noise.add_argument("--perturbations", type=float, nargs="+", default=[0.0, 0.05, 0.10])
+    noise.add_argument("--widths", type=float, nargs="+", default=[0.0, 0.05, 0.10, 0.20])
+
+    efficiency = subparsers.add_parser("efficiency", help="Figs. 6-7: per-algorithm cost")
+    add_common(efficiency)
+    efficiency.add_argument("--width", type=float, default=0.10, help="pdf width w")
+
+    sensitivity = subparsers.add_parser("sensitivity", help="Figs. 8-9: effect of s or w")
+    add_common(sensitivity)
+    sensitivity.add_argument("--parameter", choices=("s", "w"), default="s")
+
+    return parser
+
+
+def _run_example() -> None:
+    data = table1_dataset()
+    avg = AveragingClassifier().fit(data)
+    udt = UDTClassifier(strategy="UDT", post_prune=False, min_split_weight=1e-6).fit(data)
+    print("Table 1 example — accuracy on the six training tuples")
+    print(format_table(
+        ("classifier", "accuracy", "paper"),
+        [("AVG", f"{avg.score(data):.4f}", "2/3"), ("UDT", f"{udt.score(data):.4f}", "1.0")],
+    ))
+    print("\nDistribution-based tree:")
+    print(udt.tree_.to_text())
+
+
+def _run_datasets() -> None:
+    rows = [
+        (
+            spec.name,
+            spec.n_training,
+            spec.n_test if spec.has_test_split else "-",
+            spec.n_attributes,
+            spec.n_classes,
+            "raw samples" if spec.repeated_measurements else
+            ("integer" if spec.integer_domain else "real"),
+        )
+        for spec in TABLE2_DATASETS
+    ]
+    print(format_table(("dataset", "train", "test", "attributes", "classes", "domain"), rows))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "example":
+        _run_example()
+    elif args.command == "datasets":
+        _run_datasets()
+    elif args.command == "accuracy":
+        experiment = AccuracyExperiment(
+            args.dataset, scale=args.scale, n_samples=args.samples,
+            n_folds=args.folds, seed=args.seed,
+        )
+        results = experiment.run(
+            width_fractions=tuple(args.widths), error_models=(args.error_model,)
+        )
+        print(format_accuracy_results(results))
+    elif args.command == "noise":
+        experiment = NoiseModelExperiment(
+            args.dataset, scale=args.scale, n_samples=args.samples, n_folds=3, seed=args.seed
+        )
+        results = experiment.run(
+            perturbation_fractions=tuple(args.perturbations),
+            width_fractions=tuple(args.widths),
+        )
+        print(format_noise_model_results(results))
+    elif args.command == "efficiency":
+        experiment = EfficiencyExperiment(
+            args.dataset, scale=args.scale, n_samples=args.samples,
+            width_fraction=args.width, seed=args.seed,
+        )
+        print(format_efficiency_results(experiment.run()))
+    elif args.command == "sensitivity":
+        experiment = SensitivityExperiment(args.dataset, scale=args.scale, seed=args.seed)
+        if args.parameter == "s":
+            results = experiment.sweep_samples(sample_counts=(25, 50, 75, 100))
+        else:
+            results = experiment.sweep_widths(width_fractions=(0.02, 0.05, 0.10, 0.20),
+                                              n_samples=args.samples)
+        print(format_sensitivity_results(results))
+    return 0

@@ -1,0 +1,349 @@
+"""Top-down construction of decision trees over uncertain data (Section 4).
+
+:class:`TreeBuilder` implements the greedy framework shared by the Averaging
+and Distribution-based approaches: starting from the full training set, each
+node either becomes a leaf (pre-pruning / stopping rules) or receives the
+attribute and split point chosen by a pluggable *split-finding strategy*
+(:mod:`repro.core.strategies`), after which the tuples are partitioned —
+fractionally, when a pdf straddles the split point — and the children are
+built recursively.  Optional C4.5-style pessimistic post-pruning is applied
+at the end (:mod:`repro.core.postprune`).
+
+The builder is deliberately agnostic of *how* the best split is found; the
+UDT / UDT-BP / UDT-LP / UDT-GP / UDT-ES strategies all plug in here and, by
+the safe-pruning theorems, produce identical trees while doing different
+amounts of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Attribute, UncertainDataset, UncertainTuple
+from repro.core.dispersion import DispersionMeasure, get_measure
+from repro.core.postprune import pessimistic_prune
+from repro.core.splits import CandidateSplit, build_contexts
+from repro.core.stats import BuildStats, SplitSearchStats, Timer
+from repro.core.strategies import SplitFinder, get_strategy
+from repro.core.tree import DecisionTree, InternalNode, LeafNode, TreeNode
+from repro.exceptions import DatasetError, TreeError
+
+__all__ = ["TreeBuilder", "BuildResult"]
+
+#: Weighted counts below this value are treated as zero mass.
+_EPS = 1e-9
+
+
+@dataclass
+class BuildResult:
+    """A built tree together with the statistics collected while building it."""
+
+    tree: DecisionTree
+    stats: BuildStats = field(default_factory=BuildStats)
+
+
+class TreeBuilder:
+    """Recursive top-down builder for uncertain decision trees.
+
+    Parameters
+    ----------
+    strategy:
+        Split-finding strategy (an instance or one of the names in
+        :data:`~repro.core.strategies.STRATEGY_NAMES`).  Defaults to the
+        most heavily pruned variant, ``"UDT-ES"``, since all strategies
+        produce the same tree.
+    measure:
+        Dispersion measure (``"entropy"``, ``"gini"`` or ``"gain_ratio"``,
+        or an instance).  Entropy is the paper's default.
+    max_depth:
+        Maximum tree depth (``None`` for unlimited).
+    min_split_weight:
+        Minimum total fractional weight a node must hold to be split
+        further (pre-pruning).  The paper's C4.5 heritage uses 2.
+    min_dispersion_gain:
+        Minimum reduction of dispersion a split must achieve; smaller gains
+        turn the node into a leaf (pre-pruning).
+    post_prune:
+        Whether to apply pessimistic post-pruning after construction.
+    post_prune_confidence:
+        Confidence factor of the pessimistic error estimate (C4.5 default
+        0.25).
+    """
+
+    def __init__(
+        self,
+        strategy: str | SplitFinder = "UDT-ES",
+        measure: str | DispersionMeasure = "entropy",
+        *,
+        max_depth: int | None = None,
+        min_split_weight: float = 2.0,
+        min_dispersion_gain: float = 1e-9,
+        post_prune: bool = True,
+        post_prune_confidence: float = 0.25,
+    ) -> None:
+        self.strategy = get_strategy(strategy)
+        self.measure = get_measure(measure)
+        if max_depth is not None and max_depth < 0:
+            raise TreeError(f"max_depth must be non-negative, got {max_depth!r}")
+        self.max_depth = max_depth
+        self.min_split_weight = float(min_split_weight)
+        self.min_dispersion_gain = float(min_dispersion_gain)
+        self.post_prune = post_prune
+        self.post_prune_confidence = float(post_prune_confidence)
+
+    # -- public API ------------------------------------------------------------
+
+    def build(self, dataset: UncertainDataset) -> BuildResult:
+        """Build a decision tree from the given training dataset."""
+        if not len(dataset):
+            raise DatasetError("cannot build a decision tree from an empty dataset")
+        if dataset.n_classes == 0:
+            raise DatasetError("the training dataset has no class labels")
+        stats = BuildStats()
+        with Timer() as timer:
+            root = self._build_node(
+                dataset.tuples,
+                dataset,
+                depth=0,
+                used_categorical=frozenset(),
+                stats=stats,
+            )
+            if self.post_prune:
+                root, n_collapsed = pessimistic_prune(
+                    root, confidence=self.post_prune_confidence
+                )
+                stats.record_post_prune(n_collapsed)
+        stats.elapsed_seconds = timer.elapsed
+        tree = DecisionTree(root, dataset.attributes, dataset.class_labels)
+        return BuildResult(tree=tree, stats=stats)
+
+    # -- node construction --------------------------------------------------------
+
+    def _class_weights(
+        self, tuples: Sequence[UncertainTuple], dataset: UncertainDataset
+    ) -> np.ndarray:
+        counts = np.zeros(dataset.n_classes)
+        for item in tuples:
+            counts[dataset.label_index(item.label)] += item.weight
+        return counts
+
+    def _make_leaf(
+        self, class_weights: np.ndarray, stats: BuildStats
+    ) -> LeafNode:
+        stats.record_leaf()
+        total = float(class_weights.sum())
+        if total <= 0:
+            distribution = np.full(class_weights.size, 1.0 / class_weights.size)
+        else:
+            distribution = class_weights / total
+        return LeafNode(distribution, training_weight=total)
+
+    def _build_node(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        *,
+        depth: int,
+        used_categorical: frozenset[int],
+        stats: BuildStats,
+    ) -> TreeNode:
+        class_weights = self._class_weights(tuples, dataset)
+        total_weight = float(class_weights.sum())
+
+        # Pre-pruning / stopping rules.
+        homogeneous = int(np.count_nonzero(class_weights > _EPS)) <= 1
+        depth_reached = self.max_depth is not None and depth >= self.max_depth
+        too_small = total_weight < self.min_split_weight
+        if homogeneous or depth_reached or too_small:
+            return self._make_leaf(class_weights, stats)
+
+        node_stats = SplitSearchStats()
+        best_numerical = self._find_numerical_split(tuples, dataset, node_stats)
+        best_categorical = self._find_categorical_split(
+            tuples, dataset, used_categorical, node_stats
+        )
+
+        node_dispersion = self.measure.node_dispersion(class_weights)
+        best: CandidateSplit | None = None
+        for candidate in (best_numerical, best_categorical):
+            if candidate is None or not candidate.is_valid:
+                continue
+            if best is None or candidate.dispersion < best.dispersion:
+                best = candidate
+
+        if best is None or node_dispersion - best.dispersion < self.min_dispersion_gain:
+            return self._make_leaf(class_weights, stats)
+
+        stats.record_node(node_stats)
+        if best.categorical:
+            return self._split_categorical(
+                tuples, dataset, best, class_weights,
+                depth=depth, used_categorical=used_categorical, stats=stats,
+            )
+        return self._split_numerical(
+            tuples, dataset, best, class_weights,
+            depth=depth, used_categorical=used_categorical, stats=stats,
+        )
+
+    # -- numerical splits ------------------------------------------------------------
+
+    def _find_numerical_split(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        node_stats: SplitSearchStats,
+    ) -> CandidateSplit | None:
+        numerical_indices = [
+            index for index, attribute in enumerate(dataset.attributes) if attribute.is_numerical
+        ]
+        if not numerical_indices:
+            return None
+        contexts = build_contexts(tuples, numerical_indices, dataset.class_labels)
+        return self.strategy.find_best_split(contexts, self.measure, node_stats)
+
+    def _split_numerical(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        split: CandidateSplit,
+        class_weights: np.ndarray,
+        *,
+        depth: int,
+        used_categorical: frozenset[int],
+        stats: BuildStats,
+    ) -> TreeNode:
+        assert split.attribute_index is not None and split.split_point is not None
+        attribute_index = split.attribute_index
+        split_point = split.split_point
+        left_tuples: list[UncertainTuple] = []
+        right_tuples: list[UncertainTuple] = []
+        for item in tuples:
+            pdf = item.pdf(attribute_index)
+            p_left, left_pdf, right_pdf = pdf.split_at(split_point)
+            if left_pdf is not None and p_left * item.weight > _EPS:
+                left_tuples.append(
+                    item.with_feature(attribute_index, left_pdf, item.weight * p_left)
+                )
+            if right_pdf is not None and (1.0 - p_left) * item.weight > _EPS:
+                right_tuples.append(
+                    item.with_feature(attribute_index, right_pdf, item.weight * (1.0 - p_left))
+                )
+        if not left_tuples or not right_tuples:
+            # The chosen split does not actually discern the tuples (can only
+            # happen through floating point degeneracies); fall back to a leaf.
+            return self._make_leaf(class_weights, stats)
+        left_child = self._build_node(
+            left_tuples, dataset, depth=depth + 1, used_categorical=used_categorical, stats=stats
+        )
+        right_child = self._build_node(
+            right_tuples, dataset, depth=depth + 1, used_categorical=used_categorical, stats=stats
+        )
+        total = float(class_weights.sum())
+        return InternalNode(
+            attribute_index,
+            split_point=split_point,
+            left=left_child,
+            right=right_child,
+            training_weight=total,
+            training_distribution=class_weights / total if total > 0 else None,
+        )
+
+    # -- categorical splits -------------------------------------------------------------
+
+    def _find_categorical_split(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        used_categorical: frozenset[int],
+        node_stats: SplitSearchStats,
+    ) -> CandidateSplit | None:
+        best: CandidateSplit | None = None
+        for index, attribute in enumerate(dataset.attributes):
+            if not attribute.is_categorical or index in used_categorical:
+                continue
+            buckets = self._categorical_buckets(tuples, dataset, index)
+            non_empty = [counts for counts in buckets.values() if counts.sum() > _EPS]
+            if len(non_empty) < 2:
+                continue
+            node_stats.entropy_evaluations += 1
+            total_counts = np.sum(non_empty, axis=0)
+            grand_total = float(total_counts.sum())
+            dispersion = 0.0
+            for counts in non_empty:
+                dispersion += (
+                    counts.sum() / grand_total
+                ) * self.measure.node_dispersion(counts)
+            candidate = CandidateSplit(
+                attribute_index=index,
+                split_point=None,
+                dispersion=float(dispersion),
+                categorical=True,
+            )
+            if best is None or candidate.dispersion < best.dispersion:
+                best = candidate
+        return best
+
+    def _categorical_buckets(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        attribute_index: int,
+    ) -> dict[Hashable, np.ndarray]:
+        """Per-category weighted class counts for a categorical attribute."""
+        attribute = dataset.attributes[attribute_index]
+        buckets = {value: np.zeros(dataset.n_classes) for value in attribute.domain}
+        for item in tuples:
+            distribution = item.categorical(attribute_index)
+            label_index = dataset.label_index(item.label)
+            for category, probability in distribution.items():
+                if category not in buckets:
+                    buckets[category] = np.zeros(dataset.n_classes)
+                buckets[category][label_index] += item.weight * probability
+        return buckets
+
+    def _split_categorical(
+        self,
+        tuples: Sequence[UncertainTuple],
+        dataset: UncertainDataset,
+        split: CandidateSplit,
+        class_weights: np.ndarray,
+        *,
+        depth: int,
+        used_categorical: frozenset[int],
+        stats: BuildStats,
+    ) -> TreeNode:
+        assert split.attribute_index is not None
+        attribute_index = split.attribute_index
+        from repro.core.categorical import CategoricalDistribution
+
+        partitions: dict[Hashable, list[UncertainTuple]] = {}
+        for item in tuples:
+            distribution = item.categorical(attribute_index)
+            for category, probability in distribution.items():
+                weight = item.weight * probability
+                if weight <= _EPS:
+                    continue
+                child_item = item.with_feature(
+                    attribute_index, CategoricalDistribution.certain(category), weight
+                )
+                partitions.setdefault(category, []).append(child_item)
+        if len(partitions) < 2:
+            return self._make_leaf(class_weights, stats)
+        new_used = used_categorical | {attribute_index}
+        branches: dict[Hashable, TreeNode] = {}
+        for category, child_tuples in partitions.items():
+            branches[category] = self._build_node(
+                child_tuples, dataset, depth=depth + 1, used_categorical=new_used, stats=stats
+            )
+        total = float(class_weights.sum())
+        fallback = class_weights / total if total > 0 else None
+        return InternalNode(
+            attribute_index,
+            branches=branches,
+            fallback=fallback,
+            training_weight=total,
+            training_distribution=fallback,
+        )

@@ -1,0 +1,120 @@
+"""Discrete distributions for uncertain categorical attributes.
+
+Section 7.2 of the paper extends the uncertainty model to categorical
+attributes: instead of a single category, an attribute value is a discrete
+probability distribution over the attribute's (small) domain.  A decision
+tree node that tests a categorical attribute has one child per domain value,
+and a tuple is fractionally copied into every child that receives non-zero
+probability.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.exceptions import PdfError
+
+__all__ = ["CategoricalDistribution"]
+
+#: Tolerance used when validating that categorical probabilities sum to one.
+_MASS_TOLERANCE = 1e-9
+
+
+class CategoricalDistribution:
+    """A probability distribution over a finite set of categories.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping from category value to its probability.  Probabilities must
+        be non-negative; they are normalised to sum to one unless
+        ``normalise=False``.  Zero-probability entries are dropped.
+    """
+
+    __slots__ = ("_probs",)
+
+    def __init__(
+        self,
+        probabilities: Mapping[Hashable, float],
+        *,
+        normalise: bool = True,
+    ) -> None:
+        if not probabilities:
+            raise PdfError("a categorical distribution needs at least one category")
+        cleaned: dict[Hashable, float] = {}
+        for value, prob in probabilities.items():
+            prob = float(prob)
+            if prob < 0:
+                raise PdfError(f"negative probability {prob!r} for category {value!r}")
+            if prob > 0:
+                cleaned[value] = cleaned.get(value, 0.0) + prob
+        total = sum(cleaned.values())
+        if total <= 0:
+            raise PdfError("total categorical probability must be positive")
+        if normalise:
+            cleaned = {value: prob / total for value, prob in cleaned.items()}
+        elif abs(total - 1.0) > _MASS_TOLERANCE:
+            raise PdfError(f"categorical probabilities must sum to 1 (got {total!r})")
+        self._probs = cleaned
+
+    @classmethod
+    def certain(cls, value: Hashable) -> "CategoricalDistribution":
+        """Distribution placing all mass on a single category."""
+        return cls({value: 1.0})
+
+    @classmethod
+    def from_observations(cls, observations: Iterable[Hashable]) -> "CategoricalDistribution":
+        """Empirical distribution from repeated categorical observations."""
+        counts: dict[Hashable, float] = {}
+        for value in observations:
+            counts[value] = counts.get(value, 0.0) + 1.0
+        return cls(counts)
+
+    @property
+    def support(self) -> tuple[Hashable, ...]:
+        """Categories carrying non-zero probability."""
+        return tuple(self._probs)
+
+    def probability(self, value: Hashable) -> float:
+        """Probability of ``value`` (zero for unseen categories)."""
+        return self._probs.get(value, 0.0)
+
+    def items(self) -> Iterable[tuple[Hashable, float]]:
+        """Iterate over ``(category, probability)`` pairs."""
+        return self._probs.items()
+
+    def most_likely(self) -> Hashable:
+        """Category with the highest probability (ties broken arbitrarily)."""
+        return max(self._probs, key=self._probs.get)
+
+    @property
+    def is_certain(self) -> bool:
+        """Whether all probability mass sits on one category."""
+        return len(self._probs) == 1
+
+    def condition_on(self, value: Hashable) -> "CategoricalDistribution":
+        """Distribution conditioned on the attribute being ``value``.
+
+        Used when a tuple is sent down the branch for ``value``: the child's
+        copy of the attribute becomes certain.
+        """
+        if value not in self._probs:
+            raise PdfError(f"category {value!r} has zero probability")
+        return CategoricalDistribution.certain(value)
+
+    def __len__(self) -> int:
+        return len(self._probs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoricalDistribution):
+            return NotImplemented
+        if set(self._probs) != set(other._probs):
+            return False
+        return all(abs(self._probs[k] - other._probs[k]) < 1e-12 for k in self._probs)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._probs.items(), key=lambda kv: repr(kv[0]))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{value!r}: {prob:.3f}" for value, prob in self._probs.items())
+        return f"CategoricalDistribution({{{inner}}})"

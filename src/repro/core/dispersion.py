@@ -1,0 +1,360 @@
+"""Dispersion (impurity) measures and their interval lower bounds.
+
+The tree builder chooses, at every node, the attribute and split point that
+*minimise* a dispersion measure of the resulting partition.  The paper uses
+entropy (information gain) as its primary measure, notes that every result
+also holds for the Gini index (Section 7.4), and discusses gain ratio as a
+measure for which homogeneous-interval pruning (Theorem 2) no longer applies.
+
+Beyond evaluating the dispersion of a concrete split, the pruning algorithms
+UDT-LP / UDT-GP / UDT-ES need a *lower bound* of the dispersion over all
+candidate split points inside an end-point interval ``(a, b]`` — Eq. (3) for
+entropy and Eq. (4) for the Gini index.  If the lower bound is no better than
+the best dispersion seen so far, the whole interval can be discarded without
+evaluating any of its interior candidates.
+
+All quantities are expressed in terms of weighted per-class tuple counts
+(Definitions 5 and 6 of the paper):
+
+* ``left_counts[c]``  — tuple count of class ``c`` at or below the split,
+* ``right_counts[c]`` — tuple count of class ``c`` above the split,
+* for an interval ``(a, b]``: ``n_c`` (mass strictly left of ``a``),
+  ``k_c`` (mass inside the interval) and ``m_c`` (mass right of ``b``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SplitError
+
+__all__ = [
+    "DispersionMeasure",
+    "EntropyMeasure",
+    "GiniMeasure",
+    "GainRatioMeasure",
+    "get_measure",
+]
+
+#: Threshold below which a weighted count is treated as zero.
+_EPS = 1e-12
+
+
+def _xlogx(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``v * log2(v)`` with the convention ``0 * log2(0) = 0``."""
+    result = np.zeros_like(values, dtype=float)
+    positive = values > _EPS
+    result[positive] = values[positive] * np.log2(values[positive])
+    return result
+
+
+def _plogp_rows(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Per-row entropy ``-sum_c p_c log2 p_c`` of count matrices.
+
+    ``counts`` has shape ``(n_rows, n_classes)``; ``totals`` is the per-row
+    sum.  Rows with zero total have zero entropy.
+    """
+    safe_totals = np.where(totals > _EPS, totals, 1.0)
+    fractions = counts / safe_totals[:, None]
+    return -np.sum(_xlogx(fractions), axis=1)
+
+
+class DispersionMeasure:
+    """Interface shared by entropy, Gini index and gain ratio.
+
+    The tree builder minimises :meth:`split_dispersion`; smaller is better
+    for every measure (gain ratio is negated internally so that the same
+    convention applies).
+    """
+
+    #: Human-readable measure name.
+    name: str = "abstract"
+
+    #: Whether Theorem 2 (homogeneous-interval pruning) applies.  True for
+    #: entropy and Gini; False for gain ratio (Section 7.4).
+    supports_homogeneous_pruning: bool = True
+
+    #: Whether :meth:`interval_lower_bound` is implemented.
+    supports_lower_bound: bool = True
+
+    def node_dispersion(self, class_weights: np.ndarray) -> float:
+        """Dispersion of a single set of tuples with the given class counts."""
+        raise NotImplementedError
+
+    def split_dispersion(
+        self, left_counts: np.ndarray, right_counts: np.ndarray
+    ) -> float:
+        """Dispersion of a binary partition described by per-class counts."""
+        values = self.split_dispersion_batch(
+            np.asarray(left_counts, dtype=float)[None, :],
+            np.asarray(left_counts, dtype=float) + np.asarray(right_counts, dtype=float),
+        )
+        return float(values[0])
+
+    def split_dispersion_batch(
+        self, left_counts: np.ndarray, total_counts: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised dispersion for many candidate splits of the same set.
+
+        ``left_counts`` has shape ``(n_candidates, n_classes)``;
+        ``total_counts`` has shape ``(n_classes,)`` and is constant across
+        candidates (it describes the full tuple set being split).
+        """
+        raise NotImplementedError
+
+    def interval_lower_bound(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> float:
+        """Lower bound of the dispersion over split points inside an interval.
+
+        ``n_c``, ``k_c`` and ``m_c`` are the per-class tuple counts strictly
+        left of the interval, inside it, and strictly right of it.
+        """
+        raise NotImplementedError
+
+    def interval_lower_bound_batch(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`interval_lower_bound` over many intervals.
+
+        All three arguments have shape ``(n_intervals, n_classes)``.  The
+        default implementation loops; entropy and Gini override it with a
+        fully vectorised version.
+        """
+        n_c = np.atleast_2d(np.asarray(n_c, dtype=float))
+        k_c = np.atleast_2d(np.asarray(k_c, dtype=float))
+        m_c = np.atleast_2d(np.asarray(m_c, dtype=float))
+        return np.array(
+            [
+                self.interval_lower_bound(n_c[i], k_c[i], m_c[i])
+                for i in range(n_c.shape[0])
+            ]
+        )
+
+
+class EntropyMeasure(DispersionMeasure):
+    """Shannon entropy of the partition (Eq. 1) with the Eq. 3 lower bound."""
+
+    name = "entropy"
+    supports_homogeneous_pruning = True
+    supports_lower_bound = True
+
+    def node_dispersion(self, class_weights: np.ndarray) -> float:
+        counts = np.asarray(class_weights, dtype=float)
+        total = counts.sum()
+        if total <= _EPS:
+            return 0.0
+        return float(_plogp_rows(counts[None, :], np.array([total]))[0])
+
+    def split_dispersion_batch(
+        self, left_counts: np.ndarray, total_counts: np.ndarray
+    ) -> np.ndarray:
+        left = np.asarray(left_counts, dtype=float)
+        total = np.asarray(total_counts, dtype=float)
+        right = total[None, :] - left
+        # Numerical noise can push counts a hair below zero; clamp.
+        right = np.clip(right, 0.0, None)
+        left_sizes = left.sum(axis=1)
+        right_sizes = right.sum(axis=1)
+        grand_total = total.sum()
+        if grand_total <= _EPS:
+            return np.zeros(left.shape[0])
+        left_entropy = _plogp_rows(left, left_sizes)
+        right_entropy = _plogp_rows(right, right_sizes)
+        return (left_sizes * left_entropy + right_sizes * right_entropy) / grand_total
+
+    def interval_lower_bound(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> float:
+        return float(self.interval_lower_bound_batch(n_c, k_c, m_c)[0])
+
+    def interval_lower_bound_batch(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> np.ndarray:
+        n_c = np.atleast_2d(np.asarray(n_c, dtype=float))
+        k_c = np.atleast_2d(np.asarray(k_c, dtype=float))
+        m_c = np.atleast_2d(np.asarray(m_c, dtype=float))
+        n = n_c.sum(axis=1, keepdims=True)
+        m = m_c.sum(axis=1, keepdims=True)
+        total = (n + k_c.sum(axis=1, keepdims=True) + m).ravel()
+        # alpha_c and beta_c from Eq. 3; guard the 0/0 cases, which only occur
+        # when the corresponding numerator terms vanish as well.
+        alpha_den = n + k_c
+        beta_den = m + k_c
+        alpha = np.where(alpha_den > _EPS, (n_c + k_c) / np.where(alpha_den > _EPS, alpha_den, 1.0), 0.0)
+        beta = np.where(beta_den > _EPS, (m_c + k_c) / np.where(beta_den > _EPS, beta_den, 1.0), 0.0)
+        log_alpha = np.where(alpha > _EPS, np.log2(np.where(alpha > _EPS, alpha, 1.0)), 0.0)
+        log_beta = np.where(beta > _EPS, np.log2(np.where(beta > _EPS, beta, 1.0)), 0.0)
+        best = np.maximum(alpha, beta)
+        log_best = np.where(best > _EPS, np.log2(np.where(best > _EPS, best, 1.0)), 0.0)
+        numerator = (
+            np.sum(n_c * log_alpha, axis=1)
+            + np.sum(m_c * log_beta, axis=1)
+            + np.sum(k_c * log_best, axis=1)
+        )
+        safe_total = np.where(total > _EPS, total, 1.0)
+        bound = np.where(total > _EPS, -numerator / safe_total, 0.0)
+        return np.maximum(bound, 0.0)
+
+
+class GiniMeasure(DispersionMeasure):
+    """Gini index of the partition with the Eq. 4 lower bound."""
+
+    name = "gini"
+    supports_homogeneous_pruning = True
+    supports_lower_bound = True
+
+    def node_dispersion(self, class_weights: np.ndarray) -> float:
+        counts = np.asarray(class_weights, dtype=float)
+        total = counts.sum()
+        if total <= _EPS:
+            return 0.0
+        fractions = counts / total
+        return float(1.0 - np.sum(fractions * fractions))
+
+    def split_dispersion_batch(
+        self, left_counts: np.ndarray, total_counts: np.ndarray
+    ) -> np.ndarray:
+        left = np.asarray(left_counts, dtype=float)
+        total = np.asarray(total_counts, dtype=float)
+        right = np.clip(total[None, :] - left, 0.0, None)
+        left_sizes = left.sum(axis=1)
+        right_sizes = right.sum(axis=1)
+        grand_total = total.sum()
+        if grand_total <= _EPS:
+            return np.zeros(left.shape[0])
+        safe_left = np.where(left_sizes > _EPS, left_sizes, 1.0)
+        safe_right = np.where(right_sizes > _EPS, right_sizes, 1.0)
+        left_gini = 1.0 - np.sum((left / safe_left[:, None]) ** 2, axis=1)
+        right_gini = 1.0 - np.sum((right / safe_right[:, None]) ** 2, axis=1)
+        left_gini = np.where(left_sizes > _EPS, left_gini, 0.0)
+        right_gini = np.where(right_sizes > _EPS, right_gini, 0.0)
+        return (left_sizes * left_gini + right_sizes * right_gini) / grand_total
+
+    def interval_lower_bound(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> float:
+        return float(self.interval_lower_bound_batch(n_c, k_c, m_c)[0])
+
+    def interval_lower_bound_batch(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> np.ndarray:
+        n_c = np.atleast_2d(np.asarray(n_c, dtype=float))
+        k_c = np.atleast_2d(np.asarray(k_c, dtype=float))
+        m_c = np.atleast_2d(np.asarray(m_c, dtype=float))
+        n = n_c.sum(axis=1, keepdims=True)
+        m = m_c.sum(axis=1, keepdims=True)
+        k = k_c.sum(axis=1)
+        total = (n + m).ravel() + k
+        alpha_den = n + k_c
+        beta_den = m + k_c
+        alpha = np.where(alpha_den > _EPS, (n_c + k_c) / np.where(alpha_den > _EPS, alpha_den, 1.0), 0.0)
+        beta = np.where(beta_den > _EPS, (m_c + k_c) / np.where(beta_den > _EPS, beta_den, 1.0), 0.0)
+        alpha_sq_sum = np.sum(alpha * alpha, axis=1)
+        beta_sq_sum = np.sum(beta * beta, axis=1)
+        interval_term = np.minimum(
+            np.sum(k_c * (alpha * alpha + beta * beta), axis=1),
+            k * np.maximum(alpha_sq_sum, beta_sq_sum),
+        )
+        numerator = n.ravel() * alpha_sq_sum + m.ravel() * beta_sq_sum + interval_term
+        safe_total = np.where(total > _EPS, total, 1.0)
+        bound = np.where(total > _EPS, 1.0 - numerator / safe_total, 0.0)
+        return np.maximum(bound, 0.0)
+
+
+class GainRatioMeasure(DispersionMeasure):
+    """Negated C4.5 gain ratio.
+
+    The framework minimises dispersion, so this measure returns
+    ``-gain_ratio``; the split with the largest gain ratio therefore has the
+    smallest dispersion.  Theorem 2 does not hold for gain ratio
+    (Section 7.4), so homogeneous intervals must not be pruned structurally;
+    they are handled by the bounding technique instead.  The interval bound
+    combines the entropy lower bound (Eq. 3) with the smallest achievable
+    split information over the interval.
+    """
+
+    name = "gain_ratio"
+    supports_homogeneous_pruning = False
+    supports_lower_bound = True
+
+    def __init__(self) -> None:
+        self._entropy = EntropyMeasure()
+
+    def node_dispersion(self, class_weights: np.ndarray) -> float:
+        return self._entropy.node_dispersion(class_weights)
+
+    @staticmethod
+    def _split_information(left_fraction: np.ndarray) -> np.ndarray:
+        """Split information ``-(p log2 p + (1-p) log2 (1-p))`` per candidate."""
+        p = np.clip(left_fraction, 0.0, 1.0)
+        return -(_xlogx(p) + _xlogx(1.0 - p))
+
+    def split_dispersion_batch(
+        self, left_counts: np.ndarray, total_counts: np.ndarray
+    ) -> np.ndarray:
+        left = np.asarray(left_counts, dtype=float)
+        total = np.asarray(total_counts, dtype=float)
+        grand_total = total.sum()
+        if grand_total <= _EPS:
+            return np.zeros(left.shape[0])
+        base_entropy = self._entropy.node_dispersion(total)
+        split_entropy = self._entropy.split_dispersion_batch(left, total)
+        gain = base_entropy - split_entropy
+        left_fraction = left.sum(axis=1) / grand_total
+        split_info = self._split_information(left_fraction)
+        # Splits that send everything to one side carry no information; give
+        # them a gain ratio of zero rather than dividing by zero.
+        safe_info = np.where(split_info > _EPS, split_info, 1.0)
+        ratio = np.where(split_info > _EPS, gain / safe_info, 0.0)
+        return -ratio
+
+    def interval_lower_bound(
+        self, n_c: np.ndarray, k_c: np.ndarray, m_c: np.ndarray
+    ) -> float:
+        n_c = np.asarray(n_c, dtype=float)
+        k_c = np.asarray(k_c, dtype=float)
+        m_c = np.asarray(m_c, dtype=float)
+        total_counts = n_c + k_c + m_c
+        total = total_counts.sum()
+        if total <= _EPS:
+            return 0.0
+        base_entropy = self._entropy.node_dispersion(total_counts)
+        entropy_bound = self._entropy.interval_lower_bound(n_c, k_c, m_c)
+        max_gain = max(base_entropy - entropy_bound, 0.0)
+        # The left fraction ranges over [n/N, (n + k)/N] inside the interval.
+        # Split information is concave in that fraction, so its minimum over
+        # the interval is attained at one of the two end fractions.
+        p_low = n_c.sum() / total
+        p_high = (n_c.sum() + k_c.sum()) / total
+        infos = self._split_information(np.array([p_low, p_high]))
+        min_info = float(np.min(infos))
+        if min_info <= _EPS:
+            # A candidate could produce an (almost) empty side, for which the
+            # gain ratio is defined as zero; the bound cannot exclude better
+            # interior candidates, so return the weakest possible bound.
+            return -float("inf")
+        return -max_gain / min_info
+
+
+_MEASURES: dict[str, type[DispersionMeasure]] = {
+    "entropy": EntropyMeasure,
+    "gini": GiniMeasure,
+    "gain_ratio": GainRatioMeasure,
+}
+
+
+def get_measure(name_or_measure: str | DispersionMeasure) -> DispersionMeasure:
+    """Resolve a measure name (or pass an instance through).
+
+    Accepted names: ``"entropy"``, ``"gini"``, ``"gain_ratio"``.
+    """
+    if isinstance(name_or_measure, DispersionMeasure):
+        return name_or_measure
+    try:
+        return _MEASURES[name_or_measure]()
+    except KeyError as exc:
+        raise SplitError(
+            f"unknown dispersion measure {name_or_measure!r}; "
+            f"expected one of {sorted(_MEASURES)}"
+        ) from exc

@@ -1,0 +1,150 @@
+"""C4.5-style pessimistic post-pruning.
+
+The paper applies the standard pre- and post-pruning techniques of C4.5 to
+alleviate overfitting (footnote 3).  This module implements *pessimistic
+error pruning*: a subtree is replaced by a leaf whenever the pessimistic
+estimate of the leaf's error on the training tuples is no worse than the sum
+of the pessimistic errors of the subtree's leaves.  The pessimistic estimate
+is the upper confidence limit of the binomial error rate (normal
+approximation), evaluated at the C4.5 default confidence factor of 0.25.
+
+Fractional tuples require no special treatment: the error counts are simply
+the fractional weights of the misclassified mass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.tree import InternalNode, LeafNode, TreeNode
+
+__all__ = ["pessimistic_prune", "pessimistic_error", "normal_quantile"]
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via Acklam's rational approximation.
+
+    Accurate to about 1e-9 over (0, 1); sufficient for confidence-limit
+    computations and avoids a SciPy dependency in the core library.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p!r}")
+    # Coefficients of Acklam's approximation.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    p_high = 1.0 - p_low
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    )
+
+
+try:  # SciPy gives the exact (Clopper-Pearson) binomial upper limit that C4.5 uses.
+    from scipy.stats import beta as _beta_distribution
+except ImportError:  # pragma: no cover - exercised only in SciPy-free installs
+    _beta_distribution = None
+
+
+def pessimistic_error(errors: float, total: float, confidence: float = 0.25) -> float:
+    """Pessimistic (upper-confidence) number of errors among ``total`` tuples.
+
+    Implements the C4.5 estimate: the upper limit of the one-sided
+    ``1 - confidence`` interval of the binomial error rate, multiplied back
+    by ``total``.  ``errors`` and ``total`` may be fractional weights.  The
+    exact binomial (Clopper-Pearson) limit is used when SciPy is available;
+    otherwise the standard normal approximation is used, which is slightly
+    less pessimistic for very small leaves.
+    """
+    if total <= 0.0:
+        return 0.0
+    errors = min(max(errors, 0.0), total)
+    if _beta_distribution is not None:
+        if errors >= total:
+            return total
+        rate = float(_beta_distribution.ppf(1.0 - confidence, errors + 1.0, total - errors))
+        return min(max(rate, 0.0), 1.0) * total
+    z = normal_quantile(1.0 - confidence)
+    f = errors / total
+    z2 = z * z
+    numerator = f + z2 / (2.0 * total) + z * math.sqrt(
+        max(f / total - f * f / total + z2 / (4.0 * total * total), 0.0)
+    )
+    rate = numerator / (1.0 + z2 / total)
+    return min(rate, 1.0) * total
+
+
+def _class_counts(node: TreeNode) -> np.ndarray | None:
+    """Weighted training class counts stored at a node, if available."""
+    if isinstance(node, LeafNode):
+        return node.distribution * node.training_weight
+    assert isinstance(node, InternalNode)
+    if node.training_distribution is None:
+        return None
+    return np.asarray(node.training_distribution) * node.training_weight
+
+
+def _subtree_pessimistic_error(node: TreeNode, confidence: float) -> float:
+    """Sum of pessimistic errors over the leaves of a subtree."""
+    if isinstance(node, LeafNode):
+        counts = node.distribution * node.training_weight
+        errors = float(counts.sum() - counts.max()) if counts.size else 0.0
+        return pessimistic_error(errors, float(counts.sum()), confidence)
+    assert isinstance(node, InternalNode)
+    return sum(_subtree_pessimistic_error(child, confidence) for child in node.children())
+
+
+def pessimistic_prune(
+    root: TreeNode, confidence: float = 0.25
+) -> tuple[TreeNode, int]:
+    """Prune a tree bottom-up, returning the new root and the collapse count.
+
+    A subtree is collapsed into a leaf whenever the pessimistic error of the
+    collapsed leaf does not exceed the summed pessimistic errors of the
+    subtree's leaves.
+    """
+    collapsed = 0
+
+    def prune(node: TreeNode) -> TreeNode:
+        nonlocal collapsed
+        if isinstance(node, LeafNode):
+            return node
+        assert isinstance(node, InternalNode)
+        if node.is_numerical_test:
+            assert node.left is not None and node.right is not None
+            node.left = prune(node.left)
+            node.right = prune(node.right)
+        else:
+            node.branches = {value: prune(child) for value, child in node.branches.items()}
+
+        counts = _class_counts(node)
+        if counts is None or counts.sum() <= 0:
+            return node
+        total = float(counts.sum())
+        leaf_errors = pessimistic_error(total - float(counts.max()), total, confidence)
+        subtree_errors = _subtree_pessimistic_error(node, confidence)
+        if leaf_errors <= subtree_errors + 1e-9:
+            collapsed += 1
+            return LeafNode(counts / total, training_weight=total)
+        return node
+
+    return prune(root), collapsed

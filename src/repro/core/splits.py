@@ -1,0 +1,237 @@
+"""Per-attribute split-search machinery.
+
+Finding the best split point of a numerical attribute requires, for many
+candidate values ``z``, the weighted per-class tuple counts on each side of
+``z`` (Definitions 5 and 6 of the paper).  :class:`AttributeSplitContext`
+precomputes, for one attribute and one set of (fractional) tuples, the
+per-class sorted sample positions and their cumulative weighted masses, so
+that the counts for any batch of candidates are obtained with a binary
+search rather than by re-integrating every pdf.
+
+The context also exposes the interval end points ``Q_j`` (the pdf domain
+boundaries, Section 5.1) and the full candidate list (every distinct pdf
+sample position), which the pruning strategies consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import UncertainTuple
+from repro.core.dispersion import DispersionMeasure
+from repro.exceptions import SplitError
+
+__all__ = ["AttributeSplitContext", "CandidateSplit", "build_contexts"]
+
+#: Weighted counts below this value are treated as zero mass.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CandidateSplit:
+    """Result of a split search.
+
+    Attributes
+    ----------
+    attribute_index:
+        Position of the attribute in the dataset schema; ``None`` when no
+        valid split exists.
+    split_point:
+        The numerical threshold ``z`` of the binary test ``A <= z`` (``None``
+        for categorical splits and when no split exists).
+    dispersion:
+        Value of the dispersion measure for the chosen split (lower is
+        better).
+    categorical:
+        ``True`` when the split is a multiway categorical split.
+    """
+
+    attribute_index: int | None
+    split_point: float | None
+    dispersion: float
+    categorical: bool = False
+
+    @property
+    def is_valid(self) -> bool:
+        return self.attribute_index is not None
+
+
+class AttributeSplitContext:
+    """Precomputed split-search state for one numerical attribute.
+
+    Parameters
+    ----------
+    attribute_index:
+        Index of the attribute within the dataset schema.
+    tuples:
+        The (fractional) tuples of the node being split.
+    class_labels:
+        Ordered class labels of the dataset; per-class arrays follow this
+        order.
+    """
+
+    __slots__ = (
+        "attribute_index",
+        "class_labels",
+        "_class_positions",
+        "_class_cumulative",
+        "total_counts",
+        "end_points",
+        "candidates",
+        "all_uniform",
+        "n_sample_points",
+    )
+
+    def __init__(
+        self,
+        attribute_index: int,
+        tuples: Sequence[UncertainTuple],
+        class_labels: Sequence[Hashable],
+    ) -> None:
+        if not tuples:
+            raise SplitError("cannot build a split context for an empty tuple set")
+        self.attribute_index = attribute_index
+        self.class_labels = tuple(class_labels)
+        label_to_index = {label: i for i, label in enumerate(self.class_labels)}
+        n_classes = len(self.class_labels)
+
+        per_class_positions: list[list[np.ndarray]] = [[] for _ in range(n_classes)]
+        per_class_masses: list[list[np.ndarray]] = [[] for _ in range(n_classes)]
+        end_point_set: set[float] = set()
+        all_positions: list[np.ndarray] = []
+        all_uniform = True
+        n_sample_points = 0
+
+        for item in tuples:
+            pdf = item.pdf(attribute_index)
+            if item.label is None:
+                raise SplitError("training tuples must carry a class label")
+            class_index = label_to_index[item.label]
+            per_class_positions[class_index].append(pdf.xs)
+            per_class_masses[class_index].append(pdf.masses * item.weight)
+            end_point_set.add(pdf.low)
+            end_point_set.add(pdf.high)
+            all_positions.append(pdf.xs)
+            n_sample_points += pdf.xs.size
+            if pdf.kind not in ("uniform", "point"):
+                all_uniform = False
+
+        self.all_uniform = all_uniform
+        self.n_sample_points = n_sample_points
+
+        self._class_positions: list[np.ndarray] = []
+        self._class_cumulative: list[np.ndarray] = []
+        totals = np.zeros(n_classes)
+        for class_index in range(n_classes):
+            if per_class_positions[class_index]:
+                positions = np.concatenate(per_class_positions[class_index])
+                masses = np.concatenate(per_class_masses[class_index])
+                order = np.argsort(positions, kind="stable")
+                positions = positions[order]
+                masses = masses[order]
+                cumulative = np.cumsum(masses)
+                totals[class_index] = cumulative[-1]
+            else:
+                positions = np.empty(0)
+                cumulative = np.empty(0)
+            self._class_positions.append(positions)
+            self._class_cumulative.append(cumulative)
+        self.total_counts = totals
+
+        self.end_points = np.array(sorted(end_point_set))
+        # Candidate split points: every distinct sample position except those
+        # at or beyond the global maximum end point, which would leave the
+        # "right" subset empty.
+        positions_union = np.unique(np.concatenate(all_positions))
+        upper = self.end_points[-1]
+        self.candidates = positions_union[positions_union < upper]
+
+    # -- count queries -------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_labels)
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.candidates.size)
+
+    def left_counts(self, split_points: np.ndarray, *, inclusive: bool = True) -> np.ndarray:
+        """Weighted per-class counts on the left of each split point.
+
+        With ``inclusive=True`` (the default) the counts cover the mass at or
+        below the split point (the ``<=`` test of the decision tree); with
+        ``inclusive=False`` they cover the mass strictly below it, which the
+        interval machinery uses to classify open intervals ``(a, b)``.
+
+        Returns an array of shape ``(len(split_points), n_classes)``.
+        """
+        zs = np.asarray(split_points, dtype=float)
+        side = "right" if inclusive else "left"
+        result = np.zeros((zs.size, self.n_classes))
+        for class_index in range(self.n_classes):
+            positions = self._class_positions[class_index]
+            if positions.size == 0:
+                continue
+            cumulative = self._class_cumulative[class_index]
+            idx = np.searchsorted(positions, zs, side=side)
+            counts = np.where(idx > 0, cumulative[np.maximum(idx - 1, 0)], 0.0)
+            result[:, class_index] = counts
+        return result
+
+    def interval_counts(self, low: float, high: float) -> np.ndarray:
+        """Weighted per-class counts inside the half-open interval ``(low, high]``."""
+        counts = self.left_counts(np.array([low, high]))
+        return np.clip(counts[1] - counts[0], 0.0, None)
+
+    # -- dispersion evaluation -------------------------------------------------
+
+    def evaluate(self, split_points: np.ndarray, measure: DispersionMeasure) -> np.ndarray:
+        """Dispersion of the splits at each of the given points.
+
+        The caller is responsible for counting these evaluations in its
+        :class:`~repro.core.stats.SplitSearchStats`.
+        """
+        zs = np.asarray(split_points, dtype=float)
+        if zs.size == 0:
+            return np.empty(0)
+        left = self.left_counts(zs)
+        return measure.split_dispersion_batch(left, self.total_counts)
+
+    def best_of(
+        self, split_points: np.ndarray, measure: DispersionMeasure
+    ) -> tuple[float | None, float]:
+        """Best (lowest-dispersion) split among ``split_points``.
+
+        Returns ``(split_point, dispersion)``; ``(None, inf)`` when the
+        candidate list is empty.  Splits that leave one side without any
+        probability mass are not meaningful partitions and are skipped.
+        """
+        zs = np.asarray(split_points, dtype=float)
+        if zs.size == 0:
+            return None, float("inf")
+        left = self.left_counts(zs)
+        left_sizes = left.sum(axis=1)
+        total = float(self.total_counts.sum())
+        valid = (left_sizes > _EPS) & (left_sizes < total - _EPS)
+        if not np.any(valid):
+            return None, float("inf")
+        dispersion = measure.split_dispersion_batch(left, self.total_counts)
+        dispersion = np.where(valid, dispersion, np.inf)
+        best_index = int(np.argmin(dispersion))
+        return float(zs[best_index]), float(dispersion[best_index])
+
+
+def build_contexts(
+    tuples: Sequence[UncertainTuple],
+    numerical_attribute_indices: Sequence[int],
+    class_labels: Sequence[Hashable],
+) -> list[AttributeSplitContext]:
+    """Build one :class:`AttributeSplitContext` per numerical attribute."""
+    return [
+        AttributeSplitContext(attr_index, tuples, class_labels)
+        for attr_index in numerical_attribute_indices
+    ]

@@ -1,0 +1,130 @@
+"""Instrumentation for split search and tree construction.
+
+The paper's efficiency study (Figs. 6 and 7) compares the pruning algorithms
+both by wall-clock time and by the *number of entropy calculations* they
+perform, where computing the interval lower bound (Eq. 3 / Eq. 4) is counted
+as one entropy calculation because its cost is comparable.  The counters in
+this module reproduce exactly that accounting and are aggregated over the
+whole tree build so that a single number per algorithm can be reported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SplitSearchStats", "BuildStats", "Timer"]
+
+
+@dataclass
+class SplitSearchStats:
+    """Counters accumulated while searching for the best split of one node.
+
+    Attributes
+    ----------
+    entropy_evaluations:
+        Number of candidate split points whose dispersion was computed.
+    lower_bound_evaluations:
+        Number of interval lower bounds computed (Eq. 3 / Eq. 4).  The paper
+        counts these together with entropy evaluations when reporting
+        "entropy calculations".
+    end_point_evaluations:
+        Subset of ``entropy_evaluations`` spent on interval end points.
+    candidate_split_points:
+        Total number of candidate split points available before pruning.
+    intervals_total / intervals_empty / intervals_homogeneous /
+    intervals_heterogeneous:
+        Interval census of the attribute domains examined.
+    intervals_pruned_by_bound:
+        Heterogeneous (or coarse) intervals discarded by the bounding test.
+    """
+
+    entropy_evaluations: int = 0
+    lower_bound_evaluations: int = 0
+    end_point_evaluations: int = 0
+    candidate_split_points: int = 0
+    intervals_total: int = 0
+    intervals_empty: int = 0
+    intervals_homogeneous: int = 0
+    intervals_heterogeneous: int = 0
+    intervals_pruned_by_bound: int = 0
+
+    @property
+    def total_entropy_like_calculations(self) -> int:
+        """Entropy evaluations plus lower-bound evaluations (Fig. 7 metric)."""
+        return self.entropy_evaluations + self.lower_bound_evaluations
+
+    def merge(self, other: "SplitSearchStats") -> None:
+        """Accumulate another stats object into this one (in place)."""
+        self.entropy_evaluations += other.entropy_evaluations
+        self.lower_bound_evaluations += other.lower_bound_evaluations
+        self.end_point_evaluations += other.end_point_evaluations
+        self.candidate_split_points += other.candidate_split_points
+        self.intervals_total += other.intervals_total
+        self.intervals_empty += other.intervals_empty
+        self.intervals_homogeneous += other.intervals_homogeneous
+        self.intervals_heterogeneous += other.intervals_heterogeneous
+        self.intervals_pruned_by_bound += other.intervals_pruned_by_bound
+
+
+@dataclass
+class BuildStats:
+    """Statistics aggregated over an entire tree construction.
+
+    Combines the per-node split-search counters with structural information
+    about the resulting tree and the elapsed wall-clock time.
+    """
+
+    split_search: SplitSearchStats = field(default_factory=SplitSearchStats)
+    nodes_expanded: int = 0
+    leaves_created: int = 0
+    nodes_post_pruned: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_entropy_like_calculations(self) -> int:
+        """Entropy plus lower-bound evaluations over the whole build."""
+        return self.split_search.total_entropy_like_calculations
+
+    def record_node(self, stats: SplitSearchStats) -> None:
+        """Fold the stats of one internal node's split search into the total."""
+        self.split_search.merge(stats)
+        self.nodes_expanded += 1
+
+    def record_leaf(self) -> None:
+        """Record the creation of a leaf node."""
+        self.leaves_created += 1
+
+    def record_post_prune(self, n_subtrees_collapsed: int) -> None:
+        """Record post-pruning work (number of subtrees replaced by leaves)."""
+        self.nodes_post_pruned += n_subtrees_collapsed
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary view used by the benchmark reports."""
+        return {
+            "entropy_evaluations": self.split_search.entropy_evaluations,
+            "lower_bound_evaluations": self.split_search.lower_bound_evaluations,
+            "total_entropy_like_calculations": self.total_entropy_like_calculations,
+            "candidate_split_points": self.split_search.candidate_split_points,
+            "intervals_total": self.split_search.intervals_total,
+            "intervals_pruned_by_bound": self.split_search.intervals_pruned_by_bound,
+            "nodes_expanded": self.nodes_expanded,
+            "leaves_created": self.leaves_created,
+            "nodes_post_pruned": self.nodes_post_pruned,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class Timer:
+    """Minimal context manager measuring elapsed wall-clock time in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,499 @@
+"""Split-finding strategies: UDT and its pruned variants (Section 5).
+
+All strategies solve the same optimisation problem — find the attribute and
+split point minimising the dispersion measure — and, because every pruning
+rule is *safe*, they all return a split of identical dispersion.  They differ
+only in how many candidate split points (and interval lower bounds) they
+evaluate, which is exactly what the paper's efficiency study measures.
+
+Strategies implemented:
+
+================  ==============================================================
+``UDTStrategy``    Exhaustive search over every pdf sample point (baseline UDT).
+``UDTBPStrategy``  Basic pruning: skip the interiors of empty and homogeneous
+                   intervals (Theorems 1 and 2); for all-uniform pdfs only the
+                   end points are examined (Theorem 3).
+``UDTLPStrategy``  Local pruning: additionally discard heterogeneous intervals
+                   whose dispersion lower bound (Eq. 3 / Eq. 4) is no better
+                   than the best end-point dispersion of the same attribute.
+``UDTGPStrategy``  Global pruning: like UDT-LP, but the pruning threshold is
+                   the best end-point dispersion across *all* attributes.
+``UDTESStrategy``  End-point sampling: derive the threshold from a sample of
+                   the end points, prune coarse (concatenated) intervals, then
+                   refine only the surviving ones (Section 5.3).
+================  ==============================================================
+
+Dispersion evaluations are performed in vectorised batches, but every
+candidate point and every interval lower bound is counted individually in
+the :class:`~repro.core.stats.SplitSearchStats`, reproducing the paper's
+"number of entropy calculations" metric exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dispersion import DispersionMeasure
+from repro.core.intervals import IntervalTable, build_interval_table
+from repro.core.splits import AttributeSplitContext, CandidateSplit
+from repro.core.stats import SplitSearchStats
+from repro.exceptions import SplitError
+
+__all__ = [
+    "SplitFinder",
+    "UDTStrategy",
+    "UDTBPStrategy",
+    "UDTLPStrategy",
+    "UDTGPStrategy",
+    "UDTESStrategy",
+    "get_strategy",
+    "STRATEGY_NAMES",
+]
+
+#: Weighted counts below this value are treated as zero mass.
+_EPS = 1e-12
+
+
+class _RunningBest:
+    """Tracks the best (lowest-dispersion) valid split seen so far."""
+
+    __slots__ = ("attribute_index", "split_point", "dispersion")
+
+    def __init__(self) -> None:
+        self.attribute_index: int | None = None
+        self.split_point: float | None = None
+        self.dispersion = float("inf")
+
+    def offer(self, attribute_index: int, split_point: float | None, dispersion: float) -> None:
+        if split_point is None:
+            return
+        if dispersion < self.dispersion:
+            self.attribute_index = attribute_index
+            self.split_point = split_point
+            self.dispersion = dispersion
+
+    def as_candidate(self) -> CandidateSplit:
+        return CandidateSplit(
+            attribute_index=self.attribute_index,
+            split_point=self.split_point,
+            dispersion=self.dispersion,
+        )
+
+
+class SplitFinder:
+    """Base class of all split-finding strategies."""
+
+    #: Short name used in benchmark reports (e.g. ``"UDT-GP"``).
+    name: str = "abstract"
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        """Return the best split over all numerical attributes.
+
+        ``stats`` is updated in place with the number of dispersion and
+        lower-bound evaluations performed.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _evaluate_points(
+        context: AttributeSplitContext,
+        points: np.ndarray,
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+        best: _RunningBest,
+        *,
+        are_end_points: bool = False,
+    ) -> float:
+        """Evaluate candidate points, update ``best``, and return their minimum.
+
+        The returned minimum only considers *valid* splits (both sides carry
+        probability mass); ``inf`` is returned when no point is valid.  Every
+        point is counted as one dispersion evaluation.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.size == 0:
+            return float("inf")
+        stats.entropy_evaluations += int(points.size)
+        if are_end_points:
+            stats.end_point_evaluations += int(points.size)
+        left = context.left_counts(points)
+        left_sizes = left.sum(axis=1)
+        total = float(context.total_counts.sum())
+        valid = (left_sizes > _EPS) & (left_sizes < total - _EPS)
+        if not np.any(valid):
+            return float("inf")
+        dispersion = measure.split_dispersion_batch(left, context.total_counts)
+        dispersion = np.where(valid, dispersion, np.inf)
+        best_index = int(np.argmin(dispersion))
+        best.offer(context.attribute_index, float(points[best_index]), float(dispersion[best_index]))
+        return float(dispersion[best_index])
+
+    @staticmethod
+    def _valid_end_points(context: AttributeSplitContext) -> np.ndarray:
+        """End points that are valid split candidates (all but the largest)."""
+        qs = context.end_points
+        if qs.size <= 1:
+            return np.empty(0)
+        return qs[:-1]
+
+    @staticmethod
+    def _record_interval_table(table: IntervalTable, stats: SplitSearchStats) -> None:
+        stats.intervals_total += table.n_intervals
+        stats.intervals_empty += int(table.is_empty.sum())
+        stats.intervals_homogeneous += int(table.is_homogeneous.sum())
+        stats.intervals_heterogeneous += int(table.is_heterogeneous.sum())
+
+    @staticmethod
+    def _prune_with_bounds(
+        table: IntervalTable,
+        candidate_mask: np.ndarray,
+        threshold: float,
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> np.ndarray:
+        """Apply the lower-bound test to the intervals selected by ``candidate_mask``.
+
+        Returns the mask of intervals that *survive* (must still be searched).
+        One lower-bound evaluation is counted per tested interval.
+        """
+        survive = candidate_mask.copy()
+        tested = np.flatnonzero(candidate_mask)
+        if tested.size == 0:
+            return survive
+        stats.lower_bound_evaluations += int(tested.size)
+        bounds = measure.interval_lower_bound_batch(
+            table.left_counts[tested], table.inside_counts[tested], table.right_counts[tested]
+        )
+        pruned = bounds >= threshold
+        stats.intervals_pruned_by_bound += int(pruned.sum())
+        survive[tested[pruned]] = False
+        return survive
+
+
+class UDTStrategy(SplitFinder):
+    """Exhaustive UDT search: evaluate every candidate split point."""
+
+    name = "UDT"
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        best = _RunningBest()
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            self._evaluate_points(context, context.candidates, measure, stats, best)
+        return best.as_candidate()
+
+
+class UDTBPStrategy(SplitFinder):
+    """Basic pruning: Theorems 1–3 (empty / homogeneous / uniform intervals).
+
+    Parameters
+    ----------
+    assume_linear_counts:
+        Enable the Theorem 3 shortcut: when every pdf of an attribute is
+        uniform, only the end points are examined.  Theorem 3 is exact for
+        *continuous* uniform pdfs; for the sampled (discretised) uniform pdfs
+        used in this implementation the per-class counts grow in steps rather
+        than linearly, so the shortcut becomes a (very close) approximation.
+        It is therefore off by default, keeping every strategy exactly
+        optimal.
+    """
+
+    name = "UDT-BP"
+
+    def __init__(self, assume_linear_counts: bool = False) -> None:
+        self.assume_linear_counts = assume_linear_counts
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        best = _RunningBest()
+        prune_homogeneous = measure.supports_homogeneous_pruning
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            self._evaluate_points(
+                context, self._valid_end_points(context), measure, stats, best, are_end_points=True
+            )
+            table = build_interval_table(context)
+            self._record_interval_table(table, stats)
+            if self.assume_linear_counts and context.all_uniform and prune_homogeneous:
+                # Theorem 3: with uniform pdfs the per-class counts grow
+                # (approximately) linearly inside every interval, so end
+                # points suffice.
+                continue
+            search_mask = ~table.is_empty
+            if prune_homogeneous:
+                search_mask &= ~table.is_homogeneous
+            self._evaluate_points(
+                context, table.gather_interiors(search_mask), measure, stats, best
+            )
+        return best.as_candidate()
+
+
+class _BoundPruningStrategy(SplitFinder):
+    """Shared implementation of the bounding-based strategies (LP and GP)."""
+
+    #: Whether the pruning threshold is shared across attributes.
+    global_threshold = False
+
+    def __init__(self, assume_linear_counts: bool = False) -> None:
+        #: See :class:`UDTBPStrategy`: enables the approximate Theorem 3
+        #: shortcut for all-uniform attributes.
+        self.assume_linear_counts = assume_linear_counts
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        best = _RunningBest()
+        prune_homogeneous = measure.supports_homogeneous_pruning
+        use_bound = measure.supports_lower_bound
+
+        # Phase 1: end-point dispersions (and per-attribute thresholds).
+        thresholds: list[float] = []
+        tables: list[IntervalTable] = []
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            threshold = self._evaluate_points(
+                context, self._valid_end_points(context), measure, stats, best, are_end_points=True
+            )
+            thresholds.append(threshold)
+            table = build_interval_table(context)
+            self._record_interval_table(table, stats)
+            tables.append(table)
+
+        if self.global_threshold:
+            shared = min(thresholds, default=float("inf"))
+            thresholds = [shared] * len(contexts)
+
+        # Phase 2: prune or search the remaining interval interiors.
+        for context, table, threshold in zip(contexts, tables, thresholds):
+            if self.assume_linear_counts and context.all_uniform and prune_homogeneous:
+                continue
+            search_mask = (~table.is_empty) & (table.interior_sizes > 0)
+            if prune_homogeneous:
+                search_mask &= ~table.is_homogeneous
+            if use_bound:
+                search_mask = self._prune_with_bounds(
+                    table, search_mask, threshold, measure, stats
+                )
+            self._evaluate_points(
+                context, table.gather_interiors(search_mask), measure, stats, best
+            )
+        return best.as_candidate()
+
+
+class UDTLPStrategy(_BoundPruningStrategy):
+    """Local pruning: per-attribute end-point threshold (Section 5.2)."""
+
+    name = "UDT-LP"
+    global_threshold = False
+
+
+class UDTGPStrategy(_BoundPruningStrategy):
+    """Global pruning: one threshold shared by every attribute (Section 5.2)."""
+
+    name = "UDT-GP"
+    global_threshold = True
+
+
+class UDTESStrategy(SplitFinder):
+    """End-point sampling (Section 5.3).
+
+    Parameters
+    ----------
+    sample_fraction:
+        Fraction of end points evaluated in the first pass (the paper found
+        10 % to be a good choice).  The first and last end points are always
+        included so the coarse intervals cover the whole domain.
+    """
+
+    name = "UDT-ES"
+
+    def __init__(self, sample_fraction: float = 0.1, assume_linear_counts: bool = False) -> None:
+        if not 0.0 < sample_fraction <= 1.0:
+            raise SplitError(f"sample_fraction must be in (0, 1], got {sample_fraction!r}")
+        self.sample_fraction = sample_fraction
+        #: See :class:`UDTBPStrategy`: enables the approximate Theorem 3
+        #: shortcut for all-uniform attributes.
+        self.assume_linear_counts = assume_linear_counts
+
+    def _sample_end_points(self, end_points: np.ndarray) -> np.ndarray:
+        """Deterministically thin the end points to roughly ``sample_fraction``."""
+        n = end_points.size
+        if n <= 2:
+            return end_points
+        target = max(int(round(n * self.sample_fraction)), 2)
+        if target >= n:
+            return end_points
+        indices = np.unique(np.linspace(0, n - 1, target).round().astype(int))
+        return end_points[indices]
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        best = _RunningBest()
+        prune_homogeneous = measure.supports_homogeneous_pruning
+        use_bound = measure.supports_lower_bound
+
+        # Phase 1: evaluate a sample of the end points of every attribute to
+        # obtain an initial (global) pruning threshold.
+        sampled: list[np.ndarray] = []
+        threshold = float("inf")
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            sample = self._sample_end_points(context.end_points)
+            sampled.append(sample)
+            valid_sample = sample[sample < context.end_points[-1]]
+            value = self._evaluate_points(
+                context, valid_sample, measure, stats, best, are_end_points=True
+            )
+            threshold = min(threshold, value)
+
+        # Phase 2: work on the coarse intervals defined by the sampled end
+        # points; refine only the ones the bound cannot discard.
+        for context, sample in zip(contexts, sampled):
+            coarse = build_interval_table(context, end_points=sample)
+            self._record_interval_table(coarse, stats)
+
+            if self.assume_linear_counts and context.all_uniform and prune_homogeneous:
+                # Theorem 3 applies: only end points matter, but the
+                # unsampled ones inside non-empty coarse intervals must still
+                # be examined.
+                mask = ~coarse.is_empty
+                unsampled = self._unsampled_end_points_batch(context, coarse, mask, sample)
+                value = self._evaluate_points(
+                    context, unsampled, measure, stats, best, are_end_points=True
+                )
+                threshold = min(threshold, value)
+                continue
+
+            candidate_mask = (~coarse.is_empty) & (coarse.interior_sizes > 0)
+            if prune_homogeneous:
+                candidate_mask &= ~coarse.is_homogeneous
+            if use_bound:
+                candidate_mask = self._prune_with_bounds(
+                    coarse, candidate_mask, threshold, measure, stats
+                )
+            for index in np.flatnonzero(candidate_mask):
+                threshold = self._refine_coarse_interval(
+                    context,
+                    float(coarse.lows[index]),
+                    float(coarse.highs[index]),
+                    sample,
+                    measure,
+                    stats,
+                    best,
+                    threshold,
+                    prune_homogeneous=prune_homogeneous,
+                    use_bound=use_bound,
+                )
+        return best.as_candidate()
+
+    @staticmethod
+    def _unsampled_end_points_batch(
+        context: AttributeSplitContext,
+        coarse: IntervalTable,
+        mask: np.ndarray,
+        sample: np.ndarray,
+    ) -> np.ndarray:
+        """Original end points strictly inside the selected coarse intervals."""
+        qs = context.end_points
+        pieces = []
+        for index in np.flatnonzero(mask):
+            low, high = coarse.lows[index], coarse.highs[index]
+            inside = qs[(qs > low) & (qs < high)]
+            if inside.size:
+                pieces.append(inside)
+        if not pieces:
+            return np.empty(0)
+        return np.setdiff1d(np.concatenate(pieces), sample)
+
+    def _refine_coarse_interval(
+        self,
+        context: AttributeSplitContext,
+        low: float,
+        high: float,
+        sample: np.ndarray,
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+        best: _RunningBest,
+        threshold: float,
+        *,
+        prune_homogeneous: bool,
+        use_bound: bool,
+    ) -> float:
+        """Re-apply pruning inside one surviving coarse interval.
+
+        Returns the (possibly improved) pruning threshold: evaluating the
+        unsampled end points can lower the best known dispersion, which then
+        benefits the remaining coarse intervals (the "reinvoke global
+        pruning" step of Section 5.3).
+        """
+        qs = context.end_points
+        inside = qs[(qs > low) & (qs < high)]
+        unsampled = np.setdiff1d(inside, sample)
+        value = self._evaluate_points(
+            context, unsampled, measure, stats, best, are_end_points=True
+        )
+        threshold = min(threshold, value)
+
+        fine_points = np.unique(np.concatenate([[low, high], unsampled]))
+        fine = build_interval_table(context, end_points=fine_points)
+        search_mask = (~fine.is_empty) & (fine.interior_sizes > 0)
+        if prune_homogeneous:
+            search_mask &= ~fine.is_homogeneous
+        if use_bound:
+            search_mask = self._prune_with_bounds(fine, search_mask, threshold, measure, stats)
+        self._evaluate_points(context, fine.gather_interiors(search_mask), measure, stats, best)
+        return threshold
+
+
+#: Registry of strategy names accepted by :func:`get_strategy` and the
+#: high-level classifier constructors.
+STRATEGY_NAMES = ("UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES")
+
+_STRATEGIES: dict[str, type[SplitFinder]] = {
+    "UDT": UDTStrategy,
+    "UDT-BP": UDTBPStrategy,
+    "UDT-LP": UDTLPStrategy,
+    "UDT-GP": UDTGPStrategy,
+    "UDT-ES": UDTESStrategy,
+}
+
+
+def get_strategy(name_or_strategy: str | SplitFinder) -> SplitFinder:
+    """Resolve a strategy name (case-insensitive) or pass an instance through."""
+    if isinstance(name_or_strategy, SplitFinder):
+        return name_or_strategy
+    key = name_or_strategy.upper().replace("_", "-")
+    if not key.startswith("UDT"):
+        key = f"UDT-{key}" if key else key
+    try:
+        return _STRATEGIES[key]()
+    except KeyError as exc:
+        raise SplitError(
+            f"unknown split-finding strategy {name_or_strategy!r}; "
+            f"expected one of {list(_STRATEGIES)}"
+        ) from exc

@@ -1,0 +1,108 @@
+"""High-level Distribution-based classifier (UDT, Section 4.2).
+
+:class:`UDTClassifier` wraps the tree builder with a scikit-learn-flavoured
+``fit`` / ``predict`` interface operating on
+:class:`~repro.core.dataset.UncertainDataset` objects.  The split-finding
+strategy (UDT, UDT-BP, UDT-LP, UDT-GP or UDT-ES) and the dispersion measure
+are configurable; all strategies produce the same tree, so the choice only
+affects construction cost.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.builder import TreeBuilder
+from repro.core.dataset import UncertainDataset, UncertainTuple
+from repro.core.dispersion import DispersionMeasure
+from repro.core.stats import BuildStats
+from repro.core.strategies import SplitFinder
+from repro.core.tree import DecisionTree
+from repro.exceptions import TreeError
+
+__all__ = ["UDTClassifier"]
+
+
+class UDTClassifier:
+    """Decision-tree classifier for uncertain data (the paper's UDT).
+
+    Parameters
+    ----------
+    strategy:
+        Split-finding strategy name or instance (default ``"UDT-ES"``, the
+        fastest safe-pruning variant).
+    measure:
+        Dispersion measure (default ``"entropy"``).
+    max_depth, min_split_weight, min_dispersion_gain, post_prune,
+    post_prune_confidence:
+        Forwarded to :class:`~repro.core.builder.TreeBuilder`.
+
+    Attributes
+    ----------
+    tree_:
+        The fitted :class:`~repro.core.tree.DecisionTree` (after ``fit``).
+    build_stats_:
+        The :class:`~repro.core.stats.BuildStats` collected while fitting.
+    """
+
+    def __init__(
+        self,
+        strategy: str | SplitFinder = "UDT-ES",
+        measure: str | DispersionMeasure = "entropy",
+        *,
+        max_depth: int | None = None,
+        min_split_weight: float = 2.0,
+        min_dispersion_gain: float = 1e-9,
+        post_prune: bool = True,
+        post_prune_confidence: float = 0.25,
+    ) -> None:
+        self._builder = TreeBuilder(
+            strategy=strategy,
+            measure=measure,
+            max_depth=max_depth,
+            min_split_weight=min_split_weight,
+            min_dispersion_gain=min_dispersion_gain,
+            post_prune=post_prune,
+            post_prune_confidence=post_prune_confidence,
+        )
+        self.tree_: DecisionTree | None = None
+        self.build_stats_: BuildStats | None = None
+
+    @property
+    def strategy_name(self) -> str:
+        """Name of the configured split-finding strategy."""
+        return self._builder.strategy.name
+
+    def fit(self, dataset: UncertainDataset) -> "UDTClassifier":
+        """Build the decision tree from the training dataset."""
+        result = self._builder.build(dataset)
+        self.tree_ = result.tree
+        self.build_stats_ = result.stats
+        return self
+
+    def _require_tree(self) -> DecisionTree:
+        if self.tree_ is None:
+            raise TreeError("the classifier has not been fitted yet; call fit() first")
+        return self.tree_
+
+    def predict(self, data: UncertainDataset | UncertainTuple) -> list[Hashable] | Hashable:
+        """Predict class labels for a dataset (list) or a single tuple (label)."""
+        tree = self._require_tree()
+        if isinstance(data, UncertainTuple):
+            return tree.predict(data)
+        return tree.predict_dataset(data)
+
+    def predict_proba(
+        self, data: UncertainDataset | UncertainTuple
+    ) -> np.ndarray:
+        """Class-probability distribution(s) for a dataset or single tuple."""
+        tree = self._require_tree()
+        if isinstance(data, UncertainTuple):
+            return tree.classify(data)
+        return tree.classify_dataset(data)
+
+    def score(self, dataset: UncertainDataset) -> float:
+        """Classification accuracy on a labelled dataset."""
+        return self._require_tree().accuracy(dataset)

@@ -1,0 +1,117 @@
+"""Handling pdfs with unbounded support (Section 7.3).
+
+The pruning framework of Section 5 relies on the pdf domain end points to
+partition the attribute range into a finite number of intervals.  For
+unbounded pdfs the paper suggests using artificial "end points": for each
+class, treat the per-class tuple count as a cumulative frequency function
+and pick its 10th, 20th, ..., 90th percentiles.  The resulting intervals do
+not enjoy the concavity guarantees of Theorems 1–3, so this is a heuristic
+that trades a small chance of missing the exact optimum for far fewer
+dispersion evaluations; the paper leaves its effectiveness to further study.
+
+This module provides the pseudo–end-point computation and a split-finding
+strategy (:class:`PercentileGPStrategy`) that mirrors UDT-GP but operates on
+the pseudo end points.  It never prunes empty/homogeneous interval interiors
+structurally (the theorems do not apply); it relies purely on bounding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dispersion import DispersionMeasure
+from repro.core.intervals import build_interval_table
+from repro.core.splits import AttributeSplitContext, CandidateSplit
+from repro.core.stats import SplitSearchStats
+from repro.core.strategies import SplitFinder, _RunningBest
+from repro.exceptions import SplitError
+
+__all__ = ["percentile_pseudo_end_points", "PercentileGPStrategy"]
+
+
+def percentile_pseudo_end_points(
+    context: AttributeSplitContext,
+    percentiles: Sequence[float] = (10, 20, 30, 40, 50, 60, 70, 80, 90),
+) -> np.ndarray:
+    """Artificial end points from per-class cumulative tuple counts.
+
+    For every class the cumulative weighted tuple count over the candidate
+    positions is computed and the positions closest to the requested
+    percentiles are selected.  The overall minimum and maximum candidate
+    positions are always included so the pseudo intervals cover the whole
+    domain.
+    """
+    if not percentiles:
+        raise SplitError("at least one percentile is required")
+    for p in percentiles:
+        if not 0.0 < p < 100.0:
+            raise SplitError(f"percentiles must lie strictly between 0 and 100, got {p!r}")
+    candidates = context.candidates
+    if candidates.size == 0:
+        return context.end_points
+    counts = context.left_counts(candidates)
+    points: set[float] = {float(context.end_points[0]), float(context.end_points[-1])}
+    for class_index in range(context.n_classes):
+        total = context.total_counts[class_index]
+        if total <= 0:
+            continue
+        cumulative = counts[:, class_index] / total
+        for p in percentiles:
+            idx = int(np.searchsorted(cumulative, p / 100.0, side="left"))
+            idx = min(idx, candidates.size - 1)
+            points.add(float(candidates[idx]))
+    return np.array(sorted(points))
+
+
+class PercentileGPStrategy(SplitFinder):
+    """Global-pruning strategy driven by percentile pseudo end points.
+
+    Intended for datasets whose pdfs are unbounded (or whose true end points
+    are too numerous to be useful).  Because the theorems of Section 5.1 do
+    not apply to pseudo intervals, this strategy is *heuristic*: it always
+    evaluates the pseudo end points and any interval that survives the
+    bounding test, but a pruned interval could in principle have contained a
+    slightly better split.
+    """
+
+    name = "UDT-GP-percentile"
+
+    def __init__(self, percentiles: Sequence[float] = (10, 20, 30, 40, 50, 60, 70, 80, 90)) -> None:
+        self.percentiles = tuple(percentiles)
+
+    def find_best_split(
+        self,
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+    ) -> CandidateSplit:
+        best = _RunningBest()
+        pseudo: list[np.ndarray] = []
+        threshold = float("inf")
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            points = percentile_pseudo_end_points(context, self.percentiles)
+            pseudo.append(points)
+            valid = points[points < context.end_points[-1]]
+            value = self._evaluate_points(
+                context, valid, measure, stats, best, are_end_points=True
+            )
+            threshold = min(threshold, value)
+
+        use_bound = measure.supports_lower_bound
+        for context, points in zip(contexts, pseudo):
+            table = build_interval_table(context, end_points=points)
+            self._record_interval_table(table, stats)
+            # No probability mass inside an empty interval means its interior
+            # candidates cannot change the partition, so they are redundant.
+            candidate_mask = (~table.is_empty) & (table.interior_sizes > 0)
+            if use_bound:
+                candidate_mask = self._prune_with_bounds(
+                    table, candidate_mask, threshold, measure, stats
+                )
+            self._evaluate_points(
+                context, table.gather_interiors(candidate_mask), measure, stats, best
+            )
+        return best.as_candidate()

@@ -1,0 +1,58 @@
+"""Dataset substrates: synthetic generators, UCI stand-ins and uncertainty models.
+
+This subpackage provides everything the experiments need on the data side:
+
+* :mod:`repro.data.synthetic` — seeded class-conditional Gaussian-mixture
+  generators for point data of arbitrary shape;
+* :mod:`repro.data.uci` — stand-ins for the ten UCI datasets of Table 2
+  (same tuples × attributes × classes shape, scaled on demand);
+* :mod:`repro.data.uncertainty` — the paper's error models: pdf injection
+  with width ``w`` and ``s`` samples (Gaussian or uniform) and the
+  controlled perturbation ``u`` of Section 4.4;
+* :mod:`repro.data.example` — the handcrafted Table 1 example;
+* :mod:`repro.data.loaders` — CSV import/export for users with real data.
+"""
+
+from repro.data.example import TABLE1_LABELS, TABLE1_MEANS, table1_dataset
+from repro.data.loaders import load_csv, save_csv, train_test_rows
+from repro.data.synthetic import ClassificationSpec, make_classification_points, make_point_dataset
+from repro.data.uci import (
+    TABLE2_DATASETS,
+    UCIDatasetSpec,
+    dataset_names,
+    get_spec,
+    load_dataset,
+    load_japanese_vowel,
+)
+from repro.data.uncertainty import (
+    ERROR_MODELS,
+    attribute_ranges,
+    inject_uncertainty,
+    model_width_for_perturbation,
+    perturb_points,
+    repeated_measurement_pdfs,
+)
+
+__all__ = [
+    "ClassificationSpec",
+    "ERROR_MODELS",
+    "TABLE1_LABELS",
+    "TABLE1_MEANS",
+    "TABLE2_DATASETS",
+    "UCIDatasetSpec",
+    "attribute_ranges",
+    "dataset_names",
+    "get_spec",
+    "inject_uncertainty",
+    "load_csv",
+    "load_dataset",
+    "load_japanese_vowel",
+    "make_classification_points",
+    "make_point_dataset",
+    "model_width_for_perturbation",
+    "perturb_points",
+    "repeated_measurement_pdfs",
+    "save_csv",
+    "table1_dataset",
+    "train_test_rows",
+]

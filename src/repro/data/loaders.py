@@ -1,0 +1,136 @@
+"""Loading and saving point-valued datasets as CSV files.
+
+The reproduction is self-contained (no network access), but downstream users
+who *do* have the original UCI files can feed them in through this module:
+a CSV with one column per numerical attribute plus a class-label column maps
+directly onto :class:`~repro.core.dataset.UncertainDataset`, after which
+uncertainty can be attached with :mod:`repro.data.uncertainty`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dataset import UncertainDataset
+from repro.exceptions import DatasetError
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def load_csv(
+    path: str | Path,
+    *,
+    label_column: str | int = -1,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> UncertainDataset:
+    """Load a point-valued dataset from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        CSV file location.
+    label_column:
+        Column holding the class label, by name (requires a header) or by
+        integer position (negative indices count from the end).
+    has_header:
+        Whether the first row contains attribute names.
+    delimiter:
+        Field separator.
+
+    Returns
+    -------
+    UncertainDataset
+        Point-valued dataset (every value becomes a degenerate pdf).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    if not rows:
+        raise DatasetError(f"dataset file is empty: {path}")
+
+    if has_header:
+        header = [cell.strip() for cell in rows[0]]
+        data_rows = rows[1:]
+    else:
+        header = [f"A{i + 1}" for i in range(len(rows[0]))]
+        data_rows = rows
+    if not data_rows:
+        raise DatasetError(f"dataset file has a header but no data rows: {path}")
+
+    if isinstance(label_column, str):
+        if not has_header:
+            raise DatasetError("label_column by name requires has_header=True")
+        try:
+            label_index = header.index(label_column)
+        except ValueError as exc:
+            raise DatasetError(
+                f"label column {label_column!r} not found in header {header}"
+            ) from exc
+    else:
+        label_index = label_column % len(header)
+
+    feature_indices = [i for i in range(len(header)) if i != label_index]
+    attribute_names = [header[i] for i in feature_indices]
+
+    values = np.zeros((len(data_rows), len(feature_indices)))
+    labels: list[str] = []
+    for row_number, row in enumerate(data_rows):
+        if len(row) != len(header):
+            raise DatasetError(
+                f"row {row_number + 1} has {len(row)} fields, expected {len(header)}"
+            )
+        labels.append(row[label_index].strip())
+        for out_col, in_col in enumerate(feature_indices):
+            cell = row[in_col].strip()
+            try:
+                values[row_number, out_col] = float(cell)
+            except ValueError as exc:
+                raise DatasetError(
+                    f"row {row_number + 1}, column {header[in_col]!r}: "
+                    f"cannot parse {cell!r} as a number"
+                ) from exc
+    return UncertainDataset.from_points(values, labels, attribute_names=attribute_names)
+
+
+def save_csv(
+    dataset: UncertainDataset,
+    path: str | Path,
+    *,
+    label_column_name: str = "class",
+    delimiter: str = ",",
+) -> None:
+    """Save the *mean representation* of a dataset as CSV.
+
+    Numerical pdfs are written as their means (uncertainty is not
+    serialised); categorical attributes are written as their most likely
+    value.  Useful for exporting data to external point-value tools.
+    """
+    path = Path(path)
+    names = [attribute.name for attribute in dataset.attributes]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names + [label_column_name])
+        for item in dataset:
+            writer.writerow(list(item.mean_vector()) + [item.label])
+
+
+def train_test_rows(
+    n_rows: int, test_fraction: float, rng: np.random.Generator | None = None
+) -> tuple[list[int], list[int]]:
+    """Random train/test index split used by the example scripts."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(f"test_fraction must be in (0, 1), got {test_fraction!r}")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(n_rows)
+    n_test = max(int(round(n_rows * test_fraction)), 1)
+    test = sorted(int(i) for i in order[:n_test])
+    train = sorted(int(i) for i in order[n_test:])
+    return train, test

@@ -1,0 +1,219 @@
+"""Stand-ins for the UCI datasets of Table 2.
+
+The paper evaluates on ten UCI Machine Learning Repository datasets.  This
+offline reproduction cannot download them, so each dataset is replaced by a
+*seeded synthetic stand-in* with the same shape (tuples × attributes ×
+classes) and comparable character (integer-valued attributes for the
+quantised datasets, raw repeated measurements for JapaneseVowel).  The
+substitution is documented in DESIGN.md; every experiment accepts a
+``scale`` factor so the benches can run on smaller-but-same-shaped data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Attribute, UncertainDataset, UncertainTuple
+from repro.core.pdf import SampledPdf
+from repro.data.synthetic import ClassificationSpec, make_classification_points
+from repro.exceptions import DatasetError
+
+__all__ = ["UCIDatasetSpec", "TABLE2_DATASETS", "dataset_names", "load_dataset", "load_japanese_vowel"]
+
+
+@dataclass(frozen=True)
+class UCIDatasetSpec:
+    """Shape metadata of one Table 2 dataset.
+
+    ``n_training`` / ``n_test`` mirror the repository's train/test division;
+    datasets without a published split (``n_test == 0``) are evaluated by
+    cross validation, exactly as in the paper.
+    """
+
+    name: str
+    n_training: int
+    n_test: int
+    n_attributes: int
+    n_classes: int
+    integer_domain: bool = False
+    repeated_measurements: bool = False
+    class_separation: float = 2.5
+    #: Magnitude of the measurement error already present in the recorded
+    #: values, expressed like the paper's ``u`` (noise std = u * |A_j| / 4).
+    #: Real UCI data carries such unknown intrinsic error (Section 4.4); the
+    #: stand-ins make it explicit so that modelling it with pdfs of a
+    #: matching width pays off, as the paper observes.
+    intrinsic_noise: float = 0.10
+
+    @property
+    def n_tuples(self) -> int:
+        return self.n_training + self.n_test
+
+    @property
+    def has_test_split(self) -> bool:
+        return self.n_test > 0
+
+
+#: The ten datasets of Table 2 (shapes as published in the UCI repository).
+TABLE2_DATASETS: tuple[UCIDatasetSpec, ...] = (
+    UCIDatasetSpec("JapaneseVowel", 270, 370, 12, 9, repeated_measurements=True,
+                   class_separation=3.0),
+    UCIDatasetSpec("PenDigits", 7494, 3498, 16, 10, integer_domain=True),
+    UCIDatasetSpec("PageBlock", 5473, 0, 10, 5),
+    UCIDatasetSpec("Satellite", 4435, 2000, 36, 6, integer_domain=True),
+    UCIDatasetSpec("Segment", 2310, 0, 19, 7),
+    UCIDatasetSpec("Vehicle", 846, 0, 18, 4, integer_domain=True),
+    UCIDatasetSpec("BreastCancer", 569, 0, 10, 2, class_separation=3.0),
+    UCIDatasetSpec("Ionosphere", 351, 0, 32, 2),
+    UCIDatasetSpec("Glass", 214, 0, 9, 6, class_separation=2.0),
+    UCIDatasetSpec("Iris", 150, 0, 4, 3, class_separation=3.0),
+)
+
+_BY_NAME = {spec.name.lower(): spec for spec in TABLE2_DATASETS}
+
+
+def dataset_names() -> list[str]:
+    """Names of the Table 2 datasets, in the paper's order."""
+    return [spec.name for spec in TABLE2_DATASETS]
+
+
+def get_spec(name: str) -> UCIDatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError as exc:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from exc
+
+
+def _scaled(count: int, scale: float, minimum: int) -> int:
+    return max(int(round(count * scale)), minimum)
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> tuple[UncertainDataset, UncertainDataset | None, UCIDatasetSpec]:
+    """Generate the synthetic stand-in for a Table 2 dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names` (case-insensitive).
+    scale:
+        Multiplier applied to the tuple counts (the attribute and class
+        counts are never scaled).  The benches use small scales so they run
+        in seconds; ``scale=1.0`` reproduces the published shapes.
+    seed:
+        Seed of the deterministic generator; the same (name, scale, seed)
+        always yields the same data.
+
+    Returns
+    -------
+    (training, test, spec)
+        ``test`` is ``None`` for datasets evaluated by cross validation.
+        The JapaneseVowel stand-in is returned with raw repeated-measurement
+        pdfs (uncertain data); all others are point-valued and should be fed
+        through :func:`repro.data.uncertainty.inject_uncertainty`.
+    """
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale!r}")
+    spec = get_spec(name)
+    rng = np.random.default_rng(seed + hash(spec.name) % (2**16))
+
+    if spec.repeated_measurements:
+        training, test = _japanese_vowel_like(spec, scale, rng)
+        return training, test, spec
+
+    n_training = _scaled(spec.n_training, scale, minimum=spec.n_classes * 4)
+    n_test = _scaled(spec.n_test, scale, minimum=spec.n_classes * 2) if spec.has_test_split else 0
+    class_spec = ClassificationSpec(
+        n_tuples=n_training + n_test,
+        n_attributes=spec.n_attributes,
+        n_classes=spec.n_classes,
+        class_separation=spec.class_separation,
+        integer_domain=spec.integer_domain,
+    )
+    values, labels = make_classification_points(class_spec, rng)
+    values = _add_intrinsic_noise(values, spec, rng)
+    attribute_names = [f"{spec.name}_A{j + 1}" for j in range(spec.n_attributes)]
+    full = UncertainDataset.from_points(values, labels, attribute_names=attribute_names)
+    if not spec.has_test_split:
+        return full, None, spec
+    training = full.subset(range(n_training))
+    test = full.subset(range(n_training, n_training + n_test))
+    return training, test, spec
+
+
+def load_japanese_vowel(
+    *, scale: float = 1.0, seed: int = 0
+) -> tuple[UncertainDataset, UncertainDataset, UCIDatasetSpec]:
+    """Convenience wrapper returning the JapaneseVowel-like uncertain data."""
+    training, test, spec = load_dataset("JapaneseVowel", scale=scale, seed=seed)
+    assert test is not None
+    return training, test, spec
+
+
+def _add_intrinsic_noise(
+    values: np.ndarray, spec: UCIDatasetSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Add the dataset's intrinsic measurement error to the recorded values.
+
+    The noise standard deviation follows the paper's convention for the
+    perturbation parameter: ``sigma_j = intrinsic_noise * |A_j| / 4``.
+    Integer-domain datasets are re-quantised after the noise is added, which
+    is exactly the setting in which the paper found uniform error models to
+    outperform Gaussian ones.
+    """
+    if spec.intrinsic_noise <= 0:
+        return values
+    spans = values.max(axis=0) - values.min(axis=0)
+    spans = np.where(spans > 0, spans, 1.0)
+    sigma = spec.intrinsic_noise * spans / 4.0
+    noisy = values + rng.normal(0.0, 1.0, size=values.shape) * sigma
+    if spec.integer_domain:
+        noisy = np.round(noisy)
+    return noisy
+
+
+def _japanese_vowel_like(
+    spec: UCIDatasetSpec, scale: float, rng: np.random.Generator
+) -> tuple[UncertainDataset, UncertainDataset]:
+    """Synthetic repeated-measurement data in the shape of JapaneseVowel.
+
+    Every attribute value is observed 7–29 times (as in the real data's LPC
+    frames); the observations are noisy readings of a per-tuple latent value
+    drawn from the class-conditional distribution.  The pdfs are the
+    empirical distributions of the raw observations.
+    """
+    n_training = _scaled(spec.n_training, scale, minimum=spec.n_classes * 4)
+    n_test = _scaled(spec.n_test, scale, minimum=spec.n_classes * 2)
+    class_spec = ClassificationSpec(
+        n_tuples=n_training + n_test,
+        n_attributes=spec.n_attributes,
+        n_classes=spec.n_classes,
+        class_separation=spec.class_separation,
+    )
+    latent_values, labels = make_classification_points(class_spec, rng)
+    attributes = [Attribute.numerical(f"LPC{j + 1}") for j in range(spec.n_attributes)]
+    # Measurement noise comparable to half the class spread, so the raw
+    # samples of one value genuinely overlap neighbouring classes.
+    noise_std = 0.8
+
+    tuples: list[UncertainTuple] = []
+    for i in range(latent_values.shape[0]):
+        features = []
+        for j in range(spec.n_attributes):
+            n_observations = int(rng.integers(7, 30))
+            observations = latent_values[i, j] + rng.normal(0.0, noise_std, size=n_observations)
+            features.append(SampledPdf.from_samples(observations))
+        tuples.append(UncertainTuple(features, label=labels[i]))
+    full = UncertainDataset(attributes, tuples)
+    training = full.subset(range(n_training))
+    test = full.subset(range(n_training, n_training + n_test))
+    return training, test

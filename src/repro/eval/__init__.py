@@ -1,0 +1,45 @@
+"""Evaluation harness: cross validation, metrics, experiments and reporting."""
+
+from repro.eval.crossval import cross_validate, iter_fold_splits, stratified_folds, train_test_split
+from repro.eval.experiment import (
+    AccuracyExperiment,
+    AccuracyResult,
+    EfficiencyExperiment,
+    EfficiencyResult,
+    NoiseModelExperiment,
+    NoiseModelResult,
+    SensitivityExperiment,
+    SensitivityResult,
+)
+from repro.eval.metrics import accuracy, confusion_matrix, error_rate, per_class_accuracy
+from repro.eval.reporting import (
+    format_accuracy_results,
+    format_efficiency_results,
+    format_noise_model_results,
+    format_sensitivity_results,
+    format_table,
+)
+
+__all__ = [
+    "AccuracyExperiment",
+    "AccuracyResult",
+    "EfficiencyExperiment",
+    "EfficiencyResult",
+    "NoiseModelExperiment",
+    "NoiseModelResult",
+    "SensitivityExperiment",
+    "SensitivityResult",
+    "accuracy",
+    "confusion_matrix",
+    "cross_validate",
+    "error_rate",
+    "format_accuracy_results",
+    "format_efficiency_results",
+    "format_noise_model_results",
+    "format_sensitivity_results",
+    "format_table",
+    "iter_fold_splits",
+    "per_class_accuracy",
+    "stratified_folds",
+    "train_test_split",
+]

@@ -1,0 +1,62 @@
+"""Classification metrics used by the accuracy experiments."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["accuracy", "error_rate", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """Fraction of predictions matching the true labels."""
+    if len(true_labels) != len(predicted_labels):
+        raise ExperimentError(
+            f"label sequences differ in length ({len(true_labels)} vs {len(predicted_labels)})"
+        )
+    if not true_labels:
+        raise ExperimentError("cannot compute accuracy of an empty prediction set")
+    correct = sum(1 for t, p in zip(true_labels, predicted_labels) if t == p)
+    return correct / len(true_labels)
+
+
+def error_rate(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """``1 - accuracy``, the quantity the paper calls the error rate."""
+    return 1.0 - accuracy(true_labels, predicted_labels)
+
+
+def confusion_matrix(
+    true_labels: Sequence[Hashable],
+    predicted_labels: Sequence[Hashable],
+    class_labels: Sequence[Hashable],
+) -> np.ndarray:
+    """Confusion matrix with rows = true classes, columns = predicted classes."""
+    if len(true_labels) != len(predicted_labels):
+        raise ExperimentError("label sequences differ in length")
+    index = {label: i for i, label in enumerate(class_labels)}
+    matrix = np.zeros((len(class_labels), len(class_labels)), dtype=int)
+    for true, predicted in zip(true_labels, predicted_labels):
+        if true not in index or predicted not in index:
+            raise ExperimentError(
+                f"label pair ({true!r}, {predicted!r}) contains a label missing from "
+                f"class_labels {list(class_labels)!r}"
+            )
+        matrix[index[true], index[predicted]] += 1
+    return matrix
+
+
+def per_class_accuracy(
+    true_labels: Sequence[Hashable],
+    predicted_labels: Sequence[Hashable],
+    class_labels: Sequence[Hashable],
+) -> dict[Hashable, float]:
+    """Recall of every class (``nan`` for classes absent from the true labels)."""
+    matrix = confusion_matrix(true_labels, predicted_labels, class_labels)
+    result: dict[Hashable, float] = {}
+    for i, label in enumerate(class_labels):
+        row_total = matrix[i].sum()
+        result[label] = float(matrix[i, i] / row_total) if row_total else float("nan")
+    return result

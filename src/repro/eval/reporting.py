@@ -1,0 +1,103 @@
+"""Plain-text report formatting in the style of the paper's tables/figures.
+
+The benchmark drivers print their results through these helpers so that the
+regenerated artefacts (Table 3 rows, Fig. 4 curves, Fig. 6–9 series) are easy
+to compare against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiment import (
+    AccuracyResult,
+    EfficiencyResult,
+    NoiseModelResult,
+    SensitivityResult,
+)
+
+__all__ = [
+    "format_table",
+    "format_accuracy_results",
+    "format_noise_model_results",
+    "format_efficiency_results",
+    "format_sensitivity_results",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] + [str(row[i]) for row in rows] for i, header in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy_results(results: Sequence[AccuracyResult]) -> str:
+    """Table 3 style: one row per (dataset, error model, width)."""
+    rows = [
+        (
+            result.dataset,
+            result.error_model,
+            f"{result.width_fraction:.0%}" if result.width_fraction == result.width_fraction else "raw",
+            f"{result.avg_accuracy:.4f}",
+            f"{result.udt_accuracy:.4f}",
+            f"{result.improvement:+.4f}",
+        )
+        for result in results
+    ]
+    return format_table(
+        ("dataset", "error model", "w", "AVG accuracy", "UDT accuracy", "UDT - AVG"), rows
+    )
+
+
+def format_noise_model_results(results: Sequence[NoiseModelResult]) -> str:
+    """Fig. 4 style: accuracy per (u, w) pair."""
+    rows = [
+        (
+            result.dataset,
+            f"{result.perturbation_fraction:.0%}",
+            f"{result.width_fraction:.0%}",
+            f"{result.accuracy:.4f}",
+        )
+        for result in results
+    ]
+    return format_table(("dataset", "u (perturbation)", "w (model width)", "UDT accuracy"), rows)
+
+
+def format_efficiency_results(results: Sequence[EfficiencyResult]) -> str:
+    """Figs. 6/7 style: per-algorithm cost."""
+    rows = [
+        (
+            result.dataset,
+            result.algorithm,
+            f"{result.elapsed_seconds:.3f}",
+            result.entropy_calculations,
+            result.candidate_split_points,
+            result.n_nodes,
+        )
+        for result in results
+    ]
+    return format_table(
+        ("dataset", "algorithm", "time (s)", "entropy calcs", "candidates", "tree nodes"), rows
+    )
+
+
+def format_sensitivity_results(results: Sequence[SensitivityResult]) -> str:
+    """Figs. 8/9 style: cost as a function of s or w."""
+    rows = [
+        (
+            result.dataset,
+            result.parameter,
+            f"{result.value:g}",
+            f"{result.elapsed_seconds:.3f}",
+            result.entropy_calculations,
+        )
+        for result in results
+    ]
+    return format_table(("dataset", "parameter", "value", "time (s)", "entropy calcs"), rows)

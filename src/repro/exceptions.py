@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PdfError(ReproError):
+    """Raised when a probability density function is malformed or misused.
+
+    Examples include negative probability mass, an empty support, or an
+    attempt to truncate a pdf to an interval carrying zero mass.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets.
+
+    Examples include tuples whose feature vectors disagree with the schema,
+    unknown class labels, or empty training sets.
+    """
+
+
+class SplitError(ReproError):
+    """Raised when a split cannot be constructed or evaluated.
+
+    For instance, requesting a split on a categorical attribute with a
+    numerical split point, or asking for the best split of an empty
+    collection of tuples.
+    """
+
+
+class TreeError(ReproError):
+    """Raised for malformed decision trees or invalid tree operations."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

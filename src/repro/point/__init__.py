@@ -1,0 +1,5 @@
+"""Classical point-data decision tree substrate and Section 7.5 ablations."""
+
+from repro.point.c45 import SEARCH_MODES, C45Classifier, PointSplitSearch, PointSplitStats
+
+__all__ = ["C45Classifier", "PointSplitSearch", "PointSplitStats", "SEARCH_MODES"]

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide small, deterministic datasets so that individual tests run
+in milliseconds while still exercising the full uncertain-data pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, SampledPdf, UncertainDataset, UncertainTuple
+from repro.data import inject_uncertainty, load_dataset, table1_dataset
+from repro.data.synthetic import ClassificationSpec, make_point_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def table1() -> UncertainDataset:
+    """The handcrafted Table 1 example (6 tuples, 1 attribute, 2 classes)."""
+    return table1_dataset()
+
+
+@pytest.fixture
+def two_class_points(rng: np.random.Generator) -> UncertainDataset:
+    """A small, well-separated two-class point dataset (40 tuples, 2 attrs)."""
+    spec = ClassificationSpec(n_tuples=40, n_attributes=2, n_classes=2, class_separation=3.0)
+    return make_point_dataset(spec, rng)
+
+
+@pytest.fixture
+def three_class_points(rng: np.random.Generator) -> UncertainDataset:
+    """A three-class point dataset with moderate overlap (60 tuples, 3 attrs)."""
+    spec = ClassificationSpec(n_tuples=60, n_attributes=3, n_classes=3, class_separation=2.0)
+    return make_point_dataset(spec, rng)
+
+
+@pytest.fixture
+def small_uncertain(two_class_points: UncertainDataset) -> UncertainDataset:
+    """Two-class dataset with Gaussian pdfs attached (w = 10 %, s = 12)."""
+    return inject_uncertainty(
+        two_class_points, width_fraction=0.10, n_samples=12, error_model="gaussian"
+    )
+
+
+@pytest.fixture
+def uniform_uncertain(two_class_points: UncertainDataset) -> UncertainDataset:
+    """Two-class dataset with uniform pdfs attached (w = 10 %, s = 8)."""
+    return inject_uncertainty(
+        two_class_points, width_fraction=0.10, n_samples=8, error_model="uniform"
+    )
+
+
+@pytest.fixture
+def iris_like() -> UncertainDataset:
+    """A small Iris-shaped stand-in with Gaussian uncertainty."""
+    training, _, _ = load_dataset("Iris", scale=0.4, seed=7)
+    return inject_uncertainty(training, width_fraction=0.10, n_samples=10, error_model="gaussian")
+
+
+@pytest.fixture
+def mixed_dataset() -> UncertainDataset:
+    """A dataset mixing one numerical and one categorical attribute."""
+    from repro.core import CategoricalDistribution
+
+    attributes = [
+        Attribute.numerical("temperature"),
+        Attribute.categorical("colour", ("red", "green", "blue")),
+    ]
+    rng = np.random.default_rng(3)
+    tuples = []
+    for i in range(30):
+        if i % 2 == 0:
+            pdf = SampledPdf.gaussian(10.0 + rng.normal(0, 0.5), 1.0, n_samples=8)
+            colour = CategoricalDistribution({"red": 0.7, "green": 0.3})
+            label = "hot"
+        else:
+            pdf = SampledPdf.gaussian(0.0 + rng.normal(0, 0.5), 1.0, n_samples=8)
+            colour = CategoricalDistribution({"blue": 0.8, "green": 0.2})
+            label = "cold"
+        tuples.append(UncertainTuple([pdf, colour], label=label))
+    return UncertainDataset(attributes, tuples)

@@ -1,0 +1,185 @@
+"""Unit tests for :mod:`repro.core.builder` (recursive tree construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    CategoricalDistribution,
+    InternalNode,
+    LeafNode,
+    SampledPdf,
+    TreeBuilder,
+    UncertainDataset,
+    UncertainTuple,
+)
+from repro.exceptions import DatasetError, TreeError
+
+
+def _separable_dataset(n_per_class: int = 10) -> UncertainDataset:
+    attrs = [Attribute.numerical("x")]
+    tuples = []
+    for i in range(n_per_class):
+        tuples.append(UncertainTuple([SampledPdf.gaussian(0.0 + 0.01 * i, 0.2, n_samples=6)], "low"))
+        tuples.append(UncertainTuple([SampledPdf.gaussian(10.0 + 0.01 * i, 0.2, n_samples=6)], "high"))
+    return UncertainDataset(attrs, tuples)
+
+
+class TestBuilderConfiguration:
+    def test_invalid_max_depth_rejected(self):
+        with pytest.raises(TreeError):
+            TreeBuilder(max_depth=-1)
+
+    def test_unknown_strategy_and_measure_rejected(self):
+        from repro.exceptions import SplitError
+
+        with pytest.raises(SplitError):
+            TreeBuilder(strategy="bogus")
+        with pytest.raises(SplitError):
+            TreeBuilder(measure="bogus")
+
+    def test_empty_dataset_rejected(self):
+        builder = TreeBuilder()
+        empty = UncertainDataset([Attribute.numerical("x")], [], class_labels=("a",))
+        with pytest.raises(DatasetError):
+            builder.build(empty)
+
+
+class TestBasicConstruction:
+    def test_separable_data_gets_a_single_split(self):
+        result = TreeBuilder(strategy="UDT").build(_separable_dataset())
+        tree = result.tree
+        assert isinstance(tree.root, InternalNode)
+        assert tree.accuracy(_separable_dataset()) == 1.0
+        # One internal node is enough for perfectly separable data.
+        assert tree.n_nodes == 3
+
+    def test_homogeneous_data_gives_single_leaf(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [UncertainTuple([SampledPdf.point(float(i))], "only") for i in range(5)]
+        result = TreeBuilder().build(UncertainDataset(attrs, tuples))
+        assert isinstance(result.tree.root, LeafNode)
+        assert result.stats.leaves_created == 1
+
+    def test_max_depth_zero_gives_majority_leaf(self):
+        result = TreeBuilder(max_depth=0).build(_separable_dataset())
+        assert isinstance(result.tree.root, LeafNode)
+
+    def test_max_depth_limits_tree(self):
+        data = _separable_dataset()
+        shallow = TreeBuilder(max_depth=1, post_prune=False).build(data).tree
+        assert shallow.depth <= 1
+
+    def test_min_split_weight_stops_growth(self):
+        data = _separable_dataset(n_per_class=3)
+        result = TreeBuilder(min_split_weight=100.0).build(data)
+        assert isinstance(result.tree.root, LeafNode)
+
+    def test_indiscernible_tuples_become_leaf(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf.point(1.0)], "a"),
+            UncertainTuple([SampledPdf.point(1.0)], "b"),
+        ]
+        result = TreeBuilder().build(UncertainDataset(attrs, tuples))
+        root = result.tree.root
+        assert isinstance(root, LeafNode)
+        assert root.distribution == pytest.approx([0.5, 0.5])
+
+    def test_build_stats_populated(self):
+        result = TreeBuilder(strategy="UDT-GP", post_prune=False).build(_separable_dataset())
+        stats = result.stats
+        assert stats.nodes_expanded >= 1
+        assert stats.leaves_created >= 2
+        assert stats.total_entropy_like_calculations > 0
+        assert stats.elapsed_seconds >= 0.0
+        summary = stats.summary()
+        assert summary["nodes_expanded"] == stats.nodes_expanded
+
+
+class TestFractionalSplitting:
+    def test_straddling_pdfs_are_split_fractionally(self):
+        """A pdf crossing the split point contributes weight to both children."""
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf([0.0, 1.0], [0.5, 0.5])], "a"),
+            UncertainTuple([SampledPdf([0.0, 1.0], [0.5, 0.5])], "a"),
+            UncertainTuple([SampledPdf([0.5, 1.5], [0.5, 0.5])], "b"),
+            UncertainTuple([SampledPdf([0.5, 1.5], [0.5, 0.5])], "b"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        result = TreeBuilder(strategy="UDT", post_prune=False, min_split_weight=0.1).build(data)
+        tree = result.tree
+        assert isinstance(tree.root, InternalNode)
+        # Classification results remain proper distributions.
+        for item in data:
+            assert tree.classify(item).sum() == pytest.approx(1.0)
+
+    def test_training_weight_is_conserved_across_children(self):
+        data = _separable_dataset()
+        result = TreeBuilder(post_prune=False).build(data)
+        root = result.tree.root
+        assert isinstance(root, InternalNode)
+        total = data.total_weight()
+        child_weight = 0.0
+        for node in (root.left, root.right):
+            if isinstance(node, LeafNode):
+                child_weight += node.training_weight
+            else:
+                assert isinstance(node, InternalNode)
+                child_weight += node.training_weight
+        assert child_weight == pytest.approx(total, rel=1e-9)
+
+
+class TestCategoricalSplits:
+    def test_categorical_attribute_can_be_chosen(self, mixed_dataset):
+        result = TreeBuilder(strategy="UDT-GP").build(mixed_dataset)
+        tree = result.tree
+        assert tree.accuracy(mixed_dataset) > 0.9
+
+    def test_pure_categorical_dataset(self):
+        attrs = [Attribute.categorical("c", ("x", "y", "z"))]
+        tuples = []
+        for _ in range(6):
+            tuples.append(UncertainTuple([CategoricalDistribution({"x": 0.9, "y": 0.1})], "one"))
+            tuples.append(UncertainTuple([CategoricalDistribution({"z": 0.8, "y": 0.2})], "two"))
+        data = UncertainDataset(attrs, tuples)
+        result = TreeBuilder().build(data)
+        tree = result.tree
+        assert isinstance(tree.root, InternalNode)
+        assert not tree.root.is_numerical_test
+        assert tree.accuracy(data) == 1.0
+
+    def test_categorical_attribute_not_reused_on_path(self):
+        attrs = [Attribute.categorical("c", ("x", "y"))]
+        tuples = [
+            UncertainTuple([CategoricalDistribution({"x": 0.6, "y": 0.4})], "one"),
+            UncertainTuple([CategoricalDistribution({"x": 0.4, "y": 0.6})], "two"),
+            UncertainTuple([CategoricalDistribution({"x": 0.7, "y": 0.3})], "one"),
+            UncertainTuple([CategoricalDistribution({"y": 0.9, "x": 0.1})], "two"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        tree = TreeBuilder(post_prune=False, min_split_weight=0.01).build(data).tree
+        # The categorical attribute may appear at most once along any path.
+        def max_uses(node, count=0):
+            if isinstance(node, LeafNode):
+                return count
+            assert isinstance(node, InternalNode)
+            new_count = count + (0 if node.is_numerical_test else 1)
+            return max(max_uses(child, new_count) for child in node.children())
+
+        assert max_uses(tree.root) <= 1
+
+
+class TestMeasuresAndStrategiesProduceWorkingTrees:
+    @pytest.mark.parametrize("measure", ["entropy", "gini", "gain_ratio"])
+    def test_measures(self, measure, small_uncertain):
+        tree = TreeBuilder(strategy="UDT-GP", measure=measure).build(small_uncertain).tree
+        assert tree.accuracy(small_uncertain) > 0.8
+
+    @pytest.mark.parametrize("strategy", ["UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"])
+    def test_strategies(self, strategy, small_uncertain):
+        tree = TreeBuilder(strategy=strategy).build(small_uncertain).tree
+        assert tree.accuracy(small_uncertain) > 0.8

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.core.categorical`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.categorical import CategoricalDistribution
+from repro.exceptions import PdfError
+
+
+class TestConstruction:
+    def test_probabilities_are_normalised(self):
+        dist = CategoricalDistribution({"a": 2.0, "b": 2.0})
+        assert dist.probability("a") == pytest.approx(0.5)
+
+    def test_zero_probability_entries_are_dropped(self):
+        dist = CategoricalDistribution({"a": 1.0, "b": 0.0})
+        assert dist.support == ("a",)
+        assert dist.probability("b") == 0.0
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(PdfError):
+            CategoricalDistribution({})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(PdfError):
+            CategoricalDistribution({"a": -0.5, "b": 1.5})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(PdfError):
+            CategoricalDistribution({"a": 0.0})
+
+    def test_unnormalised_rejected_without_normalise(self):
+        with pytest.raises(PdfError):
+            CategoricalDistribution({"a": 0.3, "b": 0.3}, normalise=False)
+
+    def test_exact_probabilities_accepted_without_normalise(self):
+        dist = CategoricalDistribution({"a": 0.25, "b": 0.75}, normalise=False)
+        assert dist.probability("b") == pytest.approx(0.75)
+
+
+class TestQueries:
+    def test_certain_factory(self):
+        dist = CategoricalDistribution.certain("yes")
+        assert dist.is_certain
+        assert dist.most_likely() == "yes"
+        assert dist.probability("yes") == 1.0
+
+    def test_from_observations_counts(self):
+        dist = CategoricalDistribution.from_observations(["a", "b", "a", "a"])
+        assert dist.probability("a") == pytest.approx(0.75)
+        assert dist.probability("b") == pytest.approx(0.25)
+
+    def test_most_likely(self):
+        dist = CategoricalDistribution({"x": 0.2, "y": 0.5, "z": 0.3})
+        assert dist.most_likely() == "y"
+
+    def test_len_counts_support(self):
+        dist = CategoricalDistribution({"x": 0.2, "y": 0.8})
+        assert len(dist) == 2
+
+    def test_items_iterates_pairs(self):
+        dist = CategoricalDistribution({"x": 0.25, "y": 0.75})
+        assert dict(dist.items()) == pytest.approx({"x": 0.25, "y": 0.75})
+
+    def test_condition_on_returns_certain(self):
+        dist = CategoricalDistribution({"x": 0.4, "y": 0.6})
+        conditioned = dist.condition_on("x")
+        assert conditioned.is_certain and conditioned.most_likely() == "x"
+
+    def test_condition_on_zero_probability_raises(self):
+        dist = CategoricalDistribution({"x": 1.0})
+        with pytest.raises(PdfError):
+            dist.condition_on("missing")
+
+    def test_equality_and_hash(self):
+        a = CategoricalDistribution({"x": 0.5, "y": 0.5})
+        b = CategoricalDistribution({"y": 0.5, "x": 0.5})
+        c = CategoricalDistribution({"x": 0.4, "y": 0.6})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != 42

@@ -1,0 +1,119 @@
+"""Unit tests for the high-level classifiers (UDTClassifier, AveragingClassifier)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AveragingClassifier, SampledPdf, UDTClassifier, UncertainTuple
+from repro.data import inject_uncertainty, table1_dataset
+from repro.exceptions import TreeError
+
+
+class TestUDTClassifier:
+    def test_predict_before_fit_raises(self, small_uncertain):
+        model = UDTClassifier()
+        with pytest.raises(TreeError):
+            model.predict(small_uncertain)
+        with pytest.raises(TreeError):
+            model.predict_proba(small_uncertain)
+        with pytest.raises(TreeError):
+            model.score(small_uncertain)
+
+    def test_fit_returns_self_and_populates_artifacts(self, small_uncertain):
+        model = UDTClassifier(strategy="UDT-GP")
+        assert model.fit(small_uncertain) is model
+        assert model.tree_ is not None
+        assert model.build_stats_ is not None
+        assert model.strategy_name == "UDT-GP"
+
+    def test_predict_single_tuple_and_dataset(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        single = model.predict(small_uncertain.tuples[0])
+        assert single in small_uncertain.class_labels
+        batch = model.predict(small_uncertain)
+        assert len(batch) == len(small_uncertain)
+
+    def test_predict_proba_shapes(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        single = model.predict_proba(small_uncertain.tuples[0])
+        assert single.shape == (small_uncertain.n_classes,)
+        assert single.sum() == pytest.approx(1.0)
+        matrix = model.predict_proba(small_uncertain)
+        assert matrix.shape == (len(small_uncertain), small_uncertain.n_classes)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_score_on_separable_data_is_high(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        assert model.score(small_uncertain) > 0.9
+
+    def test_classification_result_is_probabilistic(self):
+        """A test pdf straddling the learned split yields a mixed distribution."""
+        data = table1_dataset()
+        model = UDTClassifier(strategy="UDT", post_prune=False, min_split_weight=1e-6).fit(data)
+        straddling = UncertainTuple([SampledPdf([-9.0, 6.0], [0.5, 0.5])])
+        probabilities = model.predict_proba(straddling)
+        assert 0.0 < probabilities.max() < 1.0
+
+
+class TestAveragingClassifier:
+    def test_predict_before_fit_raises(self, small_uncertain):
+        model = AveragingClassifier()
+        with pytest.raises(TreeError):
+            model.predict(small_uncertain)
+        with pytest.raises(TreeError):
+            model.score(small_uncertain)
+
+    def test_training_uses_means_only(self, small_uncertain):
+        model = AveragingClassifier().fit(small_uncertain)
+        # The training pdfs have ~12 samples each, but the fitted tree was
+        # built from point data: every candidate count equals the tuple count.
+        stats = model.build_stats_
+        assert stats is not None
+        assert stats.split_search.candidate_split_points < sum(
+            item.pdf(0).n_samples for item in small_uncertain
+        )
+
+    def test_predict_collapses_test_tuples_to_means(self):
+        data = table1_dataset()
+        model = AveragingClassifier().fit(data)
+        # A tuple with an extreme distribution but mean -2 is treated as -2.
+        extreme = UncertainTuple([SampledPdf([-100.0, 96.0], [0.5, 0.5])])
+        point = UncertainTuple([SampledPdf.point(-2.0)])
+        assert model.predict(extreme) == model.predict(point)
+
+    def test_predict_proba_shapes(self, small_uncertain):
+        model = AveragingClassifier().fit(small_uncertain)
+        matrix = model.predict_proba(small_uncertain)
+        assert matrix.shape == (len(small_uncertain), small_uncertain.n_classes)
+        single = model.predict_proba(small_uncertain.tuples[0])
+        assert single.sum() == pytest.approx(1.0)
+
+    def test_score_on_separable_data_is_high(self, small_uncertain):
+        assert AveragingClassifier().fit(small_uncertain).score(small_uncertain) > 0.9
+
+
+class TestAveragingVersusUDT:
+    def test_identical_on_point_data(self, two_class_points):
+        """With no uncertainty, AVG and UDT are the same algorithm."""
+        avg = AveragingClassifier().fit(two_class_points)
+        udt = UDTClassifier(strategy="UDT").fit(two_class_points)
+        assert avg.predict(two_class_points) == udt.predict(two_class_points)
+
+    def test_udt_accuracy_at_least_avg_on_table1(self):
+        data = table1_dataset()
+        avg = AveragingClassifier().fit(data)
+        udt = UDTClassifier(strategy="UDT", post_prune=False, min_split_weight=1e-6).fit(data)
+        assert udt.score(data) >= avg.score(data)
+
+    def test_udt_uses_distribution_information(self, two_class_points):
+        """UDT sees many more candidate split points than AVG on uncertain data."""
+        uncertain = inject_uncertainty(
+            two_class_points, width_fraction=0.2, n_samples=15, error_model="gaussian"
+        )
+        avg = AveragingClassifier().fit(uncertain)
+        udt = UDTClassifier(strategy="UDT").fit(uncertain)
+        assert (
+            udt.build_stats_.split_search.candidate_split_points
+            > avg.build_stats_.split_search.candidate_split_points
+        )

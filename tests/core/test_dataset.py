@@ -1,0 +1,204 @@
+"""Unit tests for :mod:`repro.core.dataset`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    AttributeKind,
+    CategoricalDistribution,
+    SampledPdf,
+    UncertainDataset,
+    UncertainTuple,
+)
+from repro.exceptions import DatasetError
+
+
+class TestAttribute:
+    def test_numerical_constructor(self):
+        attr = Attribute.numerical("age")
+        assert attr.is_numerical and not attr.is_categorical
+        assert attr.kind is AttributeKind.NUMERICAL
+
+    def test_categorical_constructor_records_domain(self):
+        attr = Attribute.categorical("colour", ["red", "blue"])
+        assert attr.is_categorical
+        assert attr.domain == ("red", "blue")
+
+    def test_categorical_requires_domain(self):
+        with pytest.raises(DatasetError):
+            Attribute.categorical("colour", [])
+
+
+class TestUncertainTuple:
+    def test_weight_must_be_in_unit_interval(self):
+        pdf = SampledPdf.point(1.0)
+        with pytest.raises(DatasetError):
+            UncertainTuple([pdf], label="a", weight=0.0)
+        with pytest.raises(DatasetError):
+            UncertainTuple([pdf], label="a", weight=1.5)
+
+    def test_pdf_accessor_type_checks(self):
+        item = UncertainTuple([SampledPdf.point(1.0), CategoricalDistribution.certain("x")], "a")
+        assert item.pdf(0).mean() == 1.0
+        assert item.categorical(1).most_likely() == "x"
+        with pytest.raises(DatasetError):
+            item.pdf(1)
+        with pytest.raises(DatasetError):
+            item.categorical(0)
+
+    def test_with_feature_replaces_single_feature(self):
+        item = UncertainTuple([SampledPdf.point(1.0), SampledPdf.point(2.0)], "a")
+        new = item.with_feature(1, SampledPdf.point(9.0), weight=0.5)
+        assert new.pdf(1).mean() == 9.0
+        assert new.pdf(0).mean() == 1.0
+        assert new.weight == 0.5
+        assert item.weight == 1.0  # original unchanged
+
+    def test_reweighted_keeps_features(self):
+        item = UncertainTuple([SampledPdf.point(1.0)], "a")
+        new = item.reweighted(0.25)
+        assert new.weight == 0.25
+        assert new.pdf(0) is item.pdf(0)
+
+    def test_mean_vector_mixes_numeric_and_categorical(self):
+        item = UncertainTuple(
+            [SampledPdf([0.0, 2.0], [0.5, 0.5]), CategoricalDistribution({"a": 0.9, "b": 0.1})],
+            "lab",
+        )
+        assert item.mean_vector() == (1.0, "a")
+
+
+class TestDatasetConstruction:
+    def test_requires_attributes(self):
+        with pytest.raises(DatasetError):
+            UncertainDataset([], [])
+
+    def test_tuple_arity_validated(self):
+        attrs = [Attribute.numerical("x"), Attribute.numerical("y")]
+        bad = UncertainTuple([SampledPdf.point(1.0)], "a")
+        with pytest.raises(DatasetError):
+            UncertainDataset(attrs, [bad])
+
+    def test_tuple_feature_kind_validated(self):
+        attrs = [Attribute.numerical("x")]
+        bad = UncertainTuple([CategoricalDistribution.certain("a")], "a")
+        with pytest.raises(DatasetError):
+            UncertainDataset(attrs, [bad])
+        attrs_cat = [Attribute.categorical("c", ["a"])]
+        bad_num = UncertainTuple([SampledPdf.point(1.0)], "a")
+        with pytest.raises(DatasetError):
+            UncertainDataset(attrs_cat, [bad_num])
+
+    def test_class_labels_inferred_and_sorted(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf.point(1.0)], "b"),
+            UncertainTuple([SampledPdf.point(2.0)], "a"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        assert data.class_labels == ("a", "b")
+
+    def test_explicit_class_labels_preserved(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [UncertainTuple([SampledPdf.point(1.0)], "b")]
+        data = UncertainDataset(attrs, tuples, class_labels=("b", "a"))
+        assert data.class_labels == ("b", "a")
+        assert data.label_index("a") == 1
+
+    def test_unknown_label_lookup_raises(self):
+        attrs = [Attribute.numerical("x")]
+        data = UncertainDataset(attrs, [UncertainTuple([SampledPdf.point(1.0)], "a")])
+        with pytest.raises(DatasetError):
+            data.label_index("zzz")
+
+
+class TestDatasetQueries:
+    @pytest.fixture
+    def simple(self) -> UncertainDataset:
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf.point(0.0)], "a", weight=1.0),
+            UncertainTuple([SampledPdf.point(1.0)], "a", weight=0.5),
+            UncertainTuple([SampledPdf.point(2.0)], "b", weight=1.0),
+        ]
+        return UncertainDataset(attrs, tuples)
+
+    def test_len_and_iteration(self, simple):
+        assert len(simple) == 3
+        assert sum(1 for _ in simple) == 3
+
+    def test_total_weight_is_fractional(self, simple):
+        assert simple.total_weight() == pytest.approx(2.5)
+
+    def test_class_weights(self, simple):
+        weights = simple.class_weights()
+        assert weights[simple.label_index("a")] == pytest.approx(1.5)
+        assert weights[simple.label_index("b")] == pytest.approx(1.0)
+
+    def test_class_distribution_sums_to_one(self, simple):
+        dist = simple.class_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_majority_label(self, simple):
+        assert simple.majority_label() == "a"
+
+    def test_is_homogeneous(self, simple):
+        assert not simple.is_homogeneous()
+        only_a = simple.subset([0, 1])
+        assert only_a.is_homogeneous()
+
+    def test_subset_preserves_schema_and_labels(self, simple):
+        sub = simple.subset([2])
+        assert len(sub) == 1
+        assert sub.class_labels == simple.class_labels
+
+    def test_attribute_range(self, simple):
+        low, high = simple.attribute_range(0)
+        assert (low, high) == (0.0, 2.0)
+
+    def test_attribute_range_requires_numerical(self):
+        attrs = [Attribute.categorical("c", ["x", "y"])]
+        data = UncertainDataset(
+            attrs, [UncertainTuple([CategoricalDistribution.certain("x")], "a")]
+        )
+        with pytest.raises(DatasetError):
+            data.attribute_range(0)
+
+    def test_replace_tuples_validates(self, simple):
+        with pytest.raises(DatasetError):
+            simple.replace_tuples([UncertainTuple([SampledPdf.point(1.0)] * 2, "a")])
+
+
+class TestConversions:
+    def test_to_point_dataset_collapses_pdfs_to_means(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [UncertainTuple([SampledPdf([0.0, 4.0], [0.5, 0.5])], "a")]
+        data = UncertainDataset(attrs, tuples)
+        point = data.to_point_dataset()
+        assert point.tuples[0].pdf(0).is_point
+        assert point.tuples[0].pdf(0).mean() == pytest.approx(2.0)
+
+    def test_to_point_dataset_collapses_categorical_to_mode(self):
+        attrs = [Attribute.categorical("c", ["x", "y"])]
+        tuples = [UncertainTuple([CategoricalDistribution({"x": 0.3, "y": 0.7})], "a")]
+        point = UncertainDataset(attrs, tuples).to_point_dataset()
+        assert point.tuples[0].categorical(0).most_likely() == "y"
+        assert point.tuples[0].categorical(0).is_certain
+
+    def test_from_points_builds_point_pdfs(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        data = UncertainDataset.from_points(values, ["a", "b"])
+        assert data.n_attributes == 2
+        assert data.tuples[1].pdf(1).mean() == 4.0
+        assert [attr.name for attr in data.attributes] == ["A1", "A2"]
+
+    def test_from_points_validates_shapes(self):
+        with pytest.raises(DatasetError):
+            UncertainDataset.from_points(np.ones(3), ["a", "b", "c"])
+        with pytest.raises(DatasetError):
+            UncertainDataset.from_points(np.ones((2, 2)), ["a"])
+        with pytest.raises(DatasetError):
+            UncertainDataset.from_points(np.ones((2, 2)), ["a", "b"], attribute_names=["only-one"])

@@ -1,0 +1,193 @@
+"""Unit tests for :mod:`repro.core.dispersion` (entropy, Gini, gain ratio, bounds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dispersion import (
+    EntropyMeasure,
+    GainRatioMeasure,
+    GiniMeasure,
+    get_measure,
+)
+from repro.exceptions import SplitError
+
+
+class TestGetMeasure:
+    def test_resolves_names(self):
+        assert isinstance(get_measure("entropy"), EntropyMeasure)
+        assert isinstance(get_measure("gini"), GiniMeasure)
+        assert isinstance(get_measure("gain_ratio"), GainRatioMeasure)
+
+    def test_passes_instances_through(self):
+        measure = GiniMeasure()
+        assert get_measure(measure) is measure
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SplitError):
+            get_measure("nonsense")
+
+
+class TestNodeDispersion:
+    def test_entropy_of_pure_node_is_zero(self):
+        assert EntropyMeasure().node_dispersion(np.array([5.0, 0.0])) == pytest.approx(0.0)
+
+    def test_entropy_of_balanced_binary_node_is_one(self):
+        assert EntropyMeasure().node_dispersion(np.array([3.0, 3.0])) == pytest.approx(1.0)
+
+    def test_entropy_of_uniform_four_class_node_is_two(self):
+        assert EntropyMeasure().node_dispersion(np.ones(4)) == pytest.approx(2.0)
+
+    def test_entropy_of_empty_node_is_zero(self):
+        assert EntropyMeasure().node_dispersion(np.zeros(3)) == 0.0
+
+    def test_gini_of_pure_node_is_zero(self):
+        assert GiniMeasure().node_dispersion(np.array([7.0, 0.0])) == pytest.approx(0.0)
+
+    def test_gini_of_balanced_binary_node_is_half(self):
+        assert GiniMeasure().node_dispersion(np.array([2.0, 2.0])) == pytest.approx(0.5)
+
+    def test_gain_ratio_node_dispersion_is_entropy(self):
+        counts = np.array([1.0, 3.0])
+        assert GainRatioMeasure().node_dispersion(counts) == pytest.approx(
+            EntropyMeasure().node_dispersion(counts)
+        )
+
+
+class TestSplitDispersion:
+    def test_entropy_perfect_split_is_zero(self):
+        measure = EntropyMeasure()
+        value = measure.split_dispersion(np.array([4.0, 0.0]), np.array([0.0, 4.0]))
+        assert value == pytest.approx(0.0)
+
+    def test_entropy_useless_split_keeps_parent_entropy(self):
+        measure = EntropyMeasure()
+        # Both sides have the same 50/50 mixture as the parent.
+        value = measure.split_dispersion(np.array([2.0, 2.0]), np.array([2.0, 2.0]))
+        assert value == pytest.approx(1.0)
+
+    def test_entropy_weighted_average_of_sides(self):
+        measure = EntropyMeasure()
+        # Left: 2 of class 0 (pure, entropy 0). Right: 1/1 mixture (entropy 1).
+        value = measure.split_dispersion(np.array([2.0, 0.0]), np.array([1.0, 1.0]))
+        # sizes: left 2, right 2 -> (2*0 + 2*1) / 4
+        assert value == pytest.approx(0.5)
+
+    def test_batch_matches_scalar(self):
+        measure = EntropyMeasure()
+        total = np.array([3.0, 5.0])
+        lefts = np.array([[1.0, 2.0], [3.0, 0.0], [0.0, 5.0]])
+        batch = measure.split_dispersion_batch(lefts, total)
+        for i in range(lefts.shape[0]):
+            scalar = measure.split_dispersion(lefts[i], total - lefts[i])
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_gini_batch_matches_scalar(self):
+        measure = GiniMeasure()
+        total = np.array([4.0, 2.0, 1.0])
+        lefts = np.array([[2.0, 1.0, 0.0], [4.0, 0.0, 0.0]])
+        batch = measure.split_dispersion_batch(lefts, total)
+        for i in range(lefts.shape[0]):
+            scalar = measure.split_dispersion(lefts[i], total - lefts[i])
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_fractional_counts_are_supported(self):
+        measure = EntropyMeasure()
+        value = measure.split_dispersion(np.array([0.5, 0.25]), np.array([0.25, 0.75]))
+        assert 0.0 <= value <= 1.0
+
+    def test_gain_ratio_prefers_informative_split(self):
+        measure = GainRatioMeasure()
+        total = np.array([4.0, 4.0])
+        informative = measure.split_dispersion_batch(np.array([[4.0, 0.0]]), total)[0]
+        useless = measure.split_dispersion_batch(np.array([[2.0, 2.0]]), total)[0]
+        assert informative < useless  # lower dispersion = better (negated ratio)
+
+    def test_gain_ratio_of_empty_side_is_zero(self):
+        measure = GainRatioMeasure()
+        total = np.array([4.0, 4.0])
+        value = measure.split_dispersion_batch(np.array([[0.0, 0.0]]), total)[0]
+        assert value == pytest.approx(0.0)
+
+    def test_zero_total_counts_give_zero_dispersion(self):
+        for measure in (EntropyMeasure(), GiniMeasure(), GainRatioMeasure()):
+            batch = measure.split_dispersion_batch(np.zeros((2, 2)), np.zeros(2))
+            assert np.allclose(batch, 0.0)
+
+
+def _brute_force_minimum(measure, n_c, k_c, m_c, steps=50):
+    """Smallest split dispersion over interior splits of an interval.
+
+    Interior splits move the inside mass ``k_c`` from right to left in a
+    correlated way (all classes together is only one path; we check many
+    random allocations as well to stress the bound).
+    """
+    rng = np.random.default_rng(0)
+    totals = n_c + k_c + m_c
+    best = np.inf
+    for _ in range(steps):
+        fraction = rng.random(k_c.size)
+        left = n_c + fraction * k_c
+        value = measure.split_dispersion_batch(left[None, :], totals)[0]
+        best = min(best, value)
+    # Also the two end point allocations.
+    for fraction in (np.zeros(k_c.size), np.ones(k_c.size)):
+        left = n_c + fraction * k_c
+        value = measure.split_dispersion_batch(left[None, :], totals)[0]
+        best = min(best, value)
+    return best
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("measure_name", ["entropy", "gini"])
+    def test_lower_bound_never_exceeds_interior_split_values(self, measure_name):
+        measure = get_measure(measure_name)
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n_classes = rng.integers(2, 5)
+            n_c = rng.random(n_classes) * 5
+            k_c = rng.random(n_classes) * 5
+            m_c = rng.random(n_classes) * 5
+            bound = measure.interval_lower_bound(n_c, k_c, m_c)
+            minimum = _brute_force_minimum(measure, n_c, k_c, m_c)
+            assert bound <= minimum + 1e-9
+
+    @pytest.mark.parametrize("measure_name", ["entropy", "gini"])
+    def test_lower_bound_batch_matches_scalar(self, measure_name):
+        measure = get_measure(measure_name)
+        rng = np.random.default_rng(1)
+        n_c = rng.random((6, 3))
+        k_c = rng.random((6, 3))
+        m_c = rng.random((6, 3))
+        batch = measure.interval_lower_bound_batch(n_c, k_c, m_c)
+        for i in range(6):
+            assert batch[i] == pytest.approx(measure.interval_lower_bound(n_c[i], k_c[i], m_c[i]))
+
+    def test_entropy_bound_is_nonnegative(self):
+        measure = EntropyMeasure()
+        bound = measure.interval_lower_bound(
+            np.array([1.0, 0.0]), np.array([0.0, 0.0]), np.array([0.0, 1.0])
+        )
+        assert bound >= 0.0
+
+    def test_empty_interval_bound_is_zero_for_zero_counts(self):
+        measure = EntropyMeasure()
+        zero = np.zeros(3)
+        assert measure.interval_lower_bound(zero, zero, zero) == 0.0
+
+    def test_gain_ratio_bound_never_exceeds_interior_values(self):
+        measure = GainRatioMeasure()
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            n_c = rng.random(3) * 4 + 0.5
+            k_c = rng.random(3) * 4
+            m_c = rng.random(3) * 4 + 0.5
+            bound = measure.interval_lower_bound(n_c, k_c, m_c)
+            minimum = _brute_force_minimum(measure, n_c, k_c, m_c)
+            assert bound <= minimum + 1e-9
+
+    def test_homogeneous_pruning_flags(self):
+        assert EntropyMeasure().supports_homogeneous_pruning
+        assert GiniMeasure().supports_homogeneous_pruning
+        assert not GainRatioMeasure().supports_homogeneous_pruning

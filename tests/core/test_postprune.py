@@ -1,0 +1,114 @@
+"""Unit tests for :mod:`repro.core.postprune` (pessimistic post-pruning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InternalNode, LeafNode, SampledPdf, TreeBuilder, UncertainDataset, UncertainTuple, Attribute
+from repro.core.postprune import normal_quantile, pessimistic_error, pessimistic_prune
+
+
+class TestNormalQuantile:
+    def test_median_is_zero(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_values(self):
+        assert normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert normal_quantile(0.75) == pytest.approx(0.674490, abs=1e-4)
+        assert normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.9) == pytest.approx(-normal_quantile(0.1), abs=1e-9)
+
+    def test_tail_values_are_finite_and_monotone(self):
+        low = normal_quantile(1e-6)
+        high = normal_quantile(1 - 1e-6)
+        assert low < -4 and high > 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestPessimisticError:
+    def test_zero_total_gives_zero(self):
+        assert pessimistic_error(0.0, 0.0) == 0.0
+
+    def test_pessimistic_error_exceeds_observed(self):
+        observed = 2.0
+        assert pessimistic_error(observed, 10.0) > observed
+
+    def test_never_exceeds_total(self):
+        assert pessimistic_error(9.5, 10.0) <= 10.0
+
+    def test_monotone_in_observed_errors(self):
+        low = pessimistic_error(1.0, 20.0)
+        high = pessimistic_error(5.0, 20.0)
+        assert high > low
+
+    def test_smaller_confidence_is_more_pessimistic(self):
+        strict = pessimistic_error(2.0, 20.0, confidence=0.05)
+        lenient = pessimistic_error(2.0, 20.0, confidence=0.5)
+        assert strict > lenient
+
+    def test_fractional_counts_supported(self):
+        value = pessimistic_error(0.75, 3.5)
+        assert 0.75 < value <= 3.5
+
+
+class TestPessimisticPrune:
+    def _noisy_subtree(self):
+        """A subtree whose split does not really help (same majority on both sides)."""
+        left = LeafNode(np.array([0.60, 0.40]), training_weight=10.0)
+        right = LeafNode(np.array([0.55, 0.45]), training_weight=10.0)
+        return InternalNode(
+            0, split_point=0.0, left=left, right=right,
+            training_weight=20.0, training_distribution=np.array([0.575, 0.425]),
+        )
+
+    def _useful_subtree(self):
+        """A subtree whose split separates the classes perfectly."""
+        left = LeafNode(np.array([1.0, 0.0]), training_weight=10.0)
+        right = LeafNode(np.array([0.0, 1.0]), training_weight=10.0)
+        return InternalNode(
+            0, split_point=0.0, left=left, right=right,
+            training_weight=20.0, training_distribution=np.array([0.5, 0.5]),
+        )
+
+    def test_useless_split_is_collapsed(self):
+        pruned, collapsed = pessimistic_prune(self._noisy_subtree())
+        assert collapsed == 1
+        assert isinstance(pruned, LeafNode)
+
+    def test_useful_split_is_kept(self):
+        pruned, collapsed = pessimistic_prune(self._useful_subtree())
+        assert collapsed == 0
+        assert isinstance(pruned, InternalNode)
+
+    def test_leaf_is_untouched(self):
+        leaf = LeafNode(np.array([0.7, 0.3]), training_weight=5.0)
+        pruned, collapsed = pessimistic_prune(leaf)
+        assert pruned is leaf and collapsed == 0
+
+    def test_pruning_never_reduces_training_accuracy_dramatically(self, small_uncertain):
+        unpruned = TreeBuilder(post_prune=False).build(small_uncertain).tree
+        pruned = TreeBuilder(post_prune=True).build(small_uncertain).tree
+        assert pruned.n_nodes <= unpruned.n_nodes
+        assert pruned.accuracy(small_uncertain) >= unpruned.accuracy(small_uncertain) - 0.15
+
+    def test_overfitted_tree_shrinks_on_noisy_labels(self, rng):
+        """Random labels cannot be learnt; post-pruning should shrink the tree."""
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple(
+                [SampledPdf.point(float(rng.normal()))], "a" if rng.random() < 0.5 else "b"
+            )
+            for _ in range(60)
+        ]
+        data = UncertainDataset(attrs, tuples)
+        unpruned = TreeBuilder(post_prune=False, min_split_weight=1.0).build(data).tree
+        pruned = TreeBuilder(post_prune=True, min_split_weight=1.0).build(data).tree
+        assert pruned.n_nodes < unpruned.n_nodes

@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.core.stats` and the exception hierarchy."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.stats import BuildStats, SplitSearchStats, Timer
+from repro.exceptions import (
+    DatasetError,
+    ExperimentError,
+    PdfError,
+    ReproError,
+    SplitError,
+    TreeError,
+)
+
+
+class TestSplitSearchStats:
+    def test_defaults_are_zero(self):
+        stats = SplitSearchStats()
+        assert stats.entropy_evaluations == 0
+        assert stats.total_entropy_like_calculations == 0
+
+    def test_total_combines_entropy_and_bounds(self):
+        stats = SplitSearchStats(entropy_evaluations=7, lower_bound_evaluations=3)
+        assert stats.total_entropy_like_calculations == 10
+
+    def test_merge_adds_every_field(self):
+        a = SplitSearchStats(
+            entropy_evaluations=1, lower_bound_evaluations=2, end_point_evaluations=3,
+            candidate_split_points=4, intervals_total=5, intervals_empty=1,
+            intervals_homogeneous=2, intervals_heterogeneous=2, intervals_pruned_by_bound=1,
+        )
+        b = SplitSearchStats(
+            entropy_evaluations=10, lower_bound_evaluations=20, end_point_evaluations=30,
+            candidate_split_points=40, intervals_total=50, intervals_empty=10,
+            intervals_homogeneous=20, intervals_heterogeneous=20, intervals_pruned_by_bound=10,
+        )
+        a.merge(b)
+        assert a.entropy_evaluations == 11
+        assert a.lower_bound_evaluations == 22
+        assert a.end_point_evaluations == 33
+        assert a.candidate_split_points == 44
+        assert a.intervals_total == 55
+        assert a.intervals_pruned_by_bound == 11
+
+
+class TestBuildStats:
+    def test_record_node_accumulates_and_counts(self):
+        build = BuildStats()
+        build.record_node(SplitSearchStats(entropy_evaluations=5))
+        build.record_node(SplitSearchStats(entropy_evaluations=7, lower_bound_evaluations=1))
+        build.record_leaf()
+        build.record_post_prune(2)
+        assert build.nodes_expanded == 2
+        assert build.leaves_created == 1
+        assert build.nodes_post_pruned == 2
+        assert build.total_entropy_like_calculations == 13
+
+    def test_summary_is_flat_and_complete(self):
+        build = BuildStats()
+        build.record_node(SplitSearchStats(entropy_evaluations=5))
+        summary = build.summary()
+        assert summary["entropy_evaluations"] == 5
+        assert summary["nodes_expanded"] == 1
+        assert "elapsed_seconds" in summary
+
+
+class TestTimer:
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [PdfError, DatasetError, SplitError, TreeError, ExperimentError]
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")

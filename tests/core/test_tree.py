@@ -1,0 +1,204 @@
+"""Unit tests for :mod:`repro.core.tree` (tree model and uncertain classification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Attribute,
+    CategoricalDistribution,
+    DecisionTree,
+    InternalNode,
+    LeafNode,
+    SampledPdf,
+    UncertainDataset,
+    UncertainTuple,
+)
+from repro.exceptions import TreeError
+
+
+def _two_leaf_tree() -> DecisionTree:
+    """Root test ``A1 <= 1`` with leaves: left -> 'A' (0.8), right -> 'B' (0.9)."""
+    left = LeafNode(np.array([0.8, 0.2]), training_weight=4.0)
+    right = LeafNode(np.array([0.1, 0.9]), training_weight=6.0)
+    root = InternalNode(0, split_point=1.0, left=left, right=right, training_weight=10.0,
+                        training_distribution=np.array([0.4, 0.6]))
+    return DecisionTree(root, [Attribute.numerical("A1")], ["A", "B"])
+
+
+def _figure1_tree() -> DecisionTree:
+    """The tree of Fig. 1: root split at -1, right child split at 1."""
+    leaf_a = LeafNode(np.array([0.9, 0.1]))       # reached when value <= -1
+    leaf_mid = LeafNode(np.array([0.2, 0.8]))     # -1 < value <= 1
+    leaf_high = LeafNode(np.array([0.7, 0.3]))    # value > 1
+    right = InternalNode(0, split_point=1.0, left=leaf_mid, right=leaf_high)
+    root = InternalNode(0, split_point=-1.0, left=leaf_a, right=right)
+    return DecisionTree(root, [Attribute.numerical("A1")], ["A", "B"])
+
+
+class TestNodeBasics:
+    def test_leaf_distribution_normalised(self):
+        leaf = LeafNode(np.array([2.0, 2.0]))
+        assert leaf.distribution.sum() == pytest.approx(1.0)
+        assert leaf.is_leaf and leaf.depth() == 0 and leaf.subtree_size() == 1
+
+    def test_leaf_rejects_bad_distribution(self):
+        with pytest.raises(TreeError):
+            LeafNode(np.array([]))
+        with pytest.raises(TreeError):
+            LeafNode(np.array([-0.5, 1.5]))
+
+    def test_leaf_zero_mass_falls_back_to_uniform(self):
+        leaf = LeafNode(np.zeros(4))
+        assert np.allclose(leaf.distribution, 0.25)
+
+    def test_internal_numerical_requires_children(self):
+        with pytest.raises(TreeError):
+            InternalNode(0, split_point=1.0, left=LeafNode(np.array([1.0])), right=None)
+
+    def test_internal_categorical_requires_branches(self):
+        with pytest.raises(TreeError):
+            InternalNode(0, branches={})
+
+    def test_subtree_size_and_depth(self):
+        tree = _figure1_tree()
+        assert tree.n_nodes == 5
+        assert tree.n_leaves == 3
+        assert tree.depth == 2
+
+
+class TestClassification:
+    def test_point_tuple_routed_to_single_leaf(self):
+        tree = _two_leaf_tree()
+        low = UncertainTuple([SampledPdf.point(0.0)])
+        high = UncertainTuple([SampledPdf.point(5.0)])
+        assert tree.predict(low) == "A"
+        assert tree.predict(high) == "B"
+
+    def test_boundary_value_goes_left(self):
+        tree = _two_leaf_tree()
+        boundary = UncertainTuple([SampledPdf.point(1.0)])
+        assert tree.predict(boundary) == "A"  # test is "<= split point"
+
+    def test_uncertain_tuple_mixes_both_leaves(self):
+        tree = _two_leaf_tree()
+        item = UncertainTuple([SampledPdf([0.0, 2.0], [0.5, 0.5])])
+        probabilities = tree.classify(item)
+        # 0.5 * [0.8, 0.2] + 0.5 * [0.1, 0.9]
+        assert probabilities == pytest.approx([0.45, 0.55])
+        assert tree.predict(item) == "B"
+
+    def test_probabilities_sum_to_one(self):
+        tree = _figure1_tree()
+        item = UncertainTuple([SampledPdf(np.linspace(-3, 3, 13), np.ones(13))])
+        assert tree.classify(item).sum() == pytest.approx(1.0)
+
+    def test_figure1_style_weight_propagation(self):
+        """Mass below -1 goes to the 'A' leaf, the rest is split again at 1."""
+        tree = _figure1_tree()
+        # 30 % of the mass at -2 (<= -1), 40 % at 0, 30 % at 2.
+        item = UncertainTuple([SampledPdf([-2.0, 0.0, 2.0], [0.3, 0.4, 0.3])])
+        expected = 0.3 * np.array([0.9, 0.1]) + 0.4 * np.array([0.2, 0.8]) + 0.3 * np.array([0.7, 0.3])
+        assert tree.classify(item) == pytest.approx(expected)
+
+    def test_repeated_attribute_test_uses_conditional_pdf(self):
+        """The right subtree re-tests the same attribute: the pdf must be renormalised."""
+        tree = _figure1_tree()
+        item = UncertainTuple([SampledPdf([0.0, 2.0], [0.25, 0.75])])
+        # All mass is > -1, so it reaches the inner node with weight 1; there
+        # 25 % goes to leaf_mid and 75 % to leaf_high.
+        expected = 0.25 * np.array([0.2, 0.8]) + 0.75 * np.array([0.7, 0.3])
+        assert tree.classify(item) == pytest.approx(expected)
+
+    def test_wrong_arity_rejected(self):
+        tree = _two_leaf_tree()
+        with pytest.raises(TreeError):
+            tree.classify(UncertainTuple([SampledPdf.point(0.0), SampledPdf.point(1.0)]))
+
+    def test_categorical_value_on_numerical_test_rejected(self):
+        tree = _two_leaf_tree()
+        with pytest.raises(TreeError):
+            tree.classify(UncertainTuple([CategoricalDistribution.certain("x")]))
+
+    def test_dataset_level_helpers(self):
+        tree = _two_leaf_tree()
+        attrs = [Attribute.numerical("A1")]
+        data = UncertainDataset(
+            attrs,
+            [
+                UncertainTuple([SampledPdf.point(0.0)], "A"),
+                UncertainTuple([SampledPdf.point(5.0)], "B"),
+                UncertainTuple([SampledPdf.point(5.0)], "A"),
+            ],
+            class_labels=("A", "B"),
+        )
+        assert tree.predict_dataset(data) == ["A", "B", "B"]
+        assert tree.classify_dataset(data).shape == (3, 2)
+        assert tree.accuracy(data) == pytest.approx(2 / 3)
+
+    def test_accuracy_of_empty_dataset_raises(self):
+        tree = _two_leaf_tree()
+        data = UncertainDataset([Attribute.numerical("A1")], [], class_labels=("A", "B"))
+        with pytest.raises(TreeError):
+            tree.accuracy(data)
+
+
+class TestCategoricalNodes:
+    def _categorical_tree(self) -> DecisionTree:
+        branches = {
+            "red": LeafNode(np.array([1.0, 0.0])),
+            "blue": LeafNode(np.array([0.0, 1.0])),
+        }
+        root = InternalNode(0, branches=branches, fallback=np.array([0.5, 0.5]))
+        return DecisionTree(root, [Attribute.categorical("colour", ("red", "blue"))], ["A", "B"])
+
+    def test_certain_category_routed_to_branch(self):
+        tree = self._categorical_tree()
+        item = UncertainTuple([CategoricalDistribution.certain("red")])
+        assert tree.predict(item) == "A"
+
+    def test_uncertain_category_mixes_branches(self):
+        tree = self._categorical_tree()
+        item = UncertainTuple([CategoricalDistribution({"red": 0.3, "blue": 0.7})])
+        assert tree.classify(item) == pytest.approx([0.3, 0.7])
+
+    def test_unseen_category_uses_fallback(self):
+        tree = self._categorical_tree()
+        item = UncertainTuple([CategoricalDistribution.certain("green")])
+        assert tree.classify(item) == pytest.approx([0.5, 0.5])
+
+    def test_numerical_value_on_categorical_test_rejected(self):
+        tree = self._categorical_tree()
+        with pytest.raises(TreeError):
+            tree.classify(UncertainTuple([SampledPdf.point(1.0)]))
+
+
+class TestInspection:
+    def test_to_text_mentions_attribute_and_split(self):
+        text = _two_leaf_tree().to_text()
+        assert "A1 <= 1" in text
+        assert "Leaf" in text
+
+    def test_extract_rules_one_per_leaf(self):
+        tree = _figure1_tree()
+        rules = tree.extract_rules()
+        assert len(rules) == 3
+        rendered = [str(rule) for rule in rules]
+        assert any("A1 <= -1" in text for text in rendered)
+        assert all("THEN class" in text for text in rendered)
+
+    def test_rules_of_categorical_tree(self):
+        branches = {"x": LeafNode(np.array([1.0, 0.0])), "y": LeafNode(np.array([0.0, 1.0]))}
+        root = InternalNode(0, branches=branches)
+        tree = DecisionTree(root, [Attribute.categorical("c", ("x", "y"))], ["A", "B"])
+        rules = tree.extract_rules()
+        assert {rule.label for rule in rules} == {"A", "B"}
+
+    def test_tree_requires_class_labels(self):
+        with pytest.raises(TreeError):
+            DecisionTree(LeafNode(np.array([1.0])), [Attribute.numerical("x")], [])
+
+    def test_iter_nodes_visits_every_node(self):
+        tree = _figure1_tree()
+        assert sum(1 for _ in tree.iter_nodes()) == tree.n_nodes

@@ -1,0 +1,42 @@
+"""Unit tests for the handcrafted Table 1 example dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.example import TABLE1_LABELS, TABLE1_MEANS, table1_dataset
+
+
+class TestTable1:
+    def test_six_tuples_one_attribute_two_classes(self):
+        data = table1_dataset()
+        assert len(data) == 6
+        assert data.n_attributes == 1
+        assert data.class_labels == ("A", "B")
+
+    def test_labels_match_paper(self):
+        data = table1_dataset()
+        assert tuple(item.label for item in data) == TABLE1_LABELS
+        assert TABLE1_LABELS == ("A", "A", "A", "B", "B", "B")
+
+    def test_means_alternate_between_plus_and_minus_two(self):
+        data = table1_dataset()
+        for item, expected in zip(data, TABLE1_MEANS):
+            assert item.pdf(0).mean() == pytest.approx(expected)
+
+    def test_tuple3_distribution_matches_paper_exactly(self):
+        data = table1_dataset()
+        pdf = data.tuples[2].pdf(0)
+        assert list(pdf.xs) == [-1.0, 1.0, 10.0]
+        assert pdf.masses == pytest.approx([5 / 8, 1 / 8, 2 / 8])
+
+    def test_all_pdfs_are_proper_distributions(self):
+        data = table1_dataset()
+        for item in data:
+            assert item.pdf(0).masses.sum() == pytest.approx(1.0)
+
+    def test_every_call_returns_fresh_dataset(self):
+        a = table1_dataset()
+        b = table1_dataset()
+        assert a is not b
+        assert len(a.tuples) == len(b.tuples)

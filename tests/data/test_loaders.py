@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.data.loaders` (CSV import/export)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainDataset
+from repro.data.loaders import load_csv, save_csv, train_test_rows
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "height,width,label\n"
+        "1.5,2.5,cat\n"
+        "3.0,4.0,dog\n"
+        "5.5,6.5,cat\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_loads_values_and_labels(self, csv_file):
+        data = load_csv(csv_file, label_column="label")
+        assert len(data) == 3
+        assert [a.name for a in data.attributes] == ["height", "width"]
+        assert data.tuples[1].label == "dog"
+        assert data.tuples[2].pdf(0).mean() == pytest.approx(5.5)
+
+    def test_label_column_by_negative_index(self, csv_file):
+        data = load_csv(csv_file, label_column=-1)
+        assert data.class_labels == ("cat", "dog")
+
+    def test_label_column_by_positive_index(self, tmp_path):
+        path = tmp_path / "data2.csv"
+        path.write_text("label,x\ncat,1.0\ndog,2.0\n")
+        data = load_csv(path, label_column=0)
+        assert [a.name for a in data.attributes] == ["x"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "missing.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_header_without_rows_raises(self, tmp_path):
+        path = tmp_path / "header_only.csv"
+        path.write_text("a,b,label\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_unknown_label_column_raises(self, csv_file):
+        with pytest.raises(DatasetError):
+            load_csv(csv_file, label_column="missing")
+
+    def test_name_lookup_requires_header(self, tmp_path):
+        path = tmp_path / "no_header.csv"
+        path.write_text("1.0,2.0,cat\n")
+        with pytest.raises(DatasetError):
+            load_csv(path, label_column="label", has_header=False)
+
+    def test_without_header_generates_names(self, tmp_path):
+        path = tmp_path / "no_header.csv"
+        path.write_text("1.0,2.0,cat\n3.0,4.0,dog\n")
+        data = load_csv(path, has_header=False, label_column=-1)
+        assert [a.name for a in data.attributes] == ["A1", "A2"]
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b,label\n1.0,2.0,cat\n1.0,cat\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_non_numeric_feature_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,label\nnot-a-number,cat\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+
+class TestSaveCsv:
+    def test_round_trip(self, csv_file, tmp_path):
+        data = load_csv(csv_file)
+        out = tmp_path / "out.csv"
+        save_csv(data, out)
+        reloaded = load_csv(out, label_column="class")
+        assert len(reloaded) == len(data)
+        assert reloaded.tuples[0].pdf(0).mean() == pytest.approx(1.5)
+
+    def test_saves_means_of_uncertain_data(self, csv_file, tmp_path):
+        from repro.data import inject_uncertainty
+
+        data = inject_uncertainty(load_csv(csv_file), width_fraction=0.2, n_samples=11)
+        out = tmp_path / "means.csv"
+        save_csv(data, out)
+        reloaded = load_csv(out, label_column="class")
+        assert reloaded.tuples[0].pdf(0).mean() == pytest.approx(1.5, abs=1e-6)
+
+
+class TestTrainTestRows:
+    def test_split_is_disjoint_and_complete(self, rng):
+        train, test = train_test_rows(20, 0.25, rng)
+        assert set(train) | set(test) == set(range(20))
+        assert not set(train) & set(test)
+        assert len(test) == 5
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            train_test_rows(10, 0.0, rng)
+        with pytest.raises(DatasetError):
+            train_test_rows(10, 1.0, rng)

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.data.synthetic`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import ClassificationSpec, make_classification_points, make_point_dataset
+from repro.exceptions import DatasetError
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        ClassificationSpec(n_tuples=10, n_attributes=2, n_classes=2).validate()
+
+    def test_too_few_tuples_rejected(self):
+        with pytest.raises(DatasetError):
+            ClassificationSpec(n_tuples=1, n_attributes=2, n_classes=2).validate()
+
+    def test_invalid_attribute_and_class_counts_rejected(self):
+        with pytest.raises(DatasetError):
+            ClassificationSpec(n_tuples=10, n_attributes=0, n_classes=2).validate()
+        with pytest.raises(DatasetError):
+            ClassificationSpec(n_tuples=10, n_attributes=2, n_classes=1).validate()
+
+    def test_invalid_separation_and_clusters_rejected(self):
+        with pytest.raises(DatasetError):
+            ClassificationSpec(10, 2, 2, class_separation=0.0).validate()
+        with pytest.raises(DatasetError):
+            ClassificationSpec(10, 2, 2, clusters_per_class=0).validate()
+
+
+class TestGeneration:
+    def test_shapes_match_spec(self):
+        spec = ClassificationSpec(n_tuples=37, n_attributes=5, n_classes=4)
+        values, labels = make_classification_points(spec, np.random.default_rng(0))
+        assert values.shape == (37, 5)
+        assert len(labels) == 37
+        assert len(set(labels)) == 4
+
+    def test_class_sizes_are_balanced(self):
+        spec = ClassificationSpec(n_tuples=31, n_attributes=2, n_classes=3)
+        _, labels = make_classification_points(spec, np.random.default_rng(0))
+        counts = {label: labels.count(label) for label in set(labels)}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_deterministic_given_seed(self):
+        spec = ClassificationSpec(n_tuples=20, n_attributes=3, n_classes=2)
+        a_values, a_labels = make_classification_points(spec, np.random.default_rng(5))
+        b_values, b_labels = make_classification_points(spec, np.random.default_rng(5))
+        assert np.array_equal(a_values, b_values)
+        assert a_labels == b_labels
+
+    def test_different_seeds_differ(self):
+        spec = ClassificationSpec(n_tuples=20, n_attributes=3, n_classes=2)
+        a_values, _ = make_classification_points(spec, np.random.default_rng(1))
+        b_values, _ = make_classification_points(spec, np.random.default_rng(2))
+        assert not np.array_equal(a_values, b_values)
+
+    def test_integer_domain_rounds_values(self):
+        spec = ClassificationSpec(n_tuples=25, n_attributes=2, n_classes=2, integer_domain=True)
+        values, _ = make_classification_points(spec, np.random.default_rng(0))
+        assert np.array_equal(values, np.round(values))
+        assert values.min() >= 0 and values.max() <= 100
+
+    def test_larger_separation_is_easier_to_classify(self):
+        from repro.point import C45Classifier
+
+        rng_easy = np.random.default_rng(3)
+        rng_hard = np.random.default_rng(3)
+        easy_spec = ClassificationSpec(120, 3, 3, class_separation=5.0)
+        hard_spec = ClassificationSpec(120, 3, 3, class_separation=0.8)
+        easy_values, easy_labels = make_classification_points(easy_spec, rng_easy)
+        hard_values, hard_labels = make_classification_points(hard_spec, rng_hard)
+        easy_acc = C45Classifier().fit(easy_values, easy_labels).score(easy_values, easy_labels)
+        hard_model = C45Classifier(max_depth=3).fit(hard_values, hard_labels)
+        hard_acc = hard_model.score(hard_values, hard_labels)
+        assert easy_acc > hard_acc
+
+    def test_make_point_dataset_wraps_generator(self):
+        spec = ClassificationSpec(n_tuples=15, n_attributes=2, n_classes=2)
+        data = make_point_dataset(spec, np.random.default_rng(0), attribute_names=["u", "v"])
+        assert len(data) == 15
+        assert [a.name for a in data.attributes] == ["u", "v"]
+        assert all(item.pdf(0).is_point for item in data)
+
+    def test_multiple_clusters_per_class(self):
+        spec = ClassificationSpec(n_tuples=40, n_attributes=2, n_classes=2, clusters_per_class=3)
+        values, labels = make_classification_points(spec, np.random.default_rng(0))
+        assert values.shape == (40, 2)

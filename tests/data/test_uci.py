@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.data.uci` (Table 2 dataset stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.uci import (
+    TABLE2_DATASETS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+    load_japanese_vowel,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSpecs:
+    def test_table2_contains_ten_datasets(self):
+        assert len(TABLE2_DATASETS) == 10
+        assert len(dataset_names()) == 10
+
+    def test_expected_names_present(self):
+        names = set(dataset_names())
+        for expected in ("JapaneseVowel", "PenDigits", "Segment", "Iris", "Glass", "Ionosphere"):
+            assert expected in names
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("iris").name == "Iris"
+        assert get_spec("IRIS").n_attributes == 4
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            get_spec("NotADataset")
+
+    def test_spec_shape_helpers(self):
+        spec = get_spec("PenDigits")
+        assert spec.has_test_split
+        assert spec.n_tuples == spec.n_training + spec.n_test
+        assert not get_spec("Iris").has_test_split
+
+
+class TestLoadDataset:
+    def test_scale_must_be_positive(self):
+        with pytest.raises(DatasetError):
+            load_dataset("Iris", scale=0.0)
+
+    def test_shapes_follow_spec(self):
+        training, test, spec = load_dataset("Iris", scale=1.0, seed=0)
+        assert test is None
+        assert len(training) == spec.n_training
+        assert training.n_attributes == spec.n_attributes
+        assert training.n_classes == spec.n_classes
+
+    def test_train_test_split_datasets(self):
+        training, test, spec = load_dataset("PenDigits", scale=0.02, seed=0)
+        assert test is not None
+        assert len(training) > 0 and len(test) > 0
+        assert training.n_attributes == spec.n_attributes == test.n_attributes
+
+    def test_scaling_reduces_tuple_count(self):
+        full, _, _ = load_dataset("Glass", scale=1.0, seed=0)
+        small, _, _ = load_dataset("Glass", scale=0.3, seed=0)
+        assert len(small) < len(full)
+        assert len(small) >= small.n_classes * 4
+
+    def test_deterministic_given_seed(self):
+        a, _, _ = load_dataset("Iris", scale=0.5, seed=9)
+        b, _, _ = load_dataset("Iris", scale=0.5, seed=9)
+        assert [t.label for t in a] == [t.label for t in b]
+        assert all(
+            x.pdf(0).mean() == pytest.approx(y.pdf(0).mean()) for x, y in zip(a, b)
+        )
+
+    def test_different_seeds_differ(self):
+        a, _, _ = load_dataset("Iris", scale=0.5, seed=1)
+        b, _, _ = load_dataset("Iris", scale=0.5, seed=2)
+        assert any(
+            abs(x.pdf(0).mean() - y.pdf(0).mean()) > 1e-9 for x, y in zip(a, b)
+        )
+
+    def test_point_valued_datasets_have_point_pdfs(self):
+        training, _, _ = load_dataset("Segment", scale=0.05, seed=0)
+        assert all(item.pdf(0).is_point for item in training)
+
+    def test_integer_domain_datasets_have_integer_values(self):
+        training, _, _ = load_dataset("Vehicle", scale=0.3, seed=0)
+        for item in training.tuples[:10]:
+            for j in range(training.n_attributes):
+                value = item.pdf(j).mean()
+                assert value == pytest.approx(round(value))
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_dataset_loads_at_small_scale(self, name):
+        training, test, spec = load_dataset(name, scale=0.05, seed=1)
+        assert training.n_classes == spec.n_classes
+        assert len(training) >= spec.n_classes
+
+
+class TestJapaneseVowelStandIn:
+    def test_returns_uncertain_data_with_raw_samples(self):
+        training, test, spec = load_japanese_vowel(scale=0.1, seed=0)
+        assert spec.repeated_measurements
+        assert len(training) > 0 and len(test) > 0
+        pdf = training.tuples[0].pdf(0)
+        assert pdf.kind == "empirical"
+        assert 7 <= pdf.n_samples <= 29
+
+    def test_sample_counts_vary_between_values(self):
+        training, _, _ = load_japanese_vowel(scale=0.1, seed=0)
+        counts = {
+            training.tuples[i].pdf(j).n_samples
+            for i in range(min(len(training), 10))
+            for j in range(training.n_attributes)
+        }
+        assert len(counts) > 1

@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.data.uncertainty` (error models, perturbation, Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Attribute, CategoricalDistribution, SampledPdf, UncertainDataset, UncertainTuple
+from repro.data.uncertainty import (
+    ERROR_MODELS,
+    attribute_ranges,
+    inject_uncertainty,
+    model_width_for_perturbation,
+    perturb_points,
+    repeated_measurement_pdfs,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def point_data() -> UncertainDataset:
+    values = np.array([[0.0, 10.0], [1.0, 20.0], [2.0, 30.0], [3.0, 40.0]])
+    return UncertainDataset.from_points(values, ["a", "a", "b", "b"])
+
+
+class TestAttributeRanges:
+    def test_ranges_use_means(self, point_data):
+        assert attribute_ranges(point_data) == pytest.approx([3.0, 30.0])
+
+    def test_categorical_attributes_get_zero_width(self):
+        attrs = [Attribute.numerical("x"), Attribute.categorical("c", ("u", "v"))]
+        tuples = [
+            UncertainTuple([SampledPdf.point(0.0), CategoricalDistribution.certain("u")], "a"),
+            UncertainTuple([SampledPdf.point(4.0), CategoricalDistribution.certain("v")], "b"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        assert attribute_ranges(data) == pytest.approx([4.0, 0.0])
+
+    def test_empty_dataset_raises(self):
+        data = UncertainDataset([Attribute.numerical("x")], [], class_labels=("a",))
+        with pytest.raises(DatasetError):
+            attribute_ranges(data)
+
+
+class TestInjectUncertainty:
+    def test_error_models_registry(self):
+        assert set(ERROR_MODELS) == {"gaussian", "uniform"}
+
+    def test_unknown_model_rejected(self, point_data):
+        with pytest.raises(DatasetError):
+            inject_uncertainty(point_data, width_fraction=0.1, error_model="weird")
+
+    def test_invalid_parameters_rejected(self, point_data):
+        with pytest.raises(DatasetError):
+            inject_uncertainty(point_data, width_fraction=-0.1)
+        with pytest.raises(DatasetError):
+            inject_uncertainty(point_data, width_fraction=0.1, n_samples=0)
+
+    def test_zero_width_returns_point_pdfs(self, point_data):
+        result = inject_uncertainty(point_data, width_fraction=0.0)
+        assert all(item.pdf(0).is_point for item in result)
+
+    def test_pdf_width_scales_with_attribute_range(self, point_data):
+        result = inject_uncertainty(point_data, width_fraction=0.2, n_samples=11)
+        # Attribute 0 has range 3, attribute 1 has range 30.
+        first = result.tuples[0]
+        assert first.pdf(0).high - first.pdf(0).low == pytest.approx(0.2 * 3.0)
+        assert first.pdf(1).high - first.pdf(1).low == pytest.approx(0.2 * 30.0)
+
+    def test_pdf_centred_on_original_value(self, point_data):
+        result = inject_uncertainty(point_data, width_fraction=0.2, n_samples=101)
+        for original, uncertain in zip(point_data, result):
+            for j in range(2):
+                assert uncertain.pdf(j).mean() == pytest.approx(original.pdf(j).mean(), abs=1e-6)
+
+    def test_number_of_samples_respected(self, point_data):
+        result = inject_uncertainty(point_data, width_fraction=0.1, n_samples=17)
+        assert result.tuples[0].pdf(0).n_samples == 17
+
+    def test_gaussian_versus_uniform_kind(self, point_data):
+        gaussian = inject_uncertainty(point_data, width_fraction=0.1, error_model="gaussian")
+        uniform = inject_uncertainty(point_data, width_fraction=0.1, error_model="uniform")
+        assert gaussian.tuples[0].pdf(0).kind == "gaussian"
+        assert uniform.tuples[0].pdf(0).kind == "uniform"
+
+    def test_uniform_masses_are_flat(self, point_data):
+        uniform = inject_uncertainty(point_data, width_fraction=0.1, n_samples=9,
+                                     error_model="uniform")
+        masses = uniform.tuples[0].pdf(0).masses
+        assert np.allclose(masses, masses[0])
+
+    def test_original_dataset_unchanged(self, point_data):
+        inject_uncertainty(point_data, width_fraction=0.3)
+        assert all(item.pdf(0).is_point for item in point_data)
+
+    def test_labels_and_weights_preserved(self, point_data):
+        result = inject_uncertainty(point_data, width_fraction=0.1)
+        assert [t.label for t in result] == [t.label for t in point_data]
+        assert [t.weight for t in result] == [t.weight for t in point_data]
+
+    def test_categorical_attributes_pass_through(self):
+        attrs = [Attribute.numerical("x"), Attribute.categorical("c", ("u", "v"))]
+        tuples = [
+            UncertainTuple([SampledPdf.point(0.0), CategoricalDistribution.certain("u")], "a"),
+            UncertainTuple([SampledPdf.point(4.0), CategoricalDistribution.certain("v")], "b"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        result = inject_uncertainty(data, width_fraction=0.5, n_samples=5)
+        assert result.tuples[0].categorical(1).most_likely() == "u"
+
+
+class TestPerturbPoints:
+    def test_zero_perturbation_is_identity_on_means(self, point_data):
+        result = perturb_points(point_data, perturbation_fraction=0.0)
+        for original, perturbed in zip(point_data, result):
+            assert perturbed.pdf(0).mean() == pytest.approx(original.pdf(0).mean())
+
+    def test_negative_perturbation_rejected(self, point_data):
+        with pytest.raises(DatasetError):
+            perturb_points(point_data, perturbation_fraction=-0.5)
+
+    def test_perturbation_changes_values_but_keeps_point_pdfs(self, point_data, rng):
+        result = perturb_points(point_data, perturbation_fraction=0.5, rng=rng)
+        assert all(item.pdf(0).is_point for item in result)
+        changed = any(
+            abs(perturbed.pdf(0).mean() - original.pdf(0).mean()) > 1e-12
+            for original, perturbed in zip(point_data, result)
+        )
+        assert changed
+
+    def test_perturbation_magnitude_scales_with_u(self, point_data):
+        rng_small = np.random.default_rng(0)
+        rng_large = np.random.default_rng(0)
+        small = perturb_points(point_data, perturbation_fraction=0.05, rng=rng_small)
+        large = perturb_points(point_data, perturbation_fraction=0.50, rng=rng_large)
+        small_shift = sum(
+            abs(p.pdf(1).mean() - o.pdf(1).mean()) for o, p in zip(point_data, small)
+        )
+        large_shift = sum(
+            abs(p.pdf(1).mean() - o.pdf(1).mean()) for o, p in zip(point_data, large)
+        )
+        assert large_shift > small_shift
+
+    def test_labels_preserved(self, point_data, rng):
+        result = perturb_points(point_data, perturbation_fraction=0.2, rng=rng)
+        assert [t.label for t in result] == [t.label for t in point_data]
+
+
+class TestModelWidth:
+    def test_error_free_data_gives_w_equal_u(self):
+        assert model_width_for_perturbation(0.1) == pytest.approx(0.1)
+
+    def test_combines_intrinsic_and_injected_noise_quadratically(self):
+        assert model_width_for_perturbation(0.3, intrinsic_fraction=0.4) == pytest.approx(0.5)
+
+    def test_negative_fractions_rejected(self):
+        with pytest.raises(DatasetError):
+            model_width_for_perturbation(-0.1)
+        with pytest.raises(DatasetError):
+            model_width_for_perturbation(0.1, intrinsic_fraction=-0.2)
+
+
+class TestRepeatedMeasurements:
+    def test_pdfs_built_from_raw_samples(self):
+        pdfs = repeated_measurement_pdfs([[1.0, 2.0, 3.0], [5.0, 5.0]])
+        assert len(pdfs) == 2
+        assert pdfs[0].mean() == pytest.approx(2.0)
+        assert pdfs[1].is_point

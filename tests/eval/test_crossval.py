@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.eval.crossval`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.crossval import (
+    cross_validate,
+    iter_fold_splits,
+    stratified_folds,
+    train_test_split,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestStratifiedFolds:
+    def test_folds_partition_the_dataset(self, three_class_points, rng):
+        folds = stratified_folds(three_class_points, 5, rng)
+        assert len(folds) == 5
+        flattened = sorted(index for fold in folds for index in fold)
+        assert flattened == list(range(len(three_class_points)))
+
+    def test_folds_are_roughly_balanced(self, three_class_points, rng):
+        folds = stratified_folds(three_class_points, 5, rng)
+        sizes = [len(fold) for fold in folds]
+        assert max(sizes) - min(sizes) <= three_class_points.n_classes
+
+    def test_stratification_preserves_class_mix(self, three_class_points, rng):
+        folds = stratified_folds(three_class_points, 4, rng)
+        for fold in folds:
+            labels = {three_class_points.tuples[i].label for i in fold}
+            # Every fold should see most of the classes.
+            assert len(labels) >= three_class_points.n_classes - 1
+
+    def test_invalid_fold_counts_rejected(self, three_class_points, rng):
+        with pytest.raises(ExperimentError):
+            stratified_folds(three_class_points, 1, rng)
+        with pytest.raises(ExperimentError):
+            stratified_folds(three_class_points, len(three_class_points) + 1, rng)
+
+
+class TestIterFoldSplits:
+    def test_training_and_test_are_disjoint_and_complete(self, three_class_points, rng):
+        for training, test in iter_fold_splits(three_class_points, 4, rng):
+            assert len(training) + len(test) == len(three_class_points)
+            assert len(test) > 0
+
+    def test_number_of_splits(self, three_class_points, rng):
+        splits = list(iter_fold_splits(three_class_points, 6, rng))
+        assert len(splits) == 6
+
+
+class TestCrossValidate:
+    def test_scores_collected_per_fold(self, three_class_points, rng):
+        def evaluate(training, test):
+            return len(test) / len(three_class_points)
+
+        scores = cross_validate(three_class_points, evaluate, n_folds=5, rng=rng)
+        assert len(scores) == 5
+        assert sum(scores) == pytest.approx(1.0)
+
+    def test_classifier_cross_validation_end_to_end(self, iris_like, rng):
+        from repro.core import UDTClassifier
+
+        def evaluate(training, test):
+            return UDTClassifier(strategy="UDT-ES").fit(training).score(test)
+
+        scores = cross_validate(iris_like, evaluate, n_folds=3, rng=rng)
+        assert len(scores) == 3
+        assert all(0.0 <= s <= 1.0 for s in scores)
+        assert np.mean(scores) > 0.5
+
+
+class TestTrainTestSplit:
+    def test_fraction_respected_approximately(self, three_class_points, rng):
+        training, test = train_test_split(three_class_points, test_fraction=0.25, rng=rng)
+        assert len(training) + len(test) == len(three_class_points)
+        assert abs(len(test) / len(three_class_points) - 0.25) < 0.15
+
+    def test_invalid_fraction_rejected(self, three_class_points, rng):
+        with pytest.raises(ExperimentError):
+            train_test_split(three_class_points, test_fraction=1.5, rng=rng)

@@ -1,0 +1,104 @@
+"""Unit tests for the experiment runners (Table 3, Figs. 4 and 6-9)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.eval.experiment import (
+    AccuracyExperiment,
+    EfficiencyExperiment,
+    NoiseModelExperiment,
+    SensitivityExperiment,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestAccuracyExperiment:
+    def test_cross_validated_dataset(self):
+        experiment = AccuracyExperiment("Iris", scale=0.3, n_samples=8, n_folds=3, seed=1)
+        results = experiment.run(width_fractions=(0.1,), error_models=("gaussian",))
+        assert len(results) == 1
+        result = results[0]
+        assert result.dataset == "Iris"
+        assert 0.0 <= result.avg_accuracy <= 1.0
+        assert 0.0 <= result.udt_accuracy <= 1.0
+        assert result.improvement == pytest.approx(result.udt_accuracy - result.avg_accuracy)
+
+    def test_train_test_split_dataset(self):
+        experiment = AccuracyExperiment("PenDigits", scale=0.01, n_samples=8, seed=1)
+        results = experiment.run(width_fractions=(0.1,), error_models=("uniform",))
+        assert len(results) == 1
+        assert results[0].error_model == "uniform"
+
+    def test_sweep_produces_one_result_per_combination(self):
+        experiment = AccuracyExperiment("Glass", scale=0.2, n_samples=6, n_folds=3, seed=1)
+        results = experiment.run(width_fractions=(0.05, 0.1), error_models=("gaussian", "uniform"))
+        assert len(results) == 4
+
+    def test_japanese_vowel_uses_raw_samples(self):
+        experiment = AccuracyExperiment("JapaneseVowel", scale=0.08, seed=1)
+        results = experiment.run()
+        assert len(results) == 1
+        assert results[0].error_model == "raw-samples"
+        assert math.isnan(results[0].width_fraction)
+
+
+class TestNoiseModelExperiment:
+    def test_rejects_raw_sample_dataset(self):
+        with pytest.raises(ExperimentError):
+            NoiseModelExperiment("JapaneseVowel", scale=0.1)
+
+    def test_grid_of_results(self):
+        experiment = NoiseModelExperiment("Iris", scale=0.3, n_samples=6, n_folds=3, seed=2)
+        results = experiment.run(perturbation_fractions=(0.0, 0.1), width_fractions=(0.0, 0.1))
+        assert len(results) == 4
+        assert all(0.0 <= r.accuracy <= 1.0 for r in results)
+
+    def test_model_curve_uses_eq2_width(self):
+        experiment = NoiseModelExperiment("Iris", scale=0.3, n_samples=6, n_folds=3, seed=2)
+        curve = experiment.model_curve(perturbation_fractions=(0.1,), intrinsic_fraction=0.1)
+        assert len(curve) == 1
+        assert curve[0].width_fraction == pytest.approx(math.sqrt(0.02))
+
+
+class TestEfficiencyExperiment:
+    def test_runs_all_algorithms(self):
+        experiment = EfficiencyExperiment("Iris", scale=0.3, n_samples=10, seed=3)
+        training = experiment.prepare_training_data()
+        results = experiment.run(training=training)
+        algorithms = [r.algorithm for r in results]
+        assert algorithms == ["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]
+        by_name = {r.algorithm: r for r in results}
+        # Pruning reduces the number of entropy calculations (Fig. 7 shape).
+        assert by_name["UDT-GP"].entropy_calculations < by_name["UDT"].entropy_calculations
+        assert by_name["AVG"].entropy_calculations < by_name["UDT"].entropy_calculations
+        assert all(r.elapsed_seconds >= 0 for r in results)
+
+    def test_single_algorithm_run(self):
+        experiment = EfficiencyExperiment("Glass", scale=0.2, n_samples=8, seed=3)
+        training = experiment.prepare_training_data()
+        result = experiment.run_single("UDT-ES", training)
+        assert result.algorithm == "UDT-ES"
+        assert result.n_nodes >= 1
+        assert 0.0 <= result.accuracy_on_training <= 1.0
+
+
+class TestSensitivityExperiment:
+    def test_rejects_raw_sample_dataset(self):
+        with pytest.raises(ExperimentError):
+            SensitivityExperiment("JapaneseVowel", scale=0.1)
+
+    def test_sweep_samples(self):
+        experiment = SensitivityExperiment("Iris", scale=0.25, seed=4)
+        results = experiment.sweep_samples(sample_counts=(5, 10), width_fraction=0.1)
+        assert [r.value for r in results] == [5.0, 10.0]
+        assert all(r.parameter == "s" for r in results)
+        assert all(r.entropy_calculations > 0 for r in results)
+
+    def test_sweep_widths(self):
+        experiment = SensitivityExperiment("Iris", scale=0.25, seed=4)
+        results = experiment.sweep_widths(width_fractions=(0.05, 0.2), n_samples=8)
+        assert [r.value for r in results] == [0.05, 0.2]
+        assert all(r.parameter == "w" for r in results)

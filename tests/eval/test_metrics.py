@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.eval.metrics`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import accuracy, confusion_matrix, error_rate, per_class_accuracy
+from repro.exceptions import ExperimentError
+
+
+class TestAccuracy:
+    def test_perfect_predictions(self):
+        assert accuracy(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_partial_accuracy(self):
+        assert accuracy(["a", "b", "a", "b"], ["a", "a", "a", "a"]) == 0.5
+
+    def test_error_rate_is_complement(self):
+        truth = ["a", "b", "a"]
+        predicted = ["a", "a", "a"]
+        assert error_rate(truth, predicted) == pytest.approx(1.0 - accuracy(truth, predicted))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            accuracy(["a"], ["a", "b"])
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ExperimentError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_matrix_layout(self):
+        truth = ["a", "a", "b", "b", "b"]
+        predicted = ["a", "b", "b", "b", "a"]
+        matrix = confusion_matrix(truth, predicted, ["a", "b"])
+        assert matrix[0, 0] == 1  # a predicted a
+        assert matrix[0, 1] == 1  # a predicted b
+        assert matrix[1, 1] == 2
+        assert matrix[1, 0] == 1
+        assert matrix.sum() == 5
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ExperimentError):
+            confusion_matrix(["a"], ["z"], ["a", "b"])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            confusion_matrix(["a", "b"], ["a"], ["a", "b"])
+
+    def test_diagonal_sum_equals_correct_count(self):
+        truth = ["a", "b", "c", "a"]
+        predicted = ["a", "b", "a", "a"]
+        matrix = confusion_matrix(truth, predicted, ["a", "b", "c"])
+        assert np.trace(matrix) == 3
+
+
+class TestPerClassAccuracy:
+    def test_recall_per_class(self):
+        truth = ["a", "a", "b", "b"]
+        predicted = ["a", "b", "b", "b"]
+        recalls = per_class_accuracy(truth, predicted, ["a", "b"])
+        assert recalls["a"] == pytest.approx(0.5)
+        assert recalls["b"] == pytest.approx(1.0)
+
+    def test_absent_class_gives_nan(self):
+        recalls = per_class_accuracy(["a"], ["a"], ["a", "b"])
+        assert math.isnan(recalls["b"])

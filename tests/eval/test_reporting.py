@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.eval.reporting`."""
+
+from __future__ import annotations
+
+from repro.eval.experiment import (
+    AccuracyResult,
+    EfficiencyResult,
+    NoiseModelResult,
+    SensitivityResult,
+)
+from repro.eval.reporting import (
+    format_accuracy_results,
+    format_efficiency_results,
+    format_noise_model_results,
+    format_sensitivity_results,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_header_and_rows_rendered(self):
+        text = format_table(("name", "value"), [("alpha", 1), ("beta", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_columns_are_aligned(self):
+        text = format_table(("a", "b"), [("xxxxxx", 1), ("y", 2)])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_rows_still_render_header(self):
+        text = format_table(("only",), [])
+        assert "only" in text
+
+
+class TestResultFormatters:
+    def test_accuracy_rows(self):
+        results = [
+            AccuracyResult("Iris", "gaussian", 0.1, 0.9, 0.95),
+            AccuracyResult("JapaneseVowel", "raw-samples", float("nan"), 0.8, 0.87),
+        ]
+        text = format_accuracy_results(results)
+        assert "Iris" in text and "gaussian" in text
+        assert "10%" in text
+        assert "raw" in text
+        assert "+0.0500" in text
+
+    def test_noise_model_rows(self):
+        text = format_noise_model_results([NoiseModelResult("Segment", 0.1, 0.2, 0.91)])
+        assert "10%" in text and "20%" in text and "0.9100" in text
+
+    def test_efficiency_rows(self):
+        text = format_efficiency_results(
+            [EfficiencyResult("Glass", "UDT-ES", 0.5, 1234, 99999, 21, 0.97)]
+        )
+        assert "UDT-ES" in text and "1234" in text
+
+    def test_sensitivity_rows(self):
+        text = format_sensitivity_results([SensitivityResult("Iris", "s", 100.0, 0.25, 4321)])
+        assert "100" in text and "4321" in text

@@ -1,0 +1,153 @@
+"""End-to-end integration tests exercising the full public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    Attribute,
+    AveragingClassifier,
+    CategoricalDistribution,
+    SampledPdf,
+    UDTClassifier,
+    UncertainDataset,
+    UncertainTuple,
+)
+from repro.data import inject_uncertainty, load_csv, load_dataset, save_csv
+from repro.eval import AccuracyExperiment, cross_validate, format_accuracy_results
+
+
+class TestPackageSurface:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        attrs = [Attribute.numerical("temperature")]
+        tuples = [
+            UncertainTuple([SampledPdf.gaussian(37.0, 0.2)], label="healthy"),
+            UncertainTuple([SampledPdf.gaussian(39.5, 0.2)], label="fever"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        model = UDTClassifier().fit(data)
+        assert model.predict(tuples[0]) == "healthy"
+        assert model.predict(tuples[1]) == "fever"
+
+
+class TestCsvToClassifierPipeline:
+    def test_csv_roundtrip_training(self, tmp_path):
+        # Create a small CSV, load it, inject uncertainty, train, evaluate.
+        rows = ["x,y,label"]
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            rows.append(f"{rng.normal(0):.4f},{rng.normal(0):.4f},low")
+            rows.append(f"{rng.normal(5):.4f},{rng.normal(5):.4f},high")
+        path = tmp_path / "train.csv"
+        path.write_text("\n".join(rows) + "\n")
+
+        data = load_csv(path, label_column="label")
+        uncertain = inject_uncertainty(data, width_fraction=0.1, n_samples=10)
+        model = UDTClassifier(strategy="UDT-GP").fit(uncertain)
+        assert model.score(uncertain) > 0.9
+
+        out = tmp_path / "export.csv"
+        save_csv(uncertain, out)
+        assert out.exists() and out.read_text().startswith("x,y,class")
+
+
+class TestMixedAttributePipeline:
+    def test_numerical_and_categorical_attributes_together(self, mixed_dataset):
+        udt = UDTClassifier(strategy="UDT-ES").fit(mixed_dataset)
+        avg = AveragingClassifier().fit(mixed_dataset)
+        assert udt.score(mixed_dataset) > 0.9
+        assert avg.score(mixed_dataset) > 0.9
+        # Probabilistic output covers both classes.
+        probabilities = udt.predict_proba(mixed_dataset)
+        assert probabilities.shape == (len(mixed_dataset), 2)
+
+    def test_rule_extraction_readable(self, mixed_dataset):
+        model = UDTClassifier().fit(mixed_dataset)
+        rules = model.tree_.extract_rules()
+        assert rules
+        assert all("THEN class" in str(rule) for rule in rules)
+
+
+class TestExperimentPipeline:
+    def test_accuracy_experiment_report(self):
+        experiment = AccuracyExperiment("Glass", scale=0.2, n_samples=6, n_folds=3, seed=0)
+        results = experiment.run(width_fractions=(0.1,), error_models=("gaussian",))
+        report = format_accuracy_results(results)
+        assert "Glass" in report and "UDT" in report
+
+    def test_cross_validated_uci_stand_in(self):
+        training, _, _ = load_dataset("Iris", scale=0.4, seed=0)
+        uncertain = inject_uncertainty(training, width_fraction=0.1, n_samples=8)
+
+        def evaluate(fold_training, fold_test):
+            return UDTClassifier(strategy="UDT-ES").fit(fold_training).score(fold_test)
+
+        scores = cross_validate(uncertain, evaluate, n_folds=3, rng=np.random.default_rng(0))
+        assert len(scores) == 3
+        assert np.mean(scores) > 0.6
+
+    def test_train_test_split_dataset_flow(self):
+        training, test, _ = load_dataset("PenDigits", scale=0.015, seed=0)
+        assert test is not None
+        uncertain_training = inject_uncertainty(
+            training, width_fraction=0.1, n_samples=8, error_model="uniform"
+        )
+        uncertain_test = inject_uncertainty(
+            test, width_fraction=0.1, n_samples=8, error_model="uniform"
+        )
+        model = UDTClassifier(strategy="UDT-ES").fit(uncertain_training)
+        assert 0.0 <= model.score(uncertain_test) <= 1.0
+
+
+class TestRobustness:
+    def test_single_attribute_single_sample_pdfs(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf.point(float(i % 5))], "a" if i % 2 else "b")
+            for i in range(20)
+        ]
+        data = UncertainDataset(attrs, tuples)
+        model = UDTClassifier(strategy="UDT-GP").fit(data)
+        assert 0.0 <= model.score(data) <= 1.0
+
+    def test_many_classes_few_tuples(self):
+        attrs = [Attribute.numerical("x")]
+        tuples = [
+            UncertainTuple([SampledPdf.gaussian(float(3 * i), 0.3, n_samples=6)], f"c{i}")
+            for i in range(8)
+        ]
+        data = UncertainDataset(attrs, tuples)
+        model = UDTClassifier(min_split_weight=0.5).fit(data)
+        assert model.score(data) >= 0.75
+
+    def test_duplicate_tuples_do_not_break_building(self):
+        attrs = [Attribute.numerical("x")]
+        pdf = SampledPdf.gaussian(0.0, 1.0, n_samples=10)
+        tuples = [UncertainTuple([pdf], "a") for _ in range(10)] + [
+            UncertainTuple([pdf], "b") for _ in range(10)
+        ]
+        data = UncertainDataset(attrs, tuples)
+        model = UDTClassifier().fit(data)
+        probabilities = model.predict_proba(tuples[0])
+        assert probabilities == pytest.approx([0.5, 0.5], abs=1e-6)
+
+    def test_categorical_only_with_unseen_test_value(self):
+        attrs = [Attribute.categorical("c", ("x", "y", "z"))]
+        tuples = [
+            UncertainTuple([CategoricalDistribution.certain("x")], "one"),
+            UncertainTuple([CategoricalDistribution.certain("x")], "one"),
+            UncertainTuple([CategoricalDistribution.certain("y")], "two"),
+            UncertainTuple([CategoricalDistribution.certain("y")], "two"),
+        ]
+        data = UncertainDataset(attrs, tuples)
+        model = UDTClassifier().fit(data)
+        unseen = UncertainTuple([CategoricalDistribution.certain("z")])
+        probabilities = model.predict_proba(unseen)
+        assert probabilities.sum() == pytest.approx(1.0)

@@ -1,0 +1,164 @@
+"""Integration tests that verify the paper's qualitative claims end to end.
+
+Each test corresponds to a claim made in the paper (section references in the
+docstrings).  They run on small, seeded data so they are fast yet still
+exercise the full pipeline: data generation, uncertainty injection, tree
+construction with every pruning strategy, classification and evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AveragingClassifier, UDTClassifier
+from repro.data import inject_uncertainty, load_dataset, perturb_points, table1_dataset
+from repro.core.strategies import STRATEGY_NAMES
+from repro.eval import iter_fold_splits
+
+
+class TestTable1Example:
+    """Section 4, Table 1 and Figs. 2-3: the handcrafted example."""
+
+    def test_averaging_accuracy_is_two_thirds(self):
+        data = table1_dataset()
+        avg = AveragingClassifier().fit(data)
+        assert avg.score(data) == pytest.approx(2.0 / 3.0)
+
+    def test_averaging_misclassifies_tuples_2_and_5(self):
+        data = table1_dataset()
+        avg = AveragingClassifier().fit(data)
+        predictions = avg.predict(data)
+        wrong = [i for i, (item, label) in enumerate(zip(data, predictions)) if item.label != label]
+        assert wrong == [1, 4]
+
+    def test_distribution_based_tree_is_perfect(self):
+        data = table1_dataset()
+        udt = UDTClassifier(strategy="UDT", post_prune=False, min_split_weight=1e-6).fit(data)
+        assert udt.score(data) == 1.0
+
+    def test_every_pruned_strategy_is_also_perfect(self):
+        data = table1_dataset()
+        for name in STRATEGY_NAMES:
+            model = UDTClassifier(strategy=name, post_prune=False, min_split_weight=1e-6).fit(data)
+            assert model.score(data) == 1.0, name
+
+
+class TestAccuracyClaims:
+    """Section 4.3 / Table 3: the Distribution-based approach beats Averaging."""
+
+    def test_udt_beats_avg_under_matching_error_model(self):
+        """With intrinsic measurement error and a matching pdf width, UDT wins."""
+        training, _, _ = load_dataset("Iris", scale=0.8, seed=3)
+        rng = np.random.default_rng(0)
+        avg_scores, udt_scores = [], []
+        for fold_training, fold_test in iter_fold_splits(training, 4, rng):
+            uncertain_training = inject_uncertainty(fold_training, width_fraction=0.10, n_samples=20)
+            uncertain_test = inject_uncertainty(fold_test, width_fraction=0.10, n_samples=20)
+            avg_scores.append(AveragingClassifier().fit(uncertain_training).score(uncertain_test))
+            udt_scores.append(
+                UDTClassifier(strategy="UDT-ES").fit(uncertain_training).score(uncertain_test)
+            )
+        assert np.mean(udt_scores) >= np.mean(avg_scores) - 0.01
+
+    def test_raw_sample_dataset_benefits_from_distributions(self):
+        """JapaneseVowel-style data: pdfs from repeated measurements help."""
+        training, test, _ = load_dataset("JapaneseVowel", scale=0.15, seed=3)
+        assert test is not None
+        avg_accuracy = AveragingClassifier().fit(training).score(test)
+        udt_accuracy = UDTClassifier(strategy="UDT-ES").fit(training).score(test)
+        assert udt_accuracy >= avg_accuracy - 0.02
+
+
+class TestNoiseModelClaims:
+    """Section 4.4 / Fig. 4: modelling the error improves accuracy."""
+
+    def test_matching_width_beats_no_width(self):
+        training, _, _ = load_dataset("Iris", scale=0.8, seed=5)
+        rng = np.random.default_rng(1)
+        perturbed = perturb_points(training, perturbation_fraction=0.15, rng=rng)
+        rng_folds = np.random.default_rng(2)
+        no_model, with_model = [], []
+        for fold_training, fold_test in iter_fold_splits(perturbed, 4, rng_folds):
+            plain_training = inject_uncertainty(fold_training, width_fraction=0.0, n_samples=1)
+            plain_test = inject_uncertainty(fold_test, width_fraction=0.0, n_samples=1)
+            no_model.append(AveragingClassifier().fit(plain_training).score(plain_test))
+            modelled_training = inject_uncertainty(fold_training, width_fraction=0.2, n_samples=20)
+            modelled_test = inject_uncertainty(fold_test, width_fraction=0.2, n_samples=20)
+            with_model.append(
+                UDTClassifier(strategy="UDT-ES").fit(modelled_training).score(modelled_test)
+            )
+        assert np.mean(with_model) >= np.mean(no_model) - 0.01
+
+
+class TestPruningClaims:
+    """Section 5 / Figs. 6-7: pruning is safe and reduces entropy calculations."""
+
+    @pytest.fixture(scope="class")
+    def uncertain_training(self):
+        training, _, _ = load_dataset("Glass", scale=0.4, seed=11)
+        return inject_uncertainty(training, width_fraction=0.10, n_samples=30)
+
+    @pytest.fixture(scope="class")
+    def fitted(self, uncertain_training):
+        models = {}
+        for name in STRATEGY_NAMES:
+            models[name] = UDTClassifier(strategy=name).fit(uncertain_training)
+        return models
+
+    def test_all_strategies_build_equally_accurate_trees(self, fitted, uncertain_training):
+        accuracies = {name: model.score(uncertain_training) for name, model in fitted.items()}
+        assert max(accuracies.values()) - min(accuracies.values()) < 1e-9
+
+    def test_all_strategies_build_identical_trees(self, fitted):
+        texts = {model.tree_.to_text() for model in fitted.values()}
+        assert len(texts) == 1
+
+    def test_entropy_calculation_ordering_matches_figure7(self, fitted):
+        calcs = {
+            name: model.build_stats_.total_entropy_like_calculations
+            for name, model in fitted.items()
+        }
+        assert calcs["UDT-BP"] < calcs["UDT"]
+        assert calcs["UDT-LP"] < calcs["UDT-BP"]
+        assert calcs["UDT-GP"] < calcs["UDT-LP"]
+        assert calcs["UDT-ES"] < calcs["UDT-GP"]
+
+    def test_pruning_achieves_large_reductions(self, fitted):
+        """The paper reports reductions down to a few percent of UDT's work."""
+        calcs = {
+            name: model.build_stats_.total_entropy_like_calculations
+            for name, model in fitted.items()
+        }
+        assert calcs["UDT-GP"] < 0.5 * calcs["UDT"]
+        assert calcs["UDT-ES"] < 0.3 * calcs["UDT"]
+
+    def test_avg_is_cheapest(self, uncertain_training, fitted):
+        avg = AveragingClassifier().fit(uncertain_training)
+        avg_calcs = avg.build_stats_.total_entropy_like_calculations
+        assert avg_calcs < min(
+            model.build_stats_.total_entropy_like_calculations for model in fitted.values()
+        )
+
+
+class TestSensitivityClaims:
+    """Sections 6.3-6.4 / Figs. 8-9: cost grows with s (and generally with w)."""
+
+    def test_entropy_calculations_grow_with_s(self):
+        training, _, _ = load_dataset("Iris", scale=0.4, seed=13)
+        calcs = []
+        for s in (5, 20, 40):
+            uncertain = inject_uncertainty(training, width_fraction=0.10, n_samples=s)
+            model = UDTClassifier(strategy="UDT").fit(uncertain)
+            calcs.append(model.build_stats_.total_entropy_like_calculations)
+        assert calcs[0] < calcs[1] < calcs[2]
+
+    def test_candidate_points_grow_with_w(self):
+        training, _, _ = load_dataset("Iris", scale=0.4, seed=13)
+        heterogeneous = []
+        for w in (0.02, 0.3):
+            uncertain = inject_uncertainty(training, width_fraction=w, n_samples=20)
+            model = UDTClassifier(strategy="UDT-ES").fit(uncertain)
+            heterogeneous.append(model.build_stats_.split_search.intervals_heterogeneous)
+        # Wider pdfs overlap more, creating more heterogeneous intervals.
+        assert heterogeneous[1] >= heterogeneous[0]

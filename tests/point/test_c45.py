@@ -1,0 +1,154 @@
+"""Unit tests for the classical point-data tree and the Sec. 7.5 ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import ClassificationSpec, make_classification_points
+from repro.point import C45Classifier, PointSplitSearch, PointSplitStats, SEARCH_MODES
+from repro.exceptions import DatasetError, TreeError
+
+
+def _blobs(n=80, seed=0, separation=3.0):
+    spec = ClassificationSpec(n_tuples=n, n_attributes=3, n_classes=3,
+                              class_separation=separation)
+    return make_classification_points(spec, np.random.default_rng(seed))
+
+
+class TestPointSplitSearch:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(DatasetError):
+            PointSplitSearch(mode="magic")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            PointSplitSearch(block_size=1)
+        with pytest.raises(DatasetError):
+            PointSplitSearch(sample_fraction=0.0)
+
+    def test_perfectly_separable_column(self):
+        values = np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0])
+        classes = np.array([0, 0, 0, 1, 1, 1])
+        split, dispersion = PointSplitSearch().best_split(values, classes, 2)
+        assert split == pytest.approx(2.0)
+        assert dispersion == pytest.approx(0.0)
+
+    def test_constant_column_cannot_be_split(self):
+        values = np.ones(6)
+        classes = np.array([0, 1, 0, 1, 0, 1])
+        split, dispersion = PointSplitSearch().best_split(values, classes, 2)
+        assert split is None and dispersion == float("inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            PointSplitSearch().best_split(np.ones(3), np.zeros(4, dtype=int), 2)
+
+    @pytest.mark.parametrize("mode", SEARCH_MODES)
+    def test_all_modes_find_optimal_dispersion(self, mode):
+        values, labels = _blobs(seed=2)
+        classes = np.array([int(label[1]) for label in labels])
+        column = values[:, 0]
+        reference_split, reference_value = PointSplitSearch(mode="exhaustive").best_split(
+            column, classes, 3
+        )
+        split, value = PointSplitSearch(mode=mode).best_split(column, classes, 3)
+        assert value == pytest.approx(reference_value, abs=1e-9)
+
+    def test_boundary_mode_evaluates_fewer_points(self):
+        values, labels = _blobs(seed=3)
+        classes = np.array([int(label[1]) for label in labels])
+        column = values[:, 1]
+        exhaustive_stats = PointSplitStats()
+        PointSplitSearch(mode="exhaustive").best_split(column, classes, 3, exhaustive_stats)
+        boundary_stats = PointSplitStats()
+        PointSplitSearch(mode="boundary").best_split(column, classes, 3, boundary_stats)
+        assert boundary_stats.entropy_evaluations <= exhaustive_stats.entropy_evaluations
+
+    def test_bounded_mode_counts_lower_bounds(self):
+        values, labels = _blobs(n=200, seed=4)
+        classes = np.array([int(label[1]) for label in labels])
+        column = values[:, 2]
+        stats = PointSplitStats()
+        PointSplitSearch(mode="bounded", block_size=8).best_split(column, classes, 3, stats)
+        assert stats.lower_bound_evaluations > 0
+        assert stats.total == stats.entropy_evaluations + stats.lower_bound_evaluations
+
+    def test_bounded_mode_can_reduce_total_evaluations(self):
+        values, labels = _blobs(n=400, seed=5)
+        classes = np.array([int(label[1]) for label in labels])
+        column = values[:, 0]
+        exhaustive_stats = PointSplitStats()
+        PointSplitSearch(mode="exhaustive").best_split(column, classes, 3, exhaustive_stats)
+        bounded_stats = PointSplitStats()
+        PointSplitSearch(mode="bounded-sampled", block_size=16).best_split(
+            column, classes, 3, bounded_stats
+        )
+        assert bounded_stats.total < exhaustive_stats.total
+
+
+class TestC45Classifier:
+    def test_fit_validates_inputs(self):
+        model = C45Classifier()
+        with pytest.raises(DatasetError):
+            model.fit(np.ones(5), ["a"] * 5)
+        with pytest.raises(DatasetError):
+            model.fit(np.ones((5, 2)), ["a"] * 4)
+        with pytest.raises(DatasetError):
+            model.fit(np.empty((0, 2)), [])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TreeError):
+            C45Classifier().predict(np.ones((1, 2)))
+
+    def test_learns_separable_blobs(self):
+        values, labels = _blobs(seed=1)
+        model = C45Classifier().fit(values, labels)
+        assert model.score(values, labels) > 0.95
+        assert model.n_nodes >= 3
+
+    def test_predict_proba_rows_sum_to_one(self):
+        values, labels = _blobs(seed=1)
+        model = C45Classifier().fit(values, labels)
+        probabilities = model.predict_proba(values[:10])
+        assert probabilities.shape == (10, 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_max_depth_limits_tree_size(self):
+        values, labels = _blobs(seed=1, separation=1.0)
+        deep = C45Classifier().fit(values, labels)
+        shallow = C45Classifier(max_depth=2).fit(values, labels)
+        assert shallow.n_nodes <= deep.n_nodes
+
+    def test_single_class_gives_single_leaf(self):
+        values = np.random.default_rng(0).normal(size=(10, 2))
+        model = C45Classifier().fit(values, ["only"] * 10)
+        assert model.n_nodes == 1
+        assert model.predict(values) == ["only"] * 10
+
+    def test_scoring_empty_input_raises(self):
+        values, labels = _blobs(seed=1)
+        model = C45Classifier().fit(values, labels)
+        with pytest.raises(DatasetError):
+            model.score(np.empty((0, 3)), [])
+
+    @pytest.mark.parametrize("mode", SEARCH_MODES)
+    def test_every_search_mode_trains_accurate_trees(self, mode):
+        values, labels = _blobs(seed=6)
+        model = C45Classifier(mode=mode).fit(values, labels)
+        assert model.score(values, labels) > 0.9
+
+    def test_gini_measure_supported(self):
+        values, labels = _blobs(seed=7)
+        model = C45Classifier(measure="gini").fit(values, labels)
+        assert model.score(values, labels) > 0.9
+
+    def test_c45_agrees_with_avg_on_same_data(self):
+        """The paper notes C4.5 accuracies are very similar to AVG's."""
+        from repro.core import AveragingClassifier, UncertainDataset
+
+        values, labels = _blobs(seed=8)
+        point_dataset = UncertainDataset.from_points(values, labels)
+        avg_accuracy = AveragingClassifier().fit(point_dataset).score(point_dataset)
+        c45_accuracy = C45Classifier().fit(values, labels).score(values, labels)
+        assert abs(avg_accuracy - c45_accuracy) < 0.1

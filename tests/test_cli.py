@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_accuracy_defaults(self):
+        args = build_parser().parse_args(["accuracy"])
+        assert args.dataset == "Iris"
+        assert args.error_model == "gaussian"
+        assert args.widths == [0.05, 0.10]
+
+    def test_sensitivity_parameter_choices(self):
+        args = build_parser().parse_args(["sensitivity", "--parameter", "w"])
+        assert args.parameter == "w"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sensitivity", "--parameter", "x"])
+
+
+class TestCommands:
+    def test_example_command(self, capsys):
+        assert main(["example"]) == 0
+        output = capsys.readouterr().out
+        assert "AVG" in output and "UDT" in output
+        assert "0.6667" in output and "1.0000" in output
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "JapaneseVowel" in output and "Iris" in output
+
+    def test_accuracy_command_small(self, capsys):
+        code = main(
+            ["accuracy", "--dataset", "Iris", "--scale", "0.3", "--samples", "6",
+             "--folds", "3", "--widths", "0.1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "AVG accuracy" in output and "Iris" in output
+
+    def test_efficiency_command_small(self, capsys):
+        code = main(
+            ["efficiency", "--dataset", "Iris", "--scale", "0.25", "--samples", "8"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "UDT-ES" in output and "entropy calcs" in output
+
+    def test_sensitivity_command_width_sweep(self, capsys):
+        code = main(
+            ["sensitivity", "--dataset", "Iris", "--scale", "0.25", "--samples", "8",
+             "--parameter", "w"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "w" in output and "entropy calcs" in output
+
+    def test_noise_command_small(self, capsys):
+        code = main(
+            ["noise", "--dataset", "Iris", "--scale", "0.3", "--samples", "6",
+             "--perturbations", "0.0", "--widths", "0.0", "0.1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "UDT accuracy" in output
