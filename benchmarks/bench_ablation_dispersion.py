@@ -15,7 +15,7 @@ from repro.core import UDTClassifier
 from repro.data import inject_uncertainty, load_dataset
 from repro.eval import format_table
 
-from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact
+from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact, save_json_artifact
 
 _MEASURES = ("entropy", "gini", "gain_ratio")
 _DATASET = "Glass"
@@ -71,3 +71,16 @@ def bench_ablation_dispersion_report(benchmark):
         "\ngain ratio cannot prune homogeneous intervals, so its reduction is smaller."
     )
     save_artifact("ablation_dispersion", "Section 7.4 ablation — dispersion measures", body)
+    save_json_artifact(
+        "ablation_dispersion",
+        [
+            {
+                "measure": row[0],
+                "udt_accuracy": float(row[1]),
+                "udt_gp_accuracy": float(row[2]),
+                "udt_entropy_calculations": row[3],
+                "udt_gp_entropy_calculations": row[4],
+            }
+            for row in _rows
+        ],
+    )

@@ -16,7 +16,7 @@ from repro.data.synthetic import ClassificationSpec, make_classification_points
 from repro.eval import format_table
 from repro.point import C45Classifier, SEARCH_MODES
 
-from helpers import save_artifact
+from helpers import save_artifact, save_json_artifact
 
 _N_TUPLES = 4000
 
@@ -61,6 +61,21 @@ def bench_ablation_point_data_report(benchmark):
         "\nevaluations on large point datasets while finding splits of the same quality."
     )
     save_artifact("ablation_point_data", "Section 7.5 ablation — pruning on point data", body)
+    save_json_artifact(
+        "ablation_point_data",
+        [
+            {
+                "mode": row[0],
+                "entropy_evaluations": row[1],
+                "lower_bound_evaluations": row[2],
+                "total": row[3],
+                "train_accuracy": float(row[4]),
+                "n_nodes": row[5],
+            }
+            for row in _rows
+        ],
+        params={"n_tuples": _N_TUPLES},
+    )
 
     by_mode = {row[0]: row for row in _rows}
     if "exhaustive" in by_mode and "bounded-sampled" in by_mode:

@@ -11,11 +11,10 @@ width lands on (or near) the plateau.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.eval import NoiseModelExperiment, format_noise_model_results
 
-from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact
+from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact, save_json_artifact
 
 _PERTURBATIONS = (0.0, 0.05, 0.10)
 _WIDTHS = (0.0, 0.05, 0.10, 0.20)
@@ -53,4 +52,18 @@ def bench_fig4_noise_model(benchmark):
         f"{plateau_wins}/{len(by_u)} (paper: all of them)."
     )
     save_artifact("fig4_noise_model", "Fig. 4 — controlled noise on 'Segment'", body)
+    save_json_artifact(
+        "fig4",
+        [
+            {
+                "dataset": r.dataset,
+                "perturbation_fraction": r.perturbation_fraction,
+                "width_fraction": r.width_fraction,
+                "accuracy": r.accuracy,
+            }
+            for r in results
+        ],
+        params={"seed": 23},
+        extra={"plateau_wins": plateau_wins, "n_curves": len(by_u)},
+    )
     assert plateau_wins >= len(by_u) - 1

@@ -6,12 +6,11 @@ Expected shape: cost grows roughly linearly with ``s``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.eval import SensitivityExperiment, format_sensitivity_results
 
-from helpers import BENCH_SCALE, save_artifact
+from helpers import BENCH_SCALE, save_artifact, save_json_artifact
 
 _SAMPLE_COUNTS = (25, 50, 75, 100)
 _DATASET = "Glass"
@@ -39,6 +38,20 @@ def bench_fig8_report(benchmark):
     calcs = [r.entropy_calculations for r in ordered]
     body += "\n\nExpected: execution cost rises roughly linearly with s (Fig. 8)."
     save_artifact("fig8_effect_of_s", "Fig. 8 — effect of s on UDT-ES", body)
+    save_json_artifact(
+        "fig8",
+        [
+            {
+                "dataset": r.dataset,
+                "parameter": r.parameter,
+                "value": r.value,
+                "wall_seconds": r.elapsed_seconds,
+                "entropy_calculations": r.entropy_calculations,
+            }
+            for r in ordered
+        ],
+        params={"width_fraction": 0.10, "seed": 37},
+    )
     # Shape check: monotone non-decreasing cost with s.
     assert all(b >= a for a, b in zip(calcs, calcs[1:]))
     # Roughly linear: quadrupling s should not blow cost up by more than ~10x.

@@ -14,7 +14,7 @@ from repro.core import UDTClassifier
 from repro.data import inject_uncertainty, load_dataset
 from repro.eval import format_table
 
-from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact
+from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact, save_json_artifact
 
 _WIDTHS = (0.02, 0.05, 0.10, 0.20)
 _DATASET = "Glass"
@@ -69,5 +69,20 @@ def bench_fig9_report(benchmark):
         "\nthe paper notes the trend is data dependent (PenDigits deviates)."
     )
     save_artifact("fig9_effect_of_w", "Fig. 9 — effect of w on UDT-ES", body)
+    save_json_artifact(
+        "fig9",
+        [
+            {
+                "dataset": row[0],
+                "width_fraction": row[1],
+                "entropy_calculations": row[2],
+                "heterogeneous_intervals": row[3],
+                "heterogeneous_fraction": row[4],
+                "wall_seconds": row[5],
+            }
+            for row in ordered
+        ],
+        params={"seed": 41},
+    )
     fractions = [row[4] for row in ordered]
     assert fractions[-1] >= fractions[0] * 0.8

@@ -12,7 +12,7 @@ from repro.core import AveragingClassifier, UDTClassifier
 from repro.data import table1_dataset
 from repro.eval import format_table
 
-from helpers import save_artifact
+from helpers import save_artifact, save_json_artifact
 
 
 def bench_table1_udt_construction(benchmark):
@@ -33,6 +33,13 @@ def bench_table1_udt_construction(benchmark):
     body += "\n\nDistribution-based tree (before post-pruning):\n"
     body += udt.tree_.to_text()
     save_artifact("table1_example", "Table 1 / Figs. 2-3 — handcrafted example", body)
+    save_json_artifact(
+        "table1",
+        [
+            {"classifier": "AVG", "accuracy": avg.score(data)},
+            {"classifier": "UDT", "accuracy": udt.score(data)},
+        ],
+    )
 
     assert avg.score(data) < udt.score(data)
     assert udt.score(data) == 1.0

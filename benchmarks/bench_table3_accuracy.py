@@ -19,7 +19,7 @@ from repro.core import UDTClassifier
 from repro.data import inject_uncertainty, load_dataset
 from repro.eval import AccuracyExperiment, format_accuracy_results
 
-from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact
+from helpers import BENCH_SAMPLES, BENCH_SCALE, save_artifact, save_json_artifact
 
 #: Datasets evaluated by cross validation get fewer folds at bench scale.
 _BENCH_FOLDS = 3
@@ -88,4 +88,19 @@ def bench_table3_report(benchmark):
         "(the paper reports UDT ahead in almost all, with a handful of '#' exceptions)."
     )
     save_artifact("table3_accuracy", "Table 3 — AVG vs UDT accuracy", body)
+    save_json_artifact(
+        "table3",
+        [
+            {
+                "dataset": r.dataset,
+                "error_model": r.error_model,
+                "width_fraction": r.width_fraction,
+                "avg_accuracy": r.avg_accuracy,
+                "udt_accuracy": r.udt_accuracy,
+            }
+            for r in _collected_rows
+        ],
+        params={"folds": _BENCH_FOLDS, "seed": 17},
+        extra={"udt_wins": wins, "n_configurations": len(_collected_rows)},
+    )
     assert wins >= len(_collected_rows) * 0.6

@@ -20,7 +20,7 @@ import argparse
 from typing import Sequence
 
 from repro.core import AveragingClassifier, UDTClassifier
-from repro.data import dataset_names, table1_dataset
+from repro.data import table1_dataset
 from repro.eval import (
     AccuracyExperiment,
     EfficiencyExperiment,
@@ -37,6 +37,14 @@ from repro.data.uci import TABLE2_DATASETS
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for worker counts: an integer of at least 1."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -45,13 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser, default_scale: float = 0.25) -> None:
+    def add_common(
+        sub: argparse.ArgumentParser, default_scale: float = 0.25, jobs: bool = True
+    ) -> None:
         sub.add_argument("--dataset", default="Iris", help="Table 2 dataset stand-in name")
         sub.add_argument("--scale", type=float, default=default_scale,
                          help="tuple-count scale factor (1.0 = paper-size)")
         sub.add_argument("--samples", type=int, default=30,
                          help="pdf sample count s (paper uses 100)")
         sub.add_argument("--seed", type=int, default=0, help="random seed")
+        if jobs:
+            sub.add_argument("--jobs", type=_positive_int, default=1,
+                             help="worker count: cross-validation folds run in parallel "
+                                  "processes; very large pdf stores additionally build "
+                                  "per-attribute split contexts in parallel threads "
+                                  "(1 = sequential)")
 
     subparsers.add_parser("example", help="run the Table 1 handcrafted example")
     subparsers.add_parser("datasets", help="list the Table 2 dataset stand-ins")
@@ -72,8 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(efficiency)
     efficiency.add_argument("--width", type=float, default=0.10, help="pdf width w")
 
+    # The sensitivity sweeps time individual sequential builds, so a worker
+    # count would either be ignored or corrupt the measurement — no --jobs.
     sensitivity = subparsers.add_parser("sensitivity", help="Figs. 8-9: effect of s or w")
-    add_common(sensitivity)
+    add_common(sensitivity, jobs=False)
     sensitivity.add_argument("--parameter", choices=("s", "w"), default="s")
 
     return parser
@@ -119,7 +137,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "accuracy":
         experiment = AccuracyExperiment(
             args.dataset, scale=args.scale, n_samples=args.samples,
-            n_folds=args.folds, seed=args.seed,
+            n_folds=args.folds, seed=args.seed, n_jobs=args.jobs,
         )
         results = experiment.run(
             width_fractions=tuple(args.widths), error_models=(args.error_model,)
@@ -127,7 +145,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_accuracy_results(results))
     elif args.command == "noise":
         experiment = NoiseModelExperiment(
-            args.dataset, scale=args.scale, n_samples=args.samples, n_folds=3, seed=args.seed
+            args.dataset, scale=args.scale, n_samples=args.samples, n_folds=3,
+            seed=args.seed, n_jobs=args.jobs,
         )
         results = experiment.run(
             perturbation_fractions=tuple(args.perturbations),
@@ -137,7 +156,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "efficiency":
         experiment = EfficiencyExperiment(
             args.dataset, scale=args.scale, n_samples=args.samples,
-            width_fraction=args.width, seed=args.seed,
+            width_fraction=args.width, seed=args.seed, n_jobs=args.jobs,
         )
         print(format_efficiency_results(experiment.run()))
     elif args.command == "sensitivity":

@@ -49,6 +49,8 @@ class AveragingClassifier:
         min_dispersion_gain: float = 1e-9,
         post_prune: bool = True,
         post_prune_confidence: float = 0.25,
+        engine: str = "columnar",
+        n_jobs: int = 1,
     ) -> None:
         self._builder = TreeBuilder(
             strategy=strategy,
@@ -58,6 +60,8 @@ class AveragingClassifier:
             min_dispersion_gain=min_dispersion_gain,
             post_prune=post_prune,
             post_prune_confidence=post_prune_confidence,
+            engine=engine,
+            n_jobs=n_jobs,
         )
         self.tree_: DecisionTree | None = None
         self.build_stats_: BuildStats | None = None
@@ -95,15 +99,18 @@ class AveragingClassifier:
         tree = self._require_tree()
         if isinstance(data, UncertainTuple):
             return tree.predict(self._to_point_tuple(data))
-        return [tree.predict(self._to_point_tuple(item)) for item in data]
+        return tree.predict_dataset(data.to_point_dataset())
+
+    def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
+        """Predicted labels for a whole dataset (mean-reduced, batch path)."""
+        return self._require_tree().predict_dataset(dataset.to_point_dataset())
 
     def predict_proba(self, data: UncertainDataset | UncertainTuple) -> np.ndarray:
         """Class-probability distribution(s) using mean-reduced test tuples."""
         tree = self._require_tree()
         if isinstance(data, UncertainTuple):
             return tree.classify(self._to_point_tuple(data))
-        rows = [tree.classify(self._to_point_tuple(item)) for item in data]
-        return np.vstack(rows) if rows else np.zeros((0, len(tree.class_labels)))
+        return tree.classify_batch(data.to_point_dataset())
 
     def score(self, dataset: UncertainDataset) -> float:
         """Classification accuracy on a labelled dataset (mean-reduced)."""

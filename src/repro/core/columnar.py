@@ -1,0 +1,760 @@
+"""Columnar (structure-of-arrays) storage of uncertain numerical attributes.
+
+The per-tuple object model (:class:`~repro.core.dataset.UncertainTuple`
+holding one :class:`~repro.core.pdf.SampledPdf` per attribute) is convenient
+for construction and inspection, but walking it tuple-by-tuple dominates the
+cost of tree building: every node split used to allocate hundreds of small
+pdf objects, and every :class:`~repro.core.splits.AttributeSplitContext`
+re-collected sample arrays in a Python loop.
+
+:class:`ColumnarPdfStore` keeps, for each numerical attribute, *all* tuples'
+pdf sample points and probability masses in flat, contiguous NumPy arrays
+(``values``, ``masses``, per-tuple ``offsets``).  The key observation that
+makes this work for the paper's fractional-tuple machinery is that splitting
+a tuple at ``z`` truncates its pdf and renormalises the masses while scaling
+the tuple weight by the same factor — so the *effective* weighted mass of a
+sample point never changes.  A (fractional) tuple at any tree node is then
+fully described by a per-attribute index range ``[start, stop)`` into the
+flat arrays plus a scalar weight: node partitions are zero-copy slices, and
+end-point collection, interval-table input and fractional splitting all
+become vectorised ``searchsorted`` / ``cumsum`` operations.
+
+:class:`ColumnarNodeView` is that description for a set of tuples (one tree
+node's population).  The store offers the three operations tree construction
+and batch classification need:
+
+* :meth:`ColumnarPdfStore.build_context` — a vectorised replacement for the
+  per-tuple :class:`~repro.core.splits.AttributeSplitContext` constructor,
+* :meth:`ColumnarPdfStore.build_contexts` — the same for *all* numerical
+  attributes of a node in one fused pass (the default training path; the
+  per-attribute variant remains for attribute-level thread parallelism),
+* :meth:`ColumnarPdfStore.split_numerical` — fractional partitioning of all
+  of a node's tuples at a split point in one shot,
+* :meth:`ColumnarPdfStore.class_weights` — weighted class counts.
+
+The arrays stored are exact copies of the per-tuple pdfs, so the columnar
+path reproduces the object path's splits and statistics.  (The sole caveat:
+the object path renormalises pdf masses at every truncation level while the
+columnar path rescales once per node, so dispersion values can differ in the
+last bits; every strategy still builds an identical tree, and only UDT-ES —
+whose *work counts* depend on threshold near-ties — may report marginally
+different entropy-calculation counts.)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import UncertainDataset
+from repro.core.pdf import SampledPdf
+from repro.core.splits import AttributeSplitContext
+from repro.exceptions import SplitError
+
+__all__ = ["ColumnarPdfStore", "ColumnarNodeView"]
+
+
+def _gather_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Flat indices covering every ``[starts[i], stops[i])`` range, in order.
+
+    Vectorised equivalent of ``np.concatenate([np.arange(s, e) ...])``;
+    zero-length ranges are permitted.
+    """
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    begins = ends - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(begins, lengths) + np.repeat(
+        starts, lengths
+    )
+
+
+class _AttributeColumn:
+    """Flat sample storage of one numerical attribute.
+
+    ``values[offsets[i]:offsets[i + 1]]`` are tuple ``i``'s sorted sample
+    positions and ``masses`` the matching probability masses (normalised per
+    tuple).  ``local_cum`` is each tuple's own cumulative-mass array (the
+    pdf's :attr:`~repro.core.pdf.SampledPdf.cumulative`, whose last entry is
+    exactly 1), concatenated — so mass and probability queries reproduce the
+    per-tuple object path bit for bit.
+    """
+
+    __slots__ = (
+        "values",
+        "masses",
+        "local_cum",
+        "offsets",
+        "is_uniform",
+        "kinds",
+        "sort_order",
+        "sorted_values",
+        "sorted_masses",
+        "sorted_tuple_id",
+    )
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        masses: np.ndarray,
+        local_cum: np.ndarray,
+        offsets: np.ndarray,
+        is_uniform: np.ndarray,
+        kinds: list[str],
+    ) -> None:
+        self.values = values
+        self.masses = masses
+        self.local_cum = local_cum
+        self.offsets = offsets
+        self.is_uniform = is_uniform
+        self.kinds = kinds
+        # Column-global sorted view, computed once: every node then obtains
+        # its own samples in sorted order with a boolean gather instead of a
+        # fresh argsort.  The stable sort breaks position ties by flat index,
+        # i.e. by tuple order — the same tie order a per-node stable sort of
+        # tuple-ordered samples would produce.
+        self.sort_order = np.argsort(values, kind="stable")
+        self.sorted_values = values[self.sort_order]
+        self.sorted_masses = masses[self.sort_order]
+        counts = np.diff(offsets)
+        tuple_id_of_sample = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        self.sorted_tuple_id = tuple_id_of_sample[self.sort_order]
+
+    def mass_before(self, index: np.ndarray, segment_base: np.ndarray) -> np.ndarray:
+        """Cumulative tuple mass strictly before each flat ``index``.
+
+        ``segment_base`` is the owning tuple's segment start; an ``index``
+        at the segment start has zero mass before it.
+        """
+        return np.where(
+            index > segment_base, self.local_cum[np.maximum(index - 1, 0)], 0.0
+        )
+
+
+class _FusedColumns:
+    """All of a store's numerical columns concatenated into one flat layout.
+
+    ``build_contexts`` runs its per-node array passes once over these fused
+    arrays instead of once per attribute, which removes the dominant
+    per-node cost on datasets with many attributes (each numpy call then
+    touches ``k`` attributes' samples at once).  Attribute ``a``'s samples
+    occupy ``[base[a], base[a] + size_a)`` of every fused array; the
+    ``*_padded`` index space additionally shifts attribute ``a`` by ``a``
+    so that a range-``stop`` marker falling on a segment boundary cannot
+    collide with the next attribute's first sample.
+    """
+
+    __slots__ = (
+        "base",
+        "total_size",
+        "values",
+        "masses",
+        "local_cum",
+        "sorted_values",
+        "sorted_masses",
+        "sorted_tuple_id",
+        "sorted_flat_full",
+        "sort_order_padded",
+        "seg_base",
+        "seg_end",
+        "is_uniform",
+        "row_pad",
+    )
+
+    def __init__(self, columns: "list[_AttributeColumn]") -> None:
+        k = len(columns)
+        sizes = np.array([column.values.size for column in columns], dtype=np.int64)
+        base = np.zeros(k, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=base[1:])
+        self.base = base
+        self.total_size = int(sizes.sum())
+        self.values = np.concatenate([column.values for column in columns])
+        self.masses = np.concatenate([column.masses for column in columns])
+        self.local_cum = np.concatenate([column.local_cum for column in columns])
+        self.sorted_values = np.concatenate([column.sorted_values for column in columns])
+        self.sorted_masses = np.concatenate([column.sorted_masses for column in columns])
+        self.sorted_tuple_id = np.concatenate([column.sorted_tuple_id for column in columns])
+        row_of_sample = np.repeat(np.arange(k, dtype=np.int64), sizes)
+        self.sorted_flat_full = np.concatenate(
+            [column.sort_order + b for column, b in zip(columns, base)]
+        )
+        self.sort_order_padded = self.sorted_flat_full + row_of_sample
+        self.seg_base = np.vstack(
+            [column.offsets[:-1] + b for column, b in zip(columns, base)]
+        )
+        self.seg_end = np.vstack(
+            [column.offsets[1:] + b for column, b in zip(columns, base)]
+        )
+        self.is_uniform = np.vstack([column.is_uniform for column in columns])
+        self.row_pad = np.arange(k, dtype=np.int64)[:, None]
+
+
+class ColumnarNodeView:
+    """One tree node's (fractional) tuple population, as index ranges.
+
+    ``tuple_ids`` index into the originating dataset/store; ``weights`` are
+    the current fractional tuple weights; ``starts`` / ``stops`` have shape
+    ``(n_numerical_attributes, n_tuples)`` and delimit each tuple's live
+    sample range per attribute (rows follow the store's numerical-attribute
+    order).  The flat sample arrays themselves are shared with the store —
+    a view never copies or renormalises them.
+    """
+
+    __slots__ = ("tuple_ids", "weights", "starts", "stops", "_sorted")
+
+    def __init__(
+        self,
+        tuple_ids: np.ndarray,
+        weights: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+    ) -> None:
+        self.tuple_ids = tuple_ids
+        self.weights = weights
+        self.starts = starts
+        self.stops = stops
+        #: Lazily filled by ColumnarPdfStore.build_contexts: the node's live
+        #: samples in split-search order — ``(sorted_flat, live_counts,
+        #: tuple_of_sample)``, where ``sorted_flat`` holds fused-array
+        #: indices grouped by attribute and position-sorted within each
+        #: attribute (ties in tuple order), ``live_counts`` the per-attribute
+        #: sample counts and ``tuple_of_sample`` each sample's tuple id.
+        #: split_numerical derives the children's state from it by pure
+        #: filtering, so deep nodes never re-sort or re-scan full columns.
+        self._sorted: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n_tuples(self) -> int:
+        return int(self.tuple_ids.size)
+
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    def select(self, mask_or_indices: np.ndarray) -> "ColumnarNodeView":
+        """Sub-view containing the selected tuples (ranges unchanged)."""
+        return ColumnarNodeView(
+            self.tuple_ids[mask_or_indices],
+            self.weights[mask_or_indices],
+            self.starts[:, mask_or_indices],
+            self.stops[:, mask_or_indices],
+        )
+
+    def reweighted(self, weights: np.ndarray) -> "ColumnarNodeView":
+        """Same tuples and ranges with different fractional weights."""
+        return ColumnarNodeView(self.tuple_ids, np.asarray(weights, dtype=float),
+                                self.starts, self.stops)
+
+
+class ColumnarPdfStore:
+    """Columnar storage of a dataset's numerical pdfs plus tuple metadata.
+
+    Build one with :meth:`from_dataset`; the store is immutable and shared
+    by every node view derived from it.
+    """
+
+    __slots__ = (
+        "n_tuples",
+        "numerical_indices",
+        "class_of",
+        "base_weights",
+        "n_classes",
+        "_columns",
+        "_row_of_attribute",
+        "_fused",
+        "_root_contexts",
+    )
+
+    def __init__(
+        self,
+        n_tuples: int,
+        numerical_indices: Sequence[int],
+        columns: list[_AttributeColumn],
+        class_of: np.ndarray,
+        base_weights: np.ndarray,
+        n_classes: int,
+    ) -> None:
+        self.n_tuples = n_tuples
+        self.numerical_indices = tuple(numerical_indices)
+        self._columns = columns
+        self._row_of_attribute = {attr: row for row, attr in enumerate(self.numerical_indices)}
+        self.class_of = class_of
+        self.base_weights = base_weights
+        self.n_classes = n_classes
+        self._fused: _FusedColumns | None = None
+        self._root_contexts: dict = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: UncertainDataset, *, require_labels: bool = False
+    ) -> "ColumnarPdfStore":
+        """Flatten every numerical attribute of ``dataset`` into columns.
+
+        With ``require_labels=True`` a tuple without a class label raises
+        :class:`~repro.exceptions.SplitError` (training data must be
+        labelled); otherwise unlabelled tuples carry class index ``-1``.
+
+        The store is cached on the dataset, so training and batch
+        classification of the same dataset flatten it only once.
+        """
+        cached = getattr(dataset, "_columnar_store", None)
+        if cached is not None:
+            if require_labels and not cached.all_labelled():
+                raise SplitError("training tuples must carry a class label")
+            return cached
+        store = cls._build_from_dataset(dataset, require_labels=require_labels)
+        # Only cache fully-validated stores: a store built with
+        # require_labels=False from partially-labelled data is still usable
+        # for classification and caches fine (all_labelled() re-checks).
+        dataset._columnar_store = store
+        return store
+
+    @classmethod
+    def _build_from_dataset(
+        cls, dataset: UncertainDataset, *, require_labels: bool
+    ) -> "ColumnarPdfStore":
+        numerical_indices = [
+            index for index, attribute in enumerate(dataset.attributes) if attribute.is_numerical
+        ]
+        n = len(dataset)
+        label_index = {label: i for i, label in enumerate(dataset.class_labels)}
+        class_of = np.empty(n, dtype=np.int64)
+        base_weights = np.empty(n, dtype=float)
+        for i, item in enumerate(dataset.tuples):
+            if item.label is None:
+                if require_labels:
+                    raise SplitError("training tuples must carry a class label")
+                class_of[i] = -1
+            else:
+                class_of[i] = label_index[item.label]
+            base_weights[i] = item.weight
+
+        columns: list[_AttributeColumn] = []
+        for attr_index in numerical_indices:
+            pdfs = [item.pdf(attr_index) for item in dataset.tuples]
+            counts = np.array([pdf.xs.size for pdf in pdfs], dtype=np.int64)
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            if pdfs:
+                values = np.concatenate([pdf.xs for pdf in pdfs])
+                masses = np.concatenate([pdf.masses for pdf in pdfs])
+                local_cum = np.concatenate(
+                    [
+                        pdf.cumulative
+                        if isinstance(pdf, SampledPdf)
+                        else np.cumsum(pdf.masses)
+                        for pdf in pdfs
+                    ]
+                )
+            else:
+                values = np.empty(0)
+                masses = np.empty(0)
+                local_cum = np.empty(0)
+            kinds = [getattr(pdf, "kind", "custom") for pdf in pdfs]
+            is_uniform = np.array([kind in ("uniform", "point") for kind in kinds], dtype=bool)
+            columns.append(
+                _AttributeColumn(values, masses, local_cum, offsets, is_uniform, kinds)
+            )
+
+        return cls(n, numerical_indices, columns, class_of, base_weights,
+                   len(dataset.class_labels))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def n_samples_total(self) -> int:
+        """Total number of stored pdf sample points across all attributes."""
+        return sum(column.values.size for column in self._columns)
+
+    def row_of(self, attribute_index: int) -> int:
+        """Row of ``attribute_index`` inside the per-attribute arrays."""
+        try:
+            return self._row_of_attribute[attribute_index]
+        except KeyError as exc:
+            raise SplitError(
+                f"attribute {attribute_index} is not a numerical attribute of this store"
+            ) from exc
+
+    def pdf_arrays(self, attribute_index: int, tuple_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(values, masses)`` slices of one tuple's stored pdf."""
+        column = self._columns[self.row_of(attribute_index)]
+        start, stop = column.offsets[tuple_id], column.offsets[tuple_id + 1]
+        return column.values[start:stop], column.masses[start:stop]
+
+    def pdf_at(self, attribute_index: int, tuple_id: int) -> SampledPdf:
+        """Reconstruct one tuple's pdf from the flat arrays."""
+        column = self._columns[self.row_of(attribute_index)]
+        values, masses = self.pdf_arrays(attribute_index, tuple_id)
+        return SampledPdf(values, masses, kind=column.kinds[tuple_id])
+
+    def root_view(self, *, unit_weights: bool = False) -> ColumnarNodeView:
+        """View covering every tuple with its full sample ranges.
+
+        ``unit_weights=True`` starts every tuple at weight 1 regardless of
+        its stored fractional weight (the classification convention).
+        """
+        n = self.n_tuples
+        k = len(self.numerical_indices)
+        starts = np.empty((k, n), dtype=np.int64)
+        stops = np.empty((k, n), dtype=np.int64)
+        for row in range(k):
+            offsets = self._columns[row].offsets
+            starts[row] = offsets[:-1]
+            stops[row] = offsets[1:]
+        weights = np.ones(n) if unit_weights else self.base_weights.copy()
+        return ColumnarNodeView(np.arange(n, dtype=np.int64), weights, starts, stops)
+
+    def class_weights(self, view: ColumnarNodeView) -> np.ndarray:
+        """Weighted class counts of a node population."""
+        if view.n_tuples == 0:
+            return np.zeros(self.n_classes)
+        classes = self.class_of[view.tuple_ids]
+        labelled = classes >= 0
+        return np.bincount(
+            classes[labelled], weights=view.weights[labelled], minlength=self.n_classes
+        )
+
+    def all_labelled(self) -> bool:
+        """Whether every stored tuple carries a class label."""
+        return bool(np.all(self.class_of >= 0))
+
+    # -- split-search support ------------------------------------------------
+
+    def retained_masses(self, view: ColumnarNodeView, attribute_index: int) -> np.ndarray:
+        """Per-tuple probability mass still inside each live sample range."""
+        row = self.row_of(attribute_index)
+        column = self._columns[row]
+        starts, stops = view.starts[row], view.stops[row]
+        segment_base = column.offsets[view.tuple_ids]
+        return column.local_cum[stops - 1] - column.mass_before(starts, segment_base)
+
+    def build_context(
+        self,
+        view: ColumnarNodeView,
+        attribute_index: int,
+        class_labels: Sequence[Hashable],
+    ) -> AttributeSplitContext:
+        """Vectorised :class:`AttributeSplitContext` for one attribute of a node.
+
+        Produces the same sample positions, cumulative weighted masses, end
+        points and candidate split points as the per-tuple constructor, so
+        every split strategy sees identical inputs and reports identical
+        :class:`~repro.core.stats.SplitSearchStats` counts.
+        """
+        row = self.row_of(attribute_index)
+        column = self._columns[row]
+        starts, stops = view.starts[row], view.stops[row]
+        if view.n_tuples == 0:
+            raise SplitError("cannot build a split context for an empty tuple set")
+
+        segment_base = column.offsets[view.tuple_ids]
+        segment_end = column.offsets[view.tuple_ids + 1]
+        retained = column.local_cum[stops - 1] - column.mass_before(starts, segment_base)
+        # Effective mass of a surviving sample = tuple weight x renormalised
+        # mass = weight / retained x stored mass (truncation never touches
+        # the stored arrays).  A tuple whose range is still complete keeps
+        # retained mass exactly 1, so its weight is used directly — this
+        # reproduces the object path bit for bit on untruncated pdfs.
+        full_range = (starts == segment_base) & (stops == segment_end)
+        scale = np.where(full_range, view.weights, view.weights / retained)
+
+        # Mark the live sample ranges on the flat column, then read them off
+        # in the column's presorted order — no per-node sort needed.  The
+        # ranges are disjoint, so the starts (and stops) are distinct and
+        # plain fancy in-place updates are safe.
+        bounds = np.zeros(column.values.size + 1, dtype=np.int64)
+        bounds[starts] += 1
+        bounds[stops] -= 1
+        live_sorted = np.cumsum(bounds[:-1])[column.sort_order] > 0
+        tuple_of_sample = column.sorted_tuple_id[live_sorted]
+        scale_of_tuple = np.zeros(self.n_tuples)
+        scale_of_tuple[view.tuple_ids] = scale
+
+        all_uniform = bool(np.all(column.is_uniform[view.tuple_ids]))
+
+        return AttributeSplitContext.from_arrays(
+            attribute_index=attribute_index,
+            class_labels=class_labels,
+            positions=column.sorted_values[live_sorted],
+            masses=column.sorted_masses[live_sorted] * scale_of_tuple[tuple_of_sample],
+            classes=self.class_of[tuple_of_sample],
+            end_point_bounds=(column.values[starts], column.values[stops - 1]),
+            candidates=None,
+            all_uniform=all_uniform,
+        )
+
+    def _fused_columns(self) -> _FusedColumns:
+        if self._fused is None:
+            self._fused = _FusedColumns(self._columns)
+        return self._fused
+
+    def build_contexts(
+        self, view: ColumnarNodeView, class_labels: Sequence[Hashable]
+    ) -> list[AttributeSplitContext]:
+        """Split contexts for *every* numerical attribute of a node, fused.
+
+        Produces exactly the same contexts as calling :meth:`build_context`
+        per attribute (same sample arrays, candidates, totals — all derived
+        with elementwise operations, so bitwise identical), but runs each
+        array pass once over the concatenation of all attributes' samples
+        instead of once per attribute.  On attribute-rich datasets this
+        removes most of the per-node numpy dispatch overhead, which is what
+        dominates tree construction at realistic node sizes.
+        """
+        if view.n_tuples == 0:
+            raise SplitError("cannot build a split context for an empty tuple set")
+        k = len(self.numerical_indices)
+        if k == 0:
+            return []
+        fused = self._fused_columns()
+        n_classes = len(class_labels)
+
+        # Root contexts are memoised on the store: repeated training runs on
+        # the same dataset (cross-strategy comparisons, benchmark loops,
+        # repeated fits with different hyper-parameters) rebuild the exact
+        # same root contexts, and construction is deterministic, so the
+        # cached objects — including any sweep accumulators lazily attached
+        # by earlier builds — are bitwise interchangeable with fresh ones.
+        root_key = None
+        if int((view.stops - view.starts).sum()) == fused.total_size and np.array_equal(
+            view.weights, self.base_weights
+        ):
+            root_key = tuple(class_labels)
+            cached = self._root_contexts.get(root_key)
+            if cached is not None:
+                contexts, sorted_state = cached
+                view._sorted = sorted_state
+                return contexts
+
+        starts = view.starts + fused.base[:, None]
+        stops = view.stops + fused.base[:, None]
+        seg_base = fused.seg_base[:, view.tuple_ids]
+        seg_end = fused.seg_end[:, view.tuple_ids]
+        mass_before = np.where(
+            starts > seg_base, fused.local_cum[np.maximum(starts - 1, 0)], 0.0
+        )
+        retained = fused.local_cum[stops - 1] - mass_before
+        full_range = (starts == seg_base) & (stops == seg_end)
+        weights = view.weights[None, :]
+        scale = np.where(full_range, weights, weights / retained)
+
+        if view._sorted is not None:
+            # The node inherited its live-sample order from its parent
+            # (split_numerical filters it down) — two gathers replace all
+            # masking and sorting.
+            sorted_flat, live_counts, tuple_of_sample = view._sorted
+            m_total = int(sorted_flat.size)
+            row_of_live = np.repeat(np.arange(k, dtype=np.int64), live_counts)
+            positions = fused.values[sorted_flat]
+            raw_masses = fused.masses[sorted_flat]
+            # view.tuple_ids is always ascending (children select ordered
+            # subsets of the root's arange), so each sample's position in
+            # the view is a binary search — O(m log m) instead of scattering
+            # a dense (k, n_tuples) matrix per node.
+            view_position = np.searchsorted(view.tuple_ids, tuple_of_sample)
+            sample_scale = scale[row_of_live, view_position]
+        else:
+            lengths = view.stops - view.starts
+            live_counts = lengths.sum(axis=1)
+            m_total = int(live_counts.sum())
+            row_of_live = np.repeat(np.arange(k, dtype=np.int64), live_counts)
+            if m_total == fused.total_size:
+                # Full coverage (the root node): every stored sample is live,
+                # so the presorted fused arrays are the node arrays — no
+                # masking or gathering at all.
+                sorted_flat = fused.sorted_flat_full
+                tuple_of_sample = fused.sorted_tuple_id
+                positions = fused.sorted_values
+                raw_masses = fused.sorted_masses
+                scale_all = np.zeros((k, self.n_tuples))
+                scale_all[:, view.tuple_ids] = scale
+                sample_scale = scale_all[row_of_live, tuple_of_sample]
+            elif m_total * 4 < fused.total_size:
+                # Small node: gather only the live samples and sort them.
+                # The stable lexsort orders each attribute segment by
+                # position with ties in tuple order — exactly the order the
+                # presorted-column path below produces — at O(m log m)
+                # instead of O(M) cost.
+                flat = _gather_ranges(starts.ravel(), stops.ravel())
+                tuple_of_flat = np.repeat(np.tile(view.tuple_ids, k), lengths.ravel())
+                order = np.lexsort((fused.values[flat], row_of_live))
+                sorted_flat = flat[order]
+                tuple_of_sample = tuple_of_flat[order]
+                positions = fused.values[sorted_flat]
+                raw_masses = fused.masses[sorted_flat]
+                sample_scale = np.repeat(scale.ravel(), lengths.ravel())[order]
+            else:
+                # Large node: mark the live ranges over the padded fused
+                # index space (see _FusedColumns), one cumulative sum, then
+                # read the flags off in each column's presorted order.
+                bounds = np.zeros(fused.total_size + k + 1, dtype=np.int64)
+                bounds[(starts + fused.row_pad).ravel()] += 1
+                bounds[(stops + fused.row_pad).ravel()] -= 1
+                run = np.cumsum(bounds[:-1])
+                live_sorted = run[fused.sort_order_padded] > 0
+                sorted_flat = fused.sorted_flat_full[live_sorted]
+                tuple_of_sample = fused.sorted_tuple_id[live_sorted]
+                positions = fused.sorted_values[live_sorted]
+                raw_masses = fused.sorted_masses[live_sorted]
+                scale_all = np.zeros((k, self.n_tuples))
+                scale_all[:, view.tuple_ids] = scale
+                sample_scale = scale_all[row_of_live, tuple_of_sample]
+            view._sorted = (sorted_flat, live_counts, tuple_of_sample)
+        masses = raw_masses * sample_scale
+        classes = self.class_of[tuple_of_sample]
+        total_counts = np.bincount(
+            row_of_live * n_classes + classes, weights=masses, minlength=k * n_classes
+        ).reshape(k, n_classes)
+
+        lows = fused.values[starts]
+        highs = fused.values[stops - 1]
+        uppers = highs.max(axis=1)
+
+        # Fused candidate scan: distinct positions per attribute segment,
+        # kept while strictly below the attribute's largest end point.  The
+        # kept candidates are always a prefix of each segment's distinct
+        # values, and the run-end of a kept value never crosses a segment
+        # boundary (the segment's maximum is never kept), so per-attribute
+        # slices reproduce the per-context scan exactly.
+        seg_starts_live = np.zeros(k, dtype=np.int64)
+        np.cumsum(live_counts[:-1], out=seg_starts_live[1:])
+        distinct = np.empty(m_total, dtype=bool)
+        distinct[0] = True
+        np.not_equal(positions[1:], positions[:-1], out=distinct[1:])
+        distinct[seg_starts_live] = True
+        keep = distinct & (positions < np.repeat(uppers, live_counts))
+        first_occurrence = np.flatnonzero(distinct)
+        run_ends = np.empty(first_occurrence.size, dtype=np.int64)
+        run_ends[:-1] = first_occurrence[1:]
+        run_ends[-1] = m_total
+        cand_counts = np.add.reduceat(keep, seg_starts_live)
+        candidate_values = positions[keep]
+        candidate_idx = run_ends[keep[first_occurrence]] - np.repeat(
+            seg_starts_live, cand_counts
+        )
+
+        sample_bounds = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(live_counts, out=sample_bounds[1:])
+        candidate_bounds = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(cand_counts, out=candidate_bounds[1:])
+        all_uniform = fused.is_uniform[:, view.tuple_ids].all(axis=1)
+
+        contexts: list[AttributeSplitContext] = []
+        for row, attribute_index in enumerate(self.numerical_indices):
+            s, e = sample_bounds[row], sample_bounds[row + 1]
+            cs, ce = candidate_bounds[row], candidate_bounds[row + 1]
+            contexts.append(
+                AttributeSplitContext.from_arrays(
+                    attribute_index=attribute_index,
+                    class_labels=class_labels,
+                    positions=positions[s:e],
+                    masses=masses[s:e],
+                    classes=classes[s:e],
+                    end_point_bounds=(lows[row], highs[row]),
+                    candidates=candidate_values[cs:ce],
+                    candidate_idx=candidate_idx[cs:ce],
+                    total_counts=total_counts[row],
+                    all_uniform=bool(all_uniform[row]),
+                )
+            )
+        if root_key is not None:
+            self._root_contexts[root_key] = (contexts, view._sorted)
+        return contexts
+
+    # -- fractional splitting ------------------------------------------------
+
+    def split_numerical(
+        self,
+        view: ColumnarNodeView,
+        attribute_index: int,
+        split_point: float,
+        *,
+        weight_eps: float = 0.0,
+    ) -> tuple[ColumnarNodeView | None, ColumnarNodeView | None]:
+        """Partition every tuple of ``view`` at ``split_point`` in one shot.
+
+        Returns ``(left, right)`` views; a side receiving no tuple above the
+        ``weight_eps`` threshold is ``None``.  The left (right) view keeps,
+        per tuple, the prefix (suffix) of its live sample range — the flat
+        arrays are never copied or renormalised, mirroring the fractional
+        tuples of Section 3.2 exactly.
+        """
+        row = self.row_of(attribute_index)
+        column = self._columns[row]
+        starts, stops = view.starts[row], view.stops[row]
+        lengths = stops - starts
+
+        # Per-tuple count of sample positions <= z, via one prefix sum over
+        # the whole column (each tuple's segment is sorted).
+        below = np.cumsum(column.values <= split_point)
+        counts = below[stops - 1] - np.where(starts > 0, below[np.maximum(starts - 1, 0)], 0)
+
+        segment_base = column.offsets[view.tuple_ids]
+        mass_before_start = column.mass_before(starts, segment_base)
+        retained = column.local_cum[stops - 1] - mass_before_start
+        boundary = starts + counts
+        left_mass = np.where(
+            counts > 0, column.local_cum[np.maximum(boundary - 1, 0)] - mass_before_start, 0.0
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            p_left = np.clip(left_mass / retained, 0.0, 1.0)
+        p_left = np.where(counts <= 0, 0.0, np.where(counts >= lengths, 1.0, p_left))
+
+        left_weights = view.weights * p_left
+        right_weights = view.weights * (1.0 - p_left)
+        left_sel = left_weights > weight_eps
+        right_sel = right_weights > weight_eps
+
+        left_view: ColumnarNodeView | None = None
+        right_view: ColumnarNodeView | None = None
+        if np.any(left_sel):
+            left_starts = view.starts[:, left_sel]
+            left_stops = view.stops[:, left_sel].copy()
+            left_stops[row] = boundary[left_sel]
+            left_view = ColumnarNodeView(
+                view.tuple_ids[left_sel], left_weights[left_sel], left_starts, left_stops
+            )
+        if np.any(right_sel):
+            right_starts = view.starts[:, right_sel].copy()
+            right_stops = view.stops[:, right_sel]
+            right_starts[row] = boundary[right_sel]
+            right_view = ColumnarNodeView(
+                view.tuple_ids[right_sel], right_weights[right_sel], right_starts, right_stops
+            )
+
+        # Derive the children's live-sample order from the parent's by pure
+        # filtering (see ColumnarNodeView._sorted): a child keeps its tuples'
+        # samples in parent order, restricted on the split attribute to the
+        # prefix (left) or suffix (right) of each tuple's range — the same
+        # arrays a fresh sort of the child would produce, without sorting.
+        if view._sorted is not None:
+            sorted_flat, live_counts, tuple_of_sample = view._sorted
+            fused = self._fused_columns()
+            sample_bounds = np.zeros(live_counts.size + 1, dtype=np.int64)
+            np.cumsum(live_counts, out=sample_bounds[1:])
+            segment = slice(int(sample_bounds[row]), int(sample_bounds[row + 1]))
+            # Map each sample to its tuple's position in the (ascending)
+            # view, so membership and range tests index per-view arrays
+            # directly — no O(n_tuples) scratch arrays per split.
+            view_position = np.searchsorted(view.tuple_ids, tuple_of_sample)
+            below = sorted_flat[segment] < (boundary + fused.base[row])[
+                view_position[segment]
+            ]
+            for child_view, selected, keep_below in (
+                (left_view, left_sel, True),
+                (right_view, right_sel, False),
+            ):
+                if child_view is None:
+                    continue
+                keep = selected[view_position]
+                keep[segment] &= below if keep_below else ~below
+                child_view._sorted = (
+                    sorted_flat[keep],
+                    np.add.reduceat(keep, sample_bounds[:-1]),
+                    tuple_of_sample[keep],
+                )
+        return left_view, right_view

@@ -185,7 +185,7 @@ class UncertainDataset:
         distinct labels found in the tuples are used in sorted order.
     """
 
-    __slots__ = ("attributes", "tuples", "class_labels", "_label_index")
+    __slots__ = ("attributes", "tuples", "class_labels", "_label_index", "_columnar_store")
 
     def __init__(
         self,
@@ -204,6 +204,9 @@ class UncertainDataset:
             class_labels = sorted(found, key=repr)
         self.class_labels = tuple(class_labels)
         self._label_index = {label: i for i, label in enumerate(self.class_labels)}
+        # Lazily-built columnar flattening of this dataset, shared by tree
+        # construction and batch classification (see repro.core.columnar).
+        self._columnar_store = None
 
     def _validate_tuple(self, item: UncertainTuple, position: int) -> None:
         if len(item.features) != len(self.attributes):
@@ -222,6 +225,25 @@ class UncertainDataset:
                     f"tuple {position}, attribute {attribute.name!r} (index {attr_index}): "
                     "expected a CategoricalDistribution for a categorical attribute"
                 )
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> tuple[None, dict]:
+        # Drop the cached columnar store: it is derived data, and shipping
+        # it to worker processes would more than double the payload.
+        slots = {
+            "attributes": self.attributes,
+            "tuples": self.tuples,
+            "class_labels": self.class_labels,
+            "_label_index": self._label_index,
+            "_columnar_store": None,
+        }
+        return (None, slots)
+
+    def __setstate__(self, state: tuple[None, dict]) -> None:
+        _, slots = state
+        for name, value in slots.items():
+            setattr(self, name, value)
 
     # -- basic accessors ----------------------------------------------------
 

@@ -42,21 +42,49 @@ _EPS = 1e-12
 
 def _xlogx(values: np.ndarray) -> np.ndarray:
     """Elementwise ``v * log2(v)`` with the convention ``0 * log2(0) = 0``."""
+    # The masked ufunc call writes the log only where the value is above the
+    # zero threshold, keeping the remaining entries at exactly 0 — no fancy
+    # indexing, three elementwise passes in total.
     result = np.zeros_like(values, dtype=float)
-    positive = values > _EPS
-    result[positive] = values[positive] * np.log2(values[positive])
+    np.log2(values, out=result, where=values > _EPS)
+    result *= values
     return result
+
+
+def _divide_by_total(values: np.ndarray, grand_total: "float | np.ndarray") -> np.ndarray:
+    """``values / grand_total`` with zero-total rows mapped to zero.
+
+    ``grand_total`` may be a scalar (one tuple set) or a per-candidate array
+    (fused evaluation across several attribute contexts); dividing by an
+    array holding the same value per segment is bit-identical to the scalar
+    division, so batched and per-context evaluations agree exactly.
+    """
+    total = np.asarray(grand_total, dtype=float)
+    if total.ndim == 0:
+        if total <= _EPS:
+            return np.zeros(values.shape)
+        return values / float(total)
+    if total.size and total.min() > _EPS:
+        return values / total
+    safe = np.where(total > _EPS, total, 1.0)
+    return np.where(total > _EPS, values / safe, 0.0)
 
 
 def _plogp_rows(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
     """Per-row entropy ``-sum_c p_c log2 p_c`` of count matrices.
 
     ``counts`` has shape ``(n_rows, n_classes)``; ``totals`` is the per-row
-    sum.  Rows with zero total have zero entropy.
+    sum.  Rows with zero total have zero entropy.  Uses the identity
+    ``H = log2(T) - (sum_c c log2 c) / T`` so the counts matrix is never
+    divided row-by-row — one elementwise pass over the matrix plus scalar
+    work per row.
     """
     safe_totals = np.where(totals > _EPS, totals, 1.0)
-    fractions = counts / safe_totals[:, None]
-    return -np.sum(_xlogx(fractions), axis=1)
+    inner = np.sum(_xlogx(counts), axis=1)
+    # The identity can go a few ulp negative for pure rows; true entropy
+    # never does, so clamp.
+    entropy = np.maximum(np.log2(safe_totals) - inner / safe_totals, 0.0)
+    return np.where(totals > _EPS, entropy, 0.0)
 
 
 class DispersionMeasure:
@@ -76,6 +104,33 @@ class DispersionMeasure:
 
     #: Whether :meth:`interval_lower_bound` is implemented.
     supports_lower_bound: bool = True
+
+    #: Whether the measure supports the incremental sorted-sweep evaluation
+    #: (:meth:`sweep_transform` / :meth:`sweep_dispersion`).  Measures whose
+    #: per-side dispersion decomposes as ``g(size) + sum_c f(count_c)`` can
+    #: be evaluated along a sorted candidate sweep from running per-class
+    #: transforms, touching O(1) classes per sample instead of all of them.
+    supports_sweep: bool = False
+
+    def sweep_transform(self, values: np.ndarray) -> np.ndarray:
+        """Per-class transform ``f`` accumulated along the sorted sweep."""
+        raise NotImplementedError
+
+    def sweep_dispersion(
+        self,
+        left_sizes: np.ndarray,
+        inner_left: np.ndarray,
+        right_sizes: np.ndarray,
+        inner_right: np.ndarray,
+        grand_total: float,
+    ) -> np.ndarray:
+        """Split dispersion from side sizes and accumulated transforms.
+
+        ``inner_left[i]`` / ``inner_right[i]`` are ``sum_c f(count_c)`` of
+        the two sides of candidate ``i``.  Must agree with
+        :meth:`split_dispersion_batch` up to floating-point association.
+        """
+        raise NotImplementedError
 
     def node_dispersion(self, class_weights: np.ndarray) -> float:
         """Dispersion of a single set of tuples with the given class counts."""
@@ -138,6 +193,27 @@ class EntropyMeasure(DispersionMeasure):
     name = "entropy"
     supports_homogeneous_pruning = True
     supports_lower_bound = True
+    supports_sweep = True
+
+    def sweep_transform(self, values: np.ndarray) -> np.ndarray:
+        return _xlogx(values)
+
+    def sweep_dispersion(
+        self,
+        left_sizes: np.ndarray,
+        inner_left: np.ndarray,
+        right_sizes: np.ndarray,
+        inner_right: np.ndarray,
+        grand_total: float | np.ndarray,
+    ) -> np.ndarray:
+        result = None
+        for sizes, inner in ((left_sizes, inner_left), (right_sizes, inner_right)):
+            live = sizes > _EPS
+            safe = np.where(live, sizes, 1.0)
+            entropy = np.maximum(np.log2(safe) - inner / safe, 0.0)
+            contribution = np.where(live, sizes * entropy, 0.0)
+            result = contribution if result is None else result + contribution
+        return _divide_by_total(result, grand_total)
 
     def node_dispersion(self, class_weights: np.ndarray) -> float:
         counts = np.asarray(class_weights, dtype=float)
@@ -152,13 +228,14 @@ class EntropyMeasure(DispersionMeasure):
         left = np.asarray(left_counts, dtype=float)
         total = np.asarray(total_counts, dtype=float)
         right = total[None, :] - left
-        # Numerical noise can push counts a hair below zero; clamp.
-        right = np.clip(right, 0.0, None)
+        # Numerical noise can push counts a hair below zero; _xlogx treats
+        # anything at or below the zero threshold as zero, so no clamp pass
+        # is needed.
         left_sizes = left.sum(axis=1)
-        right_sizes = right.sum(axis=1)
         grand_total = total.sum()
         if grand_total <= _EPS:
             return np.zeros(left.shape[0])
+        right_sizes = np.maximum(grand_total - left_sizes, 0.0)
         left_entropy = _plogp_rows(left, left_sizes)
         right_entropy = _plogp_rows(right, right_sizes)
         return (left_sizes * left_entropy + right_sizes * right_entropy) / grand_total
@@ -203,6 +280,27 @@ class GiniMeasure(DispersionMeasure):
     name = "gini"
     supports_homogeneous_pruning = True
     supports_lower_bound = True
+    supports_sweep = True
+
+    def sweep_transform(self, values: np.ndarray) -> np.ndarray:
+        return values * values
+
+    def sweep_dispersion(
+        self,
+        left_sizes: np.ndarray,
+        inner_left: np.ndarray,
+        right_sizes: np.ndarray,
+        inner_right: np.ndarray,
+        grand_total: float,
+    ) -> np.ndarray:
+        # size x (1 - inner / size^2) = size - inner / size, per side.
+        result = None
+        for sizes, inner in ((left_sizes, inner_left), (right_sizes, inner_right)):
+            live = sizes > _EPS
+            safe = np.where(live, sizes, 1.0)
+            contribution = np.where(live, sizes - inner / safe, 0.0)
+            result = contribution if result is None else result + contribution
+        return _divide_by_total(result, grand_total)
 
     def node_dispersion(self, class_weights: np.ndarray) -> float:
         counts = np.asarray(class_weights, dtype=float)

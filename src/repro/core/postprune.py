@@ -113,6 +113,33 @@ def _subtree_pessimistic_error(node: TreeNode, confidence: float) -> float:
     return sum(_subtree_pessimistic_error(child, confidence) for child in node.children())
 
 
+def _pessimistic_error_batch(
+    errors: np.ndarray, totals: np.ndarray, confidence: float
+) -> np.ndarray:
+    """Vectorised :func:`pessimistic_error` over aligned arrays."""
+    errors = np.minimum(np.maximum(errors, 0.0), totals)
+    result = np.zeros(errors.size)
+    live = totals > 0.0
+    if not np.any(live):
+        return result
+    if _beta_distribution is not None:
+        saturated = live & (errors >= totals)
+        result[saturated] = totals[saturated]
+        open_rows = live & ~saturated
+        if np.any(open_rows):
+            rates = _beta_distribution.ppf(
+                1.0 - confidence, errors[open_rows] + 1.0,
+                totals[open_rows] - errors[open_rows],
+            )
+            result[open_rows] = np.clip(rates, 0.0, 1.0) * totals[open_rows]
+        return result
+    for index in np.flatnonzero(live):
+        result[index] = pessimistic_error(
+            float(errors[index]), float(totals[index]), confidence
+        )
+    return result
+
+
 def pessimistic_prune(
     root: TreeNode, confidence: float = 0.25
 ) -> tuple[TreeNode, int]:
@@ -120,31 +147,61 @@ def pessimistic_prune(
 
     A subtree is collapsed into a leaf whenever the pessimistic error of the
     collapsed leaf does not exceed the summed pessimistic errors of the
-    subtree's leaves.
+    subtree's leaves.  Every node's own-leaf error depends only on its
+    training class counts, which are known before any pruning decision — so
+    all confidence limits are computed in one vectorised batch up front,
+    and the bottom-up pass just sums and compares them.
     """
+    # Pass 1: collect the (errors, total) pair of every node.
+    nodes: list[TreeNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(node, InternalNode):
+            stack.extend(node.children())
+    error_list = np.zeros(len(nodes))
+    total_list = np.zeros(len(nodes))
+    for index, node in enumerate(nodes):
+        counts = _class_counts(node)
+        if counts is None or counts.size == 0:
+            continue
+        total_list[index] = counts.sum()
+        error_list[index] = counts.sum() - counts.max()
+    batch = _pessimistic_error_batch(error_list, total_list, confidence)
+    own_error = {id(node): float(batch[index]) for index, node in enumerate(nodes)}
+
     collapsed = 0
 
-    def prune(node: TreeNode) -> TreeNode:
+    def prune(node: TreeNode) -> tuple[TreeNode, float]:
+        """Prune a subtree; returns the new node and its summed leaf error."""
         nonlocal collapsed
         if isinstance(node, LeafNode):
-            return node
+            return node, own_error[id(node)]
         assert isinstance(node, InternalNode)
+        subtree_errors = 0.0
         if node.is_numerical_test:
             assert node.left is not None and node.right is not None
-            node.left = prune(node.left)
-            node.right = prune(node.right)
+            node.left, left_errors = prune(node.left)
+            node.right, right_errors = prune(node.right)
+            subtree_errors = left_errors + right_errors
         else:
-            node.branches = {value: prune(child) for value, child in node.branches.items()}
+            branches: dict = {}
+            for value, child in node.branches.items():
+                branches[value], child_errors = prune(child)
+                subtree_errors += child_errors
+            node.branches = branches
 
         counts = _class_counts(node)
         if counts is None or counts.sum() <= 0:
-            return node
+            return node, subtree_errors
         total = float(counts.sum())
-        leaf_errors = pessimistic_error(total - float(counts.max()), total, confidence)
-        subtree_errors = _subtree_pessimistic_error(node, confidence)
+        leaf_errors = own_error[id(node)]
         if leaf_errors <= subtree_errors + 1e-9:
             collapsed += 1
-            return LeafNode(counts / total, training_weight=total)
-        return node
+            leaf = LeafNode(counts / total, training_weight=total)
+            return leaf, leaf_errors
+        return node, subtree_errors
 
-    return prune(root), collapsed
+    new_root, _ = prune(root)
+    return new_root, collapsed

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core.dispersion import DispersionMeasure
 from repro.core.intervals import IntervalTable, build_interval_table
-from repro.core.splits import AttributeSplitContext, CandidateSplit
+from repro.core.splits import AttributeSplitContext, CandidateSplit, prepare_sweep_group
 from repro.core.stats import SplitSearchStats
 from repro.exceptions import SplitError
 
@@ -125,13 +125,11 @@ class SplitFinder:
         stats.entropy_evaluations += int(points.size)
         if are_end_points:
             stats.end_point_evaluations += int(points.size)
-        left = context.left_counts(points)
-        left_sizes = left.sum(axis=1)
+        left_sizes, dispersion = context.dispersion_profile(points, measure)
         total = float(context.total_counts.sum())
         valid = (left_sizes > _EPS) & (left_sizes < total - _EPS)
         if not np.any(valid):
             return float("inf")
-        dispersion = measure.split_dispersion_batch(left, context.total_counts)
         dispersion = np.where(valid, dispersion, np.inf)
         best_index = int(np.argmin(dispersion))
         best.offer(context.attribute_index, float(points[best_index]), float(dispersion[best_index]))
@@ -180,7 +178,15 @@ class SplitFinder:
 
 
 class UDTStrategy(SplitFinder):
-    """Exhaustive UDT search: evaluate every candidate split point."""
+    """Exhaustive UDT search: evaluate every candidate split point.
+
+    When the dispersion measure supports the sorted-sweep evaluation, the
+    candidates of *all* attributes are scored in one fused batch with a
+    single global argmin — the per-attribute loop only gathers precomputed
+    sweep accumulators.  Every candidate is still counted individually in
+    the stats, and the winner (first minimum in attribute, then candidate
+    order) is the same either way.
+    """
 
     name = "UDT"
 
@@ -191,9 +197,92 @@ class UDTStrategy(SplitFinder):
         stats: SplitSearchStats,
     ) -> CandidateSplit:
         best = _RunningBest()
+        prepare_sweep_group(contexts, measure)
+        if measure.supports_sweep and len(contexts) > 0:
+            return self._find_best_split_batched(contexts, measure, stats, best)
         for context in contexts:
             stats.candidate_split_points += context.n_candidates
             self._evaluate_points(context, context.candidates, measure, stats, best)
+        return best.as_candidate()
+
+    @staticmethod
+    def _find_best_split_batched(
+        contexts: Sequence[AttributeSplitContext],
+        measure: DispersionMeasure,
+        stats: SplitSearchStats,
+        best: _RunningBest,
+    ) -> CandidateSplit:
+        live_contexts: list[AttributeSplitContext] = []
+        for context in contexts:
+            stats.candidate_split_points += context.n_candidates
+            stats.entropy_evaluations += context.n_candidates
+            if context.candidates.size:
+                live_contexts.append(context)
+        if not live_contexts:
+            return best.as_candidate()
+
+        # When every context belongs to the same fused sweep group (the
+        # normal case: prepare_sweep_group ran on this node), gather all
+        # candidate values straight from the group arrays — the values are
+        # bitwise-equal to indexing the per-context pads, without ever
+        # materialising them.
+        grouped = [context._sweep_group.get(measure.name) for context in live_contexts]
+        group = grouped[0][0] if grouped[0] is not None else None
+        fused = (
+            group is not None
+            and all(entry is not None and entry[0] is group for entry in grouped)
+            and all(context._candidate_idx is not None for context in live_contexts)
+        )
+        if fused:
+            left_sizes, inner_left, inner_right, grand_total = group.gather(
+                [entry[1] for entry in grouped],
+                [context._candidate_idx for context in live_contexts],
+            )
+        else:
+            sizes_parts: list[np.ndarray] = []
+            inner_left_parts: list[np.ndarray] = []
+            inner_right_parts: list[np.ndarray] = []
+            grand_parts: list[np.ndarray] = []
+            for context in live_contexts:
+                if context._candidate_idx is not None:
+                    idx = context._candidate_idx
+                else:
+                    idx = np.searchsorted(context._positions, context.candidates, side="right")
+                pads = context._sweep_arrays(measure)
+                sizes_parts.append(context._left_sizes()[idx])
+                inner_left_parts.append(pads[0][idx])
+                inner_right_parts.append(pads[1][idx])
+                # Per-context grand total (not one shared value): the
+                # per-class summation order differs per attribute, so sharing
+                # one total across attributes would perturb the last bits and
+                # could flip exact ties relative to the per-attribute
+                # evaluation path.
+                grand_parts.append(
+                    np.full(context.candidates.size, float(context.total_counts.sum()))
+                )
+            left_sizes = np.concatenate(sizes_parts)
+            grand_total = np.concatenate(grand_parts)
+            inner_left = np.concatenate(inner_left_parts)
+            inner_right = np.concatenate(inner_right_parts)
+
+        right_sizes = np.maximum(grand_total - left_sizes, 0.0)
+        dispersion = measure.sweep_dispersion(
+            left_sizes, inner_left, right_sizes, inner_right, grand_total
+        )
+        valid = (left_sizes > _EPS) & (left_sizes < grand_total - _EPS)
+        if not np.any(valid):
+            return best.as_candidate()
+        dispersion = np.where(valid, dispersion, np.inf)
+        flat_index = int(np.argmin(dispersion))
+        boundaries = np.cumsum([context.candidates.size for context in live_contexts])
+        context_index = int(np.searchsorted(boundaries, flat_index, side="right"))
+        context = live_contexts[context_index]
+        offset = flat_index - (int(boundaries[context_index - 1]) if context_index else 0)
+        best.offer(
+            context.attribute_index,
+            float(context.candidates[offset]),
+            float(dispersion[flat_index]),
+        )
         return best.as_candidate()
 
 
@@ -224,6 +313,7 @@ class UDTBPStrategy(SplitFinder):
         stats: SplitSearchStats,
     ) -> CandidateSplit:
         best = _RunningBest()
+        prepare_sweep_group(contexts, measure)
         prune_homogeneous = measure.supports_homogeneous_pruning
         for context in contexts:
             stats.candidate_split_points += context.n_candidates
@@ -264,6 +354,7 @@ class _BoundPruningStrategy(SplitFinder):
         stats: SplitSearchStats,
     ) -> CandidateSplit:
         best = _RunningBest()
+        prepare_sweep_group(contexts, measure)
         prune_homogeneous = measure.supports_homogeneous_pruning
         use_bound = measure.supports_lower_bound
 
@@ -354,6 +445,7 @@ class UDTESStrategy(SplitFinder):
         stats: SplitSearchStats,
     ) -> CandidateSplit:
         best = _RunningBest()
+        prepare_sweep_group(contexts, measure)
         prune_homogeneous = measure.supports_homogeneous_pruning
         use_bound = measure.supports_lower_bound
 

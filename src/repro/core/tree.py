@@ -15,7 +15,7 @@ leaves form the classification result; the predicted label is the argmax.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterator, Sequence
 
 import numpy as np
@@ -295,15 +295,139 @@ class DecisionTree:
         distribution = self.classify(item)
         return self.class_labels[int(np.argmax(distribution))]
 
+    def classify_batch(self, dataset: UncertainDataset) -> np.ndarray:
+        """Class-probability matrix for a whole dataset, computed columnar.
+
+        Equivalent to stacking :meth:`classify` over every tuple, but all
+        tuples descend the tree together: each internal node splits the
+        entire surviving population with one vectorised operation on the
+        dataset's :class:`~repro.core.columnar.ColumnarPdfStore`, instead of
+        allocating truncated pdf objects tuple by tuple.
+        """
+        from repro.core.columnar import ColumnarPdfStore
+
+        n_classes = len(self.class_labels)
+        if not len(dataset):
+            return np.zeros((0, n_classes))
+        if len(dataset.attributes) != len(self.attributes):
+            raise TreeError(
+                f"dataset has {len(dataset.attributes)} attributes, "
+                f"tree expects {len(self.attributes)}"
+            )
+        store = ColumnarPdfStore.from_dataset(dataset)
+        result = np.zeros((len(dataset), n_classes))
+        uniform = np.full(n_classes, 1.0 / n_classes)
+        # Each stack entry is a (tree node, population view) pair; tuple
+        # weights in the view are the probability mass that reached the node.
+        stack: list[tuple[TreeNode, object]] = [(self.root, store.root_view(unit_weights=True))]
+        while stack:
+            node, view = stack.pop()
+            if view is None or view.n_tuples == 0:
+                continue
+            if isinstance(node, LeafNode):
+                result[view.tuple_ids] += view.weights[:, None] * node.distribution
+                continue
+            assert isinstance(node, InternalNode)
+            if node.is_numerical_test:
+                if node.attribute_index not in store.numerical_indices:
+                    raise TreeError(
+                        f"attribute {node.attribute_index} is tested numerically but the "
+                        "dataset provides a categorical value"
+                    )
+                assert node.split_point is not None
+                assert node.left is not None and node.right is not None
+                left_view, right_view = store.split_numerical(
+                    view, node.attribute_index, node.split_point
+                )
+                stack.append((node.left, left_view))
+                stack.append((node.right, right_view))
+                continue
+            # Categorical multiway test: route each tuple's probability mass
+            # to the matching branches, unmatched mass to the fallback.
+            attribute = self.attributes[node.attribute_index]
+            if not attribute.is_categorical:
+                raise TreeError(
+                    f"attribute {node.attribute_index} is tested categorically but the "
+                    "dataset provides a numerical value"
+                )
+            routed: dict[Hashable, tuple[list[int], list[float]]] = {}
+            unmatched_ids: list[int] = []
+            unmatched_weights: list[float] = []
+            for position, (tuple_id, weight) in enumerate(zip(view.tuple_ids, view.weights)):
+                distribution = dataset.tuples[tuple_id].categorical(node.attribute_index)
+                unmatched = 0.0
+                for category, probability in distribution.items():
+                    if category in node.branches:
+                        positions, weights = routed.setdefault(category, ([], []))
+                        positions.append(position)
+                        weights.append(weight * probability)
+                    else:
+                        unmatched += probability
+                if unmatched > 0.0:
+                    unmatched_ids.append(int(tuple_id))
+                    unmatched_weights.append(weight * unmatched)
+            for category, (positions, weights) in routed.items():
+                child_view = view.select(np.asarray(positions, dtype=np.int64)).reweighted(
+                    np.asarray(weights)
+                )
+                stack.append((node.branches[category], child_view))
+            if unmatched_ids:
+                fallback = (
+                    np.asarray(node.fallback) if node.fallback is not None else uniform
+                )
+                result[unmatched_ids] += (
+                    np.asarray(unmatched_weights)[:, None] * fallback[None, :]
+                )
+        totals = result.sum(axis=1)
+        positive = totals > 0
+        result[positive] /= totals[positive, None]
+        return result
+
+    def structure_signature(self) -> tuple:
+        """Hashable encoding of the tree's structure and split decisions.
+
+        Two trees have equal signatures iff they test the same attributes at
+        the same split points with the same topology and carry the same leaf
+        distributions — the comparison used to assert that different split
+        engines and pruning strategies build identical trees.
+        """
+
+        def encode(node: TreeNode) -> tuple:
+            if isinstance(node, LeafNode):
+                return ("leaf", tuple(np.asarray(node.distribution).tolist()))
+            assert isinstance(node, InternalNode)
+            if node.is_numerical_test:
+                assert node.left is not None and node.right is not None
+                return (
+                    "num",
+                    node.attribute_index,
+                    node.split_point,
+                    encode(node.left),
+                    encode(node.right),
+                )
+            return (
+                "cat",
+                node.attribute_index,
+                tuple(
+                    (repr(value), encode(child))
+                    for value, child in sorted(node.branches.items(), key=lambda kv: repr(kv[0]))
+                ),
+            )
+
+        return encode(self.root)
+
     def predict_dataset(self, dataset: UncertainDataset) -> list[Hashable]:
         """Predicted labels for every tuple of a dataset."""
-        return [self.predict(item) for item in dataset]
+        if not len(dataset):
+            return []
+        distributions = self.classify_batch(dataset)
+        return [self.class_labels[index] for index in np.argmax(distributions, axis=1)]
 
     def classify_dataset(self, dataset: UncertainDataset) -> np.ndarray:
         """Class-probability matrix ``(n_tuples, n_classes)`` for a dataset."""
-        return np.vstack([self.classify(item) for item in dataset]) if len(dataset) else np.zeros(
-            (0, len(self.class_labels))
-        )
+        if not len(dataset):
+            return np.zeros((0, len(self.class_labels)))
+        return self.classify_batch(dataset)
 
     def accuracy(self, dataset: UncertainDataset) -> float:
         """Fraction of tuples whose predicted label matches the true label."""

@@ -36,7 +36,7 @@ class UDTClassifier:
     measure:
         Dispersion measure (default ``"entropy"``).
     max_depth, min_split_weight, min_dispersion_gain, post_prune,
-    post_prune_confidence:
+    post_prune_confidence, engine, n_jobs:
         Forwarded to :class:`~repro.core.builder.TreeBuilder`.
 
     Attributes
@@ -57,6 +57,8 @@ class UDTClassifier:
         min_dispersion_gain: float = 1e-9,
         post_prune: bool = True,
         post_prune_confidence: float = 0.25,
+        engine: str = "columnar",
+        n_jobs: int = 1,
     ) -> None:
         self._builder = TreeBuilder(
             strategy=strategy,
@@ -66,6 +68,8 @@ class UDTClassifier:
             min_dispersion_gain=min_dispersion_gain,
             post_prune=post_prune,
             post_prune_confidence=post_prune_confidence,
+            engine=engine,
+            n_jobs=n_jobs,
         )
         self.tree_: DecisionTree | None = None
         self.build_stats_: BuildStats | None = None
@@ -93,6 +97,19 @@ class UDTClassifier:
         if isinstance(data, UncertainTuple):
             return tree.predict(data)
         return tree.predict_dataset(data)
+
+    def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
+        """Predicted labels for a whole dataset via the columnar batch path.
+
+        All test tuples descend the tree together
+        (:meth:`~repro.core.tree.DecisionTree.classify_batch`), which is
+        markedly faster than classifying tuple by tuple.
+        """
+        return self._require_tree().predict_dataset(dataset)
+
+    def predict_proba_batch(self, dataset: UncertainDataset) -> np.ndarray:
+        """Class-probability matrix for a whole dataset (columnar batch path)."""
+        return self._require_tree().classify_batch(dataset)
 
     def predict_proba(
         self, data: UncertainDataset | UncertainTuple

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Sequence
-
 import numpy as np
 
 from repro.core.dataset import UncertainDataset

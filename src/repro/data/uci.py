@@ -11,6 +11,7 @@ substitution is documented in DESIGN.md; every experiment accepts a
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -124,7 +125,10 @@ def load_dataset(
     if scale <= 0:
         raise DatasetError(f"scale must be positive, got {scale!r}")
     spec = get_spec(name)
-    rng = np.random.default_rng(seed + hash(spec.name) % (2**16))
+    # A process-independent name hash: ``hash(str)`` is salted per process,
+    # which would make "seeded" data differ from run to run.
+    name_hash = zlib.crc32(spec.name.encode("utf-8"))
+    rng = np.random.default_rng(seed + name_hash % (2**16))
 
     if spec.repeated_measurements:
         training, test = _japanese_vowel_like(spec, scale, rng)

@@ -8,7 +8,8 @@ keeps fold-to-fold variance low on small datasets like Iris and Glass.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Hashable, Iterator
 
 import numpy as np
 
@@ -73,15 +74,29 @@ def cross_validate(
     *,
     n_folds: int = 10,
     rng: np.random.Generator | None = None,
+    n_jobs: int = 1,
 ) -> list[float]:
-    """Run ``evaluate(training, test)`` on every fold and collect the scores."""
-    scores = [
-        evaluate(training, test)
-        for training, test in iter_fold_splits(dataset, n_folds, rng)
-    ]
-    if not scores:
+    """Run ``evaluate(training, test)`` on every fold and collect the scores.
+
+    With ``n_jobs > 1`` the folds are evaluated in parallel worker
+    *processes* (fold-level parallelism; training one fold's tree never
+    depends on another fold).  ``evaluate`` must then be picklable — a
+    module-level function or :func:`functools.partial` of one, not a
+    closure or lambda.  Fold assignment is drawn from ``rng`` up front, so
+    the scores are identical to a sequential run (up to list order, which
+    follows the fold order in both cases).
+    """
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be at least 1, got {n_jobs!r}")
+    pairs = list(iter_fold_splits(dataset, n_folds, rng))
+    if not pairs:
         raise ExperimentError("cross validation produced no folds")
-    return scores
+    if n_jobs == 1 or len(pairs) == 1:
+        return [evaluate(training, test) for training, test in pairs]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(pairs))) as executor:
+        return list(
+            executor.map(evaluate, [p[0] for p in pairs], [p[1] for p in pairs])
+        )
 
 
 def train_test_split(

@@ -21,8 +21,10 @@ dataset sizes.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from functools import partial
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -68,6 +70,79 @@ def _evaluate_pair(
     return avg.score(test), udt.score(test)
 
 
+def _evaluate_uncertain_fold(
+    fold: tuple[UncertainDataset, UncertainDataset],
+    *,
+    width: float,
+    n_samples: int,
+    error_model: str,
+    strategy: str,
+    measure: str,
+    max_depth: int | None,
+) -> tuple[float, float]:
+    """Inject uncertainty into one fold pair and evaluate (AVG, UDT) on it.
+
+    Module-level (rather than a closure) so fold evaluation can be shipped
+    to worker processes.
+    """
+    fold_training, fold_test = fold
+    uncertain_training = inject_uncertainty(
+        fold_training, width_fraction=width, n_samples=n_samples, error_model=error_model
+    )
+    uncertain_test = inject_uncertainty(
+        fold_test, width_fraction=width, n_samples=n_samples, error_model=error_model
+    )
+    return _evaluate_pair(
+        uncertain_training, uncertain_test,
+        strategy=strategy, measure=measure, max_depth=max_depth,
+    )
+
+
+def _noise_fold_score(
+    fold: tuple[UncertainDataset, UncertainDataset],
+    *,
+    width: float,
+    n_samples: int,
+    strategy: str,
+    measure: str,
+    max_depth: int | None,
+) -> float:
+    """Fit and score one fold of the controlled-noise study (picklable)."""
+    train_set, test_set = fold
+    if width <= 0:
+        model: AveragingClassifier | UDTClassifier = AveragingClassifier(
+            measure=measure, max_depth=max_depth
+        )
+    else:
+        model = UDTClassifier(strategy=strategy, measure=measure, max_depth=max_depth)
+    uncertain_training = inject_uncertainty(
+        train_set, width_fraction=width, n_samples=n_samples, error_model="gaussian"
+    )
+    uncertain_test = inject_uncertainty(
+        test_set, width_fraction=width, n_samples=n_samples, error_model="gaussian"
+    )
+    model.fit(uncertain_training)
+    return model.score(uncertain_test)
+
+
+def _map_folds(
+    worker: Callable,
+    folds: list[tuple[UncertainDataset, UncertainDataset]],
+    n_jobs: int,
+) -> list:
+    """Apply ``worker`` to every fold, in parallel processes when asked.
+
+    Results keep fold order, so parallel and sequential runs are
+    interchangeable.
+    """
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be at least 1, got {n_jobs!r}")
+    if n_jobs == 1 or len(folds) <= 1:
+        return [worker(fold) for fold in folds]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(folds))) as executor:
+        return list(executor.map(worker, folds))
+
+
 @dataclass(frozen=True)
 class AccuracyResult:
     """One row of the Table 3 reproduction."""
@@ -103,6 +178,9 @@ class AccuracyExperiment:
         tree).
     seed:
         Seed for data generation and fold assignment.
+    n_jobs:
+        Number of worker processes used to evaluate cross-validation folds
+        concurrently (1 = sequential; results are identical either way).
     """
 
     def __init__(
@@ -116,6 +194,7 @@ class AccuracyExperiment:
         measure: str = "entropy",
         max_depth: int | None = None,
         seed: int = 0,
+        n_jobs: int = 1,
     ) -> None:
         self.spec: UCIDatasetSpec = get_spec(dataset)
         self.scale = scale
@@ -125,6 +204,7 @@ class AccuracyExperiment:
         self.measure = measure
         self.max_depth = max_depth
         self.seed = seed
+        self.n_jobs = int(n_jobs)
 
     def run(
         self,
@@ -173,23 +253,15 @@ class AccuracyExperiment:
             )
             return AccuracyResult(self.spec.name, error_model, width, avg_accuracy, udt_accuracy)
 
-        avg_scores: list[float] = []
-        udt_scores: list[float] = []
-        for fold_training, fold_test in iter_fold_splits(training, self.n_folds, rng):
-            uncertain_training = inject_uncertainty(
-                fold_training, width_fraction=width, n_samples=self.n_samples,
-                error_model=error_model,
-            )
-            uncertain_test = inject_uncertainty(
-                fold_test, width_fraction=width, n_samples=self.n_samples,
-                error_model=error_model,
-            )
-            avg_accuracy, udt_accuracy = _evaluate_pair(
-                uncertain_training, uncertain_test,
-                strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
-            )
-            avg_scores.append(avg_accuracy)
-            udt_scores.append(udt_accuracy)
+        folds = list(iter_fold_splits(training, self.n_folds, rng))
+        worker = partial(
+            _evaluate_uncertain_fold,
+            width=width, n_samples=self.n_samples, error_model=error_model,
+            strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+        )
+        pairs = _map_folds(worker, folds, self.n_jobs)
+        avg_scores = [pair[0] for pair in pairs]
+        udt_scores = [pair[1] for pair in pairs]
         return AccuracyResult(
             self.spec.name,
             error_model,
@@ -229,6 +301,7 @@ class NoiseModelExperiment:
         measure: str = "entropy",
         max_depth: int | None = None,
         seed: int = 0,
+        n_jobs: int = 1,
     ) -> None:
         self.spec = get_spec(dataset)
         self.scale = scale
@@ -238,6 +311,7 @@ class NoiseModelExperiment:
         self.measure = measure
         self.max_depth = max_depth
         self.seed = seed
+        self.n_jobs = int(n_jobs)
         if self.spec.repeated_measurements:
             raise ExperimentError(
                 "the controlled-noise experiment requires a point-valued dataset"
@@ -287,30 +361,16 @@ class NoiseModelExperiment:
         test: UncertainDataset | None,
         width: float,
     ) -> float:
-        def fit_and_score(train_set: UncertainDataset, test_set: UncertainDataset) -> float:
-            if width <= 0:
-                model = AveragingClassifier(measure=self.measure, max_depth=self.max_depth)
-            else:
-                model = UDTClassifier(
-                    strategy=self.strategy, measure=self.measure, max_depth=self.max_depth
-                )
-            uncertain_training = inject_uncertainty(
-                train_set, width_fraction=width, n_samples=self.n_samples, error_model="gaussian"
-            )
-            uncertain_test = inject_uncertainty(
-                test_set, width_fraction=width, n_samples=self.n_samples, error_model="gaussian"
-            )
-            model.fit(uncertain_training)
-            return model.score(uncertain_test)
-
+        worker = partial(
+            _noise_fold_score,
+            width=width, n_samples=self.n_samples,
+            strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+        )
         if test is not None:
-            return fit_and_score(training, test)
+            return worker((training, test))
         rng = np.random.default_rng(self.seed + 2)
-        scores = [
-            fit_and_score(fold_training, fold_test)
-            for fold_training, fold_test in iter_fold_splits(training, self.n_folds, rng)
-        ]
-        return float(np.mean(scores))
+        folds = list(iter_fold_splits(training, self.n_folds, rng))
+        return float(np.mean(_map_folds(worker, folds, self.n_jobs)))
 
 
 @dataclass(frozen=True)
@@ -340,6 +400,8 @@ class EfficiencyExperiment:
         measure: str = "entropy",
         max_depth: int | None = None,
         seed: int = 0,
+        n_jobs: int = 1,
+        engine: str = "columnar",
     ) -> None:
         self.spec = get_spec(dataset)
         self.scale = scale
@@ -349,6 +411,8 @@ class EfficiencyExperiment:
         self.measure = measure
         self.max_depth = max_depth
         self.seed = seed
+        self.n_jobs = int(n_jobs)
+        self.engine = engine
 
     def prepare_training_data(self) -> UncertainDataset:
         """Load the dataset stand-in and attach the configured uncertainty."""
@@ -379,11 +443,13 @@ class EfficiencyExperiment:
         """Build one tree with the given algorithm (``"AVG"`` or a UDT strategy)."""
         if algorithm.upper() == "AVG":
             model: AveragingClassifier | UDTClassifier = AveragingClassifier(
-                measure=self.measure, max_depth=self.max_depth
+                measure=self.measure, max_depth=self.max_depth, n_jobs=self.n_jobs,
+                engine=self.engine,
             )
         else:
             model = UDTClassifier(
-                strategy=algorithm, measure=self.measure, max_depth=self.max_depth
+                strategy=algorithm, measure=self.measure, max_depth=self.max_depth,
+                n_jobs=self.n_jobs, engine=self.engine,
             )
         with Timer() as timer:
             model.fit(training)

@@ -16,7 +16,7 @@ operates directly on dense numpy arrays ``(X, y)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import SampledPdf, UncertainDataset, UncertainTuple
-from repro.core.dispersion import EntropyMeasure, GainRatioMeasure, GiniMeasure, get_measure
+import numpy as np
+
+from repro.core import SampledPdf, UncertainTuple
+from repro.core.dispersion import EntropyMeasure, GainRatioMeasure, get_measure
 from repro.core.splits import build_contexts
 from repro.core.stats import SplitSearchStats
 from repro.core.strategies import (

@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import UncertainDataset
 from repro.data.loaders import load_csv, save_csv, train_test_rows
 from repro.exceptions import DatasetError
 

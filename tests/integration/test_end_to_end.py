@@ -18,6 +18,8 @@ from repro import (
 from repro.data import inject_uncertainty, load_csv, load_dataset, save_csv
 from repro.eval import AccuracyExperiment, cross_validate, format_accuracy_results
 
+pytestmark = pytest.mark.integration
+
 
 class TestPackageSurface:
     def test_version_and_exports(self):
