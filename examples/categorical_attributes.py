@@ -9,44 +9,51 @@ Builds a classifier over tuples that mix an uncertain numerical attribute
 categorical attribute (the top-level domain a user visits, modelled by a
 discrete distribution collected from repeated log entries) — the exact
 scenario Section 7.2 of the paper sketches.
+
+The raw data stays in plain python/numpy rows; the per-column uncertainty
+model is declared with spec builders (:func:`repro.api.samples` for cells
+carrying ready-made pdfs, :func:`repro.api.categorical` for the discrete
+distributions) and :func:`repro.api.build_dataset` assembles the dataset.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    Attribute,
-    CategoricalDistribution,
-    SampledPdf,
-    UDTClassifier,
-    UncertainDataset,
-    UncertainTuple,
-)
+from repro import CategoricalDistribution, SampledPdf, UDTClassifier, UncertainTuple
+from repro.api import build_dataset, categorical, samples
+
+#: The categorical attribute's domain (fixed by the log format).
+DOMAINS = (".edu", ".com", ".org", ".gov")
 
 
-def build_sessions(rng: np.random.Generator, n_per_class: int = 60) -> UncertainDataset:
-    """Synthesise uncertain web sessions for two user groups."""
-    attributes = [
-        Attribute.numerical("avg_latency_ms"),
-        Attribute.categorical("top_level_domain", (".edu", ".com", ".org", ".gov")),
-    ]
-    tuples = []
+def build_sessions(rng: np.random.Generator, n_per_class: int = 60):
+    """Synthesise uncertain web sessions for two user groups as raw rows."""
+    rows, labels = [], []
     for _ in range(n_per_class):
         # "researcher": low latency (on-campus), mostly .edu / .org domains.
-        latency = SampledPdf.gaussian(40 + rng.normal(0, 6), 5.0, n_samples=25)
-        domains = CategoricalDistribution.from_observations(
-            rng.choice([".edu", ".org", ".com"], size=12, p=[0.6, 0.25, 0.15])
-        )
-        tuples.append(UncertainTuple([latency, domains], label="researcher"))
+        rows.append([
+            SampledPdf.gaussian(40 + rng.normal(0, 6), 5.0, n_samples=25),
+            CategoricalDistribution.from_observations(
+                rng.choice([".edu", ".org", ".com"], size=12, p=[0.6, 0.25, 0.15])
+            ),
+        ])
+        labels.append("researcher")
 
         # "shopper": higher and more variable latency, mostly .com domains.
-        latency = SampledPdf.gaussian(90 + rng.normal(0, 15), 12.0, n_samples=25)
-        domains = CategoricalDistribution.from_observations(
-            rng.choice([".com", ".org", ".gov"], size=12, p=[0.75, 0.15, 0.10])
-        )
-        tuples.append(UncertainTuple([latency, domains], label="shopper"))
-    return UncertainDataset(attributes, tuples)
+        rows.append([
+            SampledPdf.gaussian(90 + rng.normal(0, 15), 12.0, n_samples=25),
+            CategoricalDistribution.from_observations(
+                rng.choice([".com", ".org", ".gov"], size=12, p=[0.75, 0.15, 0.10])
+            ),
+        ])
+        labels.append("shopper")
+    return build_dataset(
+        rows,
+        labels,
+        spec={"avg_latency_ms": samples(), "top_level_domain": categorical(DOMAINS)},
+        attribute_names=["avg_latency_ms", "top_level_domain"],
+    )
 
 
 def main() -> None:

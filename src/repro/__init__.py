@@ -7,21 +7,32 @@ UDT-GP / UDT-ES, and the full experimental harness (uncertainty injection,
 UCI-shaped synthetic datasets, cross validation, and the benchmark drivers
 that regenerate the paper's tables and figures).
 
-Quickstart
-----------
+Quickstart (array-first)
+------------------------
 
->>> from repro import SampledPdf, UncertainDataset, UncertainTuple, Attribute, UDTClassifier
->>> attrs = [Attribute.numerical("temperature")]
->>> tuples = [
-...     UncertainTuple([SampledPdf.gaussian(37.0, 0.2)], label="healthy"),
-...     UncertainTuple([SampledPdf.gaussian(39.5, 0.2)], label="fever"),
-... ]
->>> data = UncertainDataset(attrs, tuples)
->>> model = UDTClassifier().fit(data)
->>> model.predict(tuples[0])
-'healthy'
+>>> import numpy as np
+>>> from repro import UDTClassifier
+>>> from repro.api import gaussian
+>>> X = np.array([[36.8], [37.0], [39.4], [39.6]])
+>>> y = ["healthy", "healthy", "fever", "fever"]
+>>> model = UDTClassifier(spec=gaussian(w=0.1, s=20)).fit(X, y)
+>>> model.predict(np.array([[37.1]]))
+array(['healthy'], dtype='<U7')
+
+The object-based API (``UncertainDataset`` / ``UncertainTuple`` with
+hand-built pdfs) remains fully supported; see :mod:`repro.api` for the
+spec builders, estimator protocol and model persistence.
 """
 
+from repro.api import (
+    build_dataset,
+    gaussian,
+    load_model,
+    load_tree,
+    save_model,
+    save_tree,
+    uniform,
+)
 from repro.core import (
     Attribute,
     AttributeKind,
@@ -46,18 +57,27 @@ from repro.exceptions import (
     DatasetError,
     ExperimentError,
     PdfError,
+    PersistenceError,
     ReproError,
+    SpecError,
     SplitError,
     TreeError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
     "AttributeKind",
     "AveragingClassifier",
     "BuildStats",
+    "build_dataset",
+    "gaussian",
+    "load_model",
+    "load_tree",
+    "save_model",
+    "save_tree",
+    "uniform",
     "CategoricalDistribution",
     "DatasetError",
     "DecisionTree",
@@ -67,7 +87,9 @@ __all__ = [
     "GiniMeasure",
     "Pdf",
     "PdfError",
+    "PersistenceError",
     "ReproError",
+    "SpecError",
     "STRATEGY_NAMES",
     "SampledPdf",
     "SplitError",

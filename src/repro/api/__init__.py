@@ -1,0 +1,88 @@
+"""Array-first public API: specs, estimators, persistence.
+
+This package is the canonical entry point for users with plain numpy data:
+
+* **uncertainty-spec builders** (:mod:`repro.api.spec`) — declare how raw
+  values become distributions (:func:`gaussian`, :func:`uniform`,
+  :func:`point`, :func:`samples`, :func:`categorical`) and build datasets
+  with :func:`build_dataset`;
+* **sklearn-protocol estimators** (:mod:`repro.api.estimators`) —
+  :class:`UDTClassifier` / :class:`AveragingClassifier` with
+  ``fit(X, y)`` / ``predict`` / ``predict_proba`` / ``score`` on arrays and
+  datasets, plus ``get_params`` / ``set_params`` so scikit-learn's
+  ``clone``, ``cross_val_score`` and ``GridSearchCV`` work by duck typing;
+* **versioned model persistence** (:mod:`repro.api.persistence`) —
+  ``model.save(path)`` / :func:`load_model`, ``DecisionTree.to_dict`` /
+  ``from_dict``, JSON + NPZ in one archive, ``format_version``-checked.
+
+The object-based API (:class:`~repro.core.dataset.UncertainDataset` and
+friends) remains fully supported; every estimator accepts both.
+"""
+
+from repro.api.estimators import (
+    AveragingClassifier,
+    BaseTreeEstimator,
+    UDTClassifier,
+    clone_estimator,
+)
+from repro.api.persistence import (
+    FORMAT_VERSION,
+    load_model,
+    load_tree,
+    save_model,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.api.spec import (
+    CategoricalSpec,
+    ColumnSpec,
+    GaussianSpec,
+    PointSpec,
+    SamplesSpec,
+    UniformSpec,
+    build_dataset,
+    categorical,
+    column_extents,
+    compute_extents,
+    dataset_extents,
+    gaussian,
+    point,
+    resolve_table_spec,
+    samples,
+    spec_from_dict,
+    spec_to_dict,
+    uniform,
+)
+
+__all__ = [
+    "AveragingClassifier",
+    "BaseTreeEstimator",
+    "CategoricalSpec",
+    "ColumnSpec",
+    "FORMAT_VERSION",
+    "GaussianSpec",
+    "PointSpec",
+    "SamplesSpec",
+    "UDTClassifier",
+    "UniformSpec",
+    "build_dataset",
+    "categorical",
+    "clone_estimator",
+    "column_extents",
+    "compute_extents",
+    "dataset_extents",
+    "gaussian",
+    "load_model",
+    "load_tree",
+    "point",
+    "resolve_table_spec",
+    "samples",
+    "save_model",
+    "save_tree",
+    "spec_from_dict",
+    "spec_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+    "uniform",
+]

@@ -1,0 +1,25 @@
+"""Array-first estimator facade.
+
+The canonical classifier classes live in :mod:`repro.core` (they *are* the
+sklearn-protocol estimators — see :class:`repro.core.estimator.BaseTreeEstimator`
+for the contract); this module re-exports them so the whole public API is
+importable from one place::
+
+    from repro.api import UDTClassifier, gaussian
+
+    clf = UDTClassifier(spec=gaussian(w=0.1, s=50)).fit(X, y)
+    clf.predict(X_new)
+"""
+
+from __future__ import annotations
+
+from repro.core.averaging import AveragingClassifier
+from repro.core.estimator import BaseTreeEstimator, clone_estimator
+from repro.core.udt import UDTClassifier
+
+__all__ = [
+    "AveragingClassifier",
+    "BaseTreeEstimator",
+    "UDTClassifier",
+    "clone_estimator",
+]

@@ -1,0 +1,394 @@
+"""Versioned model persistence: JSON structure + NPZ arrays, one archive.
+
+A fitted tree (or a whole fitted classifier) can be shipped to a serving
+process without retraining:
+
+* :func:`tree_to_dict` / :func:`tree_from_dict` — pure-JSON encoding of a
+  :class:`~repro.core.tree.DecisionTree` (distributions inlined as lists;
+  Python's ``repr``-based float serialisation makes the round trip
+  bit-exact), also exposed as ``DecisionTree.to_dict`` / ``from_dict``;
+* :func:`save_tree` / :func:`load_tree` — a single ``.zip`` archive holding
+  ``model.json`` (structure, labels, metadata) plus ``arrays.npz`` (all
+  class-distribution vectors in one float64 matrix), also exposed as
+  ``DecisionTree.save`` / ``load``;
+* :func:`save_model` / :func:`load_model` — the same archive for a fitted
+  :class:`~repro.core.udt.UDTClassifier` / ``AveragingClassifier``,
+  including constructor params (specs serialise declaratively) and the
+  fitted sklearn-style attributes.
+
+Every archive records ``format_version``; loading refuses versions newer
+than :data:`FORMAT_VERSION` so old serving binaries fail loudly instead of
+silently misreading new models.  Labels, categories and domains survive only
+for JSON-stable scalar types (``str``/``int``/``float``/``bool``/``None``);
+anything else raises :class:`~repro.exceptions.PersistenceError` at save
+time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.dataset import Attribute, AttributeKind
+from repro.core.tree import DecisionTree, InternalNode, LeafNode, TreeNode
+from repro.exceptions import PersistenceError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+    "save_model",
+    "load_model",
+]
+
+#: Current on-disk format version; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: Name of the JSON member inside the archive.
+_JSON_MEMBER = "model.json"
+
+#: Name of the NPZ member inside the archive.
+_NPZ_MEMBER = "arrays.npz"
+
+#: Node-dict keys whose values are class-distribution arrays.
+_ARRAY_KEYS = ("distribution", "fallback", "training_distribution")
+
+
+def _encode_scalar(value: Hashable, what: str):
+    """Validate that a label/category survives the JSON round trip unchanged."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise PersistenceError(
+        f"{what} {value!r} of type {type(value).__name__} cannot be serialised; "
+        "use str, int, float, bool or None"
+    )
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    if isinstance(node, LeafNode):
+        return {
+            "type": "leaf",
+            "distribution": np.asarray(node.distribution, dtype=float).tolist(),
+            "training_weight": float(node.training_weight),
+        }
+    assert isinstance(node, InternalNode)
+    encoded: dict = {
+        "attribute_index": int(node.attribute_index),
+        "training_weight": float(node.training_weight),
+        "training_distribution": (
+            np.asarray(node.training_distribution, dtype=float).tolist()
+            if node.training_distribution is not None
+            else None
+        ),
+    }
+    if node.is_numerical_test:
+        assert node.left is not None and node.right is not None
+        encoded.update(
+            type="num",
+            split_point=float(node.split_point),
+            left=_node_to_dict(node.left),
+            right=_node_to_dict(node.right),
+        )
+    else:
+        # Branch order is preserved (list of pairs, insertion order): batch
+        # classification sums leaf contributions in branch order, so keeping
+        # it makes reloaded predict_proba bit-identical.
+        encoded.update(
+            type="cat",
+            branches=[
+                [_encode_scalar(category, "branch category"), _node_to_dict(child)]
+                for category, child in node.branches.items()
+            ],
+            fallback=(
+                np.asarray(node.fallback, dtype=float).tolist()
+                if node.fallback is not None
+                else None
+            ),
+        )
+    return encoded
+
+
+def _node_from_dict(data: dict) -> TreeNode:
+    node_type = data["type"]
+    if node_type == "leaf":
+        return LeafNode(
+            np.asarray(data["distribution"], dtype=float),
+            training_weight=data.get("training_weight", 0.0),
+        )
+    training_distribution = data.get("training_distribution")
+    if training_distribution is not None:
+        training_distribution = np.asarray(training_distribution, dtype=float)
+    if node_type == "num":
+        return InternalNode(
+            data["attribute_index"],
+            split_point=data["split_point"],
+            left=_node_from_dict(data["left"]),
+            right=_node_from_dict(data["right"]),
+            training_weight=data.get("training_weight", 0.0),
+            training_distribution=training_distribution,
+        )
+    if node_type == "cat":
+        fallback = data.get("fallback")
+        return InternalNode(
+            data["attribute_index"],
+            branches={
+                category: _node_from_dict(child) for category, child in data["branches"]
+            },
+            fallback=np.asarray(fallback, dtype=float) if fallback is not None else None,
+            training_weight=data.get("training_weight", 0.0),
+            training_distribution=training_distribution,
+        )
+    raise PersistenceError(f"unknown node type {node_type!r}")
+
+
+def tree_to_dict(tree: DecisionTree) -> dict:
+    """Fully JSON-able encoding of a decision tree (arrays inlined)."""
+    from repro import __version__
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "repro_version": __version__,
+        "kind": "decision_tree",
+        "attributes": [
+            {
+                "name": attribute.name,
+                "kind": attribute.kind.value,
+                "domain": [_encode_scalar(v, "domain value") for v in attribute.domain],
+            }
+            for attribute in tree.attributes
+        ],
+        "class_labels": [_encode_scalar(v, "class label") for v in tree.class_labels],
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _check_version(data: dict) -> None:
+    version = data.get("format_version")
+    if not isinstance(version, int) or version < 1:
+        raise PersistenceError(f"missing or invalid format_version: {version!r}")
+    if version > FORMAT_VERSION:
+        raise PersistenceError(
+            f"model format version {version} is newer than the supported "
+            f"version {FORMAT_VERSION}; upgrade the library to load it"
+        )
+
+
+def tree_from_dict(data: dict) -> DecisionTree:
+    """Inverse of :func:`tree_to_dict`."""
+    _check_version(data)
+    attributes = []
+    for entry in data["attributes"]:
+        kind = AttributeKind(entry["kind"])
+        if kind is AttributeKind.CATEGORICAL:
+            attributes.append(Attribute.categorical(entry["name"], tuple(entry["domain"])))
+        else:
+            attributes.append(Attribute.numerical(entry["name"]))
+    return DecisionTree(
+        root=_node_from_dict(data["root"]),
+        attributes=attributes,
+        class_labels=tuple(data["class_labels"]),
+    )
+
+
+# -- archive layer (JSON + NPZ in one zip) ------------------------------------
+
+
+def _extract_arrays(node: dict, arrays: list) -> None:
+    """Move distribution vectors out of ``node`` (in place) into ``arrays``.
+
+    Values under the :data:`_ARRAY_KEYS` keys are replaced by an integer row
+    index into the stacked NPZ matrix; ``None`` values stay ``None``.
+    """
+    for key in _ARRAY_KEYS:
+        value = node.get(key)
+        if isinstance(value, list):
+            node[key] = {"npz": len(arrays)}
+            arrays.append(value)
+    if node["type"] == "num":
+        _extract_arrays(node["left"], arrays)
+        _extract_arrays(node["right"], arrays)
+    elif node["type"] == "cat":
+        for _, child in node["branches"]:
+            _extract_arrays(child, arrays)
+
+
+def _restore_arrays(node: dict, matrix: np.ndarray) -> None:
+    for key in _ARRAY_KEYS:
+        value = node.get(key)
+        if isinstance(value, dict):
+            node[key] = matrix[value["npz"]].tolist()
+    if node["type"] == "num":
+        _restore_arrays(node["left"], matrix)
+        _restore_arrays(node["right"], matrix)
+    elif node["type"] == "cat":
+        for _, child in node["branches"]:
+            _restore_arrays(child, matrix)
+
+
+def _write_archive(path, payload: dict) -> None:
+    """Write ``payload`` as a zip of ``model.json`` + ``arrays.npz``.
+
+    All class-distribution vectors share one length (``n_classes``), so they
+    stack into a single float64 matrix — exact, compact, and loadable
+    without parsing the JSON number grammar.
+    """
+    arrays: list = []
+    if "tree" in payload:
+        _extract_arrays(payload["tree"]["root"], arrays)
+    matrix = (
+        np.asarray(arrays, dtype=np.float64) if arrays else np.zeros((0, 0), dtype=np.float64)
+    )
+    npz_buffer = io.BytesIO()
+    np.savez_compressed(npz_buffer, distributions=matrix)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr(_JSON_MEMBER, json.dumps(payload, indent=1, sort_keys=True))
+        archive.writestr(_NPZ_MEMBER, npz_buffer.getvalue())
+
+
+def _read_archive(path) -> dict:
+    try:
+        with zipfile.ZipFile(Path(path)) as archive:
+            payload = json.loads(archive.read(_JSON_MEMBER))
+            with np.load(io.BytesIO(archive.read(_NPZ_MEMBER))) as npz:
+                matrix = npz["distributions"]
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(f"cannot read model archive {path!r}: {exc}") from exc
+    _check_version(payload)
+    if "tree" in payload:
+        _restore_arrays(payload["tree"]["root"], matrix)
+    return payload
+
+
+def save_tree(tree: DecisionTree, path) -> None:
+    """Serialise a bare decision tree to a ``model.json`` + ``arrays.npz`` zip."""
+    payload = tree_to_dict(tree)
+    payload["tree"] = {"root": payload.pop("root")}
+    _write_archive(path, payload)
+
+
+def load_tree(path) -> DecisionTree:
+    """Load a tree saved by :func:`save_tree` (or the tree of a saved model)."""
+    payload = _read_archive(path)
+    payload["root"] = payload.pop("tree")["root"]
+    return tree_from_dict(payload)
+
+
+# -- fitted estimators --------------------------------------------------------
+
+
+def _encode_param(name: str, value):
+    """JSON encoding of one constructor parameter."""
+    from repro.api.spec import ColumnSpec, spec_to_dict
+
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (ColumnSpec, dict, list, tuple)):
+        return {"__spec__": spec_to_dict(value)}
+    name_attr = getattr(value, "name", None)
+    if isinstance(name_attr, str):
+        # Strategy / measure instances reduce to their registry name.
+        return name_attr
+    raise PersistenceError(
+        f"cannot serialise estimator parameter {name}={value!r}; "
+        "use plain values, registry names, or declarative specs"
+    )
+
+
+def _decode_param(value):
+    from repro.api.spec import spec_from_dict
+
+    if isinstance(value, dict) and "__spec__" in value:
+        return spec_from_dict(value["__spec__"])
+    return value
+
+
+def save_model(model, path) -> None:
+    """Serialise a fitted classifier (params + fitted state + tree)."""
+    tree = getattr(model, "tree_", None)
+    if tree is None:
+        raise PersistenceError("cannot save an unfitted model; call fit() first")
+    from repro import __version__
+
+    tree_payload = tree_to_dict(tree)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "repro_version": __version__,
+        "kind": "estimator",
+        "estimator_class": type(model).__name__,
+        "params": {
+            name: _encode_param(name, value)
+            for name, value in model.get_params(deep=False).items()
+        },
+        "fitted": {
+            "n_features_in": getattr(model, "n_features_in_", None),
+            "feature_extents": [
+                list(extent) if extent is not None else None
+                for extent in getattr(model, "feature_extents_", None) or []
+            ]
+            or None,
+        },
+        "tree": {"root": tree_payload["root"]},
+        "attributes": tree_payload["attributes"],
+        "class_labels": tree_payload["class_labels"],
+    }
+    _write_archive(path, payload)
+
+
+def _estimator_classes() -> dict:
+    from repro.core.averaging import AveragingClassifier
+    from repro.core.udt import UDTClassifier
+
+    return {"UDTClassifier": UDTClassifier, "AveragingClassifier": AveragingClassifier}
+
+
+def load_model(path):
+    """Load a classifier saved by :func:`save_model`, ready to predict."""
+    payload = _read_archive(path)
+    if payload.get("kind") != "estimator":
+        raise PersistenceError(
+            f"archive {path!r} holds {payload.get('kind')!r}, not an estimator; "
+            "use load_tree() for bare trees"
+        )
+    classes = _estimator_classes()
+    class_name = payload.get("estimator_class")
+    estimator_class = classes.get(class_name)
+    if estimator_class is None:
+        raise PersistenceError(
+            f"unknown estimator class {class_name!r}; expected one of {sorted(classes)}"
+        )
+    params = {name: _decode_param(value) for name, value in payload["params"].items()}
+    model = estimator_class(**params)
+    model.tree_ = tree_from_dict(
+        {
+            "format_version": payload["format_version"],
+            "attributes": payload["attributes"],
+            "class_labels": payload["class_labels"],
+            "root": payload["tree"]["root"],
+        }
+    )
+    fitted = payload.get("fitted") or {}
+    model.classes_ = np.asarray(model.tree_.class_labels)
+    # Attribute names double as feature_names_in_, so name-keyed specs keep
+    # resolving when the loaded model receives bare arrays.
+    model.feature_names_in_ = [attribute.name for attribute in model.tree_.attributes]
+    if fitted.get("n_features_in") is not None:
+        model.n_features_in_ = fitted["n_features_in"]
+    else:
+        model.n_features_in_ = len(model.tree_.attributes)
+    extents = fitted.get("feature_extents")
+    if extents is not None:
+        model.feature_extents_ = [
+            tuple(extent) if extent is not None else None for extent in extents
+        ]
+    return model

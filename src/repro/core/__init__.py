@@ -12,6 +12,7 @@ from repro.core.averaging import AveragingClassifier
 from repro.core.builder import BuildResult, TreeBuilder
 from repro.core.categorical import CategoricalDistribution
 from repro.core.dataset import Attribute, AttributeKind, UncertainDataset, UncertainTuple
+from repro.core.estimator import BaseTreeEstimator, clone_estimator
 from repro.core.dispersion import (
     DispersionMeasure,
     EntropyMeasure,
@@ -48,6 +49,7 @@ __all__ = [
     "AttributeKind",
     "AttributeSplitContext",
     "AveragingClassifier",
+    "BaseTreeEstimator",
     "BuildResult",
     "BuildStats",
     "CandidateSplit",
@@ -82,6 +84,7 @@ __all__ = [
     "build_contexts",
     "build_interval_table",
     "build_intervals",
+    "clone_estimator",
     "get_measure",
     "get_strategy",
     "percentile_pseudo_end_points",

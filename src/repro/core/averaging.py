@@ -10,6 +10,10 @@ a point value is simply a degenerate (single-sample) pdf, for which the
 fractional-tuple computations collapse to the classical algorithm.  This
 guarantees that any accuracy difference between AVG and UDT comes from the
 use of distribution information, not from implementation differences.
+
+Like :class:`~repro.core.udt.UDTClassifier`, the class follows the
+scikit-learn estimator protocol and accepts plain 2-D arrays besides
+datasets (see :mod:`repro.core.estimator`).
 """
 
 from __future__ import annotations
@@ -18,19 +22,16 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.builder import TreeBuilder
 from repro.core.dataset import UncertainDataset, UncertainTuple
 from repro.core.dispersion import DispersionMeasure
+from repro.core.estimator import BaseTreeEstimator
 from repro.core.pdf import SampledPdf
-from repro.core.stats import BuildStats
 from repro.core.strategies import SplitFinder
-from repro.core.tree import DecisionTree
-from repro.exceptions import TreeError
 
 __all__ = ["AveragingClassifier"]
 
 
-class AveragingClassifier:
+class AveragingClassifier(BaseTreeEstimator):
     """C4.5-style classifier built on pdf means (the paper's AVG baseline).
 
     Parameters mirror :class:`~repro.core.udt.UDTClassifier`; the default
@@ -44,6 +45,7 @@ class AveragingClassifier:
         strategy: str | SplitFinder = "UDT",
         measure: str | DispersionMeasure = "entropy",
         *,
+        spec=None,
         max_depth: int | None = None,
         min_split_weight: float = 2.0,
         min_dispersion_gain: float = 1e-9,
@@ -52,35 +54,30 @@ class AveragingClassifier:
         engine: str = "columnar",
         n_jobs: int = 1,
     ) -> None:
-        self._builder = TreeBuilder(
-            strategy=strategy,
-            measure=measure,
-            max_depth=max_depth,
-            min_split_weight=min_split_weight,
-            min_dispersion_gain=min_dispersion_gain,
-            post_prune=post_prune,
-            post_prune_confidence=post_prune_confidence,
-            engine=engine,
-            n_jobs=n_jobs,
-        )
-        self.tree_: DecisionTree | None = None
-        self.build_stats_: BuildStats | None = None
+        self.strategy = strategy
+        self.measure = measure
+        self.spec = spec
+        self.max_depth = max_depth
+        self.min_split_weight = min_split_weight
+        self.min_dispersion_gain = min_dispersion_gain
+        self.post_prune = post_prune
+        self.post_prune_confidence = post_prune_confidence
+        self.engine = engine
+        self.n_jobs = n_jobs
+        self.tree_ = None
+        self.build_stats_ = None
 
-    def fit(self, dataset: UncertainDataset) -> "AveragingClassifier":
-        """Collapse the dataset to means and build a point-valued tree."""
-        point_dataset = dataset.to_point_dataset()
-        result = self._builder.build(point_dataset)
-        self.tree_ = result.tree
-        self.build_stats_ = result.stats
-        return self
+    # -- mean reduction (the defining transformation of AVG) ----------------
 
-    def _require_tree(self) -> DecisionTree:
-        if self.tree_ is None:
-            raise TreeError("the classifier has not been fitted yet; call fit() first")
-        return self.tree_
+    def _prepare_training(self, dataset: UncertainDataset) -> UncertainDataset:
+        """Collapse the training data to means before building the tree."""
+        return dataset.to_point_dataset()
 
-    @staticmethod
-    def _to_point_tuple(item: UncertainTuple) -> UncertainTuple:
+    def _prepare_eval(self, dataset: UncertainDataset) -> UncertainDataset:
+        """Collapse test data to means, mirroring training."""
+        return dataset.to_point_dataset()
+
+    def _prepare_tuple(self, item: UncertainTuple) -> UncertainTuple:
         """Reduce an uncertain tuple to its mean representation."""
         from repro.core.categorical import CategoricalDistribution
         from repro.core.pdf import Pdf
@@ -94,30 +91,10 @@ class AveragingClassifier:
                 features.append(CategoricalDistribution.certain(value.most_likely()))
         return UncertainTuple(features, label=item.label, weight=item.weight)
 
-    def predict(self, data: UncertainDataset | UncertainTuple) -> list[Hashable] | Hashable:
-        """Predict labels using the mean representation of the test tuples."""
-        tree = self._require_tree()
-        if isinstance(data, UncertainTuple):
-            return tree.predict(self._to_point_tuple(data))
-        return tree.predict_dataset(data.to_point_dataset())
-
     def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
         """Predicted labels for a whole dataset (mean-reduced, batch path)."""
         return self._require_tree().predict_dataset(dataset.to_point_dataset())
 
-    def predict_proba(self, data: UncertainDataset | UncertainTuple) -> np.ndarray:
-        """Class-probability distribution(s) using mean-reduced test tuples."""
-        tree = self._require_tree()
-        if isinstance(data, UncertainTuple):
-            return tree.classify(self._to_point_tuple(data))
-        return tree.classify_batch(data.to_point_dataset())
-
-    def score(self, dataset: UncertainDataset) -> float:
-        """Classification accuracy on a labelled dataset (mean-reduced)."""
-        if not len(dataset):
-            raise TreeError("cannot compute accuracy on an empty dataset")
-        predictions = self.predict(dataset)
-        correct = sum(
-            1 for item, label in zip(dataset, predictions) if item.label == label
-        )
-        return correct / len(dataset)
+    def predict_proba_batch(self, dataset: UncertainDataset) -> np.ndarray:
+        """Class-probability matrix for a whole dataset (mean-reduced)."""
+        return self._require_tree().classify_batch(dataset.to_point_dataset())

@@ -1,0 +1,88 @@
+"""Shared sklearn-style parameter protocol (``get_params`` / ``set_params``).
+
+Both the estimators (:mod:`repro.core.estimator`) and the uncertainty specs
+(:mod:`repro.api.spec`) expose the scikit-learn parameter contract: the
+``__init__`` keyword arguments are stored verbatim under their own attribute
+names, ``get_params`` reads them back (flattening nested parameter objects
+as ``param__subparam``), and ``set_params`` writes them — which is exactly
+what :func:`sklearn.base.clone` and ``GridSearchCV`` rely on.  This mixin is
+the single implementation of that contract.
+
+Subclasses customise two hooks:
+
+* ``_invalid_param_exception`` — the exception type raised for unknown
+  parameter names (estimators follow sklearn and raise :class:`ValueError`;
+  specs raise :class:`~repro.exceptions.SpecError`);
+* ``_validate_params()`` — re-run after every ``set_params``, so values
+  rejected by the constructor are equally rejected when they arrive through
+  nested grid-search parameters (``spec__w=-0.3``).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+__all__ = ["ParamsMixin"]
+
+
+class ParamsMixin:
+    """Signature-derived ``get_params`` / ``set_params``, sklearn style."""
+
+    #: Exception raised for unknown parameter names.
+    _invalid_param_exception: type = ValueError
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        ]
+
+    def get_params(self, deep: bool = True) -> dict:
+        """Constructor parameters as a dict.
+
+        With ``deep=True``, parameters that themselves expose ``get_params``
+        are flattened as ``param__subparam`` entries.
+        """
+        params: dict = {}
+        for name in self._param_names():
+            value = getattr(self, name)
+            params[name] = value
+            if deep and hasattr(value, "get_params"):
+                for sub_name, sub_value in value.get_params().items():
+                    params[f"{name}__{sub_name}"] = sub_value
+        return params
+
+    def set_params(self, **params) -> "ParamsMixin":
+        """Set parameters (``param__subparam`` reaches into nested objects)."""
+        if not params:
+            return self
+        valid = self._param_names()
+        nested: dict[str, dict] = {}
+        for key, value in params.items():
+            name, delimiter, sub_key = key.partition("__")
+            if name not in valid:
+                raise self._invalid_param_exception(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters: {valid}"
+                )
+            if delimiter:
+                nested.setdefault(name, {})[sub_key] = value
+            else:
+                setattr(self, name, value)
+        for name, sub_params in nested.items():
+            owner = getattr(self, name)
+            if not hasattr(owner, "set_params"):
+                raise self._invalid_param_exception(
+                    f"parameter {name!r} does not accept nested parameters"
+                )
+            owner.set_params(**sub_params)
+        self._validate_params()
+        return self
+
+    def _validate_params(self) -> None:
+        """Hook re-run after ``set_params``; constructors should call it too."""

@@ -437,6 +437,34 @@ class DecisionTree:
         correct = sum(1 for item, label in zip(dataset, predictions) if item.label == label)
         return correct / len(dataset)
 
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able encoding of the tree (see :mod:`repro.api.persistence`)."""
+        from repro.api.persistence import tree_to_dict
+
+        return tree_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTree":
+        """Rebuild a tree from :meth:`to_dict` output."""
+        from repro.api.persistence import tree_from_dict
+
+        return tree_from_dict(data)
+
+    def save(self, path) -> None:
+        """Write the tree as a versioned ``model.json`` + ``arrays.npz`` archive."""
+        from repro.api.persistence import save_tree
+
+        save_tree(self, path)
+
+    @classmethod
+    def load(cls, path) -> "DecisionTree":
+        """Load a tree saved with :meth:`save`."""
+        from repro.api.persistence import load_tree
+
+        return load_tree(path)
+
     # -- inspection --------------------------------------------------------------
 
     def to_text(self) -> str:

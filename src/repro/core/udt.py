@@ -1,11 +1,13 @@
 """High-level Distribution-based classifier (UDT, Section 4.2).
 
-:class:`UDTClassifier` wraps the tree builder with a scikit-learn-flavoured
-``fit`` / ``predict`` interface operating on
-:class:`~repro.core.dataset.UncertainDataset` objects.  The split-finding
-strategy (UDT, UDT-BP, UDT-LP, UDT-GP or UDT-ES) and the dispersion measure
-are configurable; all strategies produce the same tree, so the choice only
-affects construction cost.
+:class:`UDTClassifier` wraps the tree builder with a scikit-learn-compatible
+``fit`` / ``predict`` / ``predict_proba`` / ``score`` interface that accepts
+both :class:`~repro.core.dataset.UncertainDataset` objects and plain 2-D
+arrays (converted through a declarative uncertainty ``spec``, see
+:mod:`repro.api.spec`).  The split-finding strategy (UDT, UDT-BP, UDT-LP,
+UDT-GP or UDT-ES) and the dispersion measure are configurable; all
+strategies produce the same tree, so the choice only affects construction
+cost.
 """
 
 from __future__ import annotations
@@ -14,18 +16,15 @@ from typing import Hashable
 
 import numpy as np
 
-from repro.core.builder import TreeBuilder
-from repro.core.dataset import UncertainDataset, UncertainTuple
+from repro.core.dataset import UncertainDataset
 from repro.core.dispersion import DispersionMeasure
-from repro.core.stats import BuildStats
-from repro.core.strategies import SplitFinder
-from repro.core.tree import DecisionTree
-from repro.exceptions import TreeError
+from repro.core.estimator import BaseTreeEstimator
+from repro.core.strategies import SplitFinder, get_strategy
 
 __all__ = ["UDTClassifier"]
 
 
-class UDTClassifier:
+class UDTClassifier(BaseTreeEstimator):
     """Decision-tree classifier for uncertain data (the paper's UDT).
 
     Parameters
@@ -35,6 +34,11 @@ class UDTClassifier:
         fastest safe-pruning variant).
     measure:
         Dispersion measure (default ``"entropy"``).
+    spec:
+        Declarative uncertainty spec applied when ``fit`` / ``predict``
+        receive plain arrays instead of datasets (default: certain point
+        values).  See :mod:`repro.api.spec` — e.g.
+        ``spec=repro.api.gaussian(w=0.1, s=100)``.
     max_depth, min_split_weight, min_dispersion_gain, post_prune,
     post_prune_confidence, engine, n_jobs:
         Forwarded to :class:`~repro.core.builder.TreeBuilder`.
@@ -45,6 +49,13 @@ class UDTClassifier:
         The fitted :class:`~repro.core.tree.DecisionTree` (after ``fit``).
     build_stats_:
         The :class:`~repro.core.stats.BuildStats` collected while fitting.
+    classes_:
+        Array of class labels, aligned with ``predict_proba`` columns.
+    n_features_in_:
+        Number of feature attributes seen during ``fit``.
+    feature_extents_:
+        Per-attribute ``(min, max)`` training value ranges used to scale
+        ``w``-relative specs at predict time (``None`` for categoricals).
     """
 
     def __init__(
@@ -52,6 +63,7 @@ class UDTClassifier:
         strategy: str | SplitFinder = "UDT-ES",
         measure: str | DispersionMeasure = "entropy",
         *,
+        spec=None,
         max_depth: int | None = None,
         min_split_weight: float = 2.0,
         min_dispersion_gain: float = 1e-9,
@@ -60,66 +72,31 @@ class UDTClassifier:
         engine: str = "columnar",
         n_jobs: int = 1,
     ) -> None:
-        self._builder = TreeBuilder(
-            strategy=strategy,
-            measure=measure,
-            max_depth=max_depth,
-            min_split_weight=min_split_weight,
-            min_dispersion_gain=min_dispersion_gain,
-            post_prune=post_prune,
-            post_prune_confidence=post_prune_confidence,
-            engine=engine,
-            n_jobs=n_jobs,
-        )
-        self.tree_: DecisionTree | None = None
-        self.build_stats_: BuildStats | None = None
+        self.strategy = strategy
+        self.measure = measure
+        self.spec = spec
+        self.max_depth = max_depth
+        self.min_split_weight = min_split_weight
+        self.min_dispersion_gain = min_dispersion_gain
+        self.post_prune = post_prune
+        self.post_prune_confidence = post_prune_confidence
+        self.engine = engine
+        self.n_jobs = n_jobs
+        self.tree_ = None
+        self.build_stats_ = None
 
     @property
     def strategy_name(self) -> str:
         """Name of the configured split-finding strategy."""
-        return self._builder.strategy.name
+        return get_strategy(self.strategy).name
 
-    def fit(self, dataset: UncertainDataset) -> "UDTClassifier":
-        """Build the decision tree from the training dataset."""
-        result = self._builder.build(dataset)
-        self.tree_ = result.tree
-        self.build_stats_ = result.stats
-        return self
-
-    def _require_tree(self) -> DecisionTree:
-        if self.tree_ is None:
-            raise TreeError("the classifier has not been fitted yet; call fit() first")
-        return self.tree_
-
-    def predict(self, data: UncertainDataset | UncertainTuple) -> list[Hashable] | Hashable:
-        """Predict class labels for a dataset (list) or a single tuple (label)."""
-        tree = self._require_tree()
-        if isinstance(data, UncertainTuple):
-            return tree.predict(data)
-        return tree.predict_dataset(data)
+    # Batch aliases kept from the pre-array API; ``predict`` /
+    # ``predict_proba`` on a dataset already take the columnar batch path.
 
     def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
-        """Predicted labels for a whole dataset via the columnar batch path.
-
-        All test tuples descend the tree together
-        (:meth:`~repro.core.tree.DecisionTree.classify_batch`), which is
-        markedly faster than classifying tuple by tuple.
-        """
+        """Predicted labels for a whole dataset via the columnar batch path."""
         return self._require_tree().predict_dataset(dataset)
 
     def predict_proba_batch(self, dataset: UncertainDataset) -> np.ndarray:
         """Class-probability matrix for a whole dataset (columnar batch path)."""
         return self._require_tree().classify_batch(dataset)
-
-    def predict_proba(
-        self, data: UncertainDataset | UncertainTuple
-    ) -> np.ndarray:
-        """Class-probability distribution(s) for a dataset or single tuple."""
-        tree = self._require_tree()
-        if isinstance(data, UncertainTuple):
-            return tree.classify(data)
-        return tree.classify_dataset(data)
-
-    def score(self, dataset: UncertainDataset) -> float:
-        """Classification accuracy on a labelled dataset."""
-        return self._require_tree().accuracy(dataset)

@@ -100,6 +100,15 @@ def inject_uncertainty(
     if n_samples < 1:
         raise DatasetError(f"n_samples must be positive, got {n_samples!r}")
 
+    # The per-value pdf construction is shared with the array-first path
+    # (repro.api.spec), so spec-built and injected datasets are identical.
+    from repro.api.spec import gaussian, uniform
+
+    column_spec = (
+        uniform(w=width_fraction, s=n_samples)
+        if error_model == "uniform"
+        else gaussian(w=width_fraction, s=n_samples)
+    )
     widths = attribute_ranges(dataset)
     converted: list[UncertainTuple] = []
     for item in dataset:
@@ -109,18 +118,7 @@ def inject_uncertainty(
                 features.append(value)
                 continue
             assert isinstance(value, Pdf)
-            mean = value.mean()
-            domain_width = width_fraction * widths[index]
-            if domain_width <= 0 or width_fraction == 0:
-                features.append(SampledPdf.point(mean))
-                continue
-            low = mean - domain_width / 2.0
-            high = mean + domain_width / 2.0
-            if error_model == "uniform":
-                features.append(SampledPdf.uniform(low, high, n_samples))
-            else:
-                std = domain_width / 4.0
-                features.append(SampledPdf.gaussian(mean, std, low, high, n_samples))
+            features.append(column_spec.feature_for(value.mean(), widths[index]))
         converted.append(UncertainTuple(features, label=item.label, weight=item.weight))
     return dataset.replace_tuples(converted)
 

@@ -1,6 +1,12 @@
 """Evaluation harness: cross validation, metrics, experiments and reporting."""
 
-from repro.eval.crossval import cross_validate, iter_fold_splits, stratified_folds, train_test_split
+from repro.eval.crossval import (
+    cross_val_score,
+    cross_validate,
+    iter_fold_splits,
+    stratified_folds,
+    train_test_split,
+)
 from repro.eval.experiment import (
     AccuracyExperiment,
     AccuracyResult,
@@ -31,6 +37,7 @@ __all__ = [
     "SensitivityResult",
     "accuracy",
     "confusion_matrix",
+    "cross_val_score",
     "cross_validate",
     "error_rate",
     "format_accuracy_results",

@@ -9,14 +9,15 @@ keeps fold-to-fold variance low on small datasets like Iris and Glass.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Hashable, Iterator
+from functools import partial
+from typing import Callable, Hashable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.dataset import UncertainDataset
 from repro.exceptions import ExperimentError
 
-__all__ = ["stratified_folds", "cross_validate", "train_test_split"]
+__all__ = ["stratified_folds", "cross_validate", "cross_val_score", "train_test_split"]
 
 
 def stratified_folds(
@@ -97,6 +98,73 @@ def cross_validate(
         return list(
             executor.map(evaluate, [p[0] for p in pairs], [p[1] for p in pairs])
         )
+
+
+def _estimator_fold_score(
+    training: UncertainDataset,
+    test: UncertainDataset,
+    *,
+    estimator_class: type,
+    params: dict,
+) -> float:
+    """Fit a fresh estimator on one fold and score it (picklable worker).
+
+    ``clone_estimator`` deep-copies parameter objects that carry their own
+    ``get_params`` (uncertainty specs), so folds never share mutable state
+    with each other or with the caller's estimator — even with ``n_jobs=1``.
+    """
+    from repro.core.estimator import clone_estimator
+
+    model = clone_estimator(estimator_class(**params))
+    return model.fit(training).score(test)
+
+
+def cross_val_score(
+    estimator,
+    X,
+    y: Sequence[Hashable] | None = None,
+    *,
+    spec=None,
+    n_folds: int = 10,
+    rng: np.random.Generator | None = None,
+    n_jobs: int = 1,
+) -> list[float]:
+    """Cross-validated accuracy of an estimator, array-first.
+
+    ``estimator`` is any object following the estimator protocol of
+    :class:`~repro.core.estimator.BaseTreeEstimator` (``get_params`` plus
+    ``fit``/``score``); a fresh, unfitted copy is built per fold, so the
+    passed instance is never mutated.  ``X`` is either an
+    :class:`UncertainDataset` (``y`` omitted) or a 2-D array with labels
+    ``y``, converted once through ``spec`` (default: the estimator's own
+    ``spec``) before the stratified folds are drawn.
+
+    With ``n_jobs > 1`` folds run in parallel worker processes; results are
+    identical to a sequential run.
+    """
+    if not hasattr(estimator, "get_params") or not hasattr(estimator, "fit"):
+        raise ExperimentError(
+            "cross_val_score needs an estimator with get_params/fit/score; "
+            f"got {type(estimator).__name__}"
+        )
+    if isinstance(X, UncertainDataset):
+        if y is not None:
+            raise ExperimentError("pass labels inside the UncertainDataset, not as y")
+        dataset = X
+    else:
+        from repro.api.spec import build_dataset
+
+        if y is None:
+            raise ExperimentError("cross_val_score on arrays requires labels y")
+        dataset = build_dataset(
+            X, y, spec=spec if spec is not None else getattr(estimator, "spec", None)
+        )
+    worker = partial(
+        _estimator_fold_score,
+        estimator_class=type(estimator),
+        params=estimator.get_params(deep=False),
+    )
+    return cross_validate(dataset, worker, n_folds=n_folds, rng=rng, n_jobs=n_jobs)
 
 
 def train_test_split(

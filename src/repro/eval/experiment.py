@@ -63,10 +63,13 @@ def _evaluate_pair(
     strategy: str,
     measure: str,
     max_depth: int | None,
+    engine: str = "columnar",
 ) -> tuple[float, float]:
     """Accuracy of (AVG, UDT) trained on ``training`` and scored on ``test``."""
-    avg = AveragingClassifier(measure=measure, max_depth=max_depth).fit(training)
-    udt = UDTClassifier(strategy=strategy, measure=measure, max_depth=max_depth).fit(training)
+    avg = AveragingClassifier(measure=measure, max_depth=max_depth, engine=engine).fit(training)
+    udt = UDTClassifier(
+        strategy=strategy, measure=measure, max_depth=max_depth, engine=engine
+    ).fit(training)
     return avg.score(test), udt.score(test)
 
 
@@ -79,6 +82,7 @@ def _evaluate_uncertain_fold(
     strategy: str,
     measure: str,
     max_depth: int | None,
+    engine: str = "columnar",
 ) -> tuple[float, float]:
     """Inject uncertainty into one fold pair and evaluate (AVG, UDT) on it.
 
@@ -94,7 +98,7 @@ def _evaluate_uncertain_fold(
     )
     return _evaluate_pair(
         uncertain_training, uncertain_test,
-        strategy=strategy, measure=measure, max_depth=max_depth,
+        strategy=strategy, measure=measure, max_depth=max_depth, engine=engine,
     )
 
 
@@ -106,15 +110,18 @@ def _noise_fold_score(
     strategy: str,
     measure: str,
     max_depth: int | None,
+    engine: str = "columnar",
 ) -> float:
     """Fit and score one fold of the controlled-noise study (picklable)."""
     train_set, test_set = fold
     if width <= 0:
         model: AveragingClassifier | UDTClassifier = AveragingClassifier(
-            measure=measure, max_depth=max_depth
+            measure=measure, max_depth=max_depth, engine=engine
         )
     else:
-        model = UDTClassifier(strategy=strategy, measure=measure, max_depth=max_depth)
+        model = UDTClassifier(
+            strategy=strategy, measure=measure, max_depth=max_depth, engine=engine
+        )
     uncertain_training = inject_uncertainty(
         train_set, width_fraction=width, n_samples=n_samples, error_model="gaussian"
     )
@@ -181,6 +188,9 @@ class AccuracyExperiment:
     n_jobs:
         Number of worker processes used to evaluate cross-validation folds
         concurrently (1 = sequential; results are identical either way).
+    engine:
+        Tree-construction engine, ``"columnar"`` (default) or ``"tuples"``;
+        both build identical trees.
     """
 
     def __init__(
@@ -195,6 +205,7 @@ class AccuracyExperiment:
         max_depth: int | None = None,
         seed: int = 0,
         n_jobs: int = 1,
+        engine: str = "columnar",
     ) -> None:
         self.spec: UCIDatasetSpec = get_spec(dataset)
         self.scale = scale
@@ -205,6 +216,7 @@ class AccuracyExperiment:
         self.max_depth = max_depth
         self.seed = seed
         self.n_jobs = int(n_jobs)
+        self.engine = engine
 
     def run(
         self,
@@ -221,6 +233,7 @@ class AccuracyExperiment:
             avg_accuracy, udt_accuracy = _evaluate_pair(
                 training, test,
                 strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+                engine=self.engine,
             )
             results.append(
                 AccuracyResult(spec.name, "raw-samples", float("nan"), avg_accuracy, udt_accuracy)
@@ -250,6 +263,7 @@ class AccuracyExperiment:
             avg_accuracy, udt_accuracy = _evaluate_pair(
                 uncertain_training, uncertain_test,
                 strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+                engine=self.engine,
             )
             return AccuracyResult(self.spec.name, error_model, width, avg_accuracy, udt_accuracy)
 
@@ -258,6 +272,7 @@ class AccuracyExperiment:
             _evaluate_uncertain_fold,
             width=width, n_samples=self.n_samples, error_model=error_model,
             strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+            engine=self.engine,
         )
         pairs = _map_folds(worker, folds, self.n_jobs)
         avg_scores = [pair[0] for pair in pairs]
@@ -302,6 +317,7 @@ class NoiseModelExperiment:
         max_depth: int | None = None,
         seed: int = 0,
         n_jobs: int = 1,
+        engine: str = "columnar",
     ) -> None:
         self.spec = get_spec(dataset)
         self.scale = scale
@@ -312,6 +328,7 @@ class NoiseModelExperiment:
         self.max_depth = max_depth
         self.seed = seed
         self.n_jobs = int(n_jobs)
+        self.engine = engine
         if self.spec.repeated_measurements:
             raise ExperimentError(
                 "the controlled-noise experiment requires a point-valued dataset"
@@ -365,6 +382,7 @@ class NoiseModelExperiment:
             _noise_fold_score,
             width=width, n_samples=self.n_samples,
             strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+            engine=self.engine,
         )
         if test is not None:
             return worker((training, test))
@@ -491,6 +509,7 @@ class SensitivityExperiment:
         error_model: str = "gaussian",
         max_depth: int | None = None,
         seed: int = 0,
+        engine: str = "columnar",
     ) -> None:
         self.spec = get_spec(dataset)
         self.scale = scale
@@ -499,6 +518,7 @@ class SensitivityExperiment:
         self.error_model = error_model
         self.max_depth = max_depth
         self.seed = seed
+        self.engine = engine
         if self.spec.repeated_measurements:
             raise ExperimentError(
                 "sensitivity studies control s and w, which the raw-sample dataset does not allow"
@@ -533,7 +553,8 @@ class SensitivityExperiment:
             error_model=self.error_model,
         )
         model = UDTClassifier(
-            strategy=self.strategy, measure=self.measure, max_depth=self.max_depth
+            strategy=self.strategy, measure=self.measure, max_depth=self.max_depth,
+            engine=self.engine,
         )
         with Timer() as timer:
             model.fit(uncertain)

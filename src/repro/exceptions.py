@@ -44,3 +44,17 @@ class TreeError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is invalid."""
+
+
+class SpecError(ReproError):
+    """Raised for invalid uncertainty specs or array inputs that do not
+    match the spec (wrong shape, unknown column, negative width, ...)."""
+
+
+class PersistenceError(ReproError):
+    """Raised when a model cannot be serialised or deserialised.
+
+    Examples include unsupported label types (only ``str``, ``int``,
+    ``float``, ``bool`` and ``None`` survive the JSON round trip), corrupt
+    archives, and format versions newer than this library understands.
+    """

@@ -1,0 +1,191 @@
+"""Array-first estimator protocol tests (fit/predict on arrays, params, CV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import build_dataset, clone_estimator, gaussian, uniform
+from repro.core import AveragingClassifier, UDTClassifier, UncertainDataset
+from repro.data import inject_uncertainty
+from repro.eval import cross_val_score
+from repro.exceptions import DatasetError, ExperimentError
+
+
+def _points_of(dataset: UncertainDataset):
+    X = np.array([item.mean_vector() for item in dataset], dtype=float)
+    y = [item.label for item in dataset]
+    return X, y
+
+
+@pytest.fixture(params=["two_class_points", "three_class_points", "iris_points"])
+def point_fixture(request, two_class_points, three_class_points):
+    if request.param == "iris_points":
+        from repro.data import load_dataset
+
+        training, _, _ = load_dataset("Iris", scale=0.4, seed=7)
+        return training
+    return {"two_class_points": two_class_points, "three_class_points": three_class_points}[
+        request.param
+    ]
+
+
+class TestArrayEquivalence:
+    """Acceptance: fit(X, y) with a spec == manual UncertainDataset construction."""
+
+    @pytest.mark.parametrize("error_model,builder", [("gaussian", gaussian), ("uniform", uniform)])
+    def test_same_tree_and_probabilities(self, point_fixture, error_model, builder):
+        X, y = _points_of(point_fixture)
+        spec = builder(w=0.1, s=10)
+
+        from_arrays = UDTClassifier(spec=spec).fit(X, y)
+        manual_train = inject_uncertainty(
+            point_fixture, width_fraction=0.1, n_samples=10, error_model=error_model
+        )
+        from_objects = UDTClassifier().fit(manual_train)
+
+        assert (
+            from_arrays.tree_.structure_signature()
+            == from_objects.tree_.structure_signature()
+        )
+        assert np.array_equal(
+            from_arrays.predict_proba(manual_train), from_objects.predict_proba(manual_train)
+        )
+
+    def test_feature_extents_are_the_raw_training_extents(self, two_class_points):
+        """The stored extents are the raw-value ranges build_dataset used,
+        so re-converting the training rows reproduces the pdfs bit-exactly."""
+        from repro.api.spec import compute_extents
+
+        X, y = _points_of(two_class_points)
+        spec = gaussian(w=0.2, s=8)
+        model = UDTClassifier(spec=spec).fit(X, y)
+        assert model.feature_extents_ == compute_extents(X, spec=spec)
+        training = build_dataset(X, y, spec=spec)
+        reconverted = build_dataset(X, None, spec=spec, extents=model.feature_extents_)
+        for trained, again in zip(training, reconverted):
+            for pdf_a, pdf_b in zip(trained.features, again.features):
+                assert np.array_equal(pdf_a.xs, pdf_b.xs)
+                assert np.array_equal(pdf_a.masses, pdf_b.masses)
+
+    def test_predict_arrays_use_training_extents(self, two_class_points):
+        """Test arrays are scaled by the training ranges, not their own."""
+        X, y = _points_of(two_class_points)
+        model = UDTClassifier(spec=gaussian(w=0.2, s=8)).fit(X, y)
+        single_row = X[:1]
+        expected = build_dataset(
+            single_row, None, spec=model.spec, extents=model.feature_extents_
+        )
+        assert np.array_equal(
+            model.predict_proba(single_row), model.predict_proba(expected)
+        )
+        # A one-row dataset has zero self-range: without the stored extents
+        # the pdf would collapse to a point, which is a different transform.
+        assert expected.tuples[0].pdf(0).n_samples > 1
+
+
+class TestReturnTypes:
+    """The satellite fix: consistent types for tuple / dataset / array input."""
+
+    def test_predict_types(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        single = model.predict(small_uncertain.tuples[0])
+        assert not isinstance(single, np.ndarray)
+        batch = model.predict(small_uncertain)
+        assert isinstance(batch, np.ndarray) and batch.shape == (len(small_uncertain),)
+        X = np.array([item.mean_vector() for item in small_uncertain], dtype=float)
+        from_arrays = model.predict(X)
+        assert isinstance(from_arrays, np.ndarray) and from_arrays.shape == (len(X),)
+
+    def test_predict_proba_types(self, small_uncertain):
+        model = AveragingClassifier().fit(small_uncertain)
+        assert model.predict_proba(small_uncertain.tuples[0]).shape == (
+            small_uncertain.n_classes,
+        )
+        assert model.predict_proba(small_uncertain).shape == (
+            len(small_uncertain),
+            small_uncertain.n_classes,
+        )
+
+    def test_score_on_arrays_requires_y(self, two_class_points):
+        X, y = _points_of(two_class_points)
+        model = UDTClassifier().fit(X, y)
+        assert model.score(X, y) > 0.9
+        with pytest.raises(DatasetError):
+            model.score(X)
+
+    def test_fit_rejects_conflicting_labels(self, two_class_points):
+        with pytest.raises(DatasetError):
+            UDTClassifier().fit(two_class_points, [0] * len(two_class_points))
+        with pytest.raises(DatasetError):
+            UDTClassifier().fit(np.zeros((4, 2)))
+
+
+class TestParamProtocol:
+    def test_deep_params_include_spec(self):
+        model = UDTClassifier(spec=gaussian(w=0.3, s=9))
+        params = model.get_params()
+        assert params["spec__w"] == 0.3
+        assert params["spec__s"] == 9
+        model.set_params(spec__w=0.05)
+        assert model.spec.w == 0.05
+
+    def test_clone_estimator_copies_spec(self):
+        model = UDTClassifier(strategy="UDT-GP", spec=gaussian(w=0.1))
+        cloned = clone_estimator(model)
+        assert cloned.tree_ is None
+        assert cloned.strategy == "UDT-GP"
+        assert cloned.spec is not model.spec
+        assert cloned.spec == model.spec
+
+    def test_name_keyed_spec_resolves_against_dataframe_style_columns(
+        self, two_class_points
+    ):
+        class NamedArray(np.ndarray):
+            """Minimal DataFrame-style array: 2-D values plus .columns."""
+
+            columns = ("mass", "volume")
+
+        X, y = _points_of(two_class_points)
+        named = np.asarray(X).view(NamedArray)
+        spec = {"mass": gaussian(w=0.1, s=6), "*": gaussian(w=0.1, s=6)}
+        model = UDTClassifier(spec=spec).fit(named, y)
+        assert model.feature_names_in_ == ["mass", "volume"]
+        # Bare ndarrays at predict time reuse the names recorded at fit.
+        assert model.predict(X).shape == (len(X),)
+        reference = UDTClassifier(spec=gaussian(w=0.1, s=6)).fit(X, y)
+        assert (
+            model.tree_.structure_signature() == reference.tree_.structure_signature()
+        )
+
+    def test_name_keyed_spec_without_names_fails_clearly(self, two_class_points):
+        from repro.exceptions import SpecError
+
+        X, y = _points_of(two_class_points)
+        with pytest.raises(SpecError, match="no column names are available"):
+            UDTClassifier(spec={"mass": gaussian(w=0.1)}).fit(X, y)
+
+    def test_averaging_shares_the_protocol(self, two_class_points):
+        X, y = _points_of(two_class_points)
+        model = AveragingClassifier(spec=gaussian(w=0.1, s=6)).fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert model.n_features_in_ == X.shape[1]
+
+
+class TestCrossValScore:
+    def test_arrays_and_datasets_agree(self, two_class_points):
+        X, y = _points_of(two_class_points)
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        estimator = UDTClassifier(spec=gaussian(w=0.1, s=6))
+        from_arrays = cross_val_score(estimator, X, y, n_folds=4, rng=rng_a)
+        manual = inject_uncertainty(
+            two_class_points, width_fraction=0.1, n_samples=6, error_model="gaussian"
+        )
+        from_dataset = cross_val_score(UDTClassifier(), manual, n_folds=4, rng=rng_b)
+        assert from_arrays == from_dataset
+        assert estimator.tree_ is None  # the passed instance is never fitted
+
+    def test_rejects_non_estimators(self, two_class_points):
+        with pytest.raises(ExperimentError):
+            cross_val_score(object(), two_class_points)

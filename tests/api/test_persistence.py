@@ -1,0 +1,126 @@
+"""Unit tests for versioned model persistence (repro.api.persistence)."""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.api import FORMAT_VERSION, gaussian, load_model, load_tree, save_model
+from repro.api.persistence import tree_from_dict, tree_to_dict
+from repro.core import AveragingClassifier, DecisionTree, UDTClassifier
+from repro.exceptions import PersistenceError
+
+
+@pytest.fixture
+def fitted(small_uncertain):
+    return UDTClassifier().fit(small_uncertain)
+
+
+class TestTreeDict:
+    def test_round_trip_preserves_structure(self, fitted):
+        tree = fitted.tree_
+        restored = DecisionTree.from_dict(tree.to_dict())
+        assert restored.structure_signature() == tree.structure_signature()
+        assert restored.class_labels == tree.class_labels
+        assert [a.name for a in restored.attributes] == [a.name for a in tree.attributes]
+
+    def test_dict_is_json_serialisable(self, fitted):
+        payload = json.dumps(fitted.tree_.to_dict())
+        restored = DecisionTree.from_dict(json.loads(payload))
+        assert restored.structure_signature() == fitted.tree_.structure_signature()
+
+    def test_version_gate(self, fitted):
+        data = fitted.tree_.to_dict()
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(PersistenceError):
+            tree_from_dict(data)
+        data["format_version"] = "not-a-version"
+        with pytest.raises(PersistenceError):
+            tree_from_dict(data)
+
+    def test_unserialisable_labels_fail_loudly(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        bad = DecisionTree(
+            model.tree_.root, model.tree_.attributes, class_labels=(("a", "tuple"), "x")
+        )
+        with pytest.raises(PersistenceError):
+            tree_to_dict(bad)
+
+
+class TestArchives:
+    def test_tree_archive_layout(self, fitted, tmp_path):
+        path = tmp_path / "tree.udt"
+        fitted.tree_.save(path)
+        with zipfile.ZipFile(path) as archive:
+            assert sorted(archive.namelist()) == ["arrays.npz", "model.json"]
+            payload = json.loads(archive.read("model.json"))
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["kind"] == "decision_tree"
+        assert "root" not in payload  # structure lives only under tree.root
+        restored = DecisionTree.load(path)
+        assert restored.structure_signature() == fitted.tree_.structure_signature()
+
+    def test_corrupt_archive_raises(self, tmp_path):
+        path = tmp_path / "broken.udt"
+        path.write_bytes(b"this is not a zip")
+        with pytest.raises(PersistenceError):
+            load_tree(path)
+
+    def test_load_model_rejects_bare_tree_archives(self, fitted, tmp_path):
+        path = tmp_path / "tree.udt"
+        fitted.tree_.save(path)
+        with pytest.raises(PersistenceError):
+            load_model(path)
+
+
+class TestModelArchives:
+    def test_unfitted_model_cannot_be_saved(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_model(UDTClassifier(), tmp_path / "nope.udt")
+
+    def test_params_and_fitted_state_survive(self, two_class_points, tmp_path):
+        X = np.array([item.mean_vector() for item in two_class_points], dtype=float)
+        y = [item.label for item in two_class_points]
+        model = UDTClassifier(strategy="UDT-GP", spec=gaussian(w=0.1, s=8)).fit(X, y)
+        path = tmp_path / "model.udt"
+        model.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, UDTClassifier)
+        assert loaded.strategy == "UDT-GP"
+        assert loaded.spec == model.spec
+        assert loaded.n_features_in_ == model.n_features_in_
+        assert loaded.feature_extents_ == [
+            tuple(extent) for extent in model.feature_extents_
+        ]
+        # Array-valued predict works on the loaded model without refitting.
+        assert np.array_equal(loaded.predict_proba(X), model.predict_proba(X))
+
+    def test_loaded_model_keeps_feature_names_for_name_keyed_specs(
+        self, two_class_points, tmp_path
+    ):
+        class NamedArray(np.ndarray):
+            columns = ("mass", "volume")
+
+        X = np.array([item.mean_vector() for item in two_class_points], dtype=float)
+        y = [item.label for item in two_class_points]
+        spec = {"mass": gaussian(w=0.1, s=6), "*": gaussian(w=0.1, s=6)}
+        model = UDTClassifier(spec=spec).fit(X.view(NamedArray), y)
+        path = tmp_path / "named.udt"
+        model.save(path)
+        loaded = load_model(path)
+        assert loaded.feature_names_in_ == ["mass", "volume"]
+        # Bare ndarrays still resolve the name-keyed spec after loading.
+        assert np.array_equal(loaded.predict_proba(X), model.predict_proba(X))
+
+    def test_averaging_round_trip(self, small_uncertain, tmp_path):
+        model = AveragingClassifier().fit(small_uncertain)
+        path = tmp_path / "avg.udt"
+        model.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded, AveragingClassifier)
+        assert np.array_equal(
+            loaded.predict_proba(small_uncertain), model.predict_proba(small_uncertain)
+        )

@@ -1,0 +1,185 @@
+"""Unit tests for the declarative uncertainty-spec builders (repro.api.spec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    build_dataset,
+    categorical,
+    column_extents,
+    dataset_extents,
+    gaussian,
+    point,
+    resolve_table_spec,
+    samples,
+    uniform,
+)
+from repro.api.spec import GaussianSpec, PointSpec, spec_from_dict, spec_to_dict
+from repro.core import CategoricalDistribution, SampledPdf, UncertainDataset
+from repro.data import inject_uncertainty
+from repro.exceptions import SpecError
+
+
+class TestBuilders:
+    def test_builders_validate_parameters(self):
+        with pytest.raises(SpecError):
+            gaussian(w=-0.1)
+        with pytest.raises(SpecError):
+            uniform(s=0)
+
+    def test_specs_expose_get_set_params(self):
+        spec = gaussian(w=0.1, s=50)
+        assert spec.get_params() == {"w": 0.1, "s": 50}
+        spec.set_params(w=0.2)
+        assert spec.w == 0.2
+        with pytest.raises(SpecError):
+            spec.set_params(sigma=1.0)
+
+    def test_set_params_revalidates(self):
+        """Invalid values via set_params fail as loudly as via the constructor."""
+        with pytest.raises(SpecError):
+            gaussian(w=0.1).set_params(w=-0.3)
+        with pytest.raises(SpecError):
+            uniform(s=10).set_params(s=0)
+        # Nested grid-search routing hits the same validation.
+        from repro.core import UDTClassifier
+
+        with pytest.raises(SpecError):
+            UDTClassifier(spec=gaussian(w=0.1)).set_params(spec__w=-0.3)
+
+    def test_spec_equality_and_repr(self):
+        assert gaussian(w=0.1, s=5) == gaussian(w=0.1, s=5)
+        assert gaussian(w=0.1, s=5) != uniform(w=0.1, s=5)
+        assert "GaussianSpec" in repr(gaussian())
+
+    def test_spec_dict_round_trip(self):
+        for spec in (gaussian(w=0.07, s=13), uniform(), point(), samples(),
+                     categorical(domain=("a", "b"))):
+            restored = spec_from_dict(spec_to_dict(spec))
+            assert type(restored) is type(spec)
+        table = {0: gaussian(w=0.1), "*": point()}
+        restored = spec_from_dict(spec_to_dict(table))
+        assert isinstance(restored[0], GaussianSpec)
+        assert isinstance(restored["*"], PointSpec)
+
+
+class TestResolveTableSpec:
+    def test_none_means_point_everywhere(self):
+        columns = resolve_table_spec(None, 3)
+        assert all(isinstance(c, PointSpec) for c in columns)
+
+    def test_single_spec_broadcasts(self):
+        spec = gaussian(w=0.1)
+        columns = resolve_table_spec(spec, 4)
+        assert columns == [spec] * 4
+
+    def test_mapping_by_index_name_and_star(self):
+        columns = resolve_table_spec(
+            {0: uniform(w=0.2), "b": categorical(), "*": gaussian(w=0.1)},
+            3,
+            attribute_names=["a", "b", "c"],
+        )
+        assert type(columns[0]).__name__ == "UniformSpec"
+        assert columns[1].is_categorical
+        assert type(columns[2]).__name__ == "GaussianSpec"
+
+    def test_mapping_unknown_column_raises(self):
+        with pytest.raises(SpecError):
+            resolve_table_spec({"missing": point()}, 2, attribute_names=["a", "b"])
+        with pytest.raises(SpecError):
+            resolve_table_spec({7: point()}, 2)
+
+    def test_sequence_length_must_match(self):
+        with pytest.raises(SpecError):
+            resolve_table_spec([point()], 2)
+
+
+class TestBuildDataset:
+    def test_point_spec_matches_from_points(self, two_class_points):
+        X = np.array([item.mean_vector() for item in two_class_points], dtype=float)
+        y = [item.label for item in two_class_points]
+        built = build_dataset(X, y)
+        reference = UncertainDataset.from_points(X, y)
+        assert built.class_labels == reference.class_labels
+        for a, b in zip(built, reference):
+            assert a.features == b.features and a.label == b.label
+
+    @pytest.mark.parametrize("error_model,builder", [("gaussian", gaussian), ("uniform", uniform)])
+    def test_w_scaled_specs_match_inject_uncertainty(
+        self, two_class_points, error_model, builder
+    ):
+        """The acceptance equivalence: spec building == ad-hoc injection."""
+        X = np.array([item.mean_vector() for item in two_class_points], dtype=float)
+        y = [item.label for item in two_class_points]
+        built = build_dataset(X, y, spec=builder(w=0.1, s=12))
+        injected = inject_uncertainty(
+            two_class_points, width_fraction=0.1, n_samples=12, error_model=error_model
+        )
+        for a, b in zip(built, injected):
+            assert a.label == b.label
+            for pdf_a, pdf_b in zip(a.features, b.features):
+                assert np.array_equal(pdf_a.xs, pdf_b.xs)
+                assert np.array_equal(pdf_a.masses, pdf_b.masses)
+
+    def test_extents_override_scales_widths(self):
+        X = np.array([[0.0], [1.0]])
+        narrow = build_dataset(X, ["a", "b"], spec=gaussian(w=0.1, s=5))
+        wide = build_dataset(X, ["a", "b"], spec=gaussian(w=0.1, s=5), extents=[(0.0, 10.0)])
+        assert wide.tuples[0].pdf(0).high - wide.tuples[0].pdf(0).low == pytest.approx(
+            10 * (narrow.tuples[0].pdf(0).high - narrow.tuples[0].pdf(0).low)
+        )
+
+    def test_samples_spec_accepts_measurements_pairs_and_pdfs(self):
+        pdf = SampledPdf.gaussian(5.0, 1.0, n_samples=7)
+        rows = [
+            [[1.0, 2.0, 3.0]],            # raw repeated measurements
+            [([0.0, 1.0], [0.5, 0.5])],   # (xs, masses) pair
+            [pdf],                        # ready-made pdf
+        ]
+        data = build_dataset(rows, ["a", "b", "a"], spec=[samples()])
+        assert data.tuples[0].pdf(0).n_samples == 3
+        assert data.tuples[1].pdf(0).prob_leq(0.0) == pytest.approx(0.5)
+        assert data.tuples[2].pdf(0) is pdf
+
+    def test_categorical_spec_infers_domain(self):
+        rows = [["red", 1.0], [{"green": 0.6, "blue": 0.4}, 2.0],
+                [CategoricalDistribution.certain("blue"), 3.0]]
+        data = build_dataset(rows, [0, 1, 1], spec={0: categorical(), "*": point()})
+        assert set(data.attributes[0].domain) == {"red", "green", "blue"}
+        assert data.attributes[1].is_numerical
+
+    def test_unlabelled_rows_for_test_data(self):
+        data = build_dataset(np.zeros((3, 2)), None, class_labels=("a", "b"))
+        assert all(item.label is None for item in data)
+        assert data.class_labels == ("a", "b")
+
+    def test_shape_errors(self):
+        with pytest.raises(SpecError):
+            build_dataset(np.zeros(3), ["x"] * 3)
+        with pytest.raises(SpecError):
+            build_dataset(np.zeros((3, 2)), ["x"] * 2)
+        with pytest.raises(SpecError):
+            build_dataset([], None)
+        with pytest.raises(SpecError):
+            build_dataset(np.zeros((2, 2)), ["a", "b"], attribute_names=["only-one"])
+
+
+class TestExtents:
+    def test_column_extents_only_for_w_scaled_specs(self):
+        rows = np.array([[0.0, 5.0], [2.0, 9.0]])
+        extents = column_extents(rows, [gaussian(w=0.1), point()])
+        assert extents[0] == (0.0, 2.0)
+        assert extents[1] is None
+
+    def test_dataset_extents_from_pdf_means(self, two_class_points):
+        extents = dataset_extents(two_class_points)
+        means = np.array([item.mean_vector() for item in two_class_points], dtype=float)
+        for index, extent in enumerate(extents):
+            assert extent == (means[:, index].min(), means[:, index].max())
+
+    def test_dataset_extents_categorical_is_none(self, mixed_dataset):
+        extents = dataset_extents(mixed_dataset)
+        assert extents[0] is not None
+        assert extents[1] is None

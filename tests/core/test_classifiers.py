@@ -32,7 +32,25 @@ class TestUDTClassifier:
         single = model.predict(small_uncertain.tuples[0])
         assert single in small_uncertain.class_labels
         batch = model.predict(small_uncertain)
-        assert len(batch) == len(small_uncertain)
+        assert isinstance(batch, np.ndarray)
+        assert batch.shape == (len(small_uncertain),)
+
+    def test_fit_populates_sklearn_attributes(self, small_uncertain):
+        model = UDTClassifier().fit(small_uncertain)
+        assert list(model.classes_) == list(small_uncertain.class_labels)
+        assert model.n_features_in_ == small_uncertain.n_attributes
+        assert len(model.feature_extents_) == small_uncertain.n_attributes
+
+    def test_get_set_params_round_trip(self):
+        model = UDTClassifier(strategy="UDT-GP", max_depth=4)
+        params = model.get_params()
+        assert params["strategy"] == "UDT-GP"
+        assert params["max_depth"] == 4
+        model.set_params(strategy="UDT-LP", n_jobs=2)
+        assert model.strategy == "UDT-LP"
+        assert model.n_jobs == 2
+        with pytest.raises(ValueError):
+            model.set_params(bogus=1)
 
     def test_predict_proba_shapes(self, small_uncertain):
         model = UDTClassifier().fit(small_uncertain)
@@ -98,7 +116,7 @@ class TestAveragingVersusUDT:
         """With no uncertainty, AVG and UDT are the same algorithm."""
         avg = AveragingClassifier().fit(two_class_points)
         udt = UDTClassifier(strategy="UDT").fit(two_class_points)
-        assert avg.predict(two_class_points) == udt.predict(two_class_points)
+        assert np.array_equal(avg.predict(two_class_points), udt.predict(two_class_points))
 
     def test_udt_accuracy_at_least_avg_on_table1(self):
         data = table1_dataset()

@@ -1,0 +1,74 @@
+"""Optional-dependency smoke test: the estimators drive real scikit-learn.
+
+scikit-learn is *not* a dependency of this library — the estimators follow
+its protocol by duck typing (``get_params``/``set_params``, ``fit``/
+``predict``/``predict_proba``/``score``, ``classes_``, ``n_features_in_``).
+This module verifies the contract against an actual scikit-learn install
+(the CI ``sklearn-interop`` job installs the ``[sklearn]`` extra); locally
+it is skipped when scikit-learn is missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+sklearn = pytest.importorskip("sklearn")
+
+from sklearn.base import clone  # noqa: E402
+from sklearn.model_selection import GridSearchCV, cross_val_score  # noqa: E402
+
+from repro.api import gaussian  # noqa: E402
+from repro.core import AveragingClassifier, UDTClassifier  # noqa: E402
+
+
+@pytest.fixture
+def arrays(rng):
+    X = np.vstack([rng.normal(0.0, 1.0, (30, 3)), rng.normal(3.5, 1.0, (30, 3))])
+    y = np.array([0] * 30 + [1] * 30)
+    return X, y
+
+
+class TestClone:
+    def test_clone_preserves_params_and_unfits(self, arrays):
+        X, y = arrays
+        model = UDTClassifier(strategy="UDT-GP", spec=gaussian(w=0.1, s=8)).fit(X, y)
+        cloned = clone(model)
+        assert cloned is not model
+        assert cloned.tree_ is None
+        assert cloned.strategy == "UDT-GP"
+        assert cloned.spec is not model.spec
+        assert cloned.spec.get_params() == model.spec.get_params()
+
+    def test_clone_averaging(self):
+        model = AveragingClassifier(max_depth=3)
+        assert clone(model).max_depth == 3
+
+
+class TestCrossValScore:
+    def test_cross_val_score_runs(self, arrays):
+        X, y = arrays
+        scores = cross_val_score(
+            UDTClassifier(spec=gaussian(w=0.1, s=8)), X, y, cv=3
+        )
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.8
+
+
+class TestGridSearch:
+    def test_grid_over_strategy_and_w(self, arrays):
+        X, y = arrays
+        grid = GridSearchCV(
+            UDTClassifier(spec=gaussian(w=0.1, s=6)),
+            param_grid={
+                "strategy": ["UDT", "UDT-ES"],
+                "spec__w": [0.05, 0.2],
+            },
+            cv=2,
+        )
+        grid.fit(X, y)
+        assert grid.best_score_ > 0.8
+        assert grid.best_params_["strategy"] in ("UDT", "UDT-ES")
+        assert grid.best_params_["spec__w"] in (0.05, 0.2)
+        # The refitted best estimator predicts on plain arrays.
+        assert grid.best_estimator_.predict(X).shape == (len(X),)

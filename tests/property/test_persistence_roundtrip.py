@@ -1,0 +1,72 @@
+"""Property: save → load yields an identical tree and bit-identical predictions.
+
+The satellite acceptance test for model persistence: for every fixture
+dataset (numerical, uniform-pdf, Iris-shaped, mixed categorical, and the
+handcrafted Table 1 example), a fitted classifier survives the
+``model.json`` + ``arrays.npz`` archive round trip with
+
+* an identical tree (``structure_signature`` equality covers topology,
+  split points and leaf distributions), and
+* bit-identical ``predict_proba`` output (``np.array_equal``, not
+  ``allclose``) on the training set itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import load_model
+from repro.core import AveragingClassifier, DecisionTree, UDTClassifier
+
+#: Names of conftest dataset fixtures the round trip must hold on.
+_DATASET_FIXTURES = (
+    "table1",
+    "small_uncertain",
+    "uniform_uncertain",
+    "iris_like",
+    "mixed_dataset",
+)
+
+
+@pytest.fixture(params=_DATASET_FIXTURES)
+def dataset(request):
+    return request.getfixturevalue(request.param)
+
+
+@pytest.mark.parametrize("estimator_class", [UDTClassifier, AveragingClassifier])
+def test_model_round_trip_is_exact(dataset, estimator_class, tmp_path):
+    model = estimator_class().fit(dataset)
+    path = tmp_path / "model.udt"
+    model.save(path)
+    loaded = load_model(path)
+
+    assert type(loaded) is estimator_class
+    assert loaded.tree_.structure_signature() == model.tree_.structure_signature()
+    assert loaded.tree_.n_nodes == model.tree_.n_nodes
+    assert np.array_equal(loaded.predict_proba(dataset), model.predict_proba(dataset))
+    assert np.array_equal(loaded.predict(dataset), model.predict(dataset))
+
+
+def test_tree_round_trip_is_exact(dataset, tmp_path):
+    tree = UDTClassifier(strategy="UDT", post_prune=False).fit(dataset).tree_
+    path = tmp_path / "tree.udt"
+    tree.save(path)
+    restored = DecisionTree.load(path)
+    assert restored.structure_signature() == tree.structure_signature()
+    assert np.array_equal(restored.classify_dataset(dataset), tree.classify_dataset(dataset))
+
+
+def test_double_round_trip_is_stable(small_uncertain, tmp_path):
+    """Serialising a loaded model again produces an equivalent model."""
+    model = UDTClassifier().fit(small_uncertain)
+    first = tmp_path / "first.udt"
+    second = tmp_path / "second.udt"
+    model.save(first)
+    loaded = load_model(first)
+    loaded.save(second)
+    again = load_model(second)
+    assert again.tree_.structure_signature() == model.tree_.structure_signature()
+    assert np.array_equal(
+        again.predict_proba(small_uncertain), model.predict_proba(small_uncertain)
+    )

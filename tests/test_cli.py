@@ -24,6 +24,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sensitivity", "--parameter", "x"])
 
+    def test_engine_flag_on_every_experiment_command(self):
+        for command in ("accuracy", "noise", "efficiency", "sensitivity"):
+            args = build_parser().parse_args([command, "--engine", "tuples"])
+            assert args.engine == "tuples"
+            assert build_parser().parse_args([command]).engine == "columnar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--engine", "warp-drive"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestCommands:
     def test_example_command(self, capsys):
@@ -71,3 +87,11 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "UDT accuracy" in output
+
+    def test_accuracy_command_with_tuples_engine(self, capsys):
+        code = main(
+            ["accuracy", "--dataset", "Iris", "--scale", "0.3", "--samples", "6",
+             "--folds", "3", "--widths", "0.1", "--engine", "tuples"]
+        )
+        assert code == 0
+        assert "AVG accuracy" in capsys.readouterr().out
