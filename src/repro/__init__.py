@@ -59,12 +59,13 @@ from repro.exceptions import (
     PdfError,
     PersistenceError,
     ReproError,
+    ServingError,
     SpecError,
     SplitError,
     TreeError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -89,6 +90,7 @@ __all__ = [
     "PdfError",
     "PersistenceError",
     "ReproError",
+    "ServingError",
     "SpecError",
     "STRATEGY_NAMES",
     "SampledPdf",

@@ -29,6 +29,7 @@ from repro.api.persistence import (
     FORMAT_VERSION,
     load_model,
     load_tree,
+    read_model_metadata,
     save_model,
     save_tree,
     tree_from_dict,
@@ -76,6 +77,7 @@ __all__ = [
     "load_model",
     "load_tree",
     "point",
+    "read_model_metadata",
     "resolve_table_spec",
     "samples",
     "save_model",

@@ -46,6 +46,7 @@ __all__ = [
     "load_tree",
     "save_model",
     "load_model",
+    "read_model_metadata",
 ]
 
 #: Current on-disk format version; bump on incompatible layout changes.
@@ -350,6 +351,41 @@ def _estimator_classes() -> dict:
     from repro.core.udt import UDTClassifier
 
     return {"UDTClassifier": UDTClassifier, "AveragingClassifier": AveragingClassifier}
+
+
+def read_model_metadata(path) -> dict:
+    """Cheap metadata header of a saved archive, without loading the tree.
+
+    Reads only the ``model.json`` member (the NPZ distribution matrix stays
+    untouched, and the node dictionaries are not converted back into tree
+    objects), so a model registry can describe hundreds of archives without
+    paying the full load cost.  Works for both estimator and bare-tree
+    archives; estimator-only fields are ``None`` for trees.
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            payload = json.loads(archive.read(_JSON_MEMBER))
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(f"cannot read model archive {str(path)!r}: {exc}") from exc
+    _check_version(payload)
+    params = payload.get("params") or {}
+    attributes = payload.get("attributes") or []
+    class_labels = payload.get("class_labels") or []
+    return {
+        "kind": payload.get("kind"),
+        "estimator_class": payload.get("estimator_class"),
+        "format_version": payload["format_version"],
+        "repro_version": payload.get("repro_version"),
+        "n_features": len(attributes),
+        "n_classes": len(class_labels),
+        "class_labels": list(class_labels),
+        "attributes": [
+            {"name": entry.get("name"), "kind": entry.get("kind")} for entry in attributes
+        ],
+        "engine": params.get("engine"),
+        "strategy": params.get("strategy"),
+    }
 
 
 def load_model(path):

@@ -10,13 +10,21 @@ user can regenerate any of the paper's artefacts without writing code::
     python -m repro sensitivity --dataset Glass --parameter s   # Fig. 8 / Fig. 9
     python -m repro datasets                     # list the Table 2 stand-ins
 
-Every command accepts ``--scale`` and ``--samples`` to trade fidelity for
-speed (the defaults finish in seconds).
+Every experiment command accepts ``--scale`` and ``--samples`` to trade
+fidelity for speed (the defaults finish in seconds).
+
+Beyond the paper's experiments, the CLI fronts the production side of the
+library::
+
+    python -m repro predict model.zip data.csv --proba   # offline scoring
+    python -m repro serve --models models/ --port 8000   # HTTP model server
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import sys
 from typing import Sequence
 
 from repro import __version__
@@ -102,7 +110,131 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sensitivity, jobs=False)
     sensitivity.add_argument("--parameter", choices=("s", "w"), default="s")
 
+    predict = subparsers.add_parser(
+        "predict", help="offline scoring: apply a saved model to a CSV of rows"
+    )
+    predict.add_argument("model", help="path to a model .zip saved with model.save()")
+    predict.add_argument("data", help="CSV of feature rows (a non-numeric first row "
+                                      "is treated as a header and skipped)")
+    predict.add_argument("--proba", action="store_true",
+                         help="emit per-class probabilities besides the labels")
+    predict.add_argument("--output", default=None,
+                         help="write the CSV result here instead of stdout")
+
+    serve = subparsers.add_parser(
+        "serve", help="HTTP model server with micro-batched inference"
+    )
+    serve.add_argument("--models", required=True,
+                       help="directory of model .zip archives (file stem = model name)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="listening port (0 binds an ephemeral port)")
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       help="rows per coalesced predict_batch call")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="how long the coalescer lingers for more requests")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU prediction-cache entries per model (0 disables)")
+    serve.add_argument("--predict-engine", choices=("columnar", "tuples"),
+                       default="columnar",
+                       help="batch classification path ('tuples' walks the tree "
+                            "per row; only useful for benchmarking)")
+    serve.add_argument("--preload", action="store_true",
+                       help="load every model at startup instead of on first request")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     return parser
+
+
+def _read_csv_rows(path: str) -> list:
+    """Feature rows of a CSV file; a non-numeric first row is a header."""
+    with open(path, newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row]
+    if not rows:
+        return []
+
+    def numeric(row: list) -> bool:
+        try:
+            [float(cell) for cell in row]
+            return True
+        except ValueError:
+            return False
+
+    if not numeric(rows[0]):
+        rows = rows[1:]
+    return [[float(cell) for cell in row] for row in rows]
+
+
+def _run_predict(args) -> int:
+    import numpy as np
+
+    from repro.api import load_model
+
+    model = load_model(args.model)
+    try:
+        rows = _read_csv_rows(args.data)
+    except ValueError as exc:
+        print(f"error: {args.data} contains a non-numeric cell: {exc}", file=sys.stderr)
+        return 2
+    classes = [
+        label.item() if hasattr(label, "item") else label for label in model.classes_
+    ]
+    n_features = len(model.feature_names_in_)
+    widths = {len(row) for row in rows}
+    if widths and widths != {n_features}:
+        print(
+            f"error: {args.data} has rows of {sorted(widths)} columns but the "
+            f"model expects exactly {n_features} features per row",
+            file=sys.stderr,
+        )
+        return 2
+    matrix = np.asarray(rows, dtype=float).reshape(-1, n_features)
+    probabilities = model.predict_proba(matrix)
+    labels = [classes[index] for index in np.argmax(probabilities, axis=1)]
+
+    handle = open(args.output, "w", newline="") if args.output else sys.stdout
+    try:
+        writer = csv.writer(handle)
+        if args.proba:
+            writer.writerow(["label"] + [f"p_{label}" for label in classes])
+            for label, distribution in zip(labels, probabilities):
+                writer.writerow([label] + [repr(float(p)) for p in distribution])
+        else:
+            writer.writerow(["label"])
+            for label in labels:
+                writer.writerow([label])
+    finally:
+        if args.output:
+            handle.close()
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.serve import create_server
+
+    server = create_server(
+        args.models,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        predict_engine=args.predict_engine,
+        preload=args.preload,
+        verbose=args.verbose,
+    )
+    names = server.registry.names()
+    print(f"serving {len(names)} model(s) on {server.url}", flush=True)
+    for name in names:
+        print(f"  - {name}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
 
 
 def _run_example() -> None:
@@ -142,6 +274,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_example()
     elif args.command == "datasets":
         _run_datasets()
+    elif args.command == "predict":
+        return _run_predict(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "accuracy":
         experiment = AccuracyExperiment(
             args.dataset, scale=args.scale, n_samples=args.samples,

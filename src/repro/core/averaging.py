@@ -18,10 +18,6 @@ datasets (see :mod:`repro.core.estimator`).
 
 from __future__ import annotations
 
-from typing import Hashable
-
-import numpy as np
-
 from repro.core.dataset import UncertainDataset, UncertainTuple
 from repro.core.dispersion import DispersionMeasure
 from repro.core.estimator import BaseTreeEstimator
@@ -91,10 +87,5 @@ class AveragingClassifier(BaseTreeEstimator):
                 features.append(CategoricalDistribution.certain(value.most_likely()))
         return UncertainTuple(features, label=item.label, weight=item.weight)
 
-    def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
-        """Predicted labels for a whole dataset (mean-reduced, batch path)."""
-        return self._require_tree().predict_dataset(dataset.to_point_dataset())
-
-    def predict_proba_batch(self, dataset: UncertainDataset) -> np.ndarray:
-        """Class-probability matrix for a whole dataset (mean-reduced)."""
-        return self._require_tree().classify_batch(dataset.to_point_dataset())
+    # ``predict_batch`` / ``predict_proba_batch`` come from
+    # BaseTreeEstimator; ``_prepare_eval`` supplies the mean reduction.

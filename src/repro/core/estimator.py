@@ -45,6 +45,17 @@ from repro.exceptions import DatasetError, TreeError
 __all__ = ["BaseTreeEstimator", "clone_estimator"]
 
 
+def _input_length(X) -> int | None:
+    """Row count of an array-like, or ``None`` when it cannot be sized."""
+    shape = getattr(X, "shape", None)
+    if shape is not None and len(shape) >= 1:
+        return int(shape[0])
+    try:
+        return len(X)
+    except TypeError:
+        return None
+
+
 class BaseTreeEstimator(ParamsMixin):
     """sklearn-compatible base class of the uncertain-tree classifiers.
 
@@ -143,11 +154,47 @@ class BaseTreeEstimator(ParamsMixin):
         self.feature_names_in_ = [attribute.name for attribute in dataset.attributes]
         return dataset
 
+    def _normalise_eval_rows(self, X):
+        """Make array-like predict input 2-D: 1-D input becomes one row.
+
+        A 1-D array (or flat sequence of scalars) whose length matches
+        ``n_features_in_`` is interpreted as a single sample; the fitted
+        feature count disambiguates it from a column of single-feature rows.
+        """
+        n_features = getattr(self, "n_features_in_", None)
+        if n_features is None:
+            return X
+        values = X
+        if not isinstance(values, np.ndarray):
+            try:
+                candidate = np.asarray(values)
+            except Exception:
+                return X
+            if candidate.dtype == object:
+                return X
+            values = candidate
+        if values.ndim != 1 or values.size == 0:
+            return X
+        if values.size == n_features:
+            return values.reshape(1, -1)
+        if n_features == 1:
+            return values.reshape(-1, 1)
+        raise DatasetError(
+            f"1-D input of length {values.size} does not match the "
+            f"{n_features} features seen during fit; pass a 2-D array"
+        )
+
     def _coerce_eval(self, X) -> UncertainDataset:
         from repro.api.spec import build_dataset
 
         if isinstance(X, UncertainDataset):
             return X
+        X = self._normalise_eval_rows(X)
+        if _input_length(X) == 0:
+            # Empty batches short-circuit: build_dataset cannot infer a
+            # schema from zero rows, but a fitted tree knows its own.
+            tree = self._require_tree()
+            return UncertainDataset(tree.attributes, [], class_labels=tree.class_labels)
         # Test-time arrays reuse the names recorded at fit, so name-keyed
         # specs keep resolving even when predict() receives a bare ndarray.
         names = self._column_names(X) or getattr(self, "feature_names_in_", None)
@@ -191,6 +238,21 @@ class BaseTreeEstimator(ParamsMixin):
             return tree.classify(self._prepare_tuple(X))
         dataset = self._prepare_eval(self._coerce_eval(X))
         return tree.classify_dataset(dataset)
+
+    def predict_batch(self, X) -> list:
+        """Predicted labels for a whole dataset or array (columnar batch path).
+
+        Kept from the pre-array API (it predates ``predict`` handling whole
+        datasets); returns a plain list of labels.  Arrays are coerced
+        through the estimator's ``spec`` exactly like :meth:`predict`.
+        """
+        tree = self._require_tree()
+        return tree.predict_dataset(self._prepare_eval(self._coerce_eval(X)))
+
+    def predict_proba_batch(self, X) -> np.ndarray:
+        """Class-probability matrix for a whole dataset or array."""
+        tree = self._require_tree()
+        return tree.classify_batch(self._prepare_eval(self._coerce_eval(X)))
 
     def score(self, X, y: Sequence[Hashable] | None = None) -> float:
         """Accuracy against ``y`` (arrays) or the dataset's own labels."""

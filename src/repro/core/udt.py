@@ -12,11 +12,6 @@ cost.
 
 from __future__ import annotations
 
-from typing import Hashable
-
-import numpy as np
-
-from repro.core.dataset import UncertainDataset
 from repro.core.dispersion import DispersionMeasure
 from repro.core.estimator import BaseTreeEstimator
 from repro.core.strategies import SplitFinder, get_strategy
@@ -90,13 +85,7 @@ class UDTClassifier(BaseTreeEstimator):
         """Name of the configured split-finding strategy."""
         return get_strategy(self.strategy).name
 
-    # Batch aliases kept from the pre-array API; ``predict`` /
-    # ``predict_proba`` on a dataset already take the columnar batch path.
-
-    def predict_batch(self, dataset: UncertainDataset) -> list[Hashable]:
-        """Predicted labels for a whole dataset via the columnar batch path."""
-        return self._require_tree().predict_dataset(dataset)
-
-    def predict_proba_batch(self, dataset: UncertainDataset) -> np.ndarray:
-        """Class-probability matrix for a whole dataset (columnar batch path)."""
-        return self._require_tree().classify_batch(dataset)
+    # ``predict_batch`` / ``predict_proba_batch`` (the pre-array batch
+    # aliases) are inherited from BaseTreeEstimator and accept datasets and
+    # arrays alike; ``predict`` / ``predict_proba`` on a dataset already
+    # take the columnar batch path.

@@ -58,3 +58,17 @@ class PersistenceError(ReproError):
     ``float``, ``bool`` and ``None`` survive the JSON round trip), corrupt
     archives, and format versions newer than this library understands.
     """
+
+
+class ServingError(ReproError):
+    """Raised by the serving subsystem (:mod:`repro.serve`).
+
+    Examples include unknown model names in a registry, malformed prediction
+    requests, an inference engine that has been shut down, and HTTP error
+    responses surfaced by :class:`~repro.serve.client.ServingClient` (which
+    carry the server's status code as :attr:`ServingError.status`).
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,47 @@
+"""Serving subsystem: model registry, micro-batching inference, HTTP API.
+
+Layers (each usable on its own):
+
+* :class:`~repro.serve.registry.ModelRegistry` — a directory of persisted
+  ``model.zip`` archives (:mod:`repro.api.persistence` format), keyed by
+  file stem, lazily loaded and hot-reloaded when the file changes;
+* :class:`~repro.serve.engine.InferenceEngine` — micro-batching queue that
+  coalesces concurrent requests into single columnar ``predict_proba``
+  calls, with a per-model LRU prediction cache;
+* :func:`~repro.serve.http.create_server` /
+  :class:`~repro.serve.http.ServingHTTPServer` — stdlib-only JSON-over-HTTP
+  front-end (``repro serve`` on the CLI);
+* :class:`~repro.serve.client.ServingClient` — the matching client.
+
+Quickstart::
+
+    from repro.serve import create_server, ServingClient
+    import threading
+
+    server = create_server("models/", port=8000)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServingClient(server.url)
+    client.predict("iris", [[5.1, 3.5, 1.4, 0.2]]).labels
+
+Served probabilities are bit-identical to offline
+``load_model(path).predict_proba(rows)`` — coalescing and caching never
+change results (see ``tests/property/test_serving_equivalence.py``).
+"""
+
+from repro.serve.client import PredictResult, ServingClient
+from repro.serve.engine import PREDICT_ENGINES, InferenceEngine
+from repro.serve.http import ServingHTTPServer, create_server
+from repro.serve.metrics import ServingMetrics
+from repro.serve.registry import ModelEntry, ModelRegistry
+
+__all__ = [
+    "InferenceEngine",
+    "ModelEntry",
+    "ModelRegistry",
+    "PREDICT_ENGINES",
+    "PredictResult",
+    "ServingClient",
+    "ServingHTTPServer",
+    "ServingMetrics",
+    "create_server",
+]

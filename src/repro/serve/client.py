@@ -1,0 +1,120 @@
+"""Thin stdlib HTTP client for the serving API.
+
+Used by the tests, the benchmark driver and the CI serving smoke job; it is
+also the reference for how to talk to the server from any other language —
+every call is one JSON request/response pair over plain HTTP.
+
+    client = ServingClient("http://127.0.0.1:8000")
+    client.health()                       # {"status": "ok", ...}
+    client.models()                       # registry listing
+    result = client.predict("iris", [[5.1, 3.5, 1.4, 0.2]])
+    result.labels                         # ['setosa']
+    result.probabilities                  # ndarray (1, n_classes)
+
+Server-side failures surface as :class:`~repro.exceptions.ServingError`
+carrying the HTTP status code and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+__all__ = ["PredictResult", "ServingClient"]
+
+
+@dataclass
+class PredictResult:
+    """One prediction response: labels plus optional probabilities."""
+
+    model: str
+    labels: list
+    classes: list
+    probabilities: np.ndarray | None = field(default=None)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PredictResult":
+        probabilities = payload.get("probabilities")
+        return cls(
+            model=payload["model"],
+            labels=list(payload["labels"]),
+            classes=list(payload["classes"]),
+            probabilities=(
+                np.asarray(probabilities, dtype=float) if probabilities is not None else None
+            ),
+        )
+
+
+class ServingClient:
+    """Blocking JSON-over-HTTP client for one serving process."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, path: str, body: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                message = str(exc.reason)
+            raise ServingError(
+                f"server returned {exc.code}: {message}", status=exc.code
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {url}: {exc.reason}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError(f"unexpected response payload from {url}")
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("/metrics")
+
+    def models(self) -> list:
+        """``GET /v1/models`` — the registry listing."""
+        return self._request("/v1/models")["models"]
+
+    def model(self, name: str) -> dict:
+        """``GET /v1/models/<name>`` — metadata of one model."""
+        return self._request(f"/v1/models/{name}")
+
+    def predict(self, model: str, rows, *, proba: bool = True) -> PredictResult:
+        """``POST /v1/models/<model>:predict`` for ``rows``.
+
+        ``rows`` is any 2-D array-like (or a single flat row); ``proba``
+        controls whether per-class probabilities are included in the
+        response.
+        """
+        matrix = np.asarray(rows, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1) if matrix.size else matrix.reshape(0, 0)
+        payload = self._request(
+            f"/v1/models/{model}:predict",
+            body={"rows": matrix.tolist(), "proba": proba},
+        )
+        return PredictResult.from_payload(payload)

@@ -1,0 +1,359 @@
+"""Micro-batching inference engine with an LRU prediction cache.
+
+The paper's efficiency story (Figs. 6-7) is about amortising per-tuple pdf
+work; this module is the serving-side analogue.  Concurrent callers submit
+single rows (or small arrays) through :meth:`InferenceEngine.predict_proba`;
+a background coalescer thread drains the queue and issues **one** columnar
+``predict_proba`` call per tick for all rows addressed to the same model, so
+the per-call costs (spec conversion set-up, pdf store construction, the tree
+walk dispatch) are paid once per batch instead of once per row.
+
+Guarantees:
+
+* **bit-identical results** — the batch path of
+  :meth:`repro.core.tree.DecisionTree.classify_batch` processes every row
+  independently, so coalescing arbitrary requests into one call returns
+  exactly the probabilities that ``load_model(path).predict_proba(rows)``
+  would (property-tested in ``tests/property/test_serving_equivalence.py``);
+* **isolation** — requests are validated against the model's feature count
+  *before* enqueueing, so one malformed request can never fail a batch it
+  shares with well-formed ones;
+* **freshness** — the per-model cache is invalidated whenever the registry
+  hot-reloads the model underneath it.
+
+Tuning knobs: ``max_batch`` (rows per coalesced call), ``max_wait_ms`` (how
+long the coalescer lingers for stragglers once a request is queued),
+``cache_size`` (LRU entries per model) and ``cache_decimals``.  Cache keys
+are the exact feature bytes by default, which is what keeps the bit-identical
+guarantee unconditional; setting ``cache_decimals`` to an integer instead
+rounds the features first, trading that exactness for cache hits on rows
+that differ only by float jitter below ``10^-decimals``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import OrderedDict, deque
+
+import numpy as np
+
+from repro.exceptions import ServingError
+from repro.serve.metrics import ServingMetrics
+from repro.serve.registry import ModelRegistry, json_scalars
+
+__all__ = ["InferenceEngine", "PREDICT_ENGINES"]
+
+#: Predict-time engines: ``columnar`` classifies the coalesced batch with one
+#: vectorised tree descent; ``tuples`` walks the tree per row (the pre-batch
+#: behaviour, kept for benchmarking the coalescing win).
+PREDICT_ENGINES = ("columnar", "tuples")
+
+
+class _Pending:
+    """One enqueued request: rows in, per-row probabilities (or an error) out.
+
+    Carries the model snapshot the rows were validated against, so the
+    coalescer serves the request with exactly that model even if the
+    registry hot-reloads the archive while the request sits in the queue.
+    """
+
+    __slots__ = ("rows", "model", "event", "result", "error")
+
+    def __init__(self, rows: np.ndarray, model) -> None:
+        self.rows = rows
+        self.model = model
+        self.event = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class InferenceEngine:
+    """Coalescing prediction front-end over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 1024,
+        cache_decimals: "int | None" = None,
+        predict_engine: str = "columnar",
+        request_timeout_s: float = 30.0,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be at least 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServingError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if cache_size < 0:
+            raise ServingError(f"cache_size must be non-negative, got {cache_size}")
+        if predict_engine not in PREDICT_ENGINES:
+            raise ServingError(
+                f"unknown predict engine {predict_engine!r}; expected one of {PREDICT_ENGINES}"
+            )
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self.cache_decimals = cache_decimals
+        self.predict_engine = predict_engine
+        self.request_timeout_s = request_timeout_s
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._condition = threading.Condition()
+        self._queue: deque = deque()  # (model_name, _Pending) in arrival order
+        self._closed = False
+        # Per-model LRU caches plus a weakref to the model they were filled
+        # from, so a registry hot-reload invalidates stale predictions.  A
+        # weakref identity check cannot be fooled by CPython recycling a
+        # collected model's id() for a later model object.
+        self._cache_lock = threading.Lock()
+        self._caches: dict[str, OrderedDict] = {}
+        self._cache_markers: dict[str, "weakref.ref"] = {}
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True
+        )
+        self._worker.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the coalescer thread (outstanding requests still complete)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request path --------------------------------------------------------
+
+    def _as_matrix(self, rows, n_features: int) -> np.ndarray:
+        try:
+            matrix = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"rows are not numeric: {exc}", status=400) from exc
+        if matrix.ndim == 1:
+            if matrix.size == 0:
+                matrix = matrix.reshape(0, n_features)
+            elif matrix.size == n_features:
+                matrix = matrix.reshape(1, -1)
+            else:
+                raise ServingError(
+                    f"a single row needs {n_features} features, got {matrix.size}",
+                    status=400,
+                )
+        if matrix.ndim != 2:
+            raise ServingError(
+                f"rows must be a 2-D array of shape (n, {n_features}), got ndim={matrix.ndim}",
+                status=400,
+            )
+        if matrix.shape[0] and matrix.shape[1] != n_features:
+            # Validated here, before enqueueing: a wrong-width request must
+            # fail alone, never the coalesced batch it would have joined.
+            raise ServingError(
+                f"rows have {matrix.shape[1]} features, model expects {n_features}",
+                status=400,
+            )
+        return matrix
+
+    def _cache_key(self, row: np.ndarray):
+        if self.cache_decimals is None:
+            # Exact bytes: only a bit-for-bit identical row can hit, so the
+            # cache can never substitute one row's probabilities for another's.
+            return row.tobytes()
+        return tuple(round(float(value), self.cache_decimals) for value in row)
+
+    def _cache_for(self, name: str, model) -> "OrderedDict | None":
+        if self.cache_size == 0:
+            return None
+        with self._cache_lock:
+            marker = self._cache_markers.get(name)
+            if marker is None or marker() is not model:
+                # The registry reloaded the model: drop stale predictions.
+                self._caches[name] = OrderedDict()
+                self._cache_markers[name] = weakref.ref(model)
+            return self._caches.setdefault(name, OrderedDict())
+
+    def _cache_put(self, cache: OrderedDict, key: tuple, value: np.ndarray) -> None:
+        entry = np.array(value, copy=True)
+        entry.flags.writeable = False
+        with self._cache_lock:
+            cache[key] = entry
+            cache.move_to_end(key)
+            while len(cache) > self.cache_size:
+                cache.popitem(last=False)
+
+    def predict_proba(self, model_name: str, rows) -> np.ndarray:
+        """Class probabilities ``(n, n_classes)`` for ``rows``, micro-batched.
+
+        Blocks until the coalescer has served the request.  Raises
+        :class:`~repro.exceptions.ServingError` for unknown models, malformed
+        rows, engine shutdown, and coalescer timeouts.
+        """
+        _, probabilities = self._predict_with_model(model_name, rows)
+        return probabilities
+
+    def _predict_with_model(self, model_name: str, rows):
+        """``(model, probabilities)`` — one model snapshot drives everything.
+
+        The snapshot fetched here is validated against, cached against, and
+        (via :class:`_Pending`) classified with; a registry hot reload that
+        lands mid-request can therefore never mix two models' outputs.
+        """
+        if self._closed:
+            raise ServingError("the inference engine is closed", status=503)
+        model = self.registry.get(model_name)
+        n_features = int(model.n_features_in_)
+        matrix = self._as_matrix(rows, n_features)
+        n_rows = matrix.shape[0]
+        if n_rows == 0:
+            return model, np.zeros((0, len(model.classes_)))
+
+        cache = self._cache_for(model_name, model)
+        results: list = [None] * n_rows
+        miss_positions = list(range(n_rows))
+        keys: list = []
+        if cache is not None:
+            keys = [self._cache_key(row) for row in matrix]
+            hits = 0
+            miss_positions = []
+            with self._cache_lock:
+                for position, key in enumerate(keys):
+                    cached = cache.get(key)
+                    if cached is not None:
+                        cache.move_to_end(key)
+                        results[position] = cached
+                        hits += 1
+                    else:
+                        miss_positions.append(position)
+            self.metrics.record_cache(hits=hits, misses=len(miss_positions))
+
+        if miss_positions:
+            pending = _Pending(matrix[miss_positions], model)
+            with self._condition:
+                if self._closed:
+                    raise ServingError("the inference engine is closed", status=503)
+                self._queue.append((model_name, pending))
+                self._condition.notify_all()
+            if not pending.event.wait(self.request_timeout_s):
+                raise ServingError(
+                    f"inference timed out after {self.request_timeout_s:.1f}s", status=504
+                )
+            if pending.error is not None:
+                error = pending.error
+                if isinstance(error, ServingError):
+                    raise error
+                raise ServingError(str(error), status=400) from error
+            assert pending.result is not None
+            for offset, position in enumerate(miss_positions):
+                results[position] = pending.result[offset]
+                if cache is not None:
+                    self._cache_put(cache, keys[position], pending.result[offset])
+        return model, np.stack(results)
+
+    def predict(self, model_name: str, rows):
+        """``(labels, probabilities)`` for ``rows``.
+
+        Labels are the argmax of the probabilities over the model's
+        ``classes_`` — the same reduction ``predict`` applies offline.
+        """
+        labels, probabilities, _ = self.predict_full(model_name, rows)
+        return labels, probabilities
+
+    def predict_full(self, model_name: str, rows):
+        """``(labels, probabilities, classes)`` from one model snapshot.
+
+        ``classes`` are JSON-ready scalars in probability-column order; all
+        three pieces come from the same model object, so a concurrent hot
+        reload cannot pair one model's probabilities with another's labels.
+        """
+        model, probabilities = self._predict_with_model(model_name, rows)
+        classes = np.asarray(model.classes_)
+        labels = classes[np.argmax(probabilities, axis=1)] if len(probabilities) \
+            else classes[:0]
+        return labels, probabilities, json_scalars(model.classes_)
+
+    # -- the coalescer -------------------------------------------------------
+
+    def _rows_queued(self, name: str) -> int:
+        return sum(len(pending.rows) for qname, pending in self._queue if qname == name)
+
+    def _take_batch(self, name: str, model) -> list:
+        """Pop queued requests for ``name`` up to ``max_batch`` rows (locked).
+
+        Only requests validated against the same ``model`` snapshot join the
+        batch; requests that raced a hot reload wait for the next tick and
+        are then served by their own snapshot.
+        """
+        taken: list = []
+        kept: deque = deque()
+        total = 0
+        for qname, pending in self._queue:
+            fits = not taken or total + len(pending.rows) <= self.max_batch
+            if qname == name and pending.model is model and fits:
+                taken.append(pending)
+                total += len(pending.rows)
+            else:
+                kept.append((qname, pending))
+        self._queue = kept
+        return taken
+
+    def _invoke(self, model, matrix: np.ndarray) -> np.ndarray:
+        if self.predict_engine == "columnar":
+            return model.predict_proba(matrix)
+        # Per-tuple walk: the same spec conversion, then one recursive
+        # descent per row — the baseline the coalescer is benchmarked against.
+        dataset = model._prepare_eval(model._coerce_eval(matrix))
+        tree = model.tree_
+        return np.stack([tree.classify(item) for item in dataset])
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait()
+                if not self._queue:
+                    return  # closed and drained
+                name = self._queue[0][0]
+                model = self._queue[0][1].model
+                if self.max_wait_ms > 0 and self.max_batch > 1:
+                    # Linger for stragglers: better batches at the cost of at
+                    # most max_wait_ms extra latency for the first request.
+                    deadline = time.monotonic() + self.max_wait_ms / 1e3
+                    while (
+                        not self._closed
+                        and self._rows_queued(name) < self.max_batch
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._condition.wait(remaining)
+                taken = self._take_batch(name, model)
+            if not taken:
+                continue
+            try:
+                matrix = (
+                    taken[0].rows
+                    if len(taken) == 1
+                    else np.concatenate([pending.rows for pending in taken])
+                )
+                probabilities = self._invoke(model, matrix)
+                self.metrics.record_batch(matrix.shape[0])
+                offset = 0
+                for pending in taken:
+                    count = len(pending.rows)
+                    pending.result = probabilities[offset:offset + count]
+                    offset += count
+            except BaseException as exc:  # noqa: BLE001 - delivered to callers
+                for pending in taken:
+                    pending.error = exc
+            finally:
+                for pending in taken:
+                    pending.event.set()

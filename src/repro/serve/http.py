@@ -1,0 +1,251 @@
+"""Stdlib-only HTTP front-end for the serving subsystem.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no runtime dependencies
+beyond the standard library.  One shared :class:`~repro.serve.registry.ModelRegistry`
+and :class:`~repro.serve.engine.InferenceEngine` serve every handler thread;
+the engine's coalescer is what turns the per-thread single requests into
+columnar batch calls.
+
+Endpoints (all JSON):
+
+``GET /healthz``
+    Liveness: ``{"status": "ok", "models": <count>, "version": ...}``.
+``GET /v1/models``
+    Registry listing with per-model metadata (classes, feature schema,
+    construction engine, repro/format versions).
+``GET /v1/models/<name>``
+    Metadata of one model (404 for unknown names).
+``GET /metrics``
+    :meth:`~repro.serve.metrics.ServingMetrics.snapshot`: request counts,
+    batch-size histogram, cache hit rate, p50/p90/p99 latency.
+``POST /v1/models/<name>:predict``
+    Body ``{"rows": [[...], ...], "proba": true}`` → ``{"labels": [...],
+    "probabilities": [[...]], "classes": [...]}``.  Malformed bodies and
+    shape mismatches are 400s, unknown models 404s; errors are
+    ``{"error": <message>}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.exceptions import DatasetError, ServingError, SpecError, TreeError
+from repro.serve.engine import InferenceEngine
+from repro.serve.metrics import ServingMetrics
+from repro.serve.registry import ModelRegistry
+
+__all__ = ["ServingHTTPServer", "create_server"]
+
+#: Maximum accepted request-body size (64 MiB) — a plain-guard against
+#: unbounded reads, not a tuning knob.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {key: _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the shared registry/engine/metrics triple."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServingHTTPServer"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(_jsonable(payload)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may respond before draining the request body; under
+            # HTTP/1.1 keep-alive the unread bytes would be parsed as the next
+            # request line, so drop the connection instead of reusing it.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+        if status >= 400:
+            self.server.metrics.record_error(status)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServingError("request body is empty; send a JSON object", status=400)
+        if length > _MAX_BODY_BYTES:
+            raise ServingError(f"request body exceeds {_MAX_BODY_BYTES} bytes", status=413)
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(f"request body is not valid JSON: {exc}", status=400) from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object", status=400)
+        return payload
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.server.metrics.record_request()
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "models": len(self.server.registry.names()),
+                        "version": _repro_version(),
+                    },
+                )
+            elif path == "/metrics":
+                self._send_json(200, self.server.metrics.snapshot())
+            elif path == "/v1/models":
+                self._send_json(200, {"models": self.server.registry.describe()})
+            elif path.startswith("/v1/models/"):
+                name = path[len("/v1/models/"):]
+                self._send_json(200, self.server.registry.metadata(name))
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ServingError as exc:
+            self._send_json(exc.status or 400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.server.metrics.record_request()
+        started = time.perf_counter()
+        try:
+            path = self.path.split("?", 1)[0]
+            if not (path.startswith("/v1/models/") and path.endswith(":predict")):
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                return
+            name = path[len("/v1/models/"):-len(":predict")]
+            if not name:
+                raise ServingError("missing model name", status=404)
+            payload = self._read_json_body()
+            if "rows" not in payload:
+                raise ServingError('request needs a "rows" field', status=400)
+            rows = payload["rows"]
+            if not isinstance(rows, list):
+                raise ServingError('"rows" must be a list of feature rows', status=400)
+            include_proba = payload.get("proba", True)
+            if not isinstance(include_proba, bool):
+                raise ServingError('"proba" must be a boolean', status=400)
+            # predict_full derives labels, probabilities and classes from one
+            # model snapshot, so a concurrent hot reload cannot mix models.
+            labels, probabilities, classes = self.server.engine.predict_full(name, rows)
+            response = {
+                "model": name,
+                "labels": labels,
+                "classes": classes,
+            }
+            if include_proba:
+                response["probabilities"] = probabilities
+            # len(labels), not len(rows): a flat single-row payload is one
+            # served row even though the JSON list has n_features elements.
+            self.server.metrics.record_predict(
+                len(labels), time.perf_counter() - started
+            )
+            self._send_json(200, response)
+        except ServingError as exc:
+            self._send_json(exc.status or 400, {"error": str(exc)})
+        except (SpecError, DatasetError, TreeError, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one registry + inference engine.
+
+    ``daemon_threads`` keeps handler threads from blocking interpreter exit;
+    ``close()`` shuts the engine down along with the listening socket.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple,
+        registry: ModelRegistry,
+        engine: InferenceEngine,
+        metrics: ServingMetrics,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.engine = engine
+        self.metrics = metrics
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Shut down the listener and the coalescer thread."""
+        self.shutdown()
+        self.server_close()
+        self.engine.close()
+
+
+def create_server(
+    models_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 1024,
+    predict_engine: str = "columnar",
+    preload: bool = False,
+    verbose: bool = False,
+) -> ServingHTTPServer:
+    """Wire registry → engine → HTTP server over a model directory.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as ``server.server_address`` / ``server.url``.  The caller
+    owns the server: run ``serve_forever()`` (blocking) or a thread, and
+    ``close()`` when done.
+    """
+    registry = ModelRegistry(models_dir)
+    metrics = ServingMetrics()
+    engine = InferenceEngine(
+        registry,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache_size=cache_size,
+        predict_engine=predict_engine,
+        metrics=metrics,
+    )
+    if preload:
+        registry.load_all()
+    return ServingHTTPServer((host, port), registry, engine, metrics, verbose=verbose)

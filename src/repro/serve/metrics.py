@@ -1,0 +1,115 @@
+"""Thread-safe serving metrics: counters, batch histogram, latency quantiles.
+
+One :class:`ServingMetrics` instance is shared by the HTTP layer (request
+counts, per-request latency, error counts) and the inference engine (batch
+sizes, cache hits).  ``snapshot()`` renders everything as a JSON-able dict —
+the payload behind the server's ``GET /metrics`` endpoint.
+
+Latency quantiles are computed over a bounded ring of the most recent
+observations (default 2048), so the memory footprint is constant no matter
+how long the server runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServingMetrics", "batch_bucket", "BATCH_BUCKETS"]
+
+#: Upper bounds of the batch-size histogram buckets; sizes above the last
+#: bound fall into the overflow bucket labelled ``"inf"``.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def batch_bucket(size: int) -> str:
+    """Histogram bucket label for a coalesced batch of ``size`` rows."""
+    for bound in BATCH_BUCKETS:
+        if size <= bound:
+            return str(bound)
+    return "inf"
+
+
+class ServingMetrics:
+    """Counters and distributions describing one serving process."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=latency_window)
+        self.request_count = 0
+        self.predict_requests = 0
+        self.rows_total = 0
+        self.batch_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.errors: dict = {}
+        self.batch_size_histogram: dict = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(self) -> None:
+        """Count one HTTP request (any endpoint)."""
+        with self._lock:
+            self.request_count += 1
+
+    def record_predict(self, n_rows: int, latency_seconds: float) -> None:
+        """Count one prediction call of ``n_rows`` rows and its latency."""
+        with self._lock:
+            self.predict_requests += 1
+            self.rows_total += int(n_rows)
+            self._latencies.append(float(latency_seconds))
+
+    def record_batch(self, size: int) -> None:
+        """Count one coalesced model invocation of ``size`` rows."""
+        label = batch_bucket(size)
+        with self._lock:
+            self.batch_count += 1
+            self.batch_size_histogram[label] = self.batch_size_histogram.get(label, 0) + 1
+
+    def record_cache(self, hits: int = 0, misses: int = 0) -> None:
+        """Count prediction-cache lookups."""
+        with self._lock:
+            self.cache_hits += int(hits)
+            self.cache_misses += int(misses)
+
+    def record_error(self, status: int) -> None:
+        """Count one HTTP error response by status code."""
+        with self._lock:
+            key = str(int(status))
+            self.errors[key] = self.errors.get(key, 0) + 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every metric (the ``/metrics`` payload)."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=float)
+            cache_lookups = self.cache_hits + self.cache_misses
+            snapshot = {
+                "request_count": self.request_count,
+                "predict_requests": self.predict_requests,
+                "rows_total": self.rows_total,
+                "batch_count": self.batch_count,
+                "batch_size_histogram": dict(self.batch_size_histogram),
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": (self.cache_hits / cache_lookups) if cache_lookups else 0.0,
+                },
+                "errors": dict(self.errors),
+            }
+        if latencies.size:
+            snapshot["latency_ms"] = {
+                "count": int(latencies.size),
+                "mean": float(latencies.mean() * 1e3),
+                "p50": float(np.percentile(latencies, 50) * 1e3),
+                "p90": float(np.percentile(latencies, 90) * 1e3),
+                "p99": float(np.percentile(latencies, 99) * 1e3),
+            }
+        else:
+            snapshot["latency_ms"] = {
+                "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            }
+        return snapshot

@@ -1,0 +1,207 @@
+"""Model registry: named, lazily loaded, hot-reloadable persisted models.
+
+A :class:`ModelRegistry` watches a directory of ``*.zip`` archives in the
+:mod:`repro.api.persistence` format (``model.json`` + ``arrays.npz``,
+``format_version``-gated).  Each archive is addressable by its file stem —
+``models/iris.zip`` serves as ``iris``:
+
+* **lazy load** — archives are only deserialised on the first ``get()``;
+  listing models reads just the cheap ``model.json`` header
+  (:func:`~repro.api.persistence.read_model_metadata`);
+* **hot reload** — every ``get()`` stats the file, and a changed
+  mtime/size swaps in the re-loaded model, so retrained models can be
+  dropped into the directory without restarting the server;
+* **metadata** — classes, feature schema, construction engine and the
+  ``repro``/format versions that produced the archive, exposed through
+  ``GET /v1/models``.
+
+All methods are thread-safe; the HTTP layer calls into one shared registry
+from many handler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.api.persistence import load_model, read_model_metadata
+from repro.exceptions import PersistenceError, ServingError
+
+__all__ = ["ModelEntry", "ModelRegistry", "json_scalars"]
+
+
+def json_scalars(labels) -> list:
+    """Labels as plain-Python scalars (numpy scalars unwrapped via item())."""
+    return [label.item() if hasattr(label, "item") else label for label in labels]
+
+
+class ModelEntry:
+    """One registered archive: path, load state, and cached metadata.
+
+    Each entry carries its own lock, so deserialising one (possibly large)
+    archive never blocks requests for other models or the registry's
+    listing endpoints.
+    """
+
+    __slots__ = (
+        "name", "path", "model", "metadata", "mtime_ns", "size", "load_count", "lock"
+    )
+
+    def __init__(self, name: str, path: Path) -> None:
+        self.name = name
+        self.path = path
+        self.model = None
+        self.metadata: dict | None = None
+        self.mtime_ns: int | None = None
+        self.size: int | None = None
+        self.load_count = 0
+        self.lock = threading.RLock()
+
+    def _stat_changed(self) -> bool:
+        stat = self.path.stat()
+        return stat.st_mtime_ns != self.mtime_ns or stat.st_size != self.size
+
+    def describe(self) -> dict:
+        """Metadata dict for listings (never triggers a full model load)."""
+        with self.lock:
+            if self.metadata is None or self._stat_changed():
+                # Header-only read; (mtime, size) are recorded by loads only,
+                # so a changed file still reloads lazily on the next get().
+                self.metadata = read_model_metadata(self.path)
+            return {
+                "name": self.name,
+                "path": str(self.path),
+                "loaded": self.model is not None,
+                "load_count": self.load_count,
+                **self.metadata,
+            }
+
+
+class ModelRegistry:
+    """Directory-backed collection of persisted models, keyed by name.
+
+    Parameters
+    ----------
+    models_dir:
+        Directory scanned for archives.  It must exist at construction time
+        (misconfigured paths should fail at startup, not at first request).
+    pattern:
+        Glob pattern of the archives within ``models_dir``.
+    """
+
+    def __init__(self, models_dir, pattern: str = "*.zip") -> None:
+        self.models_dir = Path(models_dir)
+        if not self.models_dir.is_dir():
+            raise ServingError(f"model directory {str(self.models_dir)!r} does not exist")
+        self.pattern = pattern
+        self._lock = threading.RLock()
+        self._entries: dict[str, ModelEntry] = {}
+        self.refresh()
+
+    # -- scanning ------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-scan the directory: register new archives, drop deleted ones."""
+        with self._lock:
+            found = {path.stem: path for path in sorted(self.models_dir.glob(self.pattern))}
+            for name in list(self._entries):
+                if name not in found:
+                    del self._entries[name]
+            for name, path in found.items():
+                entry = self._entries.get(name)
+                if entry is None or entry.path != path:
+                    self._entries[name] = ModelEntry(name, path)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered model."""
+        with self._lock:
+            self.refresh()
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            if name in self._entries:
+                return True
+            self.refresh()
+            return name in self._entries
+
+    # -- access --------------------------------------------------------------
+
+    def _entry(self, name: str) -> ModelEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            self.refresh()
+            entry = self._entries.get(name)
+        if entry is None or not entry.path.exists():
+            raise ServingError(f"unknown model {name!r}", status=404)
+        return entry
+
+    def get(self, name: str):
+        """The loaded estimator for ``name`` (lazy load, reload on change).
+
+        Deserialisation happens under the entry's own lock — the registry
+        lock is only held to look the entry up, so loading one model never
+        stalls requests for already-loaded ones (or ``/healthz``).
+        """
+        with self._lock:
+            entry = self._entry(name)
+        with entry.lock:
+            try:
+                if entry.model is None or entry._stat_changed():
+                    stat = entry.path.stat()
+                    entry.model = load_model(entry.path)
+                    entry.metadata = read_model_metadata(entry.path)
+                    entry.mtime_ns = stat.st_mtime_ns
+                    entry.size = stat.st_size
+                    entry.load_count += 1
+            except FileNotFoundError as exc:
+                # Deleted between the directory scan and the stat.
+                raise ServingError(f"unknown model {name!r}", status=404) from exc
+            except (PersistenceError, OSError) as exc:
+                raise ServingError(
+                    f"cannot load model {name!r}: {exc}", status=500
+                ) from exc
+            return entry.model
+
+    def metadata(self, name: str) -> dict:
+        """Metadata of one model (header-only, no tree deserialisation)."""
+        with self._lock:
+            entry = self._entry(name)
+        try:
+            return entry.describe()
+        except FileNotFoundError as exc:
+            # Deleted between the directory scan and the stat.
+            raise ServingError(f"unknown model {name!r}", status=404) from exc
+        except (PersistenceError, OSError) as exc:
+            raise ServingError(
+                f"cannot read model {name!r}: {exc}", status=500
+            ) from exc
+
+    def describe(self) -> list[dict]:
+        """Metadata of every registered model (the ``/v1/models`` payload)."""
+        with self._lock:
+            self.refresh()
+            entries = [self._entries[name] for name in sorted(self._entries)]
+        described = []
+        for entry in entries:
+            try:
+                described.append(entry.describe())
+            except (PersistenceError, OSError) as exc:
+                # A corrupt (or just-deleted) archive must not take down the
+                # listing of its healthy neighbours.
+                described.append(
+                    {"name": entry.name, "path": str(entry.path), "error": str(exc)}
+                )
+        return described
+
+    def load_all(self) -> list[str]:
+        """Eagerly load every model (server ``--preload``); returns the names."""
+        return [name for name in self.names() if self.get(name) is not None]
+
+    def classes(self, name: str) -> list:
+        """Class labels of a model, aligned with its probability columns."""
+        return json_scalars(self.get(name).classes_)

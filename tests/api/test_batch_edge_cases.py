@@ -1,0 +1,100 @@
+"""Regression tests: batch prediction on empty and single-row inputs.
+
+``predict`` / ``predict_proba`` / ``predict_batch`` / ``predict_proba_batch``
+must return correctly-shaped results for a 0-row array (no rows to score is a
+valid request — the serving layer forwards whatever a client posts) and for a
+single flat row (the overwhelmingly common serving payload), instead of
+raising from spec inference or reshape plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AveragingClassifier, UDTClassifier
+from repro.api.spec import gaussian
+from repro.exceptions import DatasetError, TreeError
+
+ESTIMATORS = [UDTClassifier, AveragingClassifier]
+
+
+@pytest.fixture(params=ESTIMATORS, ids=lambda cls: cls.__name__)
+def fitted(request):
+    """A classifier fitted on 3 numerical features and 2 string classes."""
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(40, 3))
+    y = np.where(X[:, 0] > 0, "pos", "neg")
+    return request.param(spec=gaussian(w=0.1, s=6), min_split_weight=4.0).fit(X, y)
+
+
+class TestEmptyBatches:
+    def test_predict_proba_empty(self, fitted):
+        result = fitted.predict_proba(np.empty((0, 3)))
+        assert result.shape == (0, 2)
+
+    def test_predict_empty(self, fitted):
+        result = fitted.predict(np.empty((0, 3)))
+        assert len(result) == 0
+
+    def test_predict_batch_empty(self, fitted):
+        assert fitted.predict_batch(np.empty((0, 3))) == []
+
+    def test_predict_proba_batch_empty(self, fitted):
+        result = fitted.predict_proba_batch(np.empty((0, 3)))
+        assert result.shape == (0, 2)
+
+    def test_empty_list_input(self, fitted):
+        assert fitted.predict_proba([]).shape == (0, 2)
+
+    def test_score_on_empty_is_a_clean_error(self, fitted):
+        # Scoring nothing is meaningless; it must not divide by zero silently.
+        with pytest.raises(TreeError, match="empty"):
+            fitted.score(np.empty((0, 3)), [])
+
+
+class TestSingleRow:
+    def test_flat_row_predict_proba(self, fitted):
+        row = np.array([0.5, -0.25, 1.0])
+        flat = fitted.predict_proba(row)
+        matrix = fitted.predict_proba(row.reshape(1, -1))
+        assert flat.shape == (1, 2)
+        assert np.array_equal(flat, matrix)
+
+    def test_flat_row_predict(self, fitted):
+        row = [0.5, -0.25, 1.0]
+        result = fitted.predict(row)
+        assert len(result) == 1
+        assert result[0] in ("pos", "neg")
+
+    def test_flat_row_batch_aliases(self, fitted):
+        row = np.array([0.5, -0.25, 1.0])
+        labels = fitted.predict_batch(row)
+        probabilities = fitted.predict_proba_batch(row)
+        assert len(labels) == 1
+        assert probabilities.shape == (1, 2)
+
+    def test_ambiguous_flat_row_is_rejected(self, fitted):
+        # Neither one 5-feature row nor five 1-feature rows fits the model.
+        with pytest.raises(DatasetError, match="1-D input"):
+            fitted.predict_proba(np.zeros(5))
+
+    def test_single_feature_model_accepts_column(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(30, 1))
+        y = np.where(X[:, 0] > 0, 1, 0)
+        model = UDTClassifier(spec=gaussian(w=0.1, s=6)).fit(X, y)
+        # For a 1-feature model a flat vector is a column of rows.
+        result = model.predict_proba(np.array([0.1, -0.2, 0.3]))
+        assert result.shape == (3, 2)
+
+
+class TestBatchAliasAgreement:
+    """The batch aliases and the array methods agree on identical input."""
+
+    def test_aliases_match_predict(self, fitted):
+        rows = np.random.default_rng(17).normal(size=(12, 3))
+        assert np.array_equal(fitted.predict_batch(rows), fitted.predict(rows))
+        assert np.array_equal(
+            fitted.predict_proba_batch(rows), fitted.predict_proba(rows)
+        )

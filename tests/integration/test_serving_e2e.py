@@ -1,0 +1,116 @@
+"""End-to-end serving smoke test: the real CLI process over real sockets.
+
+This is the test CI's serving-smoke job runs: train a tiny model, launch
+``python -m repro serve`` as a subprocess on an ephemeral port, POST rows
+with :class:`~repro.serve.client.ServingClient`, and assert the served
+predictions equal the offline ``load_model`` output bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import UDTClassifier, load_model
+from repro.api.spec import gaussian
+from repro.serve import ServingClient
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture
+def model_dir(tmp_path):
+    rng = np.random.default_rng(41)
+    X = rng.normal(size=(60, 3))
+    y = np.where(X[:, 0] - X[:, 1] > 0, "left", "right")
+    model = UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+    models = tmp_path / "models"
+    models.mkdir()
+    model.save(models / "smoke.zip")
+    return models
+
+
+@pytest.fixture
+def served_url(model_dir):
+    """URL of a live ``python -m repro serve`` subprocess (ephemeral port)."""
+    env = dict(os.environ)
+    # Make sure the subprocess resolves the same `repro` this test imported,
+    # whether the package is installed or running from a source checkout.
+    env["PYTHONPATH"] = os.pathsep.join(
+        entry for entry in (_src_dir(), env.get("PYTHONPATH")) if entry
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--models", str(model_dir),
+         "--port", "0", "--max-batch", "16", "--max-wait-ms", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        url = _read_url(process)
+        _wait_healthy(url)
+        yield url
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
+def _src_dir() -> str:
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def _read_url(process) -> str:
+    """Parse the bound URL from the server's startup banner."""
+    deadline = time.monotonic() + 30.0
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise AssertionError("serve process exited before printing its URL")
+        if "http://" in line:
+            return line.strip().split()[-1]
+    raise AssertionError("serve process never printed its URL")
+
+
+def _wait_healthy(url: str) -> None:
+    client = ServingClient(url, timeout=5.0)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except Exception:
+            time.sleep(0.05)
+    raise AssertionError(f"server at {url} never became healthy")
+
+
+def test_served_predictions_match_offline(served_url, model_dir):
+    offline = load_model(model_dir / "smoke.zip")
+    rows = np.random.default_rng(43).normal(size=(20, 3))
+    client = ServingClient(served_url)
+
+    listed = client.models()
+    assert [entry["name"] for entry in listed] == ["smoke"]
+    assert listed[0]["n_features"] == 3
+
+    result = client.predict("smoke", rows)
+    assert np.array_equal(result.probabilities, offline.predict_proba(rows))
+    assert result.labels == list(offline.predict(rows))
+
+    metrics = client.metrics()
+    assert metrics["predict_requests"] >= 1
+    assert metrics["rows_total"] >= len(rows)

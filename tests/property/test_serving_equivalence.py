@@ -1,0 +1,93 @@
+"""Property: served predictions are bit-identical to offline predictions.
+
+The serving acceptance test: for classifiers trained under different
+uncertainty specs, probabilities obtained through the micro-batching
+:class:`~repro.serve.engine.InferenceEngine` — with requests submitted
+concurrently, one row at a time, so the coalescer is forced to regroup them
+into arbitrary batches — equal ``load_model(path).predict_proba(rows)``
+exactly (``np.array_equal``, not ``allclose``).  One case additionally runs
+through the full HTTP stack, whose JSON transport round-trips doubles via
+their shortest representable repr and therefore also preserves every bit.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import AveragingClassifier, UDTClassifier, load_model
+from repro.api.spec import gaussian, point, uniform
+from repro.serve import InferenceEngine, ModelRegistry, ServingClient, create_server
+
+#: (spec-name, spec) pairs the equivalence must hold under.
+_SPECS = (
+    ("gaussian", gaussian(w=0.1, s=8)),
+    ("uniform", uniform(w=0.15, s=6)),
+    ("point", point()),
+)
+
+
+def _train_and_save(estimator_class, spec, tmp_path, seed: int):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(50, 4))
+    y = np.where(X[:, 0] - X[:, 3] > 0, "a", "b")
+    model = estimator_class(spec=spec, min_split_weight=4.0).fit(X, y)
+    model.save(tmp_path / "model.zip")
+    rows = rng.normal(size=(32, 4))
+    return rows
+
+
+@pytest.mark.parametrize("estimator_class", [UDTClassifier, AveragingClassifier])
+@pytest.mark.parametrize("spec_name,spec", _SPECS, ids=[name for name, _ in _SPECS])
+def test_microbatched_equals_offline(estimator_class, spec_name, spec, tmp_path):
+    rows = _train_and_save(estimator_class, spec, tmp_path, seed=101)
+    offline = load_model(tmp_path / "model.zip")
+    expected = offline.predict_proba(rows)
+
+    registry = ModelRegistry(tmp_path)
+    with InferenceEngine(
+        registry, max_batch=8, max_wait_ms=5.0, cache_size=16
+    ) as engine:
+        # A start barrier maximises queue contention, so the coalescer sees
+        # many interleaved single-row requests and regroups them freely.
+        barrier = threading.Barrier(8)
+
+        def one_row(index: int) -> np.ndarray:
+            if index < 8:
+                barrier.wait(timeout=10.0)
+            return engine.predict_proba("model", rows[index])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one_row, range(len(rows))))
+        # A second pass partially hits the LRU cache; cached entries must be
+        # the same bits, not re-derived approximations.
+        repeated = engine.predict_proba("model", rows)
+
+    assert np.array_equal(np.vstack(results), expected)
+    assert np.array_equal(repeated, expected)
+
+
+def test_full_http_stack_equals_offline(tmp_path):
+    rows = _train_and_save(UDTClassifier, gaussian(w=0.1, s=8), tmp_path, seed=202)
+    offline = load_model(tmp_path / "model.zip")
+    expected = offline.predict_proba(rows)
+
+    server = create_server(tmp_path, port=0, max_batch=8, max_wait_ms=2.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServingClient(server.url)
+
+        def one_row(index: int) -> np.ndarray:
+            return client.predict("model", rows[index]).probabilities
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one_row, range(len(rows))))
+    finally:
+        server.close()
+        thread.join(timeout=5.0)
+
+    assert np.array_equal(np.vstack(results), expected)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+One tiny fitted model is trained per session and saved into per-test model
+directories, so every test gets an isolated registry over real persisted
+archives without paying repeated training cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import UDTClassifier, load_model
+from repro.api.spec import gaussian
+
+
+@pytest.fixture(scope="session")
+def serving_model():
+    """A small fitted UDT classifier over 3 numerical features, 2 classes."""
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(60, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    return UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def serving_rows():
+    """Deterministic unseen feature rows matching ``serving_model``."""
+    return np.random.default_rng(11).normal(size=(24, 3))
+
+
+@pytest.fixture
+def model_dir(tmp_path, serving_model):
+    """A model directory holding the fitted model as ``demo.zip``."""
+    serving_model.save(tmp_path / "demo.zip")
+    return tmp_path
+
+
+@pytest.fixture
+def offline_model(model_dir):
+    """The same model loaded back offline — the serving ground truth."""
+    return load_model(model_dir / "demo.zip")

@@ -1,0 +1,191 @@
+"""Unit tests for the micro-batching :class:`repro.serve.engine.InferenceEngine`."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.serve import InferenceEngine, ModelRegistry
+
+
+@pytest.fixture
+def registry(model_dir):
+    return ModelRegistry(model_dir)
+
+
+def make_engine(registry, **overrides) -> InferenceEngine:
+    options = {"max_batch": 16, "max_wait_ms": 2.0, "cache_size": 0}
+    options.update(overrides)
+    return InferenceEngine(registry, **options)
+
+
+class TestValidation:
+    def test_rejects_bad_configuration(self, registry):
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, max_batch=0)
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, max_wait_ms=-1)
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, cache_size=-1)
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, predict_engine="warp")
+
+    def test_unknown_model(self, registry):
+        with make_engine(registry) as engine:
+            with pytest.raises(ServingError) as excinfo:
+                engine.predict_proba("missing", [[0.0, 0.0, 0.0]])
+        assert excinfo.value.status == 404
+
+    def test_wrong_width_fails_without_poisoning_the_batch(self, registry, serving_rows):
+        with make_engine(registry, max_wait_ms=20.0, max_batch=64) as engine:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                good = [pool.submit(engine.predict_proba, "demo", serving_rows[i])
+                        for i in range(3)]
+                bad = pool.submit(engine.predict_proba, "demo", [[1.0, 2.0]])
+                with pytest.raises(ServingError) as excinfo:
+                    bad.result()
+                for future in good:
+                    assert future.result().shape == (1, 2)
+        assert excinfo.value.status == 400
+
+    def test_non_numeric_rows(self, registry):
+        with make_engine(registry) as engine:
+            with pytest.raises(ServingError) as excinfo:
+                engine.predict_proba("demo", [["a", "b", "c"]])
+        assert excinfo.value.status == 400
+
+    def test_predict_after_close(self, registry):
+        engine = make_engine(registry)
+        engine.close()
+        with pytest.raises(ServingError) as excinfo:
+            engine.predict_proba("demo", [[0.0, 0.0, 0.0]])
+        assert excinfo.value.status == 503
+
+
+class TestShapes:
+    def test_single_flat_row(self, registry, offline_model, serving_rows):
+        with make_engine(registry) as engine:
+            result = engine.predict_proba("demo", serving_rows[0])
+        assert result.shape == (1, 2)
+        assert np.array_equal(result, offline_model.predict_proba(serving_rows[:1]))
+
+    def test_empty_rows(self, registry):
+        with make_engine(registry) as engine:
+            assert engine.predict_proba("demo", []).shape == (0, 2)
+            labels, probabilities = engine.predict("demo", [])
+            assert labels.shape == (0,)
+            assert probabilities.shape == (0, 2)
+
+    def test_labels_match_offline_predict(self, registry, offline_model, serving_rows):
+        with make_engine(registry) as engine:
+            labels, _ = engine.predict("demo", serving_rows)
+        assert list(labels) == list(offline_model.predict(serving_rows))
+
+
+class TestCoalescing:
+    def test_concurrent_single_rows_are_batched(self, registry, offline_model, serving_rows):
+        expected = offline_model.predict_proba(serving_rows)
+        with make_engine(registry, max_batch=64, max_wait_ms=10.0) as engine:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                results = list(
+                    pool.map(lambda i: engine.predict_proba("demo", serving_rows[i]),
+                             range(len(serving_rows)))
+                )
+            snapshot = engine.metrics.snapshot()
+        assert np.array_equal(np.vstack(results), expected)
+        # Coalescing happened: fewer model invocations than requests.
+        assert snapshot["batch_count"] < len(serving_rows)
+        assert sum(snapshot["batch_size_histogram"].values()) == snapshot["batch_count"]
+
+    def test_max_batch_1_disables_coalescing(self, registry, serving_rows):
+        with make_engine(registry, max_batch=1, max_wait_ms=10.0) as engine:
+            for row in serving_rows[:5]:
+                engine.predict_proba("demo", row)
+            snapshot = engine.metrics.snapshot()
+        assert snapshot["batch_count"] == 5
+        assert snapshot["batch_size_histogram"] == {"1": 5}
+
+    def test_oversized_request_is_served_whole(self, registry, offline_model, serving_rows):
+        with make_engine(registry, max_batch=4) as engine:
+            result = engine.predict_proba("demo", serving_rows)
+        assert np.array_equal(result, offline_model.predict_proba(serving_rows))
+
+    def test_tuples_predict_engine_matches_columnar(self, registry, offline_model,
+                                                    serving_rows):
+        with make_engine(registry, predict_engine="tuples") as engine:
+            result = engine.predict_proba("demo", serving_rows)
+        np.testing.assert_allclose(
+            result, offline_model.predict_proba(serving_rows), atol=1e-12
+        )
+
+
+class TestCache:
+    def test_repeat_rows_hit_the_cache(self, registry, serving_rows):
+        with make_engine(registry, cache_size=64) as engine:
+            first = engine.predict_proba("demo", serving_rows[:5])
+            second = engine.predict_proba("demo", serving_rows[:5])
+            snapshot = engine.metrics.snapshot()
+        assert np.array_equal(first, second)
+        assert snapshot["cache"] == {"hits": 5, "misses": 5, "hit_rate": 0.5}
+        # Only the misses reached the model.
+        assert snapshot["batch_count"] == 1
+
+    def test_partial_hits_merge_with_fresh_rows(self, registry, offline_model,
+                                                serving_rows):
+        with make_engine(registry, cache_size=64) as engine:
+            engine.predict_proba("demo", serving_rows[:3])
+            mixed = engine.predict_proba("demo", serving_rows[:6])
+            snapshot = engine.metrics.snapshot()
+        assert np.array_equal(mixed, offline_model.predict_proba(serving_rows[:6]))
+        assert snapshot["cache"]["hits"] == 3
+
+    def test_lru_eviction_respects_cache_size(self, registry, serving_rows):
+        with make_engine(registry, cache_size=4) as engine:
+            engine.predict_proba("demo", serving_rows[:8])
+            engine.predict_proba("demo", serving_rows[:8])
+            snapshot = engine.metrics.snapshot()
+        # All 8 keys cannot fit in 4 slots, so the second pass misses too.
+        assert snapshot["cache"]["hits"] < 8
+
+    def test_cache_disabled(self, registry, serving_rows):
+        with make_engine(registry, cache_size=0) as engine:
+            engine.predict_proba("demo", serving_rows[:3])
+            engine.predict_proba("demo", serving_rows[:3])
+            snapshot = engine.metrics.snapshot()
+        assert snapshot["cache"] == {"hits": 0, "misses": 0, "hit_rate": 0.0}
+        assert snapshot["batch_count"] == 2
+
+    def test_exact_keys_distinguish_near_identical_rows(self, registry):
+        import numpy as np
+
+        with make_engine(registry, cache_size=16) as engine:
+            near = engine._cache_key(np.array([0.5 + 1e-13, 0.0, 0.0]))
+            exact = engine._cache_key(np.array([0.5, 0.0, 0.0]))
+        # Default keying is bitwise: a sub-ulp difference is a different key,
+        # so the cache can never serve one row another row's probabilities.
+        assert near != exact
+
+    def test_cache_decimals_opt_in_rounds_keys(self, registry):
+        import numpy as np
+
+        with make_engine(registry, cache_size=16, cache_decimals=12) as engine:
+            near = engine._cache_key(np.array([0.5 + 1e-13, 0.0, 0.0]))
+            exact = engine._cache_key(np.array([0.5, 0.0, 0.0]))
+        assert near == exact
+
+    def test_hot_reload_invalidates_cache(self, registry, model_dir, serving_model,
+                                          serving_rows):
+        with make_engine(registry, cache_size=64) as engine:
+            engine.predict_proba("demo", serving_rows[:3])
+            serving_model.save(model_dir / "demo.zip")
+            path = model_dir / "demo.zip"
+            stat = path.stat()
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10_000_000))
+            engine.predict_proba("demo", serving_rows[:3])
+            snapshot = engine.metrics.snapshot()
+        assert snapshot["cache"]["hits"] == 0
+        assert snapshot["cache"]["misses"] == 6

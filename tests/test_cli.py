@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import csv
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -95,3 +98,116 @@ class TestCommands:
         )
         assert code == 0
         assert "AVG accuracy" in capsys.readouterr().out
+
+
+@pytest.fixture
+def saved_model(tmp_path):
+    """A tiny fitted model archive plus matching CSV rows and expectations."""
+    from repro.api import UDTClassifier
+    from repro.api.spec import gaussian
+
+    rng = np.random.default_rng(13)
+    X = rng.normal(size=(40, 2))
+    y = np.where(X[:, 0] + X[:, 1] > 0, "hi", "lo")
+    model = UDTClassifier(spec=gaussian(w=0.1, s=6), min_split_weight=4.0).fit(X, y)
+    model_path = tmp_path / "model.zip"
+    model.save(model_path)
+    rows = rng.normal(size=(7, 2))
+    return model, model_path, rows
+
+
+class TestPredictCommand:
+    def _write_csv(self, path, rows, header=None):
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            if header:
+                writer.writerow(header)
+            writer.writerows(rows)
+
+    def test_labels_match_offline_predict(self, saved_model, tmp_path, capsys):
+        model, model_path, rows = saved_model
+        data = tmp_path / "rows.csv"
+        self._write_csv(data, rows)
+        assert main(["predict", str(model_path), str(data)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "label"
+        assert lines[1:] == list(model.predict(rows))
+
+    def test_header_row_is_skipped(self, saved_model, tmp_path, capsys):
+        model, model_path, rows = saved_model
+        data = tmp_path / "rows.csv"
+        self._write_csv(data, rows, header=["f0", "f1"])
+        assert main(["predict", str(model_path), str(data)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[1:] == list(model.predict(rows))
+
+    def test_proba_columns_match_offline(self, saved_model, tmp_path, capsys):
+        model, model_path, rows = saved_model
+        data = tmp_path / "rows.csv"
+        self._write_csv(data, rows)
+        assert main(["predict", str(model_path), str(data), "--proba"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "label,p_hi,p_lo"
+        parsed = np.array(
+            [[float(cell) for cell in line.split(",")[1:]] for line in lines[1:]]
+        )
+        # repr() round-trips doubles exactly, so the CSV carries every bit.
+        assert np.array_equal(parsed, model.predict_proba(rows))
+
+    def test_wrong_column_count_is_an_error(self, saved_model, tmp_path, capsys):
+        # A 3-column CSV against a 2-feature model must fail loudly, not be
+        # silently regrouped into 2-feature rows.
+        _, model_path, _ = saved_model
+        data = tmp_path / "rows.csv"
+        self._write_csv(data, [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert main(["predict", str(model_path), str(data)]) == 2
+        err = capsys.readouterr().err
+        assert "expects exactly 2 features" in err
+
+    def test_non_numeric_cell_is_an_error(self, saved_model, tmp_path, capsys):
+        _, model_path, _ = saved_model
+        data = tmp_path / "rows.csv"
+        (data).write_text("1.0,2.0\n3.0,oops\n")
+        assert main(["predict", str(model_path), str(data)]) == 2
+        assert "non-numeric" in capsys.readouterr().err
+
+    def test_output_file(self, saved_model, tmp_path):
+        _, model_path, rows = saved_model
+        data = tmp_path / "rows.csv"
+        out = tmp_path / "scored.csv"
+        self._write_csv(data, rows)
+        assert main(
+            ["predict", str(model_path), str(data), "--output", str(out)]
+        ) == 0
+        content = out.read_text().strip().splitlines()
+        assert content[0] == "label"
+        assert len(content) == 1 + len(rows)
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--models", "models/"])
+        assert args.models == "models/"
+        assert args.port == 8000
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.predict_engine == "columnar"
+        assert args.preload is False
+
+    def test_models_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_max_batch_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--models", "m", "--max-batch", "0"])
+
+    def test_predict_engine_choices(self):
+        args = build_parser().parse_args(
+            ["serve", "--models", "m", "--predict-engine", "tuples"]
+        )
+        assert args.predict_engine == "tuples"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--models", "m", "--predict-engine", "warp"]
+            )
