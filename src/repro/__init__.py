@@ -65,7 +65,7 @@ from repro.exceptions import (
     TreeError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Attribute",

@@ -65,7 +65,23 @@ __all__ = [
     "dataset_extents",
     "spec_to_dict",
     "spec_from_dict",
+    "first_non_finite_row",
 ]
+
+
+def first_non_finite_row(matrix) -> "int | None":
+    """Index of the first row containing a NaN/Inf cell, or ``None``.
+
+    The shared detection rule behind both rejection points for non-finite
+    features: the serving engine's pre-enqueue validation (HTTP 400) and the
+    offline ``repro predict`` command (exit 2).  A non-finite cell cannot be
+    scaled into a pdf honestly, so scoring it would produce garbage
+    probabilities without any error.
+    """
+    finite = np.isfinite(matrix).all(axis=1)
+    if finite.all():
+        return None
+    return int(np.argmin(finite))
 
 
 class ColumnSpec(ParamsMixin):

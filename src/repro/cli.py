@@ -133,8 +133,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rows per coalesced predict_batch call")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="how long the coalescer lingers for more requests")
+    serve.add_argument("--max-queue-rows", type=int, default=None,
+                       help="admission-control bound on queued rows; beyond it new "
+                            "requests are rejected with HTTP 429 + Retry-After "
+                            "(default: 8 x max-batch)")
+    serve.add_argument("--request-timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="per-request inference deadline; a request that "
+                            "exceeds it is answered 504 and, if still queued, "
+                            "cancelled so its rows are never classified")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="shard coalesced batches across N model-serving "
+                            "processes (1 = the in-process engine; outputs are "
+                            "bit-identical either way)")
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="LRU prediction-cache entries per model (0 disables)")
+    serve.add_argument("--cache-decimals", type=int, default=None,
+                       help="round cache keys to this many decimals instead of "
+                            "exact feature bytes (absorbs sub-ulp client jitter)")
     serve.add_argument("--predict-engine", choices=("columnar", "tuples"),
                        default="columnar",
                        help="batch classification path ('tuples' walks the tree "
@@ -170,6 +185,7 @@ def _run_predict(args) -> int:
     import numpy as np
 
     from repro.api import load_model
+    from repro.api.spec import first_non_finite_row
 
     model = load_model(args.model)
     try:
@@ -190,6 +206,16 @@ def _run_predict(args) -> int:
         )
         return 2
     matrix = np.asarray(rows, dtype=float).reshape(-1, n_features)
+    bad_row = first_non_finite_row(matrix)
+    if bad_row is not None:
+        # Same rule the server enforces before enqueueing: NaN/Inf features
+        # would silently turn into garbage probabilities.
+        print(
+            f"error: {args.data} contains a non-finite feature value (NaN or "
+            f"Inf) in data row {bad_row + 1}; clean the input before scoring",
+            file=sys.stderr,
+        )
+        return 2
     probabilities = model.predict_proba(matrix)
     labels = [classes[index] for index in np.argmax(probabilities, axis=1)]
 
@@ -211,19 +237,31 @@ def _run_predict(args) -> int:
 
 
 def _run_serve(args) -> int:
+    from repro.exceptions import ServingError
     from repro.serve import create_server
 
-    server = create_server(
-        args.models,
-        host=args.host,
-        port=args.port,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        cache_size=args.cache_size,
-        predict_engine=args.predict_engine,
-        preload=args.preload,
-        verbose=args.verbose,
-    )
+    try:
+        server = create_server(
+            args.models,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_rows=args.max_queue_rows,
+            cache_size=args.cache_size,
+            cache_decimals=args.cache_decimals,
+            predict_engine=args.predict_engine,
+            request_timeout_s=args.request_timeout,
+            workers=args.workers,
+            preload=args.preload,
+            verbose=args.verbose,
+        )
+    except ServingError as exc:
+        # Bad knob values (request-timeout <= 0, negative cache sizes, a
+        # missing model directory, ...) must fail loudly at startup, not
+        # start a server that 504s or crashes on its first request.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     names = server.registry.names()
     print(f"serving {len(names)} model(s) on {server.url}", flush=True)
     for name in names:

@@ -64,11 +64,20 @@ class ServingError(ReproError):
     """Raised by the serving subsystem (:mod:`repro.serve`).
 
     Examples include unknown model names in a registry, malformed prediction
-    requests, an inference engine that has been shut down, and HTTP error
-    responses surfaced by :class:`~repro.serve.client.ServingClient` (which
-    carry the server's status code as :attr:`ServingError.status`).
+    requests, an inference engine that has been shut down, admission-control
+    rejections (status 429, carrying a :attr:`retry_after` hint in seconds),
+    and HTTP error responses surfaced by
+    :class:`~repro.serve.client.ServingClient` (which carry the server's
+    status code as :attr:`ServingError.status`).
     """
 
-    def __init__(self, message: str, *, status: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after

@@ -7,7 +7,11 @@ Layers (each usable on its own):
   file stem, lazily loaded and hot-reloaded when the file changes;
 * :class:`~repro.serve.engine.InferenceEngine` — micro-batching queue that
   coalesces concurrent requests into single columnar ``predict_proba``
-  calls, with a per-model LRU prediction cache;
+  calls, with a per-model LRU prediction cache, request cancellation
+  (timed-out work is dropped before classification) and a bounded queue
+  that sheds overload with 429s instead of collapsing;
+* :class:`~repro.serve.pool.WorkerPool` — optional multi-process backend
+  that shards each coalesced batch across N workers (``--workers N``);
 * :func:`~repro.serve.http.create_server` /
   :class:`~repro.serve.http.ServingHTTPServer` — stdlib-only JSON-over-HTTP
   front-end (``repro serve`` on the CLI);
@@ -32,6 +36,7 @@ from repro.serve.client import PredictResult, ServingClient
 from repro.serve.engine import PREDICT_ENGINES, InferenceEngine
 from repro.serve.http import ServingHTTPServer, create_server
 from repro.serve.metrics import ServingMetrics
+from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelEntry, ModelRegistry
 
 __all__ = [
@@ -43,5 +48,6 @@ __all__ = [
     "ServingClient",
     "ServingHTTPServer",
     "ServingMetrics",
+    "WorkerPool",
     "create_server",
 ]

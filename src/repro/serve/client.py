@@ -12,12 +12,18 @@ every call is one JSON request/response pair over plain HTTP.
     result.probabilities                  # ndarray (1, n_classes)
 
 Server-side failures surface as :class:`~repro.exceptions.ServingError`
-carrying the HTTP status code and the server's ``error`` message.
+carrying the HTTP status code and the server's ``error`` message; 429
+rejections additionally carry the server's back-off hint as
+``ServingError.retry_after`` (seconds), and ``predict(..., retries_429=N)``
+turns that hint into automatic bounded retries for callers that prefer
+waiting out a load spike over handling the rejection themselves.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
@@ -72,15 +78,37 @@ class ServingClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = json.loads(response.read())
         except urllib.error.HTTPError as exc:
+            retry_after = None
             try:
-                message = json.loads(exc.read()).get("error", exc.reason)
+                error_body = json.loads(exc.read())
+                message = error_body.get("error", exc.reason)
+                retry_after = error_body.get("retry_after_s")
             except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
                 message = str(exc.reason)
+            if retry_after is None:
+                # Fall back to the whole-second header (e.g. a proxy
+                # stripped the JSON body but preserved Retry-After).
+                retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            try:
+                # Coerce whatever source supplied it: a non-numeric hint
+                # (misbehaving proxy) must degrade to "no hint", never
+                # crash the caller's retry loop.
+                retry_after = float(retry_after) if retry_after is not None else None
+            except (TypeError, ValueError):
+                retry_after = None
             raise ServingError(
-                f"server returned {exc.code}: {message}", status=exc.code
+                f"server returned {exc.code}: {message}",
+                status=exc.code,
+                retry_after=retry_after,
             ) from exc
         except urllib.error.URLError as exc:
             raise ServingError(f"cannot reach {url}: {exc.reason}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # Connection-level failures (resets, truncated responses) are
+            # normal weather under overload; surface them as ServingError
+            # (status None) like every other transport problem instead of
+            # leaking raw socket exceptions to callers.
+            raise ServingError(f"connection to {url} failed: {exc}") from exc
         if not isinstance(payload, dict):
             raise ServingError(f"unexpected response payload from {url}")
         return payload
@@ -103,18 +131,40 @@ class ServingClient:
         """``GET /v1/models/<name>`` — metadata of one model."""
         return self._request(f"/v1/models/{name}")
 
-    def predict(self, model: str, rows, *, proba: bool = True) -> PredictResult:
+    def predict(
+        self,
+        model: str,
+        rows,
+        *,
+        proba: bool = True,
+        retries_429: int = 0,
+        retry_max_wait_s: float = 2.0,
+    ) -> PredictResult:
         """``POST /v1/models/<model>:predict`` for ``rows``.
 
         ``rows`` is any 2-D array-like (or a single flat row); ``proba``
         controls whether per-class probabilities are included in the
         response.
+
+        When the server sheds load (429), the request is retried up to
+        ``retries_429`` times, sleeping the server's ``retry_after`` hint
+        (capped at ``retry_max_wait_s``) between attempts; the default of 0
+        surfaces the 429 immediately.  Only 429s are retried — every other
+        error status means retrying the identical request cannot help.
         """
         matrix = np.asarray(rows, dtype=float)
         if matrix.ndim == 1:
             matrix = matrix.reshape(1, -1) if matrix.size else matrix.reshape(0, 0)
-        payload = self._request(
-            f"/v1/models/{model}:predict",
-            body={"rows": matrix.tolist(), "proba": proba},
-        )
-        return PredictResult.from_payload(payload)
+        body = {"rows": matrix.tolist(), "proba": proba}
+        attempts_left = max(0, int(retries_429))
+        while True:
+            try:
+                payload = self._request(f"/v1/models/{model}:predict", body=body)
+            except ServingError as exc:
+                if exc.status != 429 or attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                hint = exc.retry_after if exc.retry_after is not None else 0.1
+                time.sleep(min(max(float(hint), 0.0), retry_max_wait_s))
+                continue
+            return PredictResult.from_payload(payload)

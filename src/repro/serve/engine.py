@@ -19,15 +19,34 @@ Guarantees:
   *before* enqueueing, so one malformed request can never fail a batch it
   shares with well-formed ones;
 * **freshness** — the per-model cache is invalidated whenever the registry
-  hot-reloads the model underneath it.
+  hot-reloads the model underneath it;
+* **no dead work** — a request that exceeds ``request_timeout_s`` while
+  still queued is cancelled: the coalescer drops it from the queue before
+  batching, so abandoned rows are never classified — the serving-side
+  analogue of the paper's never-pay-for-work-that-cannot-change-the-answer
+  pruning (counted in the ``requests_abandoned`` metric).  (Cancellation is
+  deadline-driven; the stdlib HTTP layer cannot observe a client that
+  disconnects mid-wait, so an aborted connection's rows are dropped only
+  once its deadline lapses.);
+* **overload sheds, it does not collapse** — the queue is bounded by
+  ``max_queue_rows`` (default ``8 * max_batch``); when it is full new
+  requests are rejected *at enqueue time* with a 429
+  :class:`~repro.exceptions.ServingError` carrying a ``retry_after`` hint,
+  so sustained overload turns into fast rejections instead of a spiral in
+  which every queued request times out while the worker burns CPU on rows
+  nobody will read.
 
 Tuning knobs: ``max_batch`` (rows per coalesced call), ``max_wait_ms`` (how
 long the coalescer lingers for stragglers once a request is queued),
+``max_queue_rows`` (admission-control bound), ``request_timeout_s``,
 ``cache_size`` (LRU entries per model) and ``cache_decimals``.  Cache keys
 are the exact feature bytes by default, which is what keeps the bit-identical
 guarantee unconditional; setting ``cache_decimals`` to an integer instead
 rounds the features first, trading that exactness for cache hits on rows
-that differ only by float jitter below ``10^-decimals``.
+that differ only by float jitter below ``10^-decimals``.  Passing a
+:class:`~repro.serve.pool.WorkerPool` as ``pool`` shards every coalesced
+batch across worker processes (``repro serve --workers N``); the engine
+owns the pool and closes it on shutdown.
 """
 
 from __future__ import annotations
@@ -39,11 +58,28 @@ from collections import OrderedDict, deque
 
 import numpy as np
 
+from repro.api.spec import first_non_finite_row
 from repro.exceptions import ServingError
 from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry, json_scalars
 
-__all__ = ["InferenceEngine", "PREDICT_ENGINES"]
+__all__ = ["InferenceEngine", "PREDICT_ENGINES", "invoke_model"]
+
+
+def invoke_model(model, matrix: np.ndarray, predict_engine: str) -> np.ndarray:
+    """One in-process batch classification of ``matrix`` with ``model``.
+
+    The single definition of both predict paths — ``columnar`` (one
+    vectorised tree descent for the whole batch) and ``tuples`` (the
+    per-row recursive walk kept for benchmarking the coalescing win) —
+    shared by the engine and by the worker-pool processes, so the two
+    backends cannot drift apart.
+    """
+    if predict_engine == "columnar":
+        return model.predict_proba(matrix)
+    dataset = model._prepare_eval(model._coerce_eval(matrix))
+    tree = model.tree_
+    return np.stack([tree.classify(item) for item in dataset])
 
 #: Predict-time engines: ``columnar`` classifies the coalesced batch with one
 #: vectorised tree descent; ``tuples`` walks the tree per row (the pre-batch
@@ -57,9 +93,15 @@ class _Pending:
     Carries the model snapshot the rows were validated against, so the
     coalescer serves the request with exactly that model even if the
     registry hot-reloads the archive while the request sits in the queue.
+
+    ``cancelled`` is set (under the engine's condition lock) when the caller
+    stops waiting; a cancelled entry is dropped by ``_take_batch`` instead
+    of being classified.  ``taken`` is set when the coalescer claims the
+    entry for a batch — from that point cancellation can no longer prevent
+    the work, only the delivery.
     """
 
-    __slots__ = ("rows", "model", "event", "result", "error")
+    __slots__ = ("rows", "model", "event", "result", "error", "cancelled", "taken")
 
     def __init__(self, rows: np.ndarray, model) -> None:
         self.rows = rows
@@ -67,6 +109,8 @@ class _Pending:
         self.event = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        self.cancelled = False
+        self.taken = False
 
 
 class InferenceEngine:
@@ -78,33 +122,68 @@ class InferenceEngine:
         *,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        max_queue_rows: "int | None" = None,
         cache_size: int = 1024,
         cache_decimals: "int | None" = None,
         predict_engine: str = "columnar",
         request_timeout_s: float = 30.0,
+        pool=None,
         metrics: ServingMetrics | None = None,
     ) -> None:
         if max_batch < 1:
             raise ServingError(f"max_batch must be at least 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ServingError(f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        if max_queue_rows is None:
+            max_queue_rows = 8 * max_batch
+        if max_queue_rows < 1:
+            raise ServingError(
+                f"max_queue_rows must be at least 1, got {max_queue_rows}"
+            )
         if cache_size < 0:
             raise ServingError(f"cache_size must be non-negative, got {cache_size}")
+        if cache_decimals is not None and (
+            isinstance(cache_decimals, bool)
+            or not isinstance(cache_decimals, int)
+            or cache_decimals < 0
+        ):
+            raise ServingError(
+                f"cache_decimals must be None or a non-negative integer, "
+                f"got {cache_decimals!r}"
+            )
         if predict_engine not in PREDICT_ENGINES:
             raise ServingError(
                 f"unknown predict engine {predict_engine!r}; expected one of {PREDICT_ENGINES}"
             )
+        if request_timeout_s <= 0:
+            # Zero or negative would 504 every request the instant it was
+            # enqueued — a broken server that looks configured.
+            raise ServingError(
+                f"request_timeout_s must be positive, got {request_timeout_s}"
+            )
         self.registry = registry
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_queue_rows = max_queue_rows
         self.cache_size = cache_size
         self.cache_decimals = cache_decimals
         self.predict_engine = predict_engine
         self.request_timeout_s = request_timeout_s
+        self.pool = pool
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self._condition = threading.Condition()
         self._queue: deque = deque()  # (model_name, _Pending) in arrival order
+        # Per-model and total queued-row counters, maintained on enqueue /
+        # take / cancel so the linger loop and admission control are O(1)
+        # instead of rescanning the whole queue on every wakeup.
+        self._queued_rows: dict[str, int] = {}
+        self._total_queued_rows = 0
+        # Suggested client back-off when shedding: roughly one coalescer
+        # linger period, floored so the header never rounds to "now".
+        self._retry_after_s = max(0.1, 2.0 * max_wait_ms / 1e3)
         self._closed = False
+        self.metrics.register_gauge("rows", lambda: self._total_queued_rows)
+        self.metrics.register_gauge("max_rows", lambda: self.max_queue_rows)
         # Per-model LRU caches plus a weakref to the model they were filled
         # from, so a registry hot-reload invalidates stale predictions.  A
         # weakref identity check cannot be fooled by CPython recycling a
@@ -120,11 +199,17 @@ class InferenceEngine:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the coalescer thread (outstanding requests still complete)."""
+        """Stop the coalescer thread (outstanding requests still complete).
+
+        Closes the worker pool too, if one was attached — the engine owns
+        whatever backend executes its batches.
+        """
         with self._condition:
             self._closed = True
             self._condition.notify_all()
         self._worker.join(timeout=5.0)
+        if self.pool is not None:
+            self.pool.close()
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -159,6 +244,16 @@ class InferenceEngine:
             # fail alone, never the coalesced batch it would have joined.
             raise ServingError(
                 f"rows have {matrix.shape[1]} features, model expects {n_features}",
+                status=400,
+            )
+        bad = first_non_finite_row(matrix)
+        if bad is not None:
+            # Same pre-enqueue isolation guarantee as the shape checks: a
+            # NaN/Inf cell would otherwise be classified into garbage
+            # probabilities — and worse, cached under its exact bytes.
+            raise ServingError(
+                f"rows contain non-finite feature values (NaN or Inf), "
+                f"first at row {bad}",
                 status=400,
             )
         return matrix
@@ -237,12 +332,38 @@ class InferenceEngine:
 
         if miss_positions:
             pending = _Pending(matrix[miss_positions], model)
+            n_missing = len(miss_positions)
             with self._condition:
                 if self._closed:
                     raise ServingError("the inference engine is closed", status=503)
+                if (
+                    self._total_queued_rows
+                    and self._total_queued_rows + n_missing > self.max_queue_rows
+                ):
+                    # Admission control: shed at enqueue time.  An empty
+                    # queue admits any request (even one larger than the
+                    # bound — it is served whole, exactly as before), so the
+                    # bound throttles concurrency, never request size.
+                    self.metrics.record_rejected(n_missing)
+                    raise ServingError(
+                        f"inference queue is full ({self._total_queued_rows} rows "
+                        f"queued, max_queue_rows={self.max_queue_rows}); retry later",
+                        status=429,
+                        retry_after=self._retry_after_s,
+                    )
                 self._queue.append((model_name, pending))
+                self._adjust_queued(model_name, n_missing)
                 self._condition.notify_all()
             if not pending.event.wait(self.request_timeout_s):
+                if self._cancel(model_name, pending):
+                    raise ServingError(
+                        f"inference timed out after {self.request_timeout_s:.1f}s "
+                        "(request abandoned before classification)",
+                        status=504,
+                    )
+                # The coalescer claimed the batch in the same instant the
+                # timeout fired; the rows are being classified, but this
+                # caller is no longer listening for the answer.
                 raise ServingError(
                     f"inference timed out after {self.request_timeout_s:.1f}s", status=504
                 )
@@ -282,43 +403,100 @@ class InferenceEngine:
 
     # -- the coalescer -------------------------------------------------------
 
-    def _rows_queued(self, name: str) -> int:
-        return sum(len(pending.rows) for qname, pending in self._queue if qname == name)
+    def _adjust_queued(self, name: str, delta: int) -> None:
+        """Update the per-model and total queued-row counters (locked)."""
+        if not delta:
+            return
+        self._total_queued_rows += delta
+        remaining = self._queued_rows.get(name, 0) + delta
+        if remaining > 0:
+            self._queued_rows[name] = remaining
+        else:
+            self._queued_rows.pop(name, None)
+
+    def _cancel(self, name: str, pending: _Pending) -> bool:
+        """Cancel a queued request; ``True`` if it was still unclaimed.
+
+        A cancelled entry stays in the deque but stops counting towards the
+        queued-row totals immediately (so admission control frees its slot
+        and the linger loop stops waiting for it); ``_take_batch`` drops it
+        before the next model invocation, so its rows are never classified.
+        """
+        with self._condition:
+            if pending.taken or pending.event.is_set():
+                return False
+            pending.cancelled = True
+            self._adjust_queued(name, -len(pending.rows))
+            self.metrics.record_abandoned(len(pending.rows))
+            self._condition.notify_all()
+            return True
 
     def _take_batch(self, name: str, model) -> list:
         """Pop queued requests for ``name`` up to ``max_batch`` rows (locked).
 
         Only requests validated against the same ``model`` snapshot join the
         batch; requests that raced a hot reload wait for the next tick and
-        are then served by their own snapshot.
+        are then served by their own snapshot.  Cancelled entries are
+        dropped here — abandoned work never reaches ``_invoke`` (their row
+        counters were already released by :meth:`_cancel`).
         """
         taken: list = []
         kept: deque = deque()
         total = 0
         for qname, pending in self._queue:
+            if pending.cancelled:
+                continue
             fits = not taken or total + len(pending.rows) <= self.max_batch
             if qname == name and pending.model is model and fits:
+                pending.taken = True
                 taken.append(pending)
                 total += len(pending.rows)
             else:
                 kept.append((qname, pending))
         self._queue = kept
+        self._adjust_queued(name, -total)
         return taken
 
-    def _invoke(self, model, matrix: np.ndarray) -> np.ndarray:
-        if self.predict_engine == "columnar":
-            return model.predict_proba(matrix)
-        # Per-tuple walk: the same spec conversion, then one recursive
-        # descent per row — the baseline the coalescer is benchmarked against.
-        dataset = model._prepare_eval(model._coerce_eval(matrix))
-        tree = model.tree_
-        return np.stack([tree.classify(item) for item in dataset])
+    def _invoke(self, model_name: str, model, matrix: np.ndarray) -> np.ndarray:
+        if self.pool is not None:
+            # The workers rebuild the model from its archive, addressed by
+            # path — but the batch was validated (and will be cached and
+            # labelled) against *this* snapshot.  The snapshot token pins
+            # the two together: workers serve only while the file on disk
+            # still is the snapshot's (mtime, size); if a hot reload raced
+            # the queue, fall back to classifying in-process with the exact
+            # snapshot object, so pool mode never mixes two models' outputs.
+            snapshot = self.registry.snapshot_token(model_name, model)
+            if snapshot is not None:
+                path, token = snapshot
+                try:
+                    result = self.pool.predict_proba(path, matrix, expected_token=token)
+                except Exception:
+                    # A broken pool (worker OOM-killed, executor shut down)
+                    # must degrade the server to in-process serving, not
+                    # turn every subsequent request into an error: the
+                    # snapshot in hand can always answer correctly.
+                    result = None
+                if result is not None:
+                    return result
+        return invoke_model(model, matrix, self.predict_engine)
+
+    def _drop_cancelled_head(self) -> None:
+        """Discard cancelled entries at the queue head (locked).
+
+        Keeps a dead request from steering the linger loop: the next tick
+        must batch for a model somebody is still waiting on.
+        """
+        while self._queue and self._queue[0][1].cancelled:
+            self._queue.popleft()
 
     def _run(self) -> None:
         while True:
             with self._condition:
+                self._drop_cancelled_head()
                 while not self._queue and not self._closed:
                     self._condition.wait()
+                    self._drop_cancelled_head()
                 if not self._queue:
                     return  # closed and drained
                 name = self._queue[0][0]
@@ -326,10 +504,12 @@ class InferenceEngine:
                 if self.max_wait_ms > 0 and self.max_batch > 1:
                     # Linger for stragglers: better batches at the cost of at
                     # most max_wait_ms extra latency for the first request.
+                    # The O(1) counter excludes cancelled rows, so the loop
+                    # never waits for a batch made of work nobody wants.
                     deadline = time.monotonic() + self.max_wait_ms / 1e3
                     while (
                         not self._closed
-                        and self._rows_queued(name) < self.max_batch
+                        and self._queued_rows.get(name, 0) < self.max_batch
                     ):
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
@@ -344,7 +524,7 @@ class InferenceEngine:
                     if len(taken) == 1
                     else np.concatenate([pending.rows for pending in taken])
                 )
-                probabilities = self._invoke(model, matrix)
+                probabilities = self._invoke(name, model, matrix)
                 self.metrics.record_batch(matrix.shape[0])
                 offset = 0
                 for pending in taken:

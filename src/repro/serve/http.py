@@ -20,14 +20,18 @@ Endpoints (all JSON):
     batch-size histogram, cache hit rate, p50/p90/p99 latency.
 ``POST /v1/models/<name>:predict``
     Body ``{"rows": [[...], ...], "proba": true}`` → ``{"labels": [...],
-    "probabilities": [[...]], "classes": [...]}``.  Malformed bodies and
-    shape mismatches are 400s, unknown models 404s; errors are
-    ``{"error": <message>}``.
+    "probabilities": [[...]], "classes": [...]}``.  Malformed bodies, shape
+    mismatches and non-finite feature values are 400s, unknown models 404s;
+    errors are ``{"error": <message>}``.  When the inference queue is full,
+    admission control answers 429 with a ``Retry-After`` header (integer
+    seconds) and a fractional ``retry_after_s`` field in the JSON body —
+    overload sheds load fast instead of letting every request time out.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -70,11 +74,13 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, *, headers: dict | None = None) -> None:
         body = json.dumps(_jsonable(payload)).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         if status >= 400:
             # Error paths may respond before draining the request body; under
             # HTTP/1.1 keep-alive the unread bytes would be parsed as the next
@@ -85,6 +91,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         if status >= 400:
             self.server.metrics.record_error(status)
+
+    def _send_serving_error(self, exc: ServingError) -> None:
+        payload: dict = {"error": str(exc)}
+        headers: dict = {}
+        if exc.retry_after is not None:
+            # The header is spec-limited to whole seconds; the JSON body
+            # carries the fractional hint for clients that can use it.
+            payload["retry_after_s"] = float(exc.retry_after)
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+        self._send_json(exc.status or 400, payload, headers=headers)
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -126,7 +142,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except ServingError as exc:
-            self._send_json(exc.status or 400, {"error": str(exc)})
+            self._send_serving_error(exc)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
@@ -167,7 +183,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             self._send_json(200, response)
         except ServingError as exc:
-            self._send_json(exc.status or 400, {"error": str(exc)})
+            self._send_serving_error(exc)
         except (SpecError, DatasetError, TreeError, ValueError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - last-resort 500
@@ -224,8 +240,12 @@ def create_server(
     port: int = 0,
     max_batch: int = 64,
     max_wait_ms: float = 2.0,
+    max_queue_rows: "int | None" = None,
     cache_size: int = 1024,
+    cache_decimals: "int | None" = None,
     predict_engine: str = "columnar",
+    request_timeout_s: float = 30.0,
+    workers: int = 1,
     preload: bool = False,
     verbose: bool = False,
 ) -> ServingHTTPServer:
@@ -234,18 +254,44 @@ def create_server(
     ``port=0`` binds an ephemeral port (tests); the bound address is
     available as ``server.server_address`` / ``server.url``.  The caller
     owns the server: run ``serve_forever()`` (blocking) or a thread, and
-    ``close()`` when done.
+    ``close()`` when done.  ``workers > 1`` shards every coalesced batch
+    across that many model-serving processes
+    (:class:`~repro.serve.pool.WorkerPool`); the default is the
+    single-process engine.  Invalid knob values raise
+    :class:`~repro.exceptions.ServingError` here, before anything binds.
     """
+    from repro.serve.pool import WorkerPool
+
+    if workers < 1:
+        raise ServingError(f"workers must be at least 1, got {workers}")
     registry = ModelRegistry(models_dir)
     metrics = ServingMetrics()
-    engine = InferenceEngine(
-        registry,
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        cache_size=cache_size,
-        predict_engine=predict_engine,
-        metrics=metrics,
+    pool = (
+        WorkerPool(workers, predict_engine=predict_engine) if workers > 1 else None
     )
-    if preload:
-        registry.load_all()
-    return ServingHTTPServer((host, port), registry, engine, metrics, verbose=verbose)
+    try:
+        engine = InferenceEngine(
+            registry,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue_rows=max_queue_rows,
+            cache_size=cache_size,
+            cache_decimals=cache_decimals,
+            predict_engine=predict_engine,
+            request_timeout_s=request_timeout_s,
+            pool=pool,
+            metrics=metrics,
+        )
+    except BaseException:
+        if pool is not None:
+            pool.close()
+        raise
+    try:
+        if preload:
+            registry.load_all()
+        return ServingHTTPServer((host, port), registry, engine, metrics, verbose=verbose)
+    except BaseException:
+        # A failed preload (corrupt archive) or bind (port in use) must not
+        # strand the coalescer thread and the pool's worker processes.
+        engine.close()
+        raise

@@ -2,8 +2,10 @@
 
 One :class:`ServingMetrics` instance is shared by the HTTP layer (request
 counts, per-request latency, error counts) and the inference engine (batch
-sizes, cache hits).  ``snapshot()`` renders everything as a JSON-able dict —
-the payload behind the server's ``GET /metrics`` endpoint.
+sizes, cache hits, admission-control rejections, abandoned requests, and
+live queue-depth gauges registered via :meth:`register_gauge`).
+``snapshot()`` renders everything as a JSON-able dict — the payload behind
+the server's ``GET /metrics`` endpoint.
 
 Latency quantiles are computed over a bounded ring of the most recent
 observations (default 2048), so the memory footprint is constant no matter
@@ -46,6 +48,11 @@ class ServingMetrics:
         self.cache_misses = 0
         self.errors: dict = {}
         self.batch_size_histogram: dict = {}
+        self.requests_rejected = 0
+        self.rows_rejected = 0
+        self.requests_abandoned = 0
+        self.rows_abandoned = 0
+        self._gauges: dict = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -80,6 +87,33 @@ class ServingMetrics:
             key = str(int(status))
             self.errors[key] = self.errors.get(key, 0) + 1
 
+    def record_rejected(self, n_rows: int) -> None:
+        """Count one request shed by admission control (queue full, 429)."""
+        with self._lock:
+            self.requests_rejected += 1
+            self.rows_rejected += int(n_rows)
+
+    def record_abandoned(self, n_rows: int) -> None:
+        """Count one cancelled request dropped before classification.
+
+        Abandoned rows are the serving-side analogue of the paper's pruned
+        entropy calculations: work that provably cannot change any answer a
+        caller will see, identified and skipped instead of computed.
+        """
+        with self._lock:
+            self.requests_abandoned += 1
+            self.rows_abandoned += int(n_rows)
+
+    def register_gauge(self, name: str, read) -> None:
+        """Expose a live value in ``snapshot()``'s ``queue`` section.
+
+        ``read`` is a zero-argument callable returning a number; the engine
+        registers its queue-depth and capacity here so ``/metrics`` reports
+        the instantaneous backlog, not just cumulative counters.
+        """
+        with self._lock:
+            self._gauges[name] = read
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -99,7 +133,12 @@ class ServingMetrics:
                     "hit_rate": (self.cache_hits / cache_lookups) if cache_lookups else 0.0,
                 },
                 "errors": dict(self.errors),
+                "requests_rejected": self.requests_rejected,
+                "rows_rejected": self.rows_rejected,
+                "requests_abandoned": self.requests_abandoned,
+                "rows_abandoned": self.rows_abandoned,
             }
+            gauges = dict(self._gauges)
         if latencies.size:
             snapshot["latency_ms"] = {
                 "count": int(latencies.size),
@@ -112,4 +151,7 @@ class ServingMetrics:
             snapshot["latency_ms"] = {
                 "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
             }
+        # Gauges are evaluated outside the metrics lock: they read engine
+        # state and must never be able to deadlock against a recording call.
+        snapshot["queue"] = {name: read() for name, read in gauges.items()}
         return snapshot

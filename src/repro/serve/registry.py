@@ -167,6 +167,24 @@ class ModelRegistry:
                 ) from exc
             return entry.model
 
+    def snapshot_token(self, name: str, model) -> "tuple[Path, tuple[int, int]] | None":
+        """``(path, (mtime_ns, size))`` if ``model`` is the current load of
+        ``name``, else ``None``.
+
+        Lets the worker pool pin a queued request's model snapshot to the
+        archive bytes it was loaded from: workers serve from the path only
+        while the file still carries this token, so a hot reload that races
+        a queued batch can never substitute a different model's outputs.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            return None
+        with entry.lock:
+            if entry.model is model and entry.mtime_ns is not None:
+                return entry.path, (entry.mtime_ns, int(entry.size))
+        return None
+
     def metadata(self, name: str) -> dict:
         """Metadata of one model (header-only, no tree deserialisation)."""
         with self._lock:

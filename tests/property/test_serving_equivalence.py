@@ -20,7 +20,13 @@ import pytest
 
 from repro.api import AveragingClassifier, UDTClassifier, load_model
 from repro.api.spec import gaussian, point, uniform
-from repro.serve import InferenceEngine, ModelRegistry, ServingClient, create_server
+from repro.serve import (
+    InferenceEngine,
+    ModelRegistry,
+    ServingClient,
+    WorkerPool,
+    create_server,
+)
 
 #: (spec-name, spec) pairs the equivalence must hold under.
 _SPECS = (
@@ -68,6 +74,40 @@ def test_microbatched_equals_offline(estimator_class, spec_name, spec, tmp_path)
 
     assert np.array_equal(np.vstack(results), expected)
     assert np.array_equal(repeated, expected)
+
+
+@pytest.mark.parametrize("spec_name,spec", _SPECS, ids=[name for name, _ in _SPECS])
+def test_worker_pool_equals_in_process_engine(spec_name, spec, tmp_path):
+    """``--workers N`` sharding returns the in-process engine's exact bits.
+
+    Same concurrent single-row submission pattern as the in-process case,
+    so coalescing happens first and the pool then shards the coalesced
+    batches across two worker processes that rebuild the model from disk.
+    """
+    rows = _train_and_save(UDTClassifier, spec, tmp_path, seed=303)
+    offline = load_model(tmp_path / "model.zip")
+    expected = offline.predict_proba(rows)
+
+    registry = ModelRegistry(tmp_path)
+    with InferenceEngine(
+        registry, max_batch=16, max_wait_ms=5.0, cache_size=0
+    ) as engine:
+        in_process = engine.predict_proba("model", rows)
+    with InferenceEngine(
+        registry,
+        max_batch=16,
+        max_wait_ms=5.0,
+        cache_size=0,
+        pool=WorkerPool(2, min_shard_rows=4),
+    ) as engine:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda i: engine.predict_proba("model", rows[i]),
+                         range(len(rows)))
+            )
+
+    assert np.array_equal(in_process, expected)
+    assert np.array_equal(np.vstack(results), expected)
 
 
 def test_full_http_stack_equals_offline(tmp_path):

@@ -33,6 +33,24 @@ class TestValidation:
             InferenceEngine(registry, cache_size=-1)
         with pytest.raises(ServingError):
             InferenceEngine(registry, predict_engine="warp")
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, max_queue_rows=0)
+
+    @pytest.mark.parametrize("timeout", [0, -1, -0.5])
+    def test_rejects_non_positive_request_timeout(self, registry, timeout):
+        # request_timeout_s <= 0 would 504 every request instantly — a
+        # configured-looking but broken server.
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, request_timeout_s=timeout)
+
+    @pytest.mark.parametrize("decimals", [-1, -7, 2.5, True])
+    def test_rejects_invalid_cache_decimals(self, registry, decimals):
+        with pytest.raises(ServingError):
+            InferenceEngine(registry, cache_decimals=decimals)
+
+    def test_max_queue_rows_defaults_to_8x_max_batch(self, registry):
+        with make_engine(registry, max_batch=16) as engine:
+            assert engine.max_queue_rows == 128
 
     def test_unknown_model(self, registry):
         with make_engine(registry) as engine:
@@ -57,6 +75,33 @@ class TestValidation:
             with pytest.raises(ServingError) as excinfo:
                 engine.predict_proba("demo", [["a", "b", "c"]])
         assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rows_are_rejected_before_enqueueing(
+        self, registry, serving_rows, bad
+    ):
+        # NaN/Inf features would be classified into garbage probabilities
+        # AND cached under their exact bytes; they must 400 pre-enqueue.
+        with make_engine(registry, cache_size=64) as engine:
+            with pytest.raises(ServingError) as excinfo:
+                engine.predict_proba("demo", [[0.0, bad, 0.0]])
+            snapshot = engine.metrics.snapshot()
+            # The rejection happened before the queue and before the cache:
+            # nothing was classified, nothing was recorded as a lookup.
+            assert snapshot["batch_count"] == 0
+            assert snapshot["cache"]["misses"] == 0
+            # A well-formed request afterwards is unaffected.
+            assert engine.predict_proba("demo", serving_rows[:2]).shape == (2, 2)
+        assert excinfo.value.status == 400
+        assert "non-finite" in str(excinfo.value)
+
+    def test_non_finite_error_names_the_offending_row(self, registry):
+        with make_engine(registry) as engine:
+            with pytest.raises(ServingError) as excinfo:
+                engine.predict_proba(
+                    "demo", [[0.0, 0.0, 0.0], [0.0, float("nan"), 0.0]]
+                )
+        assert "row 1" in str(excinfo.value)
 
     def test_predict_after_close(self, registry):
         engine = make_engine(registry)

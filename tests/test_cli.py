@@ -171,6 +171,18 @@ class TestPredictCommand:
         assert main(["predict", str(model_path), str(data)]) == 2
         assert "non-numeric" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("cell", ["nan", "inf", "-inf"])
+    def test_non_finite_cell_is_an_error(self, saved_model, tmp_path, capsys, cell):
+        # float() parses "nan"/"inf", so these pass the CSV numeric check —
+        # but scoring them would emit garbage probabilities; exit 2 instead.
+        _, model_path, _ = saved_model
+        data = tmp_path / "rows.csv"
+        data.write_text(f"1.0,2.0\n3.0,{cell}\n")
+        assert main(["predict", str(model_path), str(data)]) == 2
+        err = capsys.readouterr().err
+        assert "non-finite" in err
+        assert "row 2" in err
+
     def test_output_file(self, saved_model, tmp_path):
         _, model_path, rows = saved_model
         data = tmp_path / "rows.csv"
@@ -191,8 +203,47 @@ class TestServeParser:
         assert args.port == 8000
         assert args.max_batch == 64
         assert args.max_wait_ms == 2.0
+        assert args.max_queue_rows is None
+        assert args.request_timeout == 30.0
+        assert args.workers == 1
+        assert args.cache_decimals is None
         assert args.predict_engine == "columnar"
         assert args.preload is False
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--models", "m", "--workers", "0"])
+        args = build_parser().parse_args(["serve", "--models", "m", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_overload_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--models", "m", "--max-queue-rows", "256",
+             "--request-timeout", "2.5"]
+        )
+        assert args.max_queue_rows == 256
+        assert args.request_timeout == 2.5
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--request-timeout", "0"],
+            ["--request-timeout", "-3"],
+            ["--cache-decimals", "-1"],
+            ["--max-queue-rows", "0"],
+            ["--cache-size", "-1"],
+            ["--max-wait-ms", "-1"],
+        ],
+    )
+    def test_bad_knob_values_exit_2_instead_of_starting(self, tmp_path, capsys, flags):
+        # The values parse (argparse cannot know the semantics); the server
+        # must refuse to start with exit code 2 and a clear message.
+        assert main(["serve", "--models", str(tmp_path)] + flags) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_model_directory_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--models", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
 
     def test_models_is_required(self):
         with pytest.raises(SystemExit):
