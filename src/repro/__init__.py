@@ -53,9 +53,15 @@ from repro.core import (
     get_measure,
     get_strategy,
 )
+from repro.ensemble import (
+    AveragingForestClassifier,
+    BaseForestClassifier,
+    UDTForestClassifier,
+)
 from repro.exceptions import (
     DatasetError,
     ExperimentError,
+    FormatVersionError,
     PdfError,
     PersistenceError,
     ReproError,
@@ -65,12 +71,14 @@ from repro.exceptions import (
     TreeError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Attribute",
     "AttributeKind",
     "AveragingClassifier",
+    "AveragingForestClassifier",
+    "BaseForestClassifier",
     "BuildStats",
     "build_dataset",
     "gaussian",
@@ -84,6 +92,7 @@ __all__ = [
     "DecisionTree",
     "EntropyMeasure",
     "ExperimentError",
+    "FormatVersionError",
     "GainRatioMeasure",
     "GiniMeasure",
     "Pdf",
@@ -98,6 +107,7 @@ __all__ = [
     "TreeBuilder",
     "TreeError",
     "UDTClassifier",
+    "UDTForestClassifier",
     "UncertainDataset",
     "UncertainTuple",
     "get_measure",

@@ -14,14 +14,25 @@ process without retraining:
 * :func:`save_model` / :func:`load_model` — the same archive for a fitted
   :class:`~repro.core.udt.UDTClassifier` / ``AveragingClassifier``,
   including constructor params (specs serialise declaratively) and the
-  fitted sklearn-style attributes.
+  fitted sklearn-style attributes — and, since format version 2, for the
+  bagged forests of :mod:`repro.ensemble` (``kind: "forest"``: one
+  ``model.json`` holding every member tree plus its feature-column subset,
+  all distribution vectors stacked into the shared ``arrays.npz`` matrix).
+
+Format history:
+
+* **v1** — single trees (``kind: "decision_tree"``) and single-tree
+  estimators (``kind: "estimator"``).
+* **v2** — adds forest archives (``kind: "forest"``).  The v1 layouts are
+  unchanged, so v1 archives load bit-identically under v2 (golden-fixture
+  tested in ``tests/property/test_persistence_roundtrip.py``).
 
 Every archive records ``format_version``; loading refuses versions newer
-than :data:`FORMAT_VERSION` so old serving binaries fail loudly instead of
-silently misreading new models.  Labels, categories and domains survive only
-for JSON-stable scalar types (``str``/``int``/``float``/``bool``/``None``);
-anything else raises :class:`~repro.exceptions.PersistenceError` at save
-time.
+than :data:`FORMAT_VERSION` (:class:`~repro.exceptions.FormatVersionError`)
+so old serving binaries fail loudly instead of silently misreading new
+models.  Labels, categories and domains survive only for JSON-stable scalar
+types (``str``/``int``/``float``/``bool``/``None``); anything else raises
+:class:`~repro.exceptions.PersistenceError` at save time.
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ import numpy as np
 
 from repro.core.dataset import Attribute, AttributeKind
 from repro.core.tree import DecisionTree, InternalNode, LeafNode, TreeNode
-from repro.exceptions import PersistenceError
+from repro.exceptions import FormatVersionError, PersistenceError
 
 __all__ = [
     "FORMAT_VERSION",
@@ -50,7 +61,9 @@ __all__ = [
 ]
 
 #: Current on-disk format version; bump on incompatible layout changes.
-FORMAT_VERSION = 1
+#: v1: single trees and single-tree estimators.  v2: adds ``kind: "forest"``
+#: archives (the v1 layouts are unchanged and keep loading bit-identically).
+FORMAT_VERSION = 2
 
 #: Name of the JSON member inside the archive.
 _JSON_MEMBER = "model.json"
@@ -121,10 +134,21 @@ def _node_to_dict(node: TreeNode) -> dict:
 def _node_from_dict(data: dict) -> TreeNode:
     node_type = data["type"]
     if node_type == "leaf":
-        return LeafNode(
-            np.asarray(data["distribution"], dtype=float),
+        distribution = np.asarray(data["distribution"], dtype=float)
+        leaf = LeafNode(
+            distribution,
             training_weight=data.get("training_weight", 0.0),
         )
+        # Saved archives hold already-normalised distributions, but the
+        # constructor's safety renormalisation (dist / sum) is not
+        # bit-idempotent when the stored sum is 0.999... instead of exactly
+        # 1.0 — restore those recorded bits verbatim so reloaded
+        # predict_proba is bit-identical to the model that was saved.
+        # Hand-built payloads with raw counts or all-zero vectors keep the
+        # constructor's normalisation / uniform fallback.
+        if abs(float(distribution.sum()) - 1.0) <= 1e-9:
+            leaf.distribution = distribution
+        return leaf
     training_distribution = data.get("training_distribution")
     if training_distribution is not None:
         training_distribution = np.asarray(training_distribution, dtype=float)
@@ -173,29 +197,39 @@ def tree_to_dict(tree: DecisionTree) -> dict:
 
 
 def _check_version(data: dict) -> None:
+    from repro import __version__
+
     version = data.get("format_version")
     if not isinstance(version, int) or version < 1:
         raise PersistenceError(f"missing or invalid format_version: {version!r}")
     if version > FORMAT_VERSION:
-        raise PersistenceError(
-            f"model format version {version} is newer than the supported "
-            f"version {FORMAT_VERSION}; upgrade the library to load it"
+        raise FormatVersionError(
+            f"model archive uses format version {version}, but this library "
+            f"(repro {__version__}) supports up to version {FORMAT_VERSION}; "
+            f"upgrade the repro library to load it",
+            archive_version=version,
+            supported_version=FORMAT_VERSION,
         )
 
 
-def tree_from_dict(data: dict) -> DecisionTree:
-    """Inverse of :func:`tree_to_dict`."""
-    _check_version(data)
+def _attributes_from_payload(entries: list) -> list[Attribute]:
+    """Rebuild :class:`Attribute` schema objects from their JSON encoding."""
     attributes = []
-    for entry in data["attributes"]:
+    for entry in entries:
         kind = AttributeKind(entry["kind"])
         if kind is AttributeKind.CATEGORICAL:
             attributes.append(Attribute.categorical(entry["name"], tuple(entry["domain"])))
         else:
             attributes.append(Attribute.numerical(entry["name"]))
+    return attributes
+
+
+def tree_from_dict(data: dict) -> DecisionTree:
+    """Inverse of :func:`tree_to_dict`."""
+    _check_version(data)
     return DecisionTree(
         root=_node_from_dict(data["root"]),
-        attributes=attributes,
+        attributes=_attributes_from_payload(data["attributes"]),
         class_labels=tuple(data["class_labels"]),
     )
 
@@ -245,6 +279,10 @@ def _write_archive(path, payload: dict) -> None:
     arrays: list = []
     if "tree" in payload:
         _extract_arrays(payload["tree"]["root"], arrays)
+    for member in payload.get("trees") or ():
+        # Forest archives: every member tree's vectors share the same
+        # n_classes length, so they all stack into the one NPZ matrix.
+        _extract_arrays(member["root"], arrays)
     matrix = (
         np.asarray(arrays, dtype=np.float64) if arrays else np.zeros((0, 0), dtype=np.float64)
     )
@@ -268,6 +306,8 @@ def _read_archive(path) -> dict:
     _check_version(payload)
     if "tree" in payload:
         _restore_arrays(payload["tree"]["root"], matrix)
+    for member in payload.get("trees") or ():
+        _restore_arrays(member["root"], matrix)
     return payload
 
 
@@ -314,18 +354,14 @@ def _decode_param(value):
     return value
 
 
-def save_model(model, path) -> None:
-    """Serialise a fitted classifier (params + fitted state + tree)."""
-    tree = getattr(model, "tree_", None)
-    if tree is None:
-        raise PersistenceError("cannot save an unfitted model; call fit() first")
+def _estimator_payload(model, kind: str) -> dict:
+    """The parts shared by single-tree and forest estimator archives."""
     from repro import __version__
 
-    tree_payload = tree_to_dict(tree)
-    payload = {
+    return {
         "format_version": FORMAT_VERSION,
         "repro_version": __version__,
-        "kind": "estimator",
+        "kind": kind,
         "estimator_class": type(model).__name__,
         "params": {
             name: _encode_param(name, value)
@@ -339,18 +375,74 @@ def save_model(model, path) -> None:
             ]
             or None,
         },
-        "tree": {"root": tree_payload["root"]},
-        "attributes": tree_payload["attributes"],
-        "class_labels": tree_payload["class_labels"],
     }
+
+
+def save_model(model, path) -> None:
+    """Serialise a fitted classifier (params + fitted state + tree(s)).
+
+    Single-tree estimators write ``kind: "estimator"`` archives (the v1
+    layout, unchanged); forests (anything fitted with a ``trees_`` list)
+    write ``kind: "forest"`` archives introduced by format version 2.
+    """
+    if getattr(model, "trees_", None):
+        _save_forest(model, path)
+        return
+    tree = getattr(model, "tree_", None)
+    if tree is None:
+        raise PersistenceError("cannot save an unfitted model; call fit() first")
+    tree_payload = tree_to_dict(tree)
+    payload = _estimator_payload(model, "estimator")
+    payload.update(
+        tree={"root": tree_payload["root"]},
+        attributes=tree_payload["attributes"],
+        class_labels=tree_payload["class_labels"],
+    )
+    _write_archive(path, payload)
+
+
+def _save_forest(model, path) -> None:
+    """``kind: "forest"`` archive: every member tree plus its column subset."""
+    feature_indices = getattr(model, "tree_feature_indices_", None)
+    if feature_indices is None:
+        feature_indices = [None] * len(model.trees_)
+    payload = _estimator_payload(model, "forest")
+    payload.update(
+        attributes=[
+            {
+                "name": attribute.name,
+                "kind": attribute.kind.value,
+                "domain": [_encode_scalar(v, "domain value") for v in attribute.domain],
+            }
+            for attribute in model.attributes_
+        ],
+        class_labels=[
+            _encode_scalar(v, "class label") for v in model._class_label_values
+        ],
+        trees=[
+            {
+                "root": _node_to_dict(tree.root),
+                "feature_indices": (
+                    [int(i) for i in indices] if indices is not None else None
+                ),
+            }
+            for tree, indices in zip(model.trees_, feature_indices)
+        ],
+    )
     _write_archive(path, payload)
 
 
 def _estimator_classes() -> dict:
     from repro.core.averaging import AveragingClassifier
     from repro.core.udt import UDTClassifier
+    from repro.ensemble import AveragingForestClassifier, UDTForestClassifier
 
-    return {"UDTClassifier": UDTClassifier, "AveragingClassifier": AveragingClassifier}
+    return {
+        "UDTClassifier": UDTClassifier,
+        "AveragingClassifier": AveragingClassifier,
+        "UDTForestClassifier": UDTForestClassifier,
+        "AveragingForestClassifier": AveragingForestClassifier,
+    }
 
 
 def read_model_metadata(path) -> dict:
@@ -372,8 +464,15 @@ def read_model_metadata(path) -> dict:
     params = payload.get("params") or {}
     attributes = payload.get("attributes") or []
     class_labels = payload.get("class_labels") or []
+    kind = payload.get("kind")
+    is_forest = kind == "forest"
     return {
-        "kind": payload.get("kind"),
+        "kind": kind,
+        # Collapsed tree/forest axis for listings: every archive holds
+        # either one tree ("decision_tree" and "estimator" kinds) or a
+        # forest of them — derived from the JSON header alone.
+        "model_kind": "forest" if is_forest else "tree",
+        "n_trees": len(payload.get("trees") or ()) if is_forest else 1,
         "estimator_class": payload.get("estimator_class"),
         "format_version": payload["format_version"],
         "repro_version": payload.get("repro_version"),
@@ -388,14 +487,24 @@ def read_model_metadata(path) -> dict:
     }
 
 
-def load_model(path):
-    """Load a classifier saved by :func:`save_model`, ready to predict."""
-    payload = _read_archive(path)
-    if payload.get("kind") != "estimator":
-        raise PersistenceError(
-            f"archive {path!r} holds {payload.get('kind')!r}, not an estimator; "
-            "use load_tree() for bare trees"
-        )
+def _restore_fitted_arrays(model, payload: dict, attributes) -> None:
+    """Apply the shared ``fitted`` block plus schema-derived attributes."""
+    fitted = payload.get("fitted") or {}
+    # Attribute names double as feature_names_in_, so name-keyed specs keep
+    # resolving when the loaded model receives bare arrays.
+    model.feature_names_in_ = [attribute.name for attribute in attributes]
+    if fitted.get("n_features_in") is not None:
+        model.n_features_in_ = fitted["n_features_in"]
+    else:
+        model.n_features_in_ = len(attributes)
+    extents = fitted.get("feature_extents")
+    if extents is not None:
+        model.feature_extents_ = [
+            tuple(extent) if extent is not None else None for extent in extents
+        ]
+
+
+def _instantiate_estimator(payload: dict):
     classes = _estimator_classes()
     class_name = payload.get("estimator_class")
     estimator_class = classes.get(class_name)
@@ -404,7 +513,56 @@ def load_model(path):
             f"unknown estimator class {class_name!r}; expected one of {sorted(classes)}"
         )
     params = {name: _decode_param(value) for name, value in payload["params"].items()}
-    model = estimator_class(**params)
+    return estimator_class(**params)
+
+
+def _load_forest(payload: dict):
+    """Rebuild a fitted forest from a ``kind: "forest"`` archive."""
+    model = _instantiate_estimator(payload)
+    attributes = _attributes_from_payload(payload["attributes"])
+    class_labels = tuple(payload["class_labels"])
+    trees = []
+    feature_indices = []
+    for member in payload["trees"]:
+        indices = member.get("feature_indices")
+        # A member's schema is its column subset of the full schema, so the
+        # archive stores only the indices, never duplicate attribute entries.
+        member_attributes = (
+            attributes if indices is None else [attributes[i] for i in indices]
+        )
+        trees.append(
+            DecisionTree(
+                root=_node_from_dict(member["root"]),
+                attributes=member_attributes,
+                class_labels=class_labels,
+            )
+        )
+        feature_indices.append(list(indices) if indices is not None else None)
+    model.trees_ = trees
+    model.tree_feature_indices_ = feature_indices
+    model.attributes_ = tuple(attributes)
+    model._class_label_values = class_labels
+    model.classes_ = np.asarray(class_labels)
+    _restore_fitted_arrays(model, payload, attributes)
+    return model
+
+
+def load_model(path):
+    """Load a classifier saved by :func:`save_model`, ready to predict.
+
+    Handles both single-tree ``kind: "estimator"`` archives (format v1 and
+    v2 — the layout is identical) and ``kind: "forest"`` archives (v2).
+    """
+    payload = _read_archive(path)
+    kind = payload.get("kind")
+    if kind == "forest":
+        return _load_forest(payload)
+    if kind != "estimator":
+        raise PersistenceError(
+            f"archive {path!r} holds {kind!r}, not an estimator; "
+            "use load_tree() for bare trees"
+        )
+    model = _instantiate_estimator(payload)
     model.tree_ = tree_from_dict(
         {
             "format_version": payload["format_version"],
@@ -413,18 +571,6 @@ def load_model(path):
             "root": payload["tree"]["root"],
         }
     )
-    fitted = payload.get("fitted") or {}
     model.classes_ = np.asarray(model.tree_.class_labels)
-    # Attribute names double as feature_names_in_, so name-keyed specs keep
-    # resolving when the loaded model receives bare arrays.
-    model.feature_names_in_ = [attribute.name for attribute in model.tree_.attributes]
-    if fitted.get("n_features_in") is not None:
-        model.n_features_in_ = fitted["n_features_in"]
-    else:
-        model.n_features_in_ = len(model.tree_.attributes)
-    extents = fitted.get("feature_extents")
-    if extents is not None:
-        model.feature_extents_ = [
-            tuple(extent) if extent is not None else None for extent in extents
-        ]
+    _restore_fitted_arrays(model, payload, model.tree_.attributes)
     return model

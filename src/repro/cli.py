@@ -16,8 +16,13 @@ fidelity for speed (the defaults finish in seconds).
 Beyond the paper's experiments, the CLI fronts the production side of the
 library::
 
+    python -m repro train-forest data.csv forest.zip --trees 15   # bagging
     python -m repro predict model.zip data.csv --proba   # offline scoring
     python -m repro serve --models models/ --port 8000   # HTTP model server
+
+``predict`` and ``serve`` accept both single-tree and forest archives; an
+archive written by a *newer* library (format version above this build's)
+exits with status 2 and a message naming both versions.
 """
 
 from __future__ import annotations
@@ -110,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sensitivity, jobs=False)
     sensitivity.add_argument("--parameter", choices=("s", "w"), default="s")
 
+    train_forest = subparsers.add_parser(
+        "train-forest",
+        help="train a bagged forest of uncertain trees on a CSV and save it",
+    )
+    train_forest.add_argument(
+        "data",
+        help="CSV of training rows: feature columns then the class label in "
+             "the last column (a non-numeric first row is a header and is "
+             "skipped)",
+    )
+    train_forest.add_argument("model", help="output path of the model .zip archive")
+    train_forest.add_argument("--kind", choices=("udt", "avg"), default="udt",
+                              help="member trees: distribution-based (udt) or "
+                                   "the mean-collapsing baseline (avg)")
+    train_forest.add_argument("--trees", type=_positive_int, default=11,
+                              help="ensemble size (number of member trees)")
+    train_forest.add_argument("--width", type=float, default=0.1,
+                              help="Gaussian pdf width w as a fraction of each "
+                                   "attribute's range (0 = certain point data)")
+    train_forest.add_argument("--samples", type=int, default=30,
+                              help="pdf sample count s (paper uses 100)")
+    train_forest.add_argument("--max-depth", type=int, default=None,
+                              help="depth bound of every member tree")
+    train_forest.add_argument("--feature-subsample", default=None,
+                              help="features per member: 'sqrt', a fraction in "
+                                   "(0, 1], or an integer count (default: all)")
+    train_forest.add_argument("--no-bootstrap", action="store_true",
+                              help="train every member on the full dataset "
+                                   "instead of a bootstrap resample")
+    train_forest.add_argument("--seed", type=int, default=0,
+                              help="random_state: same seed, same forest")
+    train_forest.add_argument("--jobs", type=_positive_int, default=1,
+                              help="worker processes for member training "
+                                   "(results are identical to --jobs 1)")
+    train_forest.add_argument("--engine", choices=ENGINE_NAMES, default="columnar",
+                              help="tree-construction engine for the members")
+
     predict = subparsers.add_parser(
         "predict", help="offline scoring: apply a saved model to a CSV of rows"
     )
@@ -137,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-control bound on queued rows; beyond it new "
                             "requests are rejected with HTTP 429 + Retry-After "
                             "(default: 8 x max-batch)")
+    serve.add_argument("--max-queue-rows-per-model", type=int, default=None,
+                       help="per-model admission quota on queued rows, so one "
+                            "hot model cannot starve the others' admission "
+                            "budget (default: half of max-queue-rows)")
     serve.add_argument("--request-timeout", type=float, default=30.0, metavar="SECONDS",
                        help="per-request inference deadline; a request that "
                             "exceeds it is answered 504 and, if still queued, "
@@ -181,13 +227,114 @@ def _read_csv_rows(path: str) -> list:
     return [[float(cell) for cell in row] for row in rows]
 
 
+def _parse_feature_subsample(value):
+    """CLI encoding of the forest's feature_subsample knob.
+
+    Integer literals ("3") are counts; anything with a decimal point
+    ("1.0", "0.5") stays a fraction — so "--feature-subsample 1.0" means
+    all features, exactly like feature_subsample=1.0 in the Python API.
+    """
+    if value is None or value == "sqrt":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        return float(value)
+
+
+def _read_labelled_csv(path: str) -> tuple:
+    """``(X, y)`` from a CSV whose last column is the class label.
+
+    A first row whose feature cells are not all numeric is treated as a
+    header and skipped; labels are kept as strings.
+    """
+    with open(path, newline="") as handle:
+        rows = [row for row in csv.reader(handle) if row]
+    if not rows:
+        return [], []
+
+    def numeric_features(row: list) -> bool:
+        try:
+            [float(cell) for cell in row[:-1]]
+            return True
+        except ValueError:
+            return False
+
+    if not numeric_features(rows[0]):
+        rows = rows[1:]
+    if any(len(row) < 2 for row in rows):
+        raise ValueError("every row needs at least one feature and a label")
+    X = [[float(cell) for cell in row[:-1]] for row in rows]
+    y = [row[-1] for row in rows]
+    return X, y
+
+
+def _run_train_forest(args) -> int:
+    import numpy as np
+
+    from repro.api.spec import first_non_finite_row, gaussian, point
+    from repro.ensemble import AveragingForestClassifier, UDTForestClassifier
+    from repro.exceptions import ReproError
+
+    try:
+        X, y = _read_labelled_csv(args.data)
+    except ValueError as exc:
+        print(f"error: cannot read {args.data}: {exc}", file=sys.stderr)
+        return 2
+    if not X:
+        print(f"error: {args.data} contains no training rows", file=sys.stderr)
+        return 2
+    matrix = np.asarray(X, dtype=float)
+    bad_row = first_non_finite_row(matrix)
+    if bad_row is not None:
+        print(
+            f"error: {args.data} contains a non-finite feature value (NaN or "
+            f"Inf) in data row {bad_row + 1}; clean the input before training",
+            file=sys.stderr,
+        )
+        return 2
+    forest_class = UDTForestClassifier if args.kind == "udt" else AveragingForestClassifier
+    spec = gaussian(w=args.width, s=args.samples) if args.width > 0 else point()
+    try:
+        model = forest_class(
+            n_estimators=args.trees,
+            spec=spec,
+            max_depth=args.max_depth,
+            engine=args.engine,
+            n_jobs=args.jobs,
+            random_state=args.seed,
+            bootstrap=not args.no_bootstrap,
+            feature_subsample=_parse_feature_subsample(args.feature_subsample),
+        ).fit(matrix, y)
+        model.save(args.model)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"trained {args.kind} forest of {model.n_trees_} trees on "
+        f"{len(matrix)} rows x {model.n_features_in_} features "
+        f"(classes: {', '.join(str(label) for label in model.classes_)}); "
+        f"saved to {args.model}"
+    )
+    return 0
+
+
 def _run_predict(args) -> int:
     import numpy as np
 
     from repro.api import load_model
     from repro.api.spec import first_non_finite_row
+    from repro.exceptions import PersistenceError
 
-    model = load_model(args.model)
+    try:
+        model = load_model(args.model)
+    except PersistenceError as exc:
+        # Covers corrupt archives and — via FormatVersionError's message,
+        # which names the archive's version and the library version
+        # required — models written by a newer library.  Exit 2, no
+        # traceback.
+        print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+        return 2
     try:
         rows = _read_csv_rows(args.data)
     except ValueError as exc:
@@ -236,10 +383,42 @@ def _run_predict(args) -> int:
     return 0
 
 
+def _check_archive_versions(models_dir) -> "str | None":
+    """Error message if any archive needs a newer library, else ``None``.
+
+    Runs before the server binds: serving a directory with an archive this
+    build cannot ever load should fail loudly at startup (exit 2, naming
+    the archive and both versions), not 500 on its first request.
+    """
+    from pathlib import Path
+
+    from repro.api.persistence import read_model_metadata
+    from repro.exceptions import FormatVersionError, PersistenceError
+
+    directory = Path(models_dir)
+    if not directory.is_dir():
+        return None  # create_server reports missing directories itself
+    for path in sorted(directory.glob("*.zip")):
+        try:
+            read_model_metadata(path)
+        except FormatVersionError as exc:
+            return f"cannot serve {path.name}: {exc}"
+        except PersistenceError:
+            # Other damage (corrupt zip, bad JSON) keeps the current
+            # behaviour: the registry lists the error and healthy
+            # neighbours still serve.
+            continue
+    return None
+
+
 def _run_serve(args) -> int:
     from repro.exceptions import ServingError
     from repro.serve import create_server
 
+    version_error = _check_archive_versions(args.models)
+    if version_error is not None:
+        print(f"error: {version_error}", file=sys.stderr)
+        return 2
     try:
         server = create_server(
             args.models,
@@ -248,6 +427,7 @@ def _run_serve(args) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             max_queue_rows=args.max_queue_rows,
+            max_queue_rows_per_model=args.max_queue_rows_per_model,
             cache_size=args.cache_size,
             cache_decimals=args.cache_decimals,
             predict_engine=args.predict_engine,
@@ -312,6 +492,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _run_example()
     elif args.command == "datasets":
         _run_datasets()
+    elif args.command == "train-forest":
+        return _run_train_forest(args)
     elif args.command == "predict":
         return _run_predict(args)
     elif args.command == "serve":

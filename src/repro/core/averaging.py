@@ -24,10 +24,42 @@ from repro.core.estimator import BaseTreeEstimator
 from repro.core.pdf import SampledPdf
 from repro.core.strategies import SplitFinder
 
-__all__ = ["AveragingClassifier"]
+__all__ = ["AveragingClassifier", "MeanReductionMixin"]
 
 
-class AveragingClassifier(BaseTreeEstimator):
+class MeanReductionMixin:
+    """The defining transformation of AVG, as reusable template hooks.
+
+    Collapses every pdf to a point mass at its mean (and every categorical
+    distribution to its most likely value) before training and before
+    classification.  Shared by :class:`AveragingClassifier` and the bagged
+    :class:`~repro.ensemble.AveragingForestClassifier`.
+    """
+
+    def _prepare_training(self, dataset: UncertainDataset) -> UncertainDataset:
+        """Collapse the training data to means before building the tree."""
+        return dataset.to_point_dataset()
+
+    def _prepare_eval(self, dataset: UncertainDataset) -> UncertainDataset:
+        """Collapse test data to means, mirroring training."""
+        return dataset.to_point_dataset()
+
+    def _prepare_tuple(self, item: UncertainTuple) -> UncertainTuple:
+        """Reduce an uncertain tuple to its mean representation."""
+        from repro.core.categorical import CategoricalDistribution
+        from repro.core.pdf import Pdf
+
+        features = []
+        for value in item.features:
+            if isinstance(value, Pdf):
+                features.append(SampledPdf.point(value.mean()))
+            else:
+                assert isinstance(value, CategoricalDistribution)
+                features.append(CategoricalDistribution.certain(value.most_likely()))
+        return UncertainTuple(features, label=item.label, weight=item.weight)
+
+
+class AveragingClassifier(MeanReductionMixin, BaseTreeEstimator):
     """C4.5-style classifier built on pdf means (the paper's AVG baseline).
 
     Parameters mirror :class:`~repro.core.udt.UDTClassifier`; the default
@@ -63,29 +95,5 @@ class AveragingClassifier(BaseTreeEstimator):
         self.tree_ = None
         self.build_stats_ = None
 
-    # -- mean reduction (the defining transformation of AVG) ----------------
-
-    def _prepare_training(self, dataset: UncertainDataset) -> UncertainDataset:
-        """Collapse the training data to means before building the tree."""
-        return dataset.to_point_dataset()
-
-    def _prepare_eval(self, dataset: UncertainDataset) -> UncertainDataset:
-        """Collapse test data to means, mirroring training."""
-        return dataset.to_point_dataset()
-
-    def _prepare_tuple(self, item: UncertainTuple) -> UncertainTuple:
-        """Reduce an uncertain tuple to its mean representation."""
-        from repro.core.categorical import CategoricalDistribution
-        from repro.core.pdf import Pdf
-
-        features = []
-        for value in item.features:
-            if isinstance(value, Pdf):
-                features.append(SampledPdf.point(value.mean()))
-            else:
-                assert isinstance(value, CategoricalDistribution)
-                features.append(CategoricalDistribution.certain(value.most_likely()))
-        return UncertainTuple(features, label=item.label, weight=item.weight)
-
     # ``predict_batch`` / ``predict_proba_batch`` come from
-    # BaseTreeEstimator; ``_prepare_eval`` supplies the mean reduction.
+    # BaseTreeEstimator; MeanReductionMixin supplies the mean reduction.

@@ -312,6 +312,34 @@ class UncertainDataset:
         chosen = [self.tuples[i] for i in indices]
         return self.replace_tuples(chosen)
 
+    def select_attributes(self, indices: Sequence[int]) -> "UncertainDataset":
+        """New dataset keeping only the attribute columns at ``indices``.
+
+        Labels, weights and ``class_labels`` are preserved; feature values
+        are shared (not copied), so projecting is cheap.  This is how a
+        feature-subsampled forest member sees its column subset, both at
+        training time and when classifying a full-width dataset.
+        """
+        index_list = [int(i) for i in indices]
+        if not index_list:
+            raise DatasetError("select_attributes needs at least one attribute index")
+        for index in index_list:
+            if not 0 <= index < len(self.attributes):
+                raise DatasetError(
+                    f"attribute index {index} out of range for "
+                    f"{len(self.attributes)} attributes"
+                )
+        attributes = [self.attributes[i] for i in index_list]
+        tuples = [
+            UncertainTuple(
+                [item.features[i] for i in index_list],
+                label=item.label,
+                weight=item.weight,
+            )
+            for item in self.tuples
+        ]
+        return UncertainDataset(attributes, tuples, class_labels=self.class_labels)
+
     def to_point_dataset(self) -> "UncertainDataset":
         """Dataset with every pdf collapsed to a point mass at its mean.
 

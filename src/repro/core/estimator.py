@@ -192,9 +192,9 @@ class BaseTreeEstimator(ParamsMixin):
         X = self._normalise_eval_rows(X)
         if _input_length(X) == 0:
             # Empty batches short-circuit: build_dataset cannot infer a
-            # schema from zero rows, but a fitted tree knows its own.
-            tree = self._require_tree()
-            return UncertainDataset(tree.attributes, [], class_labels=tree.class_labels)
+            # schema from zero rows, but a fitted estimator knows its own.
+            attributes, class_labels = self._eval_schema()
+            return UncertainDataset(attributes, [], class_labels=class_labels)
         # Test-time arrays reuse the names recorded at fit, so name-keyed
         # specs keep resolving even when predict() receives a bare ndarray.
         names = self._column_names(X) or getattr(self, "feature_names_in_", None)
@@ -205,6 +205,24 @@ class BaseTreeEstimator(ParamsMixin):
         if self.tree_ is None:
             raise TreeError("the classifier has not been fitted yet; call fit() first")
         return self.tree_
+
+    def _check_fitted(self) -> None:
+        """Raise :class:`TreeError` when the estimator has not been fitted.
+
+        Overridden by ensemble estimators, whose fitted state is a list of
+        trees rather than a single ``tree_``.
+        """
+        self._require_tree()
+
+    def _eval_schema(self) -> tuple:
+        """``(attributes, class_labels)`` a 0-row eval dataset must carry.
+
+        The default reads them off the fitted tree; ensembles override this
+        with the full training schema (a feature-subsampled member tree only
+        knows its own column subset).
+        """
+        tree = self._require_tree()
+        return tree.attributes, tree.class_labels
 
     # -- the estimator API ---------------------------------------------------
 
@@ -254,9 +272,21 @@ class BaseTreeEstimator(ParamsMixin):
         tree = self._require_tree()
         return tree.classify_batch(self._prepare_eval(self._coerce_eval(X)))
 
+    def _classify_rowwise(self, dataset: UncertainDataset) -> np.ndarray:
+        """Per-row (non-columnar) classification of a *prepared* dataset.
+
+        The serving subsystem's ``predict_engine="tuples"`` path: one
+        recursive tree walk per row.  Ensembles override this with a
+        per-tree walk accumulated in the same member order as the batch
+        path.  (Only the columnar engine promises bit-identity with offline
+        ``predict_proba``; this path matches within float tolerance.)
+        """
+        tree = self._require_tree()
+        return np.stack([tree.classify(item) for item in dataset])
+
     def score(self, X, y: Sequence[Hashable] | None = None) -> float:
         """Accuracy against ``y`` (arrays) or the dataset's own labels."""
-        self._require_tree()
+        self._check_fitted()
         if isinstance(X, UncertainTuple):
             raise DatasetError("score() needs a dataset or arrays, not a single tuple")
         if isinstance(X, UncertainDataset):

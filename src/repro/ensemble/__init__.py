@@ -1,0 +1,29 @@
+"""Ensemble subsystem: bagged forests of uncertain decision trees.
+
+* :class:`UDTForestClassifier` — bootstrap-resampled distribution-based
+  trees with vectorised soft voting;
+* :class:`AveragingForestClassifier` — the same forest over the AVG
+  baseline (pdf means), extending the paper's UDT-vs-AVG comparison to
+  ensembles;
+* :class:`BaseForestClassifier` — the shared bagging machinery, built on
+  :class:`~repro.core.estimator.BaseTreeEstimator`.
+
+Forests follow the estimator protocol (``fit`` / ``predict`` /
+``predict_proba`` / ``score`` on arrays and datasets, ``get_params`` /
+``set_params``), train members in parallel processes (``n_jobs``) with
+deterministic per-member seeds, persist as format-version-2 ``kind:
+"forest"`` archives (:mod:`repro.api.persistence`), and serve through
+:mod:`repro.serve` exactly like single trees.
+"""
+
+from repro.ensemble.forest import (
+    AveragingForestClassifier,
+    BaseForestClassifier,
+    UDTForestClassifier,
+)
+
+__all__ = [
+    "AveragingForestClassifier",
+    "BaseForestClassifier",
+    "UDTForestClassifier",
+]

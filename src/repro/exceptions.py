@@ -60,6 +60,23 @@ class PersistenceError(ReproError):
     """
 
 
+class FormatVersionError(PersistenceError):
+    """Raised when an archive's format version is newer than this library.
+
+    Carries the versions involved so front-ends (``repro predict`` /
+    ``repro serve``) can explain the mismatch — which archive version was
+    found, and what this library supports — instead of printing a bare
+    traceback.
+    """
+
+    def __init__(
+        self, message: str, *, archive_version: int, supported_version: int
+    ) -> None:
+        super().__init__(message)
+        self.archive_version = archive_version
+        self.supported_version = supported_version
+
+
 class ServingError(ReproError):
     """Raised by the serving subsystem (:mod:`repro.serve`).
 

@@ -34,11 +34,18 @@ Guarantees:
   :class:`~repro.exceptions.ServingError` carrying a ``retry_after`` hint,
   so sustained overload turns into fast rejections instead of a spiral in
   which every queued request times out while the worker burns CPU on rows
-  nobody will read.
+  nobody will read;
+* **fairness across models** — besides the shared bound, every model has an
+  admission quota (``max_queue_rows_per_model``, default half of
+  ``max_queue_rows``): a traffic spike on one hot model 429s against its
+  own quota while requests for other models keep being admitted.  The
+  per-model backlog and rejection counts are visible in ``/metrics``
+  (``queue.rows_by_model``, ``requests_rejected_by_model``).
 
 Tuning knobs: ``max_batch`` (rows per coalesced call), ``max_wait_ms`` (how
 long the coalescer lingers for stragglers once a request is queued),
-``max_queue_rows`` (admission-control bound), ``request_timeout_s``,
+``max_queue_rows`` / ``max_queue_rows_per_model`` (admission-control
+bounds), ``request_timeout_s``,
 ``cache_size`` (LRU entries per model) and ``cache_decimals``.  Cache keys
 are the exact feature bytes by default, which is what keeps the bit-identical
 guarantee unconditional; setting ``cache_decimals`` to an integer instead
@@ -73,13 +80,14 @@ def invoke_model(model, matrix: np.ndarray, predict_engine: str) -> np.ndarray:
     vectorised tree descent for the whole batch) and ``tuples`` (the
     per-row recursive walk kept for benchmarking the coalescing win) —
     shared by the engine and by the worker-pool processes, so the two
-    backends cannot drift apart.
+    backends cannot drift apart.  Both paths go through the estimator, so
+    single trees and forests (whose ``predict_proba`` soft-votes over the
+    member trees) serve through the same definition.
     """
     if predict_engine == "columnar":
         return model.predict_proba(matrix)
     dataset = model._prepare_eval(model._coerce_eval(matrix))
-    tree = model.tree_
-    return np.stack([tree.classify(item) for item in dataset])
+    return model._classify_rowwise(dataset)
 
 #: Predict-time engines: ``columnar`` classifies the coalesced batch with one
 #: vectorised tree descent; ``tuples`` walks the tree per row (the pre-batch
@@ -123,6 +131,7 @@ class InferenceEngine:
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
         max_queue_rows: "int | None" = None,
+        max_queue_rows_per_model: "int | None" = None,
         cache_size: int = 1024,
         cache_decimals: "int | None" = None,
         predict_engine: str = "columnar",
@@ -139,6 +148,16 @@ class InferenceEngine:
         if max_queue_rows < 1:
             raise ServingError(
                 f"max_queue_rows must be at least 1, got {max_queue_rows}"
+            )
+        if max_queue_rows_per_model is None:
+            # Half the shared budget: one hot model can never starve the
+            # admission of every other model, yet a single-model deployment
+            # still gets a usefully deep queue.
+            max_queue_rows_per_model = max(1, max_queue_rows // 2)
+        if max_queue_rows_per_model < 1:
+            raise ServingError(
+                f"max_queue_rows_per_model must be at least 1, "
+                f"got {max_queue_rows_per_model}"
             )
         if cache_size < 0:
             raise ServingError(f"cache_size must be non-negative, got {cache_size}")
@@ -165,6 +184,7 @@ class InferenceEngine:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.max_queue_rows = max_queue_rows
+        self.max_queue_rows_per_model = max_queue_rows_per_model
         self.cache_size = cache_size
         self.cache_decimals = cache_decimals
         self.predict_engine = predict_engine
@@ -184,6 +204,12 @@ class InferenceEngine:
         self._closed = False
         self.metrics.register_gauge("rows", lambda: self._total_queued_rows)
         self.metrics.register_gauge("max_rows", lambda: self.max_queue_rows)
+        self.metrics.register_gauge(
+            "max_rows_per_model", lambda: self.max_queue_rows_per_model
+        )
+        # Per-model backlog gauge: a dict snapshot of the O(1) counters the
+        # quota reads, so /metrics shows exactly who is filling the queue.
+        self.metrics.register_gauge("rows_by_model", lambda: dict(self._queued_rows))
         # Per-model LRU caches plus a weakref to the model they were filled
         # from, so a registry hot-reload invalidates stale predictions.  A
         # weakref identity check cannot be fooled by CPython recycling a
@@ -344,10 +370,29 @@ class InferenceEngine:
                     # queue admits any request (even one larger than the
                     # bound — it is served whole, exactly as before), so the
                     # bound throttles concurrency, never request size.
-                    self.metrics.record_rejected(n_missing)
+                    self.metrics.record_rejected(n_missing, model=model_name)
                     raise ServingError(
                         f"inference queue is full ({self._total_queued_rows} rows "
                         f"queued, max_queue_rows={self.max_queue_rows}); retry later",
+                        status=429,
+                        retry_after=self._retry_after_s,
+                    )
+                model_queued = self._queued_rows.get(model_name, 0)
+                if (
+                    model_queued
+                    and model_queued + n_missing > self.max_queue_rows_per_model
+                ):
+                    # Per-model quota: one hot model exhausting its share is
+                    # shed while other models' admission budget stays open.
+                    # The same empty-queue rule applies per model, so the
+                    # quota throttles a model's concurrency, never its
+                    # request size.
+                    self.metrics.record_rejected(n_missing, model=model_name)
+                    raise ServingError(
+                        f"inference queue for model {model_name!r} is full "
+                        f"({model_queued} rows queued, "
+                        f"max_queue_rows_per_model={self.max_queue_rows_per_model}); "
+                        "retry later",
                         status=429,
                         retry_after=self._retry_after_s,
                     )

@@ -26,6 +26,9 @@ Endpoints (all JSON):
     admission control answers 429 with a ``Retry-After`` header (integer
     seconds) and a fractional ``retry_after_s`` field in the JSON body —
     overload sheds load fast instead of letting every request time out.
+    Besides the shared queue bound, each model has its own admission quota
+    (``max_queue_rows_per_model``), so one hot model 429s against its quota
+    while other models keep being admitted.
 """
 
 from __future__ import annotations
@@ -241,6 +244,7 @@ def create_server(
     max_batch: int = 64,
     max_wait_ms: float = 2.0,
     max_queue_rows: "int | None" = None,
+    max_queue_rows_per_model: "int | None" = None,
     cache_size: int = 1024,
     cache_decimals: "int | None" = None,
     predict_engine: str = "columnar",
@@ -275,6 +279,7 @@ def create_server(
             max_batch=max_batch,
             max_wait_ms=max_wait_ms,
             max_queue_rows=max_queue_rows,
+            max_queue_rows_per_model=max_queue_rows_per_model,
             cache_size=cache_size,
             cache_decimals=cache_decimals,
             predict_engine=predict_engine,

@@ -50,6 +50,7 @@ class ServingMetrics:
         self.batch_size_histogram: dict = {}
         self.requests_rejected = 0
         self.rows_rejected = 0
+        self.requests_rejected_by_model: dict = {}
         self.requests_abandoned = 0
         self.rows_abandoned = 0
         self._gauges: dict = {}
@@ -87,11 +88,20 @@ class ServingMetrics:
             key = str(int(status))
             self.errors[key] = self.errors.get(key, 0) + 1
 
-    def record_rejected(self, n_rows: int) -> None:
-        """Count one request shed by admission control (queue full, 429)."""
+    def record_rejected(self, n_rows: int, model: "str | None" = None) -> None:
+        """Count one request shed by admission control (queue full, 429).
+
+        ``model`` attributes the rejection to the model whose request was
+        shed — whether it hit the shared bound or its own per-model quota —
+        so ``/metrics`` shows which model is drawing the overload.
+        """
         with self._lock:
             self.requests_rejected += 1
             self.rows_rejected += int(n_rows)
+            if model is not None:
+                self.requests_rejected_by_model[model] = (
+                    self.requests_rejected_by_model.get(model, 0) + 1
+                )
 
     def record_abandoned(self, n_rows: int) -> None:
         """Count one cancelled request dropped before classification.
@@ -135,6 +145,7 @@ class ServingMetrics:
                 "errors": dict(self.errors),
                 "requests_rejected": self.requests_rejected,
                 "rows_rejected": self.rows_rejected,
+                "requests_rejected_by_model": dict(self.requests_rejected_by_model),
                 "requests_abandoned": self.requests_abandoned,
                 "rows_abandoned": self.rows_abandoned,
             }

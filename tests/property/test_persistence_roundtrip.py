@@ -9,15 +9,28 @@ handcrafted Table 1 example), a fitted classifier survives the
   split points and leaf distributions), and
 * bit-identical ``predict_proba`` output (``np.array_equal``, not
   ``allclose``) on the training set itself.
+
+Backward compatibility is pinned by a golden fixture: a format-version-1
+archive committed under ``tests/fixtures/`` (written by the 1.3.x line,
+before forests existed) must keep loading and predicting bit-identically
+under format version 2.  Forest archives (``kind: "forest"``, format v2)
+round-trip under the same exactness bar.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from repro.api import load_model
+from repro.api import FORMAT_VERSION, load_model, read_model_metadata
 from repro.core import AveragingClassifier, DecisionTree, UDTClassifier
+from repro.ensemble import AveragingForestClassifier, UDTForestClassifier
+
+#: Directory of committed golden archives.
+_FIXTURES = Path(__file__).parent.parent / "fixtures"
 
 #: Names of conftest dataset fixtures the round trip must hold on.
 _DATASET_FIXTURES = (
@@ -55,6 +68,139 @@ def test_tree_round_trip_is_exact(dataset, tmp_path):
     restored = DecisionTree.load(path)
     assert restored.structure_signature() == tree.structure_signature()
     assert np.array_equal(restored.classify_dataset(dataset), tree.classify_dataset(dataset))
+
+
+@pytest.mark.parametrize(
+    "forest_class", [UDTForestClassifier, AveragingForestClassifier]
+)
+def test_forest_round_trip_is_exact(dataset, forest_class, tmp_path):
+    """``kind: "forest"`` archives reload with identical members and bits."""
+    model = forest_class(
+        n_estimators=4, random_state=5, feature_subsample="sqrt"
+    ).fit(dataset)
+    path = tmp_path / "forest.zip"
+    model.save(path)
+    loaded = load_model(path)
+
+    assert type(loaded) is forest_class
+    assert len(loaded.trees_) == len(model.trees_)
+    assert [t.structure_signature() for t in loaded.trees_] == [
+        t.structure_signature() for t in model.trees_
+    ]
+    assert loaded.tree_feature_indices_ == model.tree_feature_indices_
+    assert np.array_equal(loaded.predict_proba(dataset), model.predict_proba(dataset))
+    assert np.array_equal(loaded.predict(dataset), model.predict(dataset))
+
+    metadata = read_model_metadata(path)
+    assert metadata["kind"] == "forest"
+    assert metadata["model_kind"] == "forest"
+    assert metadata["n_trees"] == 4
+    assert metadata["format_version"] == FORMAT_VERSION
+
+
+class TestGoldenV1Archive:
+    """A committed format-v1 archive must survive the v2 code unchanged."""
+
+    def _expected(self) -> dict:
+        return json.loads((_FIXTURES / "golden_v1_expected.json").read_text())
+
+    def test_fixture_is_really_version_1(self):
+        metadata = read_model_metadata(_FIXTURES / "golden_v1_model.zip")
+        assert metadata["format_version"] == 1
+        assert metadata["kind"] == "estimator"
+        # v1 archives are single trees; the derived kind axis says so.
+        assert metadata["model_kind"] == "tree"
+        assert metadata["n_trees"] == 1
+
+    def test_v1_archive_loads_and_predicts_bit_identically(self):
+        expected = self._expected()
+        model = load_model(_FIXTURES / "golden_v1_model.zip")
+        rows = np.array(
+            [[float(cell) for cell in row] for row in expected["rows"]], dtype=float
+        )
+        probabilities = model.predict_proba(rows)
+        golden = np.array(
+            [[float(cell) for cell in row] for row in expected["probabilities"]],
+            dtype=float,
+        )
+        # repr-serialised doubles reload to the exact same bits, so this is
+        # a bit-for-bit comparison against the probabilities recorded when
+        # the archive was written under format version 1.
+        assert np.array_equal(probabilities, golden)
+        assert [str(label) for label in model.predict(rows)] == expected["labels"]
+        assert [str(label) for label in model.classes_] == expected["classes"]
+
+    def test_v1_archive_resaves_as_v2_with_same_bits(self, tmp_path):
+        """Upgrading an archive (load + save) never changes predictions."""
+        expected = self._expected()
+        model = load_model(_FIXTURES / "golden_v1_model.zip")
+        upgraded_path = tmp_path / "upgraded.zip"
+        model.save(upgraded_path)
+        assert read_model_metadata(upgraded_path)["format_version"] == FORMAT_VERSION
+        upgraded = load_model(upgraded_path)
+        rows = np.array(
+            [[float(cell) for cell in row] for row in expected["rows"]], dtype=float
+        )
+        assert np.array_equal(
+            upgraded.predict_proba(rows), model.predict_proba(rows)
+        )
+
+
+def test_leaf_distributions_reload_verbatim(tmp_path):
+    """Restoring a leaf must not re-run the constructor's normalisation.
+
+    A normalised distribution can sum to 0.999... instead of exactly 1.0;
+    dividing by that sum again shifts the last bit, which once made a
+    reloaded forest's predict_proba differ from the saved model by 1 ulp.
+    """
+    from repro.core.dataset import Attribute
+    from repro.core.tree import InternalNode, LeafNode
+
+    # These two doubles sum to 0.9999999999999999, the non-idempotent case.
+    values = np.array([0.9572544260768425, 0.04274557392315737])
+    assert values.sum() != 1.0
+    tree = DecisionTree(
+        root=InternalNode(
+            0,
+            split_point=0.5,
+            left=LeafNode(np.array([1.0, 0.0]), training_weight=1.0),
+            right=LeafNode(values, training_weight=1.0),
+        ),
+        attributes=[Attribute.numerical("A1")],
+        class_labels=("a", "b"),
+    )
+    # The constructor itself renormalises, so pin the exact bits the way a
+    # finished build holds them before comparing the round trip.
+    tree.root.right.distribution = values
+    path = tmp_path / "tree.zip"
+    tree.save(path)
+    restored = DecisionTree.load(path)
+    assert np.array_equal(restored.root.right.distribution, values)
+    assert restored.structure_signature() == tree.structure_signature()
+
+
+def test_unnormalised_payloads_still_normalise_on_load():
+    """The verbatim restore only applies to already-normalised archives.
+
+    ``tree_from_dict`` is public: a hand-built payload carrying raw counts
+    must still come back normalised, and an all-zero vector must still get
+    the constructor's uniform fallback.
+    """
+    from repro.api import tree_from_dict
+
+    def payload(distribution):
+        return {
+            "format_version": 1,
+            "attributes": [{"name": "A1", "kind": "numerical", "domain": []}],
+            "class_labels": ["a", "b"],
+            "root": {"type": "leaf", "distribution": distribution,
+                     "training_weight": 1.0},
+        }
+
+    counts = tree_from_dict(payload([3.0, 1.0]))
+    assert np.array_equal(counts.root.distribution, [0.75, 0.25])
+    zeros = tree_from_dict(payload([0.0, 0.0]))
+    assert np.array_equal(zeros.root.distribution, [0.5, 0.5])
 
 
 def test_double_round_trip_is_stable(small_uncertain, tmp_path):

@@ -20,6 +20,7 @@ import pytest
 
 from repro.api import AveragingClassifier, UDTClassifier, load_model
 from repro.api.spec import gaussian, point, uniform
+from repro.ensemble import UDTForestClassifier
 from repro.serve import (
     InferenceEngine,
     ModelRegistry,
@@ -107,6 +108,101 @@ def test_worker_pool_equals_in_process_engine(spec_name, spec, tmp_path):
             )
 
     assert np.array_equal(in_process, expected)
+    assert np.array_equal(np.vstack(results), expected)
+
+
+def _train_and_save_forest(tmp_path, seed: int):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 4))
+    y = np.where(X[:, 0] - X[:, 3] > 0, "a", "b")
+    model = UDTForestClassifier(
+        n_estimators=5,
+        spec=gaussian(w=0.1, s=8),
+        min_split_weight=4.0,
+        random_state=17,
+        feature_subsample="sqrt",
+    ).fit(X, y)
+    model.save(tmp_path / "forest.zip")
+    return rng.normal(size=(32, 4))
+
+
+def test_served_forest_equals_offline_through_coalescing_and_cache(tmp_path):
+    """A ``kind: "forest"`` archive serves the exact offline soft-vote bits.
+
+    Same adversarial submission pattern as the single-tree case: concurrent
+    single-row requests force the coalescer to regroup them into arbitrary
+    batches, and a second pass partially hits the LRU cache.
+    """
+    rows = _train_and_save_forest(tmp_path, seed=404)
+    offline = load_model(tmp_path / "forest.zip")
+    expected = offline.predict_proba(rows)
+
+    registry = ModelRegistry(tmp_path)
+    with InferenceEngine(
+        registry, max_batch=8, max_wait_ms=5.0, cache_size=16
+    ) as engine:
+        barrier = threading.Barrier(8)
+
+        def one_row(index: int) -> np.ndarray:
+            if index < 8:
+                barrier.wait(timeout=10.0)
+            return engine.predict_proba("forest", rows[index])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one_row, range(len(rows))))
+        repeated = engine.predict_proba("forest", rows)
+
+    assert np.array_equal(np.vstack(results), expected)
+    assert np.array_equal(repeated, expected)
+
+
+def test_served_forest_equals_offline_through_worker_pool(tmp_path):
+    """Sharding forest batches across worker processes changes no bits."""
+    rows = _train_and_save_forest(tmp_path, seed=505)
+    offline = load_model(tmp_path / "forest.zip")
+    expected = offline.predict_proba(rows)
+
+    registry = ModelRegistry(tmp_path)
+    with InferenceEngine(
+        registry,
+        max_batch=16,
+        max_wait_ms=5.0,
+        cache_size=0,
+        pool=WorkerPool(2, min_shard_rows=4),
+    ) as engine:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda i: engine.predict_proba("forest", rows[i]),
+                         range(len(rows)))
+            )
+
+    assert np.array_equal(np.vstack(results), expected)
+
+
+def test_served_forest_equals_offline_through_http(tmp_path):
+    """Forest probabilities survive the JSON transport bit-for-bit."""
+    rows = _train_and_save_forest(tmp_path, seed=606)
+    offline = load_model(tmp_path / "forest.zip")
+    expected = offline.predict_proba(rows)
+
+    server = create_server(tmp_path, port=0, max_batch=8, max_wait_ms=2.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServingClient(server.url)
+        listing = {entry["name"]: entry for entry in client.models()}
+        assert listing["forest"]["model_kind"] == "forest"
+        assert listing["forest"]["n_trees"] == 5
+
+        def one_row(index: int) -> np.ndarray:
+            return client.predict("forest", rows[index]).probabilities
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(one_row, range(len(rows))))
+    finally:
+        server.close()
+        thread.join(timeout=5.0)
+
     assert np.array_equal(np.vstack(results), expected)
 
 

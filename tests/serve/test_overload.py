@@ -209,6 +209,102 @@ class TestAdmissionControl:
         assert np.array_equal(result, offline_model.predict_proba(serving_rows[4:8]))
 
 
+class TestPerModelQuota:
+    @pytest.fixture
+    def two_model_dir(self, tmp_path, serving_model):
+        """Two archives of the same fitted model, served as 'hot' and 'cold'."""
+        serving_model.save(tmp_path / "hot.zip")
+        serving_model.save(tmp_path / "cold.zip")
+        return tmp_path
+
+    def test_default_quota_is_half_the_shared_bound(self, registry):
+        with make_engine(registry, max_queue_rows=64) as engine:
+            assert engine.max_queue_rows_per_model == 32
+        with make_engine(
+            registry, max_queue_rows=64, max_queue_rows_per_model=5
+        ) as engine:
+            assert engine.max_queue_rows_per_model == 5
+
+    def test_invalid_quota_is_rejected(self, registry):
+        with pytest.raises(ServingError):
+            make_engine(registry, max_queue_rows_per_model=0)
+
+    def test_hot_model_sheds_while_other_models_stay_admitted(
+        self, two_model_dir, offline_model, serving_rows
+    ):
+        registry = ModelRegistry(two_model_dir)
+        with make_engine(
+            registry,
+            max_batch=1,
+            max_queue_rows=100,
+            max_queue_rows_per_model=2,
+            request_timeout_s=10.0,
+        ) as engine:
+            spy = _InvokeSpy(engine, block=True)
+            results: dict = {}
+            occupant = threading.Thread(
+                target=lambda: results.update(
+                    hot=engine.predict_proba("hot", serving_rows[0])
+                )
+            )
+            occupant.start()
+            assert spy.started.wait(timeout=5.0)
+            # Fill the hot model's quota (2 rows) while the coalescer is busy.
+            backlog = threading.Thread(
+                target=lambda: results.update(
+                    backlog=engine.predict_proba("hot", serving_rows[1:3])
+                )
+            )
+            backlog.start()
+            _wait_until(lambda: engine._queued_rows.get("hot", 0) == 2)
+            # The hot model is over its quota: shed, naming the model —
+            # even though the shared queue (100 rows) is nowhere near full.
+            with pytest.raises(ServingError) as excinfo:
+                engine.predict_proba("hot", serving_rows[3])
+            assert excinfo.value.status == 429
+            assert "hot" in str(excinfo.value)
+            assert excinfo.value.retry_after is not None
+            # The other model's admission budget is untouched: its request
+            # enqueues instead of being rejected.
+            cold = threading.Thread(
+                target=lambda: results.update(
+                    cold=engine.predict_proba("cold", serving_rows[4:8])
+                )
+            )
+            cold.start()
+            _wait_until(lambda: engine._queued_rows.get("cold", 0) == 4)
+            snapshot = engine.metrics.snapshot()
+            spy.release.set()
+            occupant.join(timeout=5.0)
+            backlog.join(timeout=5.0)
+            cold.join(timeout=5.0)
+        # Everything admitted was served, bit-identically.
+        assert np.array_equal(results["hot"], offline_model.predict_proba(serving_rows[:1]))
+        assert np.array_equal(
+            results["backlog"], offline_model.predict_proba(serving_rows[1:3])
+        )
+        assert np.array_equal(
+            results["cold"], offline_model.predict_proba(serving_rows[4:8])
+        )
+        # The rejection is attributed to the hot model in /metrics, and the
+        # per-model backlog gauge saw both models' queues.
+        assert snapshot["requests_rejected_by_model"] == {"hot": 1}
+        assert snapshot["queue"]["max_rows_per_model"] == 2
+        assert snapshot["queue"]["rows_by_model"] == {"hot": 2, "cold": 4}
+
+    def test_empty_per_model_queue_admits_oversized_requests(
+        self, two_model_dir, offline_model, serving_rows
+    ):
+        # The quota mirrors the shared bound's rule: it throttles a model's
+        # concurrency, never its request size.
+        registry = ModelRegistry(two_model_dir)
+        with make_engine(
+            registry, max_batch=4, max_queue_rows=100, max_queue_rows_per_model=2
+        ) as engine:
+            result = engine.predict_proba("hot", serving_rows)  # 24 rows > 2
+        assert np.array_equal(result, offline_model.predict_proba(serving_rows))
+
+
 def _wait_until(predicate, timeout: float = 5.0) -> None:
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:

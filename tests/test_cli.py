@@ -196,6 +196,160 @@ class TestPredictCommand:
         assert len(content) == 1 + len(rows)
 
 
+def _future_archive(source_path, target_path, version: int = 99):
+    """Copy of an archive with its format_version bumped past this build's."""
+    import json
+    import zipfile
+
+    with zipfile.ZipFile(source_path) as source:
+        payload = json.loads(source.read("model.json"))
+        arrays = source.read("arrays.npz")
+    payload["format_version"] = version
+    with zipfile.ZipFile(target_path, "w") as target:
+        target.writestr("model.json", json.dumps(payload))
+        target.writestr("arrays.npz", arrays)
+
+
+class TestTrainForestCommand:
+    def _write_training_csv(self, path, n_rows: int = 50, header: bool = True):
+        rng = np.random.default_rng(21)
+        X = rng.normal(size=(n_rows, 3))
+        y = np.where(X[:, 0] - X[:, 2] > 0, "up", "down")
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            if header:
+                writer.writerow(["a", "b", "c", "label"])
+            for row, label in zip(X, y):
+                writer.writerow(list(row) + [label])
+        return X, y
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train-forest", "d.csv", "m.zip"])
+        assert args.kind == "udt"
+        assert args.trees == 11
+        assert args.width == 0.1
+        assert not args.no_bootstrap
+
+    def test_trains_and_saves_a_loadable_forest(self, tmp_path, capsys):
+        from repro.api import load_model
+        from repro.api.persistence import read_model_metadata
+
+        data = tmp_path / "train.csv"
+        X, y = self._write_training_csv(data)
+        model_path = tmp_path / "forest.zip"
+        assert main(
+            ["train-forest", str(data), str(model_path),
+             "--trees", "3", "--samples", "6", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 trees" in out and "50 rows" in out
+        metadata = read_model_metadata(model_path)
+        assert metadata["model_kind"] == "forest"
+        assert metadata["n_trees"] == 3
+        model = load_model(model_path)
+        assert model.score(X, y) > 0.6
+
+    def test_same_seed_same_saved_forest(self, tmp_path):
+        from repro.api import load_model
+
+        data = tmp_path / "train.csv"
+        X, _ = self._write_training_csv(data)
+        first, second = tmp_path / "a.zip", tmp_path / "b.zip"
+        base = ["train-forest", str(data), "--trees", "3", "--samples", "6"]
+        assert main(base[:2] + [str(first)] + base[2:]) == 0
+        assert main(base[:2] + [str(second)] + base[2:]) == 0
+        assert np.array_equal(
+            load_model(first).predict_proba(X), load_model(second).predict_proba(X)
+        )
+
+    def test_predict_serves_the_trained_forest(self, tmp_path, capsys):
+        from repro.api import load_model
+
+        data = tmp_path / "train.csv"
+        X, _ = self._write_training_csv(data)
+        model_path = tmp_path / "forest.zip"
+        assert main(
+            ["train-forest", str(data), str(model_path), "--trees", "3",
+             "--samples", "6"]
+        ) == 0
+        capsys.readouterr()
+        rows_path = tmp_path / "rows.csv"
+        with open(rows_path, "w", newline="") as handle:
+            csv.writer(handle).writerows(X[:5, :].tolist())
+        assert main(["predict", str(model_path), str(rows_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[1:] == list(load_model(model_path).predict(X[:5]))
+
+    def test_empty_csv_is_an_error(self, tmp_path, capsys):
+        data = tmp_path / "train.csv"
+        data.write_text("")
+        assert main(["train-forest", str(data), str(tmp_path / "m.zip")]) == 2
+        assert "no training rows" in capsys.readouterr().err
+
+    def test_non_finite_cell_is_an_error(self, tmp_path, capsys):
+        data = tmp_path / "train.csv"
+        data.write_text("1.0,2.0,x\n3.0,nan,y\n")
+        assert main(["train-forest", str(data), str(tmp_path / "m.zip")]) == 2
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_feature_subsample_parsing(self):
+        from repro.cli import _parse_feature_subsample
+
+        # "1.0" is the documented fraction meaning *all* features — it must
+        # not collapse to the integer count 1 (one feature per member).
+        assert _parse_feature_subsample("1.0") == 1.0
+        assert isinstance(_parse_feature_subsample("1.0"), float)
+        assert _parse_feature_subsample("0.5") == 0.5
+        assert _parse_feature_subsample("3") == 3
+        assert isinstance(_parse_feature_subsample("3"), int)
+        assert _parse_feature_subsample("sqrt") == "sqrt"
+        assert _parse_feature_subsample(None) is None
+
+    def test_bad_feature_subsample_is_an_error(self, tmp_path, capsys):
+        data = tmp_path / "train.csv"
+        self._write_training_csv(data)
+        assert main(
+            ["train-forest", str(data), str(tmp_path / "m.zip"),
+             "--feature-subsample", "-2"]
+        ) == 2
+        assert "feature_subsample" in capsys.readouterr().err
+
+
+class TestFormatVersionGate:
+    def test_predict_exits_2_naming_both_versions(self, saved_model, tmp_path, capsys):
+        from repro.api import FORMAT_VERSION
+
+        _, model_path, rows = saved_model
+        future = tmp_path / "future.zip"
+        _future_archive(model_path, future, version=99)
+        data = tmp_path / "rows.csv"
+        with open(data, "w", newline="") as handle:
+            csv.writer(handle).writerows(rows.tolist())
+        assert main(["predict", str(future), str(data)]) == 2
+        err = capsys.readouterr().err
+        assert "format version 99" in err
+        assert f"version {FORMAT_VERSION}" in err
+        assert "upgrade" in err
+
+    def test_serve_exits_2_naming_the_archive(self, saved_model, tmp_path, capsys):
+        _, model_path, _ = saved_model
+        models = tmp_path / "models"
+        models.mkdir()
+        _future_archive(model_path, models / "future.zip", version=99)
+        assert main(["serve", "--models", str(models), "--port", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "future.zip" in err
+        assert "format version 99" in err
+
+    def test_corrupt_archive_still_exits_2_for_predict(self, tmp_path, capsys):
+        bad = tmp_path / "bad.zip"
+        bad.write_text("not a zip")
+        data = tmp_path / "rows.csv"
+        data.write_text("1.0\n")
+        assert main(["predict", str(bad), str(data)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestServeParser:
     def test_defaults(self):
         args = build_parser().parse_args(["serve", "--models", "models/"])
@@ -219,10 +373,14 @@ class TestServeParser:
     def test_overload_knobs_parse(self):
         args = build_parser().parse_args(
             ["serve", "--models", "m", "--max-queue-rows", "256",
-             "--request-timeout", "2.5"]
+             "--max-queue-rows-per-model", "64", "--request-timeout", "2.5"]
         )
         assert args.max_queue_rows == 256
+        assert args.max_queue_rows_per_model == 64
         assert args.request_timeout == 2.5
+        assert build_parser().parse_args(
+            ["serve", "--models", "m"]
+        ).max_queue_rows_per_model is None
 
     @pytest.mark.parametrize(
         "flags",
@@ -231,6 +389,7 @@ class TestServeParser:
             ["--request-timeout", "-3"],
             ["--cache-decimals", "-1"],
             ["--max-queue-rows", "0"],
+            ["--max-queue-rows-per-model", "0"],
             ["--cache-size", "-1"],
             ["--max-wait-ms", "-1"],
         ],
