@@ -1,0 +1,105 @@
+"""CI smoke lane for the load-generation + SLO-gate pipeline.
+
+Exercises the whole chain the way an operator would: train a tiny model,
+launch ``python -m repro serve`` as a real subprocess, drive it with
+``python -m repro loadgen`` at smoke scale (steady + spike shapes, a few
+seconds each), and gate the result on ``benchmarks/slo_budgets.json``.
+The budgets are deliberately lenient — shared CI runners are slow and
+noisy, so this lane asserts "the server survives an open-loop spike
+within an order of magnitude of its local numbers", not a performance
+target.  The ``BENCH_loadgen.json`` artifact lands in
+``benchmarks/results/`` and is archived by the workflow so latency
+quantiles and shed rates can be trended across commits.
+
+Run locally with ``PYTHONPATH=src python benchmarks/loadgen_smoke.py``;
+the exit code is the ``repro loadgen`` exit code (1 = SLO violation).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+RATE = 30.0
+DURATION_S = 4.0
+USERS = 8
+
+
+def _train_model(models_dir: Path) -> None:
+    from repro.api import UDTClassifier
+    from repro.api.spec import gaussian
+
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    model = UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+    model.save(models_dir / "smoke.zip")
+
+
+def _start_server(models_dir: Path):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--models", str(models_dir),
+         "--port", "0", "--max-batch", "32", "--max-wait-ms", "1.0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The banner line is "serving N model(s) on http://host:port".
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if " on http://" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        raise RuntimeError("server did not print its URL within 30s")
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=1.0):
+                return process, url
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"server at {url} never became healthy")
+
+
+def main() -> int:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        models_dir = Path(tmp)
+        _train_model(models_dir)
+        process, url = _start_server(models_dir)
+        try:
+            result = subprocess.run(
+                [sys.executable, "-m", "repro", "loadgen",
+                 "--url", url,
+                 "--shape", "steady", "--shape", "spike",
+                 "--rate", str(RATE), "--duration", str(DURATION_S),
+                 "--users", str(USERS), "--seed", "0",
+                 "--slo", str(BENCH_DIR / "slo_budgets.json"),
+                 "--output", str(RESULTS_DIR / "BENCH_loadgen.json")],
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ library::
     python -m repro train-forest data.csv forest.zip --trees 15   # bagging
     python -m repro predict model.zip data.csv --proba   # offline scoring
     python -m repro serve --models models/ --port 8000   # HTTP model server
+    python -m repro loadgen --url http://127.0.0.1:8000 --shape spike \
+        --slo budgets.json --output BENCH_loadgen.json   # open-loop load + SLO gate
 
 ``predict`` and ``serve`` accept both single-tree and forest archives; an
 archive written by a *newer* library (format version above this build's)
@@ -204,6 +206,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load every model at startup instead of on first request")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="open-loop load generation against a running serve instance, "
+             "with optional SLO gating",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8000",
+                         help="base URL of the serving instance to drive")
+    loadgen.add_argument("--shape", action="append", default=None, metavar="NAME",
+                         help="traffic shape to run (repeatable; default: steady); "
+                              "one of: steady, spike, diurnal, hotkey")
+    loadgen.add_argument("--rate", type=float, default=30.0,
+                         help="base arrival rate in requests/second (shapes "
+                              "multiply it over time)")
+    loadgen.add_argument("--duration", type=float, default=5.0, metavar="SECONDS",
+                         help="length of each shape's run")
+    loadgen.add_argument("--users", type=_positive_int, default=8,
+                         help="concurrent user threads executing the schedule")
+    loadgen.add_argument("--spawn-rate", type=float, default=None, metavar="PER_SECOND",
+                         help="ramp users in at N users/second instead of all at once")
+    loadgen.add_argument("--think-time", type=float, default=0.0, metavar="SECONDS",
+                         help="mean exponential pause per user between requests")
+    loadgen.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                         help="per-request client timeout")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="fixes the arrival schedule, model picks and rows")
+    loadgen.add_argument("--model", action="append", default=None, metavar="NAME",
+                         help="restrict traffic to these models (repeatable; "
+                              "default: every model the server lists)")
+    loadgen.add_argument("--slo", default=None, metavar="BUDGETS_JSON",
+                         help="per-shape SLO budgets file; any violated budget "
+                              "makes the command exit 1")
+    loadgen.add_argument("--output", default=None, metavar="PATH",
+                         help="write the BENCH_loadgen.json artifact here")
 
     return parser
 
@@ -455,6 +491,112 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_loadgen(args) -> int:
+    from repro.exceptions import ReproError, ServingError
+    from repro.loadgen import (
+        SHAPE_NAMES,
+        LoadGenerator,
+        check_slo,
+        load_budgets,
+        make_shape,
+        summarize,
+        write_loadgen_report,
+    )
+
+    shape_names = args.shape or ["steady"]
+    try:
+        shapes = [make_shape(name) for name in shape_names]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    budgets = None
+    if args.slo is not None:
+        try:
+            budgets = load_budgets(args.slo)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        unknown = set(budgets) - set(SHAPE_NAMES) - {"*"}
+        if unknown:
+            print(f"error: SLO budgets name unknown shape(s) {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    if args.rate <= 0 or args.duration <= 0:
+        print("error: --rate and --duration must be positive", file=sys.stderr)
+        return 2
+
+    try:
+        generator = LoadGenerator(
+            args.url,
+            users=args.users,
+            spawn_rate=args.spawn_rate,
+            think_time_s=args.think_time,
+            timeout_s=args.timeout,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    records = []
+    for shape in shapes:
+        print(f"running shape {shape.name!r}: rate={args.rate:g} rps, "
+              f"duration={args.duration:g}s, users={args.users}", flush=True)
+        try:
+            run = generator.run(
+                shape, rate=args.rate, duration_s=args.duration, models=args.model
+            )
+        except ServingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        records.append(summarize(run))
+
+    rows = [
+        (
+            record["shape"],
+            f"{record['offered_rate']:.1f}",
+            f"{record['achieved_rate']:.1f}",
+            f"{record['latency_ms']['p50']:.1f}",
+            f"{record['latency_ms']['p95']:.1f}",
+            f"{record['latency_ms']['p99']:.1f}",
+            f"{record['rate_429']:.3f}",
+            f"{record['error_rate']:.3f}",
+        )
+        for record in records
+    ]
+    print(format_table(
+        ("shape", "offered/s", "achieved/s", "p50 ms", "p95 ms", "p99 ms",
+         "429 rate", "error rate"),
+        rows,
+    ))
+
+    if args.output is not None:
+        path = write_loadgen_report(
+            records,
+            args.output,
+            params={
+                "url": args.url,
+                "rate": args.rate,
+                "duration_s": args.duration,
+                "users": args.users,
+                "spawn_rate": args.spawn_rate,
+                "think_time_s": args.think_time,
+                "seed": args.seed,
+                "shapes": shape_names,
+            },
+        )
+        print(f"wrote {path}", flush=True)
+
+    if budgets is not None:
+        violations = check_slo(records, budgets)
+        if violations:
+            for violation in violations:
+                print(f"SLO VIOLATION: {violation}", file=sys.stderr)
+            return 1
+        print(f"SLO check passed for {len(records)} shape(s)", flush=True)
+    return 0
+
+
 def _run_example() -> None:
     data = table1_dataset()
     avg = AveragingClassifier().fit(data)
@@ -498,6 +640,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_predict(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "loadgen":
+        return _run_loadgen(args)
     elif args.command == "accuracy":
         experiment = AccuracyExperiment(
             args.dataset, scale=args.scale, n_samples=args.samples,

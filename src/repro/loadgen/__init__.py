@@ -1,0 +1,67 @@
+"""Open-loop load generation, reporting and SLO gates for the serving stack.
+
+The serving benchmarks measure closed-loop clients: each thread waits for
+its response before sending the next request, so a slow server quietly
+slows the offered load down and hides its own latency (the classic
+coordinated-omission trap).  This package drives a live ``repro serve``
+instance the way real traffic does — requests arrive on a schedule fixed
+in advance, whether or not earlier ones have completed:
+
+* :mod:`repro.loadgen.shapes` — traffic shapes: ``steady``, ``spike``,
+  ``diurnal`` rate profiles and ``hotkey`` model-selection skew, plus the
+  arrival-time scheduler (Poisson or deterministic);
+* :mod:`repro.loadgen.generator` — the open-loop :class:`LoadGenerator`:
+  a user pool with spawn-rate ramp-up and stochastic think time executes
+  the scheduled arrivals against the HTTP API, recording per-request
+  scheduled/start/finish times and status (200/429/4xx/5xx/transport);
+* :mod:`repro.loadgen.report` — aggregation into machine-readable
+  records (offered vs achieved rate, p50/p95/p99 latency, 429 rate, per
+  shape) and the ``BENCH_loadgen.json`` envelope;
+* :mod:`repro.loadgen.slo` — declarative per-shape budgets (p99 latency,
+  max 429 rate, minimum achieved/offered ratio) and the gate that turns a
+  violated budget into a non-zero ``repro loadgen`` exit (and a failed CI
+  build).
+
+Quickstart::
+
+    from repro.loadgen import LoadGenerator, make_shape, summarize
+
+    generator = LoadGenerator("http://127.0.0.1:8000", users=16, seed=0)
+    run = generator.run(make_shape("spike"), rate=50.0, duration_s=10.0)
+    record = summarize(run)
+    record["latency_ms"]["p99"], record["rate_429"]
+"""
+
+from repro.loadgen.generator import LoadGenerator, RequestRecord, ShapeRun
+from repro.loadgen.report import summarize, write_loadgen_report
+from repro.loadgen.shapes import (
+    SHAPE_NAMES,
+    DiurnalShape,
+    HotKeyShape,
+    SpikeShape,
+    SteadyShape,
+    TrafficShape,
+    arrival_times,
+    make_shape,
+)
+from repro.loadgen.slo import SLOBudget, Violation, check_slo, load_budgets
+
+__all__ = [
+    "DiurnalShape",
+    "HotKeyShape",
+    "LoadGenerator",
+    "RequestRecord",
+    "SHAPE_NAMES",
+    "SLOBudget",
+    "ShapeRun",
+    "SpikeShape",
+    "SteadyShape",
+    "TrafficShape",
+    "Violation",
+    "arrival_times",
+    "check_slo",
+    "load_budgets",
+    "make_shape",
+    "summarize",
+    "write_loadgen_report",
+]

@@ -1,0 +1,281 @@
+"""Open-loop load generator: scheduled arrivals against a live server.
+
+The generator measures the server the way its users experience it.  A
+closed-loop client (each thread waits for its response before sending the
+next request) slows its own offered load down whenever the server slows
+down, so queueing delay never shows up in the numbers — the classic
+coordinated-omission trap.  Here the arrival schedule is fixed *before*
+the run (:func:`repro.loadgen.shapes.arrival_times`), every request's
+latency is measured from its **scheduled** arrival, and a late start
+(because all user threads were busy) counts against the server, exactly
+as it would for a real caller stuck behind the backlog.
+
+Mechanics: a scheduler thread releases arrivals into an unbounded queue
+at their scheduled instants; a pool of ``users`` worker threads (ramped
+in at ``spawn_rate`` users/second) consumes the queue and fires
+single-row ``predict`` calls through :class:`~repro.serve.client.ServingClient`,
+optionally sleeping an exponential think time between requests.  Every
+outcome — 200, 429 shed, other 4xx/5xx, transport failure — becomes one
+:class:`RequestRecord`; nothing is dropped from the tally.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.persistence import FORMAT_VERSION
+from repro.exceptions import ServingError
+from repro.loadgen.shapes import TrafficShape, arrival_times
+from repro.serve.client import ServingClient
+
+__all__ = ["LoadGenerator", "RequestRecord", "ShapeRun"]
+
+
+@dataclass
+class RequestRecord:
+    """One scheduled request and its outcome.
+
+    ``latency_s`` runs from the *scheduled* arrival to completion (the
+    open-loop latency a real caller would see, queueing included);
+    ``service_s`` runs from the actual send to completion (what the
+    server alone took).  ``status`` is the HTTP status code, or 0 for a
+    transport-level failure (connection refused/reset, timeout) and for
+    arrivals abandoned unsent when the drain grace expired.
+    """
+
+    model: str
+    scheduled_s: float
+    started_s: float
+    latency_s: float
+    service_s: float
+    status: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+@dataclass
+class ShapeRun:
+    """Everything one shape's run produced, input for ``summarize``."""
+
+    shape: str
+    params: dict
+    rate: float
+    duration_s: float
+    offered: int
+    records: "list[RequestRecord]" = field(default_factory=list)
+    models: "list[str]" = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+
+class LoadGenerator:
+    """Drives one serving endpoint with an open-loop workload.
+
+    ``users`` bounds in-flight concurrency (each user thread has one
+    request outstanding at a time); ``spawn_rate`` ramps them in at N
+    users/second instead of all at once; ``think_time_s`` is the mean of
+    an exponential pause each user takes between requests.  ``seed``
+    fixes the arrival schedule, the model selection, and the generated
+    feature rows, so a run is reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        users: int = 8,
+        spawn_rate: "float | None" = None,
+        think_time_s: float = 0.0,
+        timeout_s: float = 10.0,
+        seed: "int | None" = None,
+    ) -> None:
+        if users < 1:
+            raise ValueError(f"users must be >= 1, got {users}")
+        if spawn_rate is not None and spawn_rate <= 0:
+            raise ValueError(f"spawn_rate must be positive, got {spawn_rate}")
+        if think_time_s < 0:
+            raise ValueError(f"think_time_s must be >= 0, got {think_time_s}")
+        self.base_url = base_url
+        self.users = int(users)
+        self.spawn_rate = float(spawn_rate) if spawn_rate is not None else None
+        self.think_time_s = float(think_time_s)
+        self.timeout_s = float(timeout_s)
+        self.seed = seed
+
+    # -- target discovery ----------------------------------------------------
+
+    def discover_models(self) -> "tuple[list[str], dict[str, int]]":
+        """Served model names and their feature counts, via ``GET /v1/models``.
+
+        Skips listing entries whose archive could not be read, and warns
+        about archives persisted in a format older than the current
+        :data:`~repro.api.persistence.FORMAT_VERSION` — stale v1 archives
+        still serve, but miss the v2 header fields the newer tooling reads.
+        """
+        client = ServingClient(self.base_url, timeout=self.timeout_s)
+        names: "list[str]" = []
+        n_features: "dict[str, int]" = {}
+        for info in client.models():
+            if info.error is not None:
+                continue
+            names.append(info.name)
+            n_features[info.name] = int(info.n_features or 4)
+            if info.format_version is not None and info.format_version < FORMAT_VERSION:
+                warnings.warn(
+                    f"model {info.name!r} is persisted as format v{info.format_version} "
+                    f"(current is v{FORMAT_VERSION}); consider re-saving the archive",
+                    stacklevel=2,
+                )
+        return names, n_features
+
+    # -- the run -------------------------------------------------------------
+
+    def run(
+        self,
+        shape: TrafficShape,
+        *,
+        rate: float,
+        duration_s: float,
+        models: "list[str] | None" = None,
+        poisson: bool = True,
+    ) -> ShapeRun:
+        """Execute one shape at ``rate`` arrivals/second for ``duration_s``.
+
+        ``models`` restricts the target set (default: every healthy model
+        the server lists).  Returns the :class:`ShapeRun` with one record
+        per scheduled arrival.
+        """
+        rng = np.random.default_rng(self.seed)
+        discovered_features: "dict[str, int]" = {}
+        if models is None:
+            models, discovered_features = self.discover_models()
+        if not models:
+            raise ServingError(f"no models to drive at {self.base_url}")
+        models = list(models)
+
+        offsets = arrival_times(shape, rate, duration_s, rng, poisson=poisson)
+        # Fix the whole workload up front: target model and feature row per
+        # arrival, so worker-thread scheduling jitter cannot change it.
+        targets = [shape.pick_model(rng, models) for _ in offsets]
+        feature_counts = {
+            name: discovered_features.get(name, 4) for name in models
+        }
+        rows = {
+            name: rng.normal(size=(max(1, len(offsets)), feature_counts[name]))
+            for name in models
+        }
+
+        pending: "queue.Queue" = queue.Queue()
+        records: "list[RequestRecord]" = []
+        records_lock = threading.Lock()
+        stop = threading.Event()
+        client = ServingClient(self.base_url, timeout=self.timeout_s)
+
+        def worker(user_index: int, start_delay: float) -> None:
+            user_rng = np.random.default_rng(
+                None if self.seed is None else self.seed + 7919 * (user_index + 1)
+            )
+            if start_delay > 0 and stop.wait(start_delay):
+                return
+            while True:
+                try:
+                    item = pending.get(timeout=0.05)
+                except queue.Empty:
+                    if stop.is_set():
+                        return
+                    continue
+                if item is None:
+                    return
+                index, scheduled, model = item
+                started = time.monotonic()
+                try:
+                    client.predict(model, rows[model][index % len(rows[model])])
+                    status = 200
+                except ServingError as exc:
+                    status = exc.status or 0
+                finished = time.monotonic()
+                record = RequestRecord(
+                    model=model,
+                    scheduled_s=scheduled - t0,
+                    started_s=started - t0,
+                    latency_s=finished - scheduled,
+                    service_s=finished - started,
+                    status=status,
+                )
+                with records_lock:
+                    records.append(record)
+                if self.think_time_s > 0:
+                    time.sleep(float(user_rng.exponential(self.think_time_s)))
+
+        t0 = time.monotonic()
+        threads = []
+        for user_index in range(self.users):
+            delay = (
+                user_index / self.spawn_rate if self.spawn_rate is not None else 0.0
+            )
+            thread = threading.Thread(
+                target=worker, args=(user_index, delay), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+
+        # Scheduler: release each arrival at its scheduled instant.  Runs in
+        # the calling thread — the workers do the waiting-on-the-server.
+        for index, offset in enumerate(offsets):
+            delay = (t0 + float(offset)) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            pending.put((index, t0 + float(offset), targets[index]))
+
+        # Drain: every worker gets a poison pill, then a bounded grace to
+        # finish what is queued or in flight.  Arrivals still queued when
+        # the grace expires become status-0 records, latency measured to
+        # the moment of abandonment — they are offered load the run could
+        # not deliver, and hiding them would be coordinated omission again.
+        for _ in threads:
+            pending.put(None)
+        grace = self.timeout_s + 5.0
+        deadline = time.monotonic() + grace
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        stop.set()
+        now = time.monotonic()
+        while True:
+            try:
+                item = pending.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            _, scheduled, model = item
+            with records_lock:
+                records.append(
+                    RequestRecord(
+                        model=model,
+                        scheduled_s=scheduled - t0,
+                        started_s=now - t0,
+                        latency_s=now - scheduled,
+                        service_s=0.0,
+                        status=0,
+                    )
+                )
+        with records_lock:
+            records.sort(key=lambda record: record.scheduled_s)
+            done = list(records)
+        return ShapeRun(
+            shape=shape.name,
+            params=shape.describe(),
+            rate=float(rate),
+            duration_s=float(duration_s),
+            offered=len(offsets),
+            records=done,
+            models=models,
+            elapsed_s=time.monotonic() - t0,
+        )

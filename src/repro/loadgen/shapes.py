@@ -1,0 +1,234 @@
+"""Traffic shapes: time-varying arrival rates and model-selection skew.
+
+A :class:`TrafficShape` describes *when* requests arrive and *which model*
+each one targets, independently of how fast the server answers — the
+open-loop half of the harness.  Two hooks:
+
+* :meth:`TrafficShape.rate_multiplier` — the instantaneous arrival-rate
+  multiplier at a fraction ``t`` of the run (``0.0 <= t < 1.0``), applied
+  to the configured base rate.  ``steady`` is the constant 1; ``spike``
+  multiplies a window in the middle of the run; ``diurnal`` follows one
+  (or more) sinusoidal day-cycles compressed into the run.
+* :meth:`TrafficShape.pick_model` — which registered model a request
+  targets.  Uniform by default; ``hotkey`` skews a configurable share of
+  the traffic onto the first (hottest) model, the serving-side analogue
+  of a hot partition key.
+
+:func:`arrival_times` turns a shape plus a base rate and duration into the
+explicit arrival schedule: a non-homogeneous Poisson process (thinning)
+by default, or the deterministic equal-expectation schedule for
+reproducible tests.  Everything is driven by a caller-supplied
+:class:`numpy.random.Generator`, so a seed fixes the whole workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SHAPE_NAMES",
+    "DiurnalShape",
+    "HotKeyShape",
+    "SpikeShape",
+    "SteadyShape",
+    "TrafficShape",
+    "arrival_times",
+    "make_shape",
+]
+
+
+class TrafficShape:
+    """Base shape: steady unit rate, uniform model selection."""
+
+    name = "traffic"
+
+    def rate_multiplier(self, t: float) -> float:
+        """Arrival-rate multiplier at run fraction ``t`` (``0 <= t < 1``)."""
+        return 1.0
+
+    def pick_model(self, rng: np.random.Generator, models: "list[str]") -> str:
+        """The model one request targets (uniform by default)."""
+        if not models:
+            raise ValueError("no models to pick from")
+        if len(models) == 1:
+            return models[0]
+        return models[int(rng.integers(len(models)))]
+
+    def describe(self) -> dict:
+        """Shape parameters for the benchmark record."""
+        return {"shape": self.name}
+
+
+class SteadyShape(TrafficShape):
+    """Constant arrival rate for the whole run."""
+
+    name = "steady"
+
+
+class SpikeShape(TrafficShape):
+    """Baseline rate with a multiplicative burst in a mid-run window.
+
+    The default quadruples the arrival rate over the middle fifth of the
+    run — long enough to fill the admission queue, short enough that the
+    surrounding baseline shows the recovery.
+    """
+
+    name = "spike"
+
+    def __init__(
+        self, factor: float = 4.0, start: float = 0.4, end: float = 0.6
+    ) -> None:
+        if factor < 1.0:
+            raise ValueError(f"spike factor must be >= 1, got {factor}")
+        if not 0.0 <= start < end <= 1.0:
+            raise ValueError(f"spike window must satisfy 0 <= start < end <= 1, "
+                             f"got [{start}, {end}]")
+        self.factor = float(factor)
+        self.start = float(start)
+        self.end = float(end)
+
+    def rate_multiplier(self, t: float) -> float:
+        return self.factor if self.start <= t < self.end else 1.0
+
+    def describe(self) -> dict:
+        return {
+            "shape": self.name,
+            "spike_factor": self.factor,
+            "spike_window": [self.start, self.end],
+        }
+
+
+class DiurnalShape(TrafficShape):
+    """Sinusoidal day-cycle compressed into the run: trough, peak, trough.
+
+    ``amplitude`` is the peak-to-mean swing as a fraction of the base rate
+    (0.8 means the rate sweeps between 0.2x and 1.8x); ``cycles`` stacks
+    several compressed days into one run.  The multiplier starts at the
+    trough, so short smoke runs exercise both the ramp-up and the peak.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, amplitude: float = 0.8, cycles: float = 1.0) -> None:
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(f"diurnal amplitude must be in [0, 1], got {amplitude}")
+        if cycles <= 0:
+            raise ValueError(f"diurnal cycles must be positive, got {cycles}")
+        self.amplitude = float(amplitude)
+        self.cycles = float(cycles)
+
+    def rate_multiplier(self, t: float) -> float:
+        # -cos starts the cycle at the trough and peaks mid-cycle.
+        return 1.0 - self.amplitude * float(np.cos(2.0 * np.pi * self.cycles * t))
+
+    def describe(self) -> dict:
+        return {"shape": self.name, "amplitude": self.amplitude, "cycles": self.cycles}
+
+
+class HotKeyShape(TrafficShape):
+    """Steady rate with model selection skewed onto one hot model.
+
+    ``hot_share`` of the requests target the first model of the registry
+    listing; the rest spread uniformly over the remaining models.  With a
+    single registered model every request targets it (the skew is then a
+    no-op, which is exactly what a one-model smoke deployment wants).
+    Exercises the per-model admission quota: the hot model should 429
+    against its own budget while the cold models keep being admitted.
+    """
+
+    name = "hotkey"
+
+    def __init__(self, hot_share: float = 0.8) -> None:
+        if not 0.0 < hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in (0, 1], got {hot_share}")
+        self.hot_share = float(hot_share)
+
+    def pick_model(self, rng: np.random.Generator, models: "list[str]") -> str:
+        if not models:
+            raise ValueError("no models to pick from")
+        if len(models) == 1 or rng.random() < self.hot_share:
+            return models[0]
+        return models[1 + int(rng.integers(len(models) - 1))]
+
+    def describe(self) -> dict:
+        return {"shape": self.name, "hot_share": self.hot_share}
+
+
+_SHAPES = {
+    SteadyShape.name: SteadyShape,
+    SpikeShape.name: SpikeShape,
+    DiurnalShape.name: DiurnalShape,
+    HotKeyShape.name: HotKeyShape,
+}
+
+#: Names accepted by :func:`make_shape` and ``repro loadgen --shape``.
+SHAPE_NAMES = tuple(sorted(_SHAPES))
+
+
+def make_shape(name: str, **parameters) -> TrafficShape:
+    """Instantiate a shape by name (``steady``/``spike``/``diurnal``/``hotkey``)."""
+    shape_class = _SHAPES.get(name)
+    if shape_class is None:
+        raise ValueError(f"unknown traffic shape {name!r}; expected one of {SHAPE_NAMES}")
+    return shape_class(**parameters)
+
+
+def arrival_times(
+    shape: TrafficShape,
+    rate: float,
+    duration_s: float,
+    rng: "np.random.Generator | None" = None,
+    *,
+    poisson: bool = True,
+) -> np.ndarray:
+    """Sorted arrival offsets (seconds) in ``[0, duration_s)`` for a shape.
+
+    ``rate`` is the base arrivals-per-second the shape's multiplier scales.
+    With ``poisson=True`` (the default) arrivals follow a non-homogeneous
+    Poisson process, sampled by thinning a homogeneous process at the
+    shape's peak rate — the standard open-loop traffic model, with the
+    bursts and gaps real arrivals have.  ``poisson=False`` spaces arrivals
+    so every one carries the same expected load (the quantiles of the
+    cumulative rate curve): deterministic, which is what schedule-shape
+    tests want.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    # The shapes' multipliers are piecewise-smooth; a fine grid bounds the
+    # peak tightly enough for thinning and integrates exactly enough for
+    # the deterministic schedule.
+    grid = np.linspace(0.0, 1.0, 2049)
+    multipliers = np.asarray([shape.rate_multiplier(float(t)) for t in grid])
+    if np.any(multipliers < 0):
+        raise ValueError(f"shape {shape.name!r} produced a negative rate multiplier")
+    if not poisson:
+        # Inverse of the cumulative expected-arrivals curve: arrival k sits
+        # where the integral of the rate reaches k + 0.5 (midpoint rule
+        # keeps the first arrival off t=0 and the last inside the run).
+        cumulative = np.concatenate(
+            ([0.0], np.cumsum((multipliers[1:] + multipliers[:-1]) / 2.0 * np.diff(grid)))
+        )
+        n_arrivals = int(cumulative[-1] * rate * duration_s)
+        if n_arrivals == 0:
+            return np.zeros(0)
+        # Arrival k sits where the cumulative expected-arrival count
+        # (rate * duration_s * cumulative) reaches k + 0.5, i.e. where the
+        # unit-domain integral reaches (k + 0.5) / (rate * duration_s).
+        targets = (np.arange(n_arrivals) + 0.5) / (rate * duration_s)
+        positions = np.interp(targets, cumulative, grid)
+        return positions * duration_s
+    rng = rng if rng is not None else np.random.default_rng()
+    peak = float(multipliers.max())
+    if peak == 0.0:
+        return np.zeros(0)
+    # Thinning: draw a homogeneous Poisson process at the peak rate, keep
+    # each arrival with probability rate(t)/peak.
+    expected = rate * peak * duration_s
+    n_candidates = int(rng.poisson(expected))
+    candidates = np.sort(rng.uniform(0.0, duration_s, size=n_candidates))
+    keep = np.asarray(
+        [rng.random() < shape.rate_multiplier(t / duration_s) / peak for t in candidates]
+    )
+    return candidates[keep] if len(candidates) else candidates

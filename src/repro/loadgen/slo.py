@@ -1,0 +1,151 @@
+"""Declarative per-shape SLO budgets and the gate that enforces them.
+
+A budgets file maps shape names to limits::
+
+    {
+      "steady": {"p99_ms": 250, "max_429_rate": 0.01},
+      "spike":  {"p99_ms": 1000, "max_429_rate": 0.5},
+      "*":      {"max_error_rate": 0.01}
+    }
+
+``"*"`` is the fallback for shapes without their own entry; a shape with
+no applicable budget passes by default (the gate only enforces what the
+file declares).  :func:`check_slo` compares each summarized shape record
+against its budget and returns the violations; ``repro loadgen --slo``
+and the CI job turn a non-empty list into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+__all__ = ["SLOBudget", "Violation", "check_slo", "load_budgets"]
+
+_BUDGET_KEYS = {
+    "p99_ms",
+    "p95_ms",
+    "max_429_rate",
+    "max_error_rate",
+    "min_achieved_fraction",
+}
+
+
+@dataclass
+class SLOBudget:
+    """Limits for one traffic shape; ``None`` means not enforced.
+
+    ``min_achieved_fraction`` bounds achieved/offered rate from below —
+    it catches a server that stays fast by silently absorbing only part
+    of the schedule (the failure mode latency budgets cannot see).
+    """
+
+    p99_ms: "float | None" = None
+    p95_ms: "float | None" = None
+    max_429_rate: "float | None" = None
+    max_error_rate: "float | None" = None
+    min_achieved_fraction: "float | None" = None
+
+    def is_empty(self) -> bool:
+        return all(
+            getattr(self, name) is None for name in self.__dataclass_fields__
+        )
+
+
+@dataclass
+class Violation:
+    """One budget limit one shape failed to meet."""
+
+    shape: str
+    budget: str
+    limit: float
+    observed: float
+
+    def __str__(self) -> str:
+        return (
+            f"shape {self.shape!r}: {self.budget} = {self.observed:.4g} "
+            f"violates limit {self.limit:.4g}"
+        )
+
+
+def load_budgets(path) -> "dict[str, SLOBudget]":
+    """Parse a budgets JSON file into per-shape :class:`SLOBudget` objects.
+
+    Raises :class:`~repro.exceptions.ReproError` for unreadable files,
+    non-object layouts, unknown budget keys, or non-numeric limits — a
+    typo in a budget name must fail the gate loudly, not silently never
+    enforce anything.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read SLO budgets file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"SLO budgets file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"SLO budgets file {path} must be a JSON object of shapes")
+    budgets: "dict[str, SLOBudget]" = {}
+    for shape, limits in payload.items():
+        if not isinstance(limits, dict):
+            raise ReproError(
+                f"SLO budget for shape {shape!r} must be an object, got {type(limits).__name__}"
+            )
+        unknown = set(limits) - _BUDGET_KEYS
+        if unknown:
+            raise ReproError(
+                f"unknown SLO budget key(s) {sorted(unknown)} for shape {shape!r}; "
+                f"expected keys from {sorted(_BUDGET_KEYS)}"
+            )
+        parsed = {}
+        for key, value in limits.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ReproError(
+                    f"SLO budget {key!r} for shape {shape!r} must be a number, got {value!r}"
+                )
+            parsed[key] = float(value)
+        budgets[shape] = SLOBudget(**parsed)
+    return budgets
+
+
+def check_slo(
+    records: "list[dict]", budgets: "dict[str, SLOBudget]"
+) -> "list[Violation]":
+    """Violations of ``budgets`` across summarized shape ``records``.
+
+    Each record (a :func:`~repro.loadgen.report.summarize` output) is
+    checked against its shape's budget, falling back to the ``"*"`` entry.
+    An empty return means every declared limit held.
+    """
+    violations: "list[Violation]" = []
+    for record in records:
+        shape = record.get("shape", "?")
+        budget = budgets.get(shape, budgets.get("*"))
+        if budget is None or budget.is_empty():
+            continue
+        latency = record.get("latency_ms", {})
+        checks = [
+            ("p99_ms", budget.p99_ms, latency.get("p99", 0.0), "max"),
+            ("p95_ms", budget.p95_ms, latency.get("p95", 0.0), "max"),
+            ("max_429_rate", budget.max_429_rate, record.get("rate_429", 0.0), "max"),
+            ("max_error_rate", budget.max_error_rate, record.get("error_rate", 0.0), "max"),
+        ]
+        offered_rate = record.get("offered_rate", 0.0)
+        achieved_fraction = (
+            record.get("achieved_rate", 0.0) / offered_rate if offered_rate else 1.0
+        )
+        checks.append(
+            ("min_achieved_fraction", budget.min_achieved_fraction, achieved_fraction, "min")
+        )
+        for name, limit, observed, direction in checks:
+            if limit is None:
+                continue
+            failed = observed > limit if direction == "max" else observed < limit
+            if failed:
+                violations.append(
+                    Violation(shape=shape, budget=name, limit=limit, observed=observed)
+                )
+    return violations

@@ -32,16 +32,28 @@ Served probabilities are bit-identical to offline
 change results (see ``tests/property/test_serving_equivalence.py``).
 """
 
-from repro.serve.client import PredictResult, ServingClient
+from repro.serve.client import MetricsSnapshot, ModelInfo, PredictResult, ServingClient
 from repro.serve.engine import PREDICT_ENGINES, InferenceEngine
 from repro.serve.http import ServingHTTPServer, create_server
-from repro.serve.metrics import ServingMetrics
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    ServingMetrics,
+)
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelEntry, ModelRegistry
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
     "InferenceEngine",
+    "MetricRegistry",
+    "MetricsSnapshot",
     "ModelEntry",
+    "ModelInfo",
     "ModelRegistry",
     "PREDICT_ENGINES",
     "PredictResult",

@@ -1,15 +1,26 @@
-"""Thin stdlib HTTP client for the serving API.
+"""Thin stdlib HTTP client for the serving API, with typed results.
 
-Used by the tests, the benchmark driver and the CI serving smoke job; it is
-also the reference for how to talk to the server from any other language —
-every call is one JSON request/response pair over plain HTTP.
+Used by the tests, the benchmark drivers, the load generator and the CI
+smoke jobs; it is also the reference for how to talk to the server from any
+other language — every call is one JSON request/response pair over plain
+HTTP.
 
     client = ServingClient("http://127.0.0.1:8000")
     client.health()                       # {"status": "ok", ...}
-    client.models()                       # registry listing
+    client.models()                       # [ModelInfo, ...]
     result = client.predict("iris", [[5.1, 3.5, 1.4, 0.2]])
     result.labels                         # ['setosa']
     result.probabilities                  # ndarray (1, n_classes)
+    snap = client.metrics()               # MetricsSnapshot
+    snap.latency_ms["p99"]                # typed attribute access
+    snap["latency_ms"]["p99"]             # legacy dict-style access
+
+Responses deserialise into typed dataclasses — :class:`PredictResult`,
+:class:`ModelInfo` and :class:`MetricsSnapshot` — which all keep
+*dict-style access* (``result["labels"]``, ``snap["errors"]``,
+``info.get("error")``) over the raw payload, so code written against the
+former plain-dict returns keeps working unchanged.  ``metrics_text()``
+fetches the Prometheus text exposition instead of JSON.
 
 Server-side failures surface as :class:`~repro.exceptions.ServingError`
 carrying the HTTP status code and the server's ``error`` message; 429
@@ -32,17 +43,60 @@ import numpy as np
 
 from repro.exceptions import ServingError
 
-__all__ = ["PredictResult", "ServingClient"]
+__all__ = ["MetricsSnapshot", "ModelInfo", "PredictResult", "ServingClient"]
+
+_MISSING = object()
+
+
+class PayloadView:
+    """Dict-style access over the raw JSON payload of a typed result.
+
+    The dataclasses below carry the server's payload verbatim in ``raw``;
+    this mixin forwards ``result[key]`` / ``key in result`` / ``.get`` /
+    ``.keys`` / iteration to it, so callers written against the old
+    plain-dict returns keep working against the typed objects.
+    """
+
+    raw: dict
+
+    def __getitem__(self, key):
+        return self.raw[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self.raw
+
+    def __iter__(self):
+        return iter(self.raw)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def get(self, key, default=None):
+        return self.raw.get(key, default)
+
+    def keys(self):
+        return self.raw.keys()
+
+    def values(self):
+        return self.raw.values()
+
+    def items(self):
+        return self.raw.items()
+
+    def to_dict(self) -> dict:
+        """The raw JSON payload as a plain dict."""
+        return dict(self.raw)
 
 
 @dataclass
-class PredictResult:
+class PredictResult(PayloadView):
     """One prediction response: labels plus optional probabilities."""
 
     model: str
     labels: list
     classes: list
-    probabilities: np.ndarray | None = field(default=None)
+    probabilities: "np.ndarray | None" = field(default=None)
+    raw: dict = field(default_factory=dict, repr=False)
 
     @classmethod
     def from_payload(cls, payload: dict) -> "PredictResult":
@@ -54,7 +108,78 @@ class PredictResult:
             probabilities=(
                 np.asarray(probabilities, dtype=float) if probabilities is not None else None
             ),
+            raw=payload,
         )
+
+
+@dataclass
+class ModelInfo(PayloadView):
+    """One registry entry: identity, schema, and archive provenance.
+
+    ``format_version`` is the persistence format the archive was written
+    in — header-only, so operators (and the load generator) can spot stale
+    v1 archives without deserialising a single tree.  Listing entries for
+    unreadable archives have ``error`` set and every other field defaulted.
+    """
+
+    name: str
+    model_kind: "str | None" = None
+    n_trees: "int | None" = None
+    format_version: "int | None" = None
+    repro_version: "str | None" = None
+    estimator_class: "str | None" = None
+    n_features: "int | None" = None
+    n_classes: "int | None" = None
+    class_labels: "list | None" = None
+    engine: "str | None" = None
+    loaded: "bool | None" = None
+    error: "str | None" = None
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ModelInfo":
+        return cls(
+            name=payload.get("name"),
+            model_kind=payload.get("model_kind"),
+            n_trees=payload.get("n_trees"),
+            format_version=payload.get("format_version"),
+            repro_version=payload.get("repro_version"),
+            estimator_class=payload.get("estimator_class"),
+            n_features=payload.get("n_features"),
+            n_classes=payload.get("n_classes"),
+            class_labels=payload.get("class_labels"),
+            engine=payload.get("engine"),
+            loaded=payload.get("loaded"),
+            error=payload.get("error"),
+            raw=payload,
+        )
+
+
+@dataclass
+class MetricsSnapshot(PayloadView):
+    """The server's JSON metrics payload with typed top-level access."""
+
+    request_count: int = 0
+    predict_requests: int = 0
+    rows_total: int = 0
+    batch_count: int = 0
+    batch_size_histogram: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+    requests_rejected: int = 0
+    rows_rejected: int = 0
+    requests_rejected_by_model: dict = field(default_factory=dict)
+    requests_abandoned: int = 0
+    rows_abandoned: int = 0
+    latency_ms: dict = field(default_factory=dict)
+    queue: dict = field(default_factory=dict)
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricsSnapshot":
+        names = {name for name in cls.__dataclass_fields__ if name != "raw"}
+        typed = {name: payload[name] for name in names if name in payload}
+        return cls(raw=payload, **typed)
 
 
 class ServingClient:
@@ -66,17 +191,22 @@ class ServingClient:
 
     # -- transport -----------------------------------------------------------
 
-    def _request(self, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self, path: str, body: "dict | None" = None, *, accept: str = "application/json"
+    ):
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": accept}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                payload = json.loads(response.read())
+                raw = response.read()
+                if accept != "application/json":
+                    return raw.decode("utf-8")
+                payload = json.loads(raw)
         except urllib.error.HTTPError as exc:
             retry_after = None
             try:
@@ -119,17 +249,24 @@ class ServingClient:
         """``GET /healthz``."""
         return self._request("/healthz")
 
-    def metrics(self) -> dict:
-        """``GET /metrics``."""
-        return self._request("/metrics")
+    def metrics(self) -> MetricsSnapshot:
+        """``GET /metrics`` — the JSON snapshot as a typed view."""
+        return MetricsSnapshot.from_payload(self._request("/metrics"))
 
-    def models(self) -> list:
-        """``GET /v1/models`` — the registry listing."""
-        return self._request("/v1/models")["models"]
+    def metrics_text(self) -> str:
+        """``GET /metrics`` with ``Accept: text/plain`` — Prometheus text."""
+        return self._request("/metrics", accept="text/plain")
 
-    def model(self, name: str) -> dict:
+    def models(self) -> "list[ModelInfo]":
+        """``GET /v1/models`` — the registry listing, one entry per model."""
+        return [
+            ModelInfo.from_payload(entry)
+            for entry in self._request("/v1/models")["models"]
+        ]
+
+    def model(self, name: str) -> ModelInfo:
         """``GET /v1/models/<name>`` — metadata of one model."""
-        return self._request(f"/v1/models/{name}")
+        return ModelInfo.from_payload(self._request(f"/v1/models/{name}"))
 
     def predict(
         self,

@@ -191,6 +191,9 @@ class InferenceEngine:
         self.request_timeout_s = request_timeout_s
         self.pool = pool
         self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.metrics.set_pool_workers(getattr(pool, "n_workers", 0) if pool else 0)
+        if pool is not None and getattr(pool, "metrics", None) is None:
+            pool.metrics = self.metrics
         self._condition = threading.Condition()
         self._queue: deque = deque()  # (model_name, _Pending) in arrival order
         # Per-model and total queued-row counters, maintained on enqueue /
@@ -524,6 +527,10 @@ class InferenceEngine:
                     result = None
                 if result is not None:
                     return result
+            # Refused token, pool breakage, or a reload that beat the
+            # snapshot: the batch is served in-process — visible in the
+            # pool-utilisation metrics as a fallback.
+            self.metrics.record_pool_fallback()
         return invoke_model(model, matrix, self.predict_engine)
 
     def _drop_cancelled_head(self) -> None:
@@ -570,7 +577,7 @@ class InferenceEngine:
                     else np.concatenate([pending.rows for pending in taken])
                 )
                 probabilities = self._invoke(name, model, matrix)
-                self.metrics.record_batch(matrix.shape[0])
+                self.metrics.record_batch(matrix.shape[0], model=name)
                 offset = 0
                 for pending in taken:
                     count = len(pending.rows)

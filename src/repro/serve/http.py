@@ -16,8 +16,14 @@ Endpoints (all JSON):
 ``GET /v1/models/<name>``
     Metadata of one model (404 for unknown names).
 ``GET /metrics``
-    :meth:`~repro.serve.metrics.ServingMetrics.snapshot`: request counts,
-    batch-size histogram, cache hit rate, p50/p90/p99 latency.
+    Dual-format metrics via ``Accept``-header content negotiation.  The
+    default is :meth:`~repro.serve.metrics.ServingMetrics.snapshot` —
+    request counts, batch-size histogram, cache hit rate, p50/p90/p99
+    latency — rendered as the same JSON bytes as ever; with
+    ``Accept: text/plain`` (or ``application/openmetrics-text``) the full
+    typed metric registry is served in Prometheus text exposition format
+    instead (per-model latency histograms, queue gauges, worker-pool
+    utilisation).
 ``POST /v1/models/<name>:predict``
     Body ``{"rows": [[...], ...], "proba": true}`` → ``{"labels": [...],
     "probabilities": [[...]], "classes": [...]}``.  Malformed bodies, shape
@@ -42,14 +48,47 @@ import numpy as np
 
 from repro.exceptions import DatasetError, ServingError, SpecError, TreeError
 from repro.serve.engine import InferenceEngine
-from repro.serve.metrics import ServingMetrics
+from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE, ServingMetrics
 from repro.serve.registry import ModelRegistry
 
-__all__ = ["ServingHTTPServer", "create_server"]
+__all__ = ["ServingHTTPServer", "create_server", "negotiate_metrics_format"]
 
 #: Maximum accepted request-body size (64 MiB) — a plain-guard against
 #: unbounded reads, not a tuning knob.
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def negotiate_metrics_format(accept: "str | None") -> str:
+    """``"json"`` or ``"prometheus"`` for an ``Accept`` header value.
+
+    JSON is the default (no header, ``*/*``, ``application/json``) and wins
+    ties, so every pre-existing consumer keeps receiving the exact bytes it
+    always has; ``text/plain`` and ``application/openmetrics-text`` select
+    the Prometheus text exposition.  q-values are honoured: the media type
+    with the highest quality wins (``text/plain;q=0.5, application/json``
+    still serves JSON).
+    """
+    if not accept:
+        return "json"
+    best_json = 0.0
+    best_text = 0.0
+    for clause in accept.split(","):
+        parts = [part.strip() for part in clause.split(";")]
+        media = parts[0].lower()
+        quality = 1.0
+        for parameter in parts[1:]:
+            if parameter.startswith("q="):
+                try:
+                    quality = float(parameter[2:])
+                except ValueError:
+                    quality = 0.0
+        if media in ("application/json", "application/*"):
+            best_json = max(best_json, quality)
+        elif media in ("text/plain", "text/*", "application/openmetrics-text"):
+            best_text = max(best_text, quality)
+        elif media == "*/*":
+            best_json = max(best_json, quality)
+    return "prometheus" if best_text > best_json else "json"
 
 
 def _jsonable(value):
@@ -95,6 +134,14 @@ class _Handler(BaseHTTPRequestHandler):
         if status >= 400:
             self.server.metrics.record_error(status)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_serving_error(self, exc: ServingError) -> None:
         payload: dict = {"error": str(exc)}
         headers: dict = {}
@@ -136,7 +183,15 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
             elif path == "/metrics":
-                self._send_json(200, self.server.metrics.snapshot())
+                wanted = negotiate_metrics_format(self.headers.get("Accept"))
+                if wanted == "prometheus":
+                    self._send_text(
+                        200,
+                        self.server.metrics.render_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(200, self.server.metrics.snapshot())
             elif path == "/v1/models":
                 self._send_json(200, {"models": self.server.registry.describe()})
             elif path.startswith("/v1/models/"):
@@ -182,7 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
             # len(labels), not len(rows): a flat single-row payload is one
             # served row even though the JSON list has n_features elements.
             self.server.metrics.record_predict(
-                len(labels), time.perf_counter() - started
+                len(labels), time.perf_counter() - started, model=name
             )
             self._send_json(200, response)
         except ServingError as exc:

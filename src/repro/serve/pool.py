@@ -115,6 +115,7 @@ class WorkerPool:
         predict_engine: str = "columnar",
         min_shard_rows: int = 8,
         shard_timeout_s: float = 60.0,
+        metrics=None,
     ) -> None:
         if n_workers < 1:
             raise ServingError(f"n_workers must be at least 1, got {n_workers}")
@@ -128,6 +129,10 @@ class WorkerPool:
         self.predict_engine = predict_engine
         self.min_shard_rows = min_shard_rows
         self.shard_timeout_s = shard_timeout_s
+        # Shard fan-out counters land here; the engine adopts the pool and
+        # points this at its own ServingMetrics, so /metrics reports
+        # worker-pool utilisation without the pool importing the registry.
+        self.metrics = metrics
         self._broken = False
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=n_workers, mp_context=_worker_context()
@@ -181,6 +186,8 @@ class WorkerPool:
             raise ServingError("cannot shard an empty batch")  # engine never sends one
         path = str(model_path)
         shards = np.array_split(matrix, self._n_shards(n_rows))
+        if self.metrics is not None:
+            self.metrics.record_pool(len(shards))
         futures = [
             executor.submit(
                 _worker_predict, path, self.predict_engine, expected_token, shard

@@ -1,0 +1,36 @@
+"""Fixtures for the load-generator tests: a tiny model behind a live server."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import UDTClassifier
+from repro.api.spec import gaussian
+from repro.serve import create_server
+
+
+@pytest.fixture(scope="session")
+def loadgen_model():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(60, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    return UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+
+
+@pytest.fixture
+def model_dir(tmp_path, loadgen_model):
+    loadgen_model.save(tmp_path / "demo.zip")
+    return tmp_path
+
+
+@pytest.fixture
+def server(model_dir):
+    server = create_server(model_dir, port=0, max_batch=16, max_wait_ms=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=5.0)

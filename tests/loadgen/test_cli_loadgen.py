@@ -1,0 +1,91 @@
+"""The ``repro loadgen`` CLI: exit codes, report artifact, SLO gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def budgets_path(tmp_path):
+    path = tmp_path / "budgets.json"
+    path.write_text(json.dumps({
+        "steady": {"p99_ms": 30000, "max_429_rate": 1.0},
+        "*": {"max_error_rate": 1.0},
+    }))
+    return path
+
+
+def _loadgen_args(server, *extra):
+    return [
+        "loadgen", "--url", server.url, "--rate", "15", "--duration", "1",
+        "--users", "4", "--seed", "0", *extra,
+    ]
+
+
+class TestExitCodes:
+    def test_successful_run_prints_table(self, server, capsys):
+        assert main(_loadgen_args(server)) == 0
+        out = capsys.readouterr().out
+        assert "steady" in out
+        assert "p99 ms" in out
+
+    def test_slo_pass_exits_zero(self, server, budgets_path, capsys):
+        assert main(_loadgen_args(server, "--slo", str(budgets_path))) == 0
+        assert "SLO check passed" in capsys.readouterr().out
+
+    def test_slo_violation_exits_one(self, server, tmp_path, capsys):
+        strict = tmp_path / "strict.json"
+        strict.write_text('{"steady": {"p99_ms": 0.0001}}')
+        assert main(_loadgen_args(server, "--slo", str(strict))) == 1
+        assert "SLO VIOLATION" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_two(self, capsys):
+        code = main([
+            "loadgen", "--url", "http://127.0.0.1:9", "--rate", "5",
+            "--duration", "0.5", "--timeout", "1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_shape_exits_two(self, server, capsys):
+        assert main(_loadgen_args(server, "--shape", "tsunami")) == 2
+
+    def test_bad_budgets_file_exits_two(self, server, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"steady": {"p99_millis": 5}}')
+        assert main(_loadgen_args(server, "--slo", str(bad))) == 2
+
+    def test_budget_for_unknown_shape_exits_two(self, server, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"tsunami": {"p99_ms": 5}}')
+        assert main(_loadgen_args(server, "--slo", str(bad))) == 2
+        assert "unknown shape" in capsys.readouterr().err
+
+    def test_nonpositive_rate_exits_two(self, server, capsys):
+        code = main(["loadgen", "--url", server.url, "--rate", "0", "--duration", "1"])
+        assert code == 2
+
+
+class TestReportArtifact:
+    def test_output_written_with_params_and_shapes(self, server, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_loadgen.json"
+        code = main(_loadgen_args(
+            server, "--shape", "steady", "--shape", "spike",
+            "--output", str(out_path),
+        ))
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "loadgen"
+        assert [record["shape"] for record in payload["shapes"]] == ["steady", "spike"]
+        assert payload["params"]["rate"] == 15.0
+        assert payload["params"]["users"] == 4
+        for record in payload["shapes"]:
+            assert {"offered_rate", "achieved_rate", "rate_429", "latency_ms"} <= set(record)
+            assert {"p50", "p95", "p99"} <= set(record["latency_ms"])
+
+    def test_model_restriction_forwarded(self, server, capsys):
+        assert main(_loadgen_args(server, "--model", "demo")) == 0

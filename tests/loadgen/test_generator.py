@@ -1,0 +1,109 @@
+"""The open-loop generator against a live in-thread server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.loadgen import LoadGenerator, make_shape, summarize
+
+
+class TestConstruction:
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenerator("http://x", users=0)
+        with pytest.raises(ValueError):
+            LoadGenerator("http://x", spawn_rate=0.0)
+        with pytest.raises(ValueError):
+            LoadGenerator("http://x", think_time_s=-1.0)
+
+
+class TestDiscovery:
+    def test_discover_models(self, server):
+        generator = LoadGenerator(server.url, users=2, seed=0)
+        names, n_features = generator.discover_models()
+        assert names == ["demo"]
+        assert n_features == {"demo": 3}
+
+    def test_unreachable_server_raises_serving_error(self):
+        generator = LoadGenerator("http://127.0.0.1:9", users=2, timeout_s=1.0)
+        with pytest.raises(ServingError):
+            generator.run(make_shape("steady"), rate=5.0, duration_s=0.5)
+
+
+class TestRun:
+    def test_steady_run_records_every_arrival(self, server):
+        generator = LoadGenerator(server.url, users=4, seed=0)
+        run = generator.run(make_shape("steady"), rate=20.0, duration_s=1.0)
+        assert run.shape == "steady"
+        assert run.offered > 0
+        assert len(run.records) == run.offered
+        assert all(record.status == 200 for record in run.records)
+        # Open-loop latency includes queueing: never below pure service time.
+        assert all(
+            record.latency_s >= record.service_s - 1e-9 for record in run.records
+        )
+        scheduled = [record.scheduled_s for record in run.records]
+        assert scheduled == sorted(scheduled)
+
+    def test_summary_of_live_run(self, server):
+        generator = LoadGenerator(server.url, users=4, seed=1)
+        run = generator.run(make_shape("steady"), rate=20.0, duration_s=1.0)
+        summary = summarize(run)
+        assert summary["n_200"] == run.offered
+        assert summary["achieved_rate"] == pytest.approx(run.offered / 1.0)
+        assert summary["latency_ms"]["p99"] > 0.0
+        assert summary["per_model"] == {"demo": run.offered}
+
+    def test_spawn_rate_and_think_time_still_deliver(self, server):
+        generator = LoadGenerator(
+            server.url, users=4, spawn_rate=8.0, think_time_s=0.005, seed=2
+        )
+        run = generator.run(make_shape("spike"), rate=15.0, duration_s=1.0)
+        summary = summarize(run)
+        assert summary["n_200"] + summary["n_429"] == run.offered
+
+    def test_unknown_model_yields_404_records(self, server):
+        generator = LoadGenerator(server.url, users=2, seed=0)
+        run = generator.run(
+            make_shape("steady"), rate=10.0, duration_s=0.5, models=["ghost"]
+        )
+        assert run.records
+        assert all(record.status == 404 for record in run.records)
+        assert summarize(run)["n_4xx"] == len(run.records)
+
+    def test_seed_fixes_the_offered_schedule(self, server):
+        first = LoadGenerator(server.url, users=2, seed=42).run(
+            make_shape("steady"), rate=10.0, duration_s=0.5
+        )
+        second = LoadGenerator(server.url, users=2, seed=42).run(
+            make_shape("steady"), rate=10.0, duration_s=0.5
+        )
+        assert first.offered == second.offered
+
+    def test_overload_is_shed_not_collapsed(self, model_dir):
+        """A tiny admission queue under heavy offered load must produce 429
+        records (and 200s), never unexplained transport failures."""
+        import threading
+
+        from repro.serve import create_server
+
+        server = create_server(
+            model_dir, port=0, max_batch=4, max_wait_ms=5.0,
+            max_queue_rows=8, request_timeout_s=5.0,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            generator = LoadGenerator(server.url, users=16, seed=0)
+            run = generator.run(make_shape("spike"), rate=150.0, duration_s=1.5)
+            summary = summarize(run)
+            assert summary["n_429"] > 0
+            assert summary["n_200"] > 0
+            assert summary["n_transport"] == 0
+            assert summary["rate_429"] == pytest.approx(
+                summary["n_429"] / len(run.records)
+            )
+        finally:
+            server.close()
+            thread.join(timeout=5.0)

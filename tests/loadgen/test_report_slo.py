@@ -1,0 +1,159 @@
+"""Aggregation records and the declarative SLO gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.loadgen import (
+    RequestRecord,
+    ShapeRun,
+    SLOBudget,
+    check_slo,
+    load_budgets,
+    summarize,
+    write_loadgen_report,
+)
+
+
+def _record(status: int, latency_s: float = 0.01, model: str = "demo") -> RequestRecord:
+    return RequestRecord(
+        model=model, scheduled_s=0.0, started_s=0.0,
+        latency_s=latency_s, service_s=latency_s, status=status,
+    )
+
+
+def _run(records, *, shape="steady", offered=None, duration_s=2.0) -> ShapeRun:
+    return ShapeRun(
+        shape=shape, params={"shape": shape}, rate=10.0, duration_s=duration_s,
+        offered=offered if offered is not None else len(records),
+        records=records, models=["demo"], elapsed_s=duration_s,
+    )
+
+
+class TestSummarize:
+    def test_status_classes_and_rates(self):
+        records = (
+            [_record(200, 0.010)] * 6
+            + [_record(429)] * 2
+            + [_record(404), _record(500), _record(0)]
+        )
+        summary = summarize(_run(records))
+        assert summary["n_200"] == 6
+        assert summary["n_429"] == 2
+        assert summary["n_4xx"] == 1
+        assert summary["n_5xx"] == 1
+        assert summary["n_transport"] == 1
+        assert summary["rate_429"] == pytest.approx(2 / 11)
+        assert summary["error_rate"] == pytest.approx(2 / 11)
+        assert summary["achieved_rate"] == pytest.approx(3.0)
+        assert summary["per_model"]["demo"] == 11
+
+    def test_latency_quantiles_over_successes_only(self):
+        records = [_record(200, 0.010)] * 9 + [_record(200, 0.100)]
+        records += [_record(429, 5.0)] * 5  # shed requests must not skew latency
+        summary = summarize(_run(records))
+        assert summary["latency_ms"]["count"] == 10
+        assert summary["latency_ms"]["p50"] == pytest.approx(10.0)
+        assert summary["latency_ms"]["p99"] < 110.0
+
+    def test_empty_run(self):
+        summary = summarize(_run([], offered=0))
+        assert summary["latency_ms"] == {
+            "count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        assert summary["rate_429"] == 0.0
+
+
+class TestReportEnvelope:
+    def test_write_and_reload(self, tmp_path):
+        record = summarize(_run([_record(200)]))
+        path = write_loadgen_report(
+            [record], tmp_path / "BENCH_loadgen.json", {"rate": 10.0}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "loadgen"
+        assert payload["model_format_version"] == 2
+        assert payload["params"]["rate"] == 10.0
+        assert payload["shapes"][0]["shape"] == "steady"
+        assert "repro_version" in payload
+
+
+class TestBudgetLoading:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text(json.dumps({
+            "steady": {"p99_ms": 250, "max_429_rate": 0.01},
+            "*": {"max_error_rate": 0.05},
+        }))
+        budgets = load_budgets(path)
+        assert budgets["steady"].p99_ms == 250.0
+        assert budgets["steady"].max_429_rate == 0.01
+        assert budgets["steady"].p95_ms is None
+        assert budgets["*"].max_error_rate == 0.05
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text('{"steady": {"p99_millis": 250}}')
+        with pytest.raises(ReproError, match="unknown SLO budget key"):
+            load_budgets(path)
+
+    def test_non_numeric_limit_rejected(self, tmp_path):
+        path = tmp_path / "budgets.json"
+        path.write_text('{"steady": {"p99_ms": "fast"}}')
+        with pytest.raises(ReproError, match="must be a number"):
+            load_budgets(path)
+
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_budgets(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_budgets(bad)
+
+
+class TestCheckSLO:
+    def test_no_applicable_budget_passes(self):
+        record = summarize(_run([_record(200)]))
+        assert check_slo([record], {"spike": SLOBudget(p99_ms=0.001)}) == []
+
+    def test_p99_violation(self):
+        record = summarize(_run([_record(200, 0.5)]))
+        violations = check_slo([record], {"steady": SLOBudget(p99_ms=100.0)})
+        assert len(violations) == 1
+        assert violations[0].budget == "p99_ms"
+        assert violations[0].observed == pytest.approx(500.0)
+        assert "steady" in str(violations[0])
+
+    def test_429_rate_violation_via_fallback_budget(self):
+        record = summarize(_run([_record(200)] * 5 + [_record(429)] * 5))
+        violations = check_slo([record], {"*": SLOBudget(max_429_rate=0.2)})
+        assert [v.budget for v in violations] == ["max_429_rate"]
+
+    def test_min_achieved_fraction_catches_silent_drops(self):
+        # 20 offered, only 5 delivered: fast but absorbing half the load.
+        record = summarize(_run([_record(200, 0.001)] * 5, offered=20))
+        violations = check_slo(
+            [record], {"steady": SLOBudget(min_achieved_fraction=0.9)}
+        )
+        assert [v.budget for v in violations] == ["min_achieved_fraction"]
+        assert violations[0].observed == pytest.approx(0.25)
+
+    def test_all_budgets_met(self):
+        record = summarize(_run([_record(200, 0.005)] * 10))
+        budgets = {
+            "steady": SLOBudget(p99_ms=100.0, max_429_rate=0.1,
+                                min_achieved_fraction=0.9),
+        }
+        assert check_slo([record], budgets) == []
+
+    def test_shape_budget_overrides_fallback(self):
+        record = summarize(_run([_record(200, 0.5)]))
+        budgets = {
+            "steady": SLOBudget(p99_ms=1000.0),  # lenient specific budget
+            "*": SLOBudget(p99_ms=1.0),          # strict fallback ignored
+        }
+        assert check_slo([record], budgets) == []

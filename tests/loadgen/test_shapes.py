@@ -1,0 +1,131 @@
+"""Traffic shapes and the arrival-time scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    SHAPE_NAMES,
+    DiurnalShape,
+    HotKeyShape,
+    SpikeShape,
+    SteadyShape,
+    arrival_times,
+    make_shape,
+)
+
+
+class TestRegistry:
+    def test_shape_names(self):
+        assert SHAPE_NAMES == ("diurnal", "hotkey", "spike", "steady")
+
+    @pytest.mark.parametrize("name", SHAPE_NAMES)
+    def test_make_shape_round_trips(self, name):
+        shape = make_shape(name)
+        assert shape.name == name
+        assert shape.describe()["shape"] == name
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic shape"):
+            make_shape("tsunami")
+
+    def test_overrides_forwarded(self):
+        assert make_shape("spike", factor=8.0).factor == 8.0
+        assert make_shape("hotkey", hot_share=0.5).hot_share == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeShape(factor=0.5)
+        with pytest.raises(ValueError):
+            SpikeShape(start=0.7, end=0.3)
+        with pytest.raises(ValueError):
+            DiurnalShape(amplitude=1.5)
+        with pytest.raises(ValueError):
+            HotKeyShape(hot_share=0.0)
+
+
+class TestRateMultipliers:
+    def test_steady_is_flat(self):
+        shape = SteadyShape()
+        assert [shape.rate_multiplier(t) for t in (0.0, 0.5, 0.99)] == [1.0, 1.0, 1.0]
+
+    def test_spike_window(self):
+        shape = SpikeShape(factor=4.0, start=0.4, end=0.6)
+        assert shape.rate_multiplier(0.39) == 1.0
+        assert shape.rate_multiplier(0.5) == 4.0
+        assert shape.rate_multiplier(0.6) == 1.0
+
+    def test_diurnal_trough_peak(self):
+        shape = DiurnalShape(amplitude=0.8)
+        assert shape.rate_multiplier(0.0) == pytest.approx(0.2)
+        assert shape.rate_multiplier(0.5) == pytest.approx(1.8)
+        assert shape.rate_multiplier(0.25) == pytest.approx(1.0)
+
+
+class TestModelSelection:
+    def test_uniform_default(self):
+        rng = np.random.default_rng(0)
+        picks = [SteadyShape().pick_model(rng, ["a", "b"]) for _ in range(2000)]
+        assert 0.45 < picks.count("a") / 2000 < 0.55
+
+    def test_hotkey_skew(self):
+        rng = np.random.default_rng(0)
+        shape = HotKeyShape(hot_share=0.8)
+        picks = [shape.pick_model(rng, ["hot", "c1", "c2"]) for _ in range(3000)]
+        assert 0.75 < picks.count("hot") / 3000 < 0.85
+        assert picks.count("c1") > 0 and picks.count("c2") > 0
+
+    def test_single_model_always_picked(self):
+        rng = np.random.default_rng(0)
+        assert HotKeyShape().pick_model(rng, ["only"]) == "only"
+
+    def test_empty_model_list_rejected(self):
+        with pytest.raises(ValueError):
+            SteadyShape().pick_model(np.random.default_rng(0), [])
+
+
+class TestArrivalTimes:
+    def test_deterministic_steady_spacing(self):
+        offsets = arrival_times(SteadyShape(), 50.0, 4.0, poisson=False)
+        assert len(offsets) == 200
+        assert np.allclose(np.diff(offsets), 0.02)
+        assert 0.0 <= offsets[0] and offsets[-1] < 4.0
+
+    def test_deterministic_spike_density(self):
+        offsets = arrival_times(SpikeShape(), 50.0, 4.0, poisson=False)
+        rates = np.histogram(offsets, bins=[0.0, 1.6, 2.4, 4.0])[0] / [1.6, 0.8, 1.6]
+        assert rates[0] == pytest.approx(50.0, rel=0.05)
+        assert rates[1] == pytest.approx(200.0, rel=0.05)
+        assert rates[2] == pytest.approx(50.0, rel=0.05)
+
+    def test_deterministic_diurnal_is_symmetric(self):
+        offsets = arrival_times(DiurnalShape(), 40.0, 4.0, poisson=False)
+        quarters = np.histogram(offsets, bins=[0.0, 1.0, 2.0, 3.0, 4.0])[0]
+        assert quarters[0] < quarters[1]
+        assert quarters[3] < quarters[2]
+        assert abs(int(quarters[0]) - int(quarters[3])) <= 2
+
+    def test_poisson_is_seed_deterministic(self):
+        a = arrival_times(SpikeShape(), 30.0, 4.0, np.random.default_rng(5))
+        b = arrival_times(SpikeShape(), 30.0, 4.0, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_poisson_total_near_expectation(self):
+        # Spike expectation: 30 * 4 * (0.8 + 0.2*4) = 192 arrivals.
+        counts = [
+            len(arrival_times(SpikeShape(), 30.0, 4.0, np.random.default_rng(seed)))
+            for seed in range(20)
+        ]
+        assert 150 < float(np.mean(counts)) < 235
+
+    def test_poisson_arrivals_sorted_in_range(self):
+        offsets = arrival_times(DiurnalShape(), 25.0, 3.0, np.random.default_rng(1))
+        assert np.all(np.diff(offsets) >= 0)
+        assert np.all((offsets >= 0) & (offsets < 3.0))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_times(SteadyShape(), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_times(SteadyShape(), 10.0, 0.0)

@@ -1,0 +1,349 @@
+"""Typed metric registry: primitives, legacy-JSON bit-compatibility, and a
+strict Prometheus text-exposition parser.
+
+The JSON golden strings below were captured from the pre-registry
+``ServingMetrics`` implementation by replaying the exact same recording
+sequence; byte equality of ``json.dumps(snapshot())`` is the contract
+that lets every existing dashboard/script keep parsing ``GET /metrics``
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.serve.metrics import (
+    LATENCY_BUCKETS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    ServingMetrics,
+)
+
+# -- primitives ---------------------------------------------------------------
+
+
+class TestCounter:
+    def test_unlabelled_inc_and_total(self):
+        counter = Counter("repro_things_total", "Things.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.total() == 5
+
+    def test_labelled_children_are_identities(self):
+        counter = Counter("repro_things_total", "Things.", labelnames=("model",))
+        assert counter.labels("iris") is counter.labels("iris")
+        assert counter.labels(model="iris") is counter.labels("iris")
+        counter.labels("iris").inc(2)
+        counter.labels("wine").inc()
+        assert counter.as_dict() == {"iris": 2, "wine": 1}
+        assert counter.total() == 3
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("repro_things_total", "Things.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_label_arity_rejected(self):
+        counter = Counter("repro_things_total", "Things.", labelnames=("model",))
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+        with pytest.raises(ValueError):
+            counter.inc()  # labelled family has no unlabelled child
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("0bad-name", "Bad.")
+        with pytest.raises(ValueError):
+            Counter("repro_ok_total", "Bad label.", labelnames=("0bad",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_level", "Level.")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge._solo().value == 7
+
+    def test_callback_gauge(self):
+        gauge = Gauge("repro_depth", "Depth.")
+        gauge.set_function(lambda: 42)
+        assert "repro_depth 42" in "\n".join(gauge.render())
+
+
+class TestHistogram:
+    def test_bucket_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_h", "H.", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("repro_h", "H.", buckets=(2.0, 1.0))
+
+    def test_observe_counts_and_sum(self):
+        histogram = Histogram("repro_h", "H.", buckets=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.total_count() == 4
+        rendered = "\n".join(histogram.render())
+        assert 'repro_h_bucket{le="1"} 2' in rendered
+        assert 'repro_h_bucket{le="5"} 3' in rendered
+        assert 'repro_h_bucket{le="+Inf"} 4' in rendered
+        assert "repro_h_count 4" in rendered
+        assert "repro_h_sum 104.2" in rendered
+
+    def test_json_counts_preserve_first_observation_order(self):
+        histogram = Histogram(
+            "repro_h", "H.", labelnames=("model",), buckets=(1.0, 5.0)
+        )
+        histogram.observe_labels(100.0, "a")   # inf bucket first
+        histogram.observe_labels(0.5, "b")     # then the 1.0 bucket, other label
+        histogram.observe_labels(0.5, "a")
+        assert list(histogram.json_counts().keys()) == ["inf", "1"]
+        assert histogram.json_counts() == {"inf": 1, "1": 2}
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("repro_x_total", "X.")
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", "X again.")
+
+    def test_render_contains_all_families(self):
+        registry = MetricRegistry()
+        registry.counter("repro_a_total", "A.").inc()
+        registry.gauge("repro_b", "B.").set(2)
+        registry.histogram("repro_c", "C.", buckets=(1.0,)).observe(0.5)
+        text = registry.render_prometheus()
+        for name in ("repro_a_total", "repro_b", "repro_c"):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+
+
+# -- legacy JSON bit-compatibility -------------------------------------------
+
+GOLDEN_EMPTY = (
+    '{"request_count": 0, "predict_requests": 0, "rows_total": 0, "batch_count": 0, '
+    '"batch_size_histogram": {}, "cache": {"hits": 0, "misses": 0, "hit_rate": 0.0}, '
+    '"errors": {}, "requests_rejected": 0, "rows_rejected": 0, '
+    '"requests_rejected_by_model": {}, "requests_abandoned": 0, "rows_abandoned": 0, '
+    '"latency_ms": {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}, '
+    '"queue": {}}'
+)
+
+GOLDEN_BUSY = (
+    '{"request_count": 3, "predict_requests": 3, "rows_total": 69, "batch_count": 4, '
+    '"batch_size_histogram": {"1": 1, "8": 1, "64": 1, "inf": 1}, '
+    '"cache": {"hits": 3, "misses": 5, "hit_rate": 0.375}, '
+    '"errors": {"400": 1, "429": 2}, "requests_rejected": 3, "rows_rejected": 10, '
+    '"requests_rejected_by_model": {"iris": 2}, "requests_abandoned": 1, '
+    '"rows_abandoned": 3, "latency_ms": {"count": 3, "mean": 18.666666666666668, '
+    '"p50": 4.0, "p90": 40.800000000000004, "p99": 49.08}, '
+    '"queue": {"rows": 5, "max_rows": 512, "rows_by_model": {"iris": 5}}}'
+)
+
+
+def _busy_metrics() -> ServingMetrics:
+    metrics = ServingMetrics()
+    for _ in range(3):
+        metrics.record_request()
+    metrics.record_predict(4, 0.004)
+    metrics.record_predict(1, 0.002)
+    metrics.record_predict(64, 0.050)
+    metrics.record_batch(1)
+    metrics.record_batch(5)
+    metrics.record_batch(64)
+    metrics.record_batch(300)
+    metrics.record_cache(hits=3, misses=5)
+    metrics.record_error(400)
+    metrics.record_error(429)
+    metrics.record_error(429)
+    metrics.record_rejected(7, model="iris")
+    metrics.record_rejected(2, model="iris")
+    metrics.record_rejected(1)
+    metrics.record_abandoned(3)
+    metrics.register_gauge("rows", lambda: 5)
+    metrics.register_gauge("max_rows", lambda: 512)
+    metrics.register_gauge("rows_by_model", lambda: {"iris": 5})
+    return metrics
+
+
+class TestJSONBitCompatibility:
+    def test_empty_snapshot_is_byte_identical(self):
+        assert json.dumps(ServingMetrics().snapshot()) == GOLDEN_EMPTY
+
+    def test_busy_snapshot_is_byte_identical(self):
+        assert json.dumps(_busy_metrics().snapshot()) == GOLDEN_BUSY
+
+    def test_model_labels_do_not_change_the_json(self):
+        """Per-model labels are Prometheus-only: the JSON stays flat."""
+        labelled = ServingMetrics()
+        for _ in range(3):
+            labelled.record_request()
+        labelled.record_predict(4, 0.004, model="iris")
+        labelled.record_predict(1, 0.002, model="wine")
+        labelled.record_predict(64, 0.050, model="iris")
+        labelled.record_batch(1, model="iris")
+        labelled.record_batch(5, model="wine")
+        labelled.record_batch(64, model="iris")
+        labelled.record_batch(300, model="wine")
+        labelled.record_cache(hits=3, misses=5)
+        labelled.record_error(400)
+        labelled.record_error(429)
+        labelled.record_error(429)
+        labelled.record_rejected(7, model="iris")
+        labelled.record_rejected(2, model="iris")
+        labelled.record_rejected(1)
+        labelled.record_abandoned(3)
+        labelled.register_gauge("rows", lambda: 5)
+        labelled.register_gauge("max_rows", lambda: 512)
+        labelled.register_gauge("rows_by_model", lambda: {"iris": 5})
+        assert json.dumps(labelled.snapshot()) == GOLDEN_BUSY
+
+
+# -- strict Prometheus text-format parser -------------------------------------
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> dict:
+    """Validate Prometheus text format 0.0.4 and return families -> samples.
+
+    Enforces what a real scraper enforces: ``# HELP`` then ``# TYPE`` then
+    samples per family, known types only, every sample owned by the most
+    recent family declaration, parseable label pairs, finite-or-special
+    values, and cumulative monotone histogram buckets ending ``+Inf`` with
+    ``_count`` equal to the ``+Inf`` bucket.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families: dict = {}
+    current = None
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, _help_text = rest.partition(" ")
+            assert _METRIC_RE.match(name), name
+            assert name not in families, f"duplicate family {name}"
+            families[name] = {"type": None, "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, f"TYPE for {name} outside its HELP block"
+            assert kind in {"counter", "gauge", "histogram"}, kind
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name = match.group("name")
+            base = re.sub(r"_(bucket|sum|count|total)$", "", name)
+            owner = next(
+                (fam for fam in (name, base) if fam == current or fam in families),
+                None,
+            )
+            assert owner is not None, f"sample {name} has no declared family"
+            labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+            value = float(match.group("value"))
+            families[owner]["samples"].append((name, labels, value))
+    for name, family in families.items():
+        assert family["type"] is not None, f"family {name} missing # TYPE"
+        # A labelled family with no children yet legally renders only its
+        # HELP/TYPE header; bucket invariants apply once samples exist.
+        if family["type"] == "histogram" and family["samples"]:
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(name: str, samples: list) -> None:
+    buckets: dict = {}
+    counts: dict = {}
+    for sample_name, labels, value in samples:
+        other = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if sample_name == f"{name}_bucket":
+            buckets.setdefault(other, []).append((labels["le"], value))
+        elif sample_name == f"{name}_count":
+            counts[other] = value
+    assert buckets, f"histogram {name} has no buckets"
+    for series, pairs in buckets.items():
+        assert pairs[-1][0] == "+Inf", f"{name} last bucket must be +Inf"
+        values = [value for _, value in pairs]
+        assert values == sorted(values), f"{name} buckets must be cumulative"
+        bounds = [float("inf") if le == "+Inf" else float(le) for le, _ in pairs]
+        assert bounds == sorted(bounds), f"{name} le bounds must ascend"
+        assert counts[series] == values[-1], f"{name}_count != +Inf bucket"
+
+
+class TestPrometheusExposition:
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_busy_exposition_parses_strictly(self):
+        families = parse_exposition(_busy_metrics().render_prometheus())
+        assert families["repro_http_requests_total"]["samples"][0][2] == 3
+        assert families["repro_predict_rows_total"]["type"] == "counter"
+        latency = families["repro_request_latency_seconds"]
+        assert latency["type"] == "histogram"
+        count_samples = [
+            sample for sample in latency["samples"]
+            if sample[0] == "repro_request_latency_seconds_count"
+        ]
+        assert sum(value for _, _, value in count_samples) == 3
+
+    def test_per_model_labels_render(self):
+        metrics = ServingMetrics()
+        metrics.record_predict(4, 0.004, model="iris")
+        metrics.record_batch(4, model="iris")
+        families = parse_exposition(metrics.render_prometheus())
+        rows = families["repro_predict_rows_total"]["samples"]
+        assert (("repro_predict_rows_total", {"model": "iris"}, 4.0)) in rows
+
+    def test_queue_gauges_rendered_with_model_labels(self):
+        metrics = _busy_metrics()
+        families = parse_exposition(metrics.render_prometheus())
+        assert families["repro_queue_rows"]["samples"][0][2] == 5
+        by_model = families["repro_queue_rows_by_model"]["samples"]
+        assert by_model == [("repro_queue_rows_by_model", {"model": "iris"}, 5.0)]
+
+    def test_label_value_escaping_round_trips(self):
+        counter = Counter("repro_odd_total", "Odd.", labelnames=("model",))
+        tricky = 'a"b\\c\nd'
+        counter.labels(tricky).inc()
+        registry = MetricRegistry()
+        registry._register(counter)
+        families = parse_exposition(registry.render_prometheus())
+        ((_, labels, value),) = families["repro_odd_total"]["samples"]
+        unescaped = (
+            labels["model"]
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert unescaped == tricky
+        assert value == 1.0
+
+    def test_latency_buckets_cover_the_sla_range(self):
+        assert LATENCY_BUCKETS[0] <= 0.001
+        assert LATENCY_BUCKETS[-1] >= 10.0
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+    def test_non_finite_values_render_as_prometheus_specials(self):
+        gauge = Gauge("repro_weird", "Weird.")
+        gauge.set(math.inf)
+        assert "repro_weird +Inf" in "\n".join(gauge.render())
+        gauge.set(-math.inf)
+        assert "repro_weird -Inf" in "\n".join(gauge.render())
