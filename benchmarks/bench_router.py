@@ -1,0 +1,224 @@
+"""CI smoke lane for the router tier: overhead gate + correctness check.
+
+Launches the full distributed-serving topology the way an operator would —
+two ``python -m repro serve`` replica subprocesses over synced model
+directories and one ``python -m repro router`` subprocess in front — then
+drives the same open-loop steady workload twice: once directly against a
+replica, once through the router.  The lane gates on two properties:
+
+* **correctness** — forest predictions served through the router (which
+  shards the members across both replicas and reduces at the router) are
+  bit-identical to the offline model;
+* **overhead** — the routed p99 stays under ``2 x`` the direct p99 plus a
+  fixed slack for the extra network hop (shared CI runners are noisy, so
+  the slack absorbs scheduler jitter, not design regressions).
+
+The ``BENCH_router.json`` artifact lands in ``benchmarks/results/`` with
+both runs' latency summaries and the overhead ratio, and is archived by
+the workflow so router overhead can be trended across commits.
+
+Run locally with ``PYTHONPATH=src python benchmarks/bench_router.py``;
+exit code 1 means the overhead gate or the bit-identity check failed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from helpers import save_json_artifact
+
+BENCH_DIR = Path(__file__).parent
+
+RATE = 25.0
+DURATION_S = 4.0
+USERS = 8
+#: Routed p99 must stay under DIRECT_P99 * MAX_OVERHEAD + SLACK_MS.
+MAX_OVERHEAD = 2.0
+SLACK_MS = 60.0
+
+
+def _train_models(source_dir: Path):
+    from repro.api import UDTClassifier
+    from repro.api.spec import gaussian
+    from repro.ensemble import UDTForestClassifier
+
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    forest = UDTForestClassifier(
+        n_estimators=8, spec=gaussian(w=0.1, s=8), random_state=0
+    ).fit(X, y)
+    forest.save(source_dir / "forest.zip")
+    tree = UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+    tree.save(source_dir / "tree.zip")
+    return forest
+
+
+def _start(command: "list[str]", what: str):
+    """Launch a subprocess that prints ``... on http://host:port``."""
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if " on http://" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        raise RuntimeError(f"{what} did not print its URL within 30s")
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=1.0):
+                return process, url
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"{what} at {url} never became healthy")
+
+
+def _stop(process) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+def _measure(url: str):
+    from repro.loadgen import LoadGenerator, summarize
+    from repro.loadgen.shapes import make_shape
+
+    # Model names and feature counts come from the endpoint's own /v1/models
+    # listing — the same discovery path works against a replica and against
+    # the router's aggregated listing.
+    generator = LoadGenerator(url, users=USERS, timeout_s=10.0, seed=0)
+    run = generator.run(make_shape("steady"), rate=RATE, duration_s=DURATION_S)
+    return summarize(run)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        source = root / "source"
+        source.mkdir()
+        forest = _train_models(source)
+        replica_dirs = [root / "replica-0", root / "replica-1"]
+
+        processes = []
+        try:
+            # The router performs the initial sync (--sync-source/--sync-dest)
+            # before serving, so the replicas may start on still-empty
+            # directories — their registries discover the archives on the
+            # first request, exactly like a production deploy.
+            replica_urls = []
+            for directory in replica_dirs:
+                directory.mkdir()
+                process, url = _start(
+                    [sys.executable, "-m", "repro", "serve",
+                     "--models", str(directory), "--port", "0",
+                     "--max-batch", "32", "--max-wait-ms", "1.0"],
+                    "replica",
+                )
+                processes.append(process)
+                replica_urls.append(url)
+            router_command = [
+                sys.executable, "-m", "repro", "router", "--port", "0",
+                "--health-interval", "0.5", "--up-after", "1", "--down-after", "2",
+                "--fanout-trees", "4",
+                "--sync-source", str(source), "--sync-interval", "5",
+            ]
+            for url in replica_urls:
+                router_command += ["--replica", url]
+            for directory in replica_dirs:
+                router_command += ["--sync-dest", str(directory)]
+            router_process, router_url = _start(router_command, "router")
+            processes.append(router_process)
+
+            from repro.serve import ServingClient
+
+            # Bit-identity gate: a routed forest prediction (fanned out
+            # across both replicas, reduced at the router) must equal the
+            # offline model exactly.
+            rows = np.random.default_rng(11).normal(size=(16, 3))
+            routed = ServingClient(router_url).predict("forest", rows)
+            offline = forest.predict_proba(rows)
+            if not np.array_equal(routed.probabilities, offline):
+                print("FAIL: routed forest predictions are not bit-identical")
+                return 1
+            fanned = ServingClient(router_url).metrics()["fanout"]["requests"]
+            print(f"bit-identity check passed (fan-out requests so far: {fanned})")
+
+            # Warm both paths (archive load, first-route cache fill) so the
+            # measurement compares steady states.
+            for url in (replica_urls[0], router_url):
+                ServingClient(url).predict("forest", rows[:2])
+                ServingClient(url).predict("tree", rows[:2])
+            direct = _measure(replica_urls[0])
+            routed_run = _measure(router_url)
+        finally:
+            for process in processes:
+                _stop(process)
+
+    for label, record in (("direct", direct), ("router", routed_run)):
+        if record["n_200"] == 0:
+            print(f"FAIL: the {label} run served no successful request")
+            return 1
+    direct_p99 = direct["latency_ms"]["p99"]
+    routed_p99 = routed_run["latency_ms"]["p99"]
+    budget_ms = direct_p99 * MAX_OVERHEAD + SLACK_MS
+    ratio = routed_p99 / direct_p99 if direct_p99 > 0 else float("inf")
+    records = [
+        {"target": "direct", **direct},
+        {"target": "router", **routed_run},
+    ]
+    path = save_json_artifact(
+        "router",
+        records,
+        params={
+            "rate": RATE, "duration_s": DURATION_S, "users": USERS,
+            "replicas": 2, "max_overhead": MAX_OVERHEAD, "slack_ms": SLACK_MS,
+        },
+        extra={
+            "overhead": {
+                "direct_p99_ms": direct_p99,
+                "router_p99_ms": routed_p99,
+                "ratio": ratio,
+                "budget_ms": budget_ms,
+            }
+        },
+    )
+    print(f"wrote {path}")
+    print(
+        f"p99 direct {direct_p99:.1f} ms, via router {routed_p99:.1f} ms "
+        f"(ratio {ratio:.2f}, budget {budget_ms:.1f} ms)"
+    )
+    if routed_p99 > budget_ms:
+        print(
+            f"FAIL: router p99 {routed_p99:.1f} ms exceeds "
+            f"{MAX_OVERHEAD:g}x direct + {SLACK_MS:g} ms = {budget_ms:.1f} ms"
+        )
+        return 1
+    for record in records:
+        if record.get("error_rate", 0.0) or record.get("rate_429", 0.0):
+            print(
+                f"note: {record['target']} run saw error_rate="
+                f"{record['error_rate']:.3f}, rate_429={record['rate_429']:.3f}"
+            )
+    print("router overhead gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

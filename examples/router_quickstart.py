@@ -1,0 +1,106 @@
+"""Distributed-serving quickstart: replicas, router, fan-out, drain.
+
+Run with::
+
+    python examples/router_quickstart.py
+
+Builds the whole mesh in one process: train a forest and a single tree
+into a source-of-truth directory, sync the archives to two replica
+directories, serve each over HTTP, and put a ``repro.router`` front tier
+over both.  Then demonstrates the tier's contract — predictions through
+the router (including forest fan-out, where member shards are computed
+on different replicas and soft-vote-reduced at the router) are
+bit-identical to the offline model — and walks the drain-on-deploy flow.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro import UDTClassifier
+from repro.api import gaussian
+from repro.ensemble import UDTForestClassifier
+from repro.router import create_router, sync_archives
+from repro.serve import ServingClient, create_server
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    spec = gaussian(w=0.1, s=8)
+    forest = UDTForestClassifier(n_estimators=8, spec=spec, random_state=0).fit(X, y)
+    tree = UDTClassifier(spec=spec, min_split_weight=4.0).fit(X, y)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "source"
+        source.mkdir()
+        forest.save(source / "forest.zip")
+        tree.save(source / "tree.zip")
+
+        # Replicate the source-of-truth archives to each replica's models
+        # directory — copy on (mtime, size) change, atomic rename, mtimes
+        # preserved so every replica reports the same archive signature.
+        replica_dirs = [Path(tmp) / "replica-a", Path(tmp) / "replica-b"]
+        report = sync_archives(source, replica_dirs)
+        print(f"sync: {report.describe()}")
+
+        replicas = []
+        for directory in replica_dirs:
+            server = create_server(directory, port=0, max_batch=32, max_wait_ms=1.0)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            replicas.append(server)
+            print(f"replica {directory.name} on {server.url}")
+
+        # The router health-checks both replicas, pins each model to a
+        # ring owner, and fans forests >= fanout_trees members out across
+        # the ring.  (Production: `python -m repro router --replica ...`.)
+        router = create_router(
+            [server.url for server in replicas],
+            fanout_trees=4,
+            health_interval_s=0.5,
+            up_after=1,
+        )
+        threading.Thread(target=router.serve_forever, daemon=True).start()
+        print(f"router on {router.url}\n")
+
+        client = ServingClient(router.url)  # the replica protocol, unchanged
+        print(f"catalog through the router: "
+              f"{[info.name for info in client.models()]}")
+
+        # The contract: routing never changes answers.  The forest call
+        # fans out (4 members per replica here) and is reduced at the
+        # router — bitwise equal to the offline soft vote.
+        rows = rng.normal(size=(12, 3))
+        for name, model in (("forest", forest), ("tree", tree)):
+            result = client.predict(name, rows)
+            assert np.array_equal(result.probabilities, model.predict_proba(rows))
+            print(f"{name}: routed == offline bit-identically "
+                  f"({len(result.labels)} rows)")
+        fanout = client.metrics()["fanout"]
+        print(f"fan-out: {fanout['requests']} request(s) over "
+              f"{fanout['shards']} member shard(s)\n")
+
+        # Drain-on-deploy: take one replica out of the ring, wait for its
+        # in-flight requests, deploy/restart it, hand it back.
+        victim = replicas[0].url
+        report = router.router.drain(victim, timeout_s=5.0)
+        print(f"drained {victim}: {report['drained']} "
+              f"(waited {report['waited_s']:.2f}s)")
+        result = client.predict("forest", rows)  # survivor, still exact
+        assert np.array_equal(result.probabilities, forest.predict_proba(rows))
+        print(f"survivor still serves bit-identically; ring = "
+              f"{router.router.describe()['ring_members']}")
+        router.router.undrain(victim)
+
+        router.close()
+        for server in replicas:
+            server.close()
+
+
+if __name__ == "__main__":
+    main()

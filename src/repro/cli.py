@@ -19,6 +19,8 @@ library::
     python -m repro train-forest data.csv forest.zip --trees 15   # bagging
     python -m repro predict model.zip data.csv --proba   # offline scoring
     python -m repro serve --models models/ --port 8000   # HTTP model server
+    python -m repro router --replica http://127.0.0.1:8001 \
+        --replica http://127.0.0.1:8002 --port 8080      # routing front tier
     python -m repro loadgen --url http://127.0.0.1:8000 --shape spike \
         --slo budgets.json --output BENCH_loadgen.json   # open-loop load + SLO gate
 
@@ -206,6 +208,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load every model at startup instead of on first request")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+
+    router = subparsers.add_parser(
+        "router",
+        help="routing front tier over serving replicas: health checks, "
+             "consistent-hash model routing, registry sync, drain-on-deploy",
+    )
+    router.add_argument("--replica", action="append", required=True, metavar="URL",
+                        help="base URL of one serving replica (repeatable)")
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8080,
+                        help="listening port (0 binds an ephemeral port)")
+    router.add_argument("--health-interval", type=float, default=2.0, metavar="SECONDS",
+                        help="period of the /healthz poll over the replicas")
+    router.add_argument("--health-timeout", type=float, default=1.0, metavar="SECONDS",
+                        help="per-probe timeout")
+    router.add_argument("--up-after", type=_positive_int, default=2,
+                        help="consecutive successful probes before a down "
+                             "replica rejoins the ring")
+    router.add_argument("--down-after", type=_positive_int, default=2,
+                        help="consecutive failed probes before a healthy "
+                             "replica leaves the ring")
+    router.add_argument("--fanout-trees", type=int, default=32, metavar="N",
+                        help="forest models with at least N member trees are "
+                             "sharded across replicas and reduced at the "
+                             "router (results stay bit-identical)")
+    router.add_argument("--fanout-shards", type=int, default=0, metavar="N",
+                        help="shard a fanned-out forest across at most N "
+                             "replicas (0 = every in-service replica)")
+    router.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="per-request timeout on upstream replica calls")
+    router.add_argument("--sync-source", default=None, metavar="DIR",
+                        help="source-of-truth directory of model archives to "
+                             "replicate into each --sync-dest")
+    router.add_argument("--sync-dest", action="append", default=None, metavar="DIR",
+                        help="one replica's model directory to keep in sync "
+                             "(repeatable; requires --sync-source)")
+    router.add_argument("--sync-interval", type=float, default=10.0, metavar="SECONDS",
+                        help="period of the background registry sync loop "
+                             "(0 syncs once at startup only)")
+    router.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -491,6 +534,54 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_router(args) -> int:
+    from repro.exceptions import ServingError
+    from repro.router import create_router
+
+    if args.sync_dest and not args.sync_source:
+        print("error: --sync-dest requires --sync-source", file=sys.stderr)
+        return 2
+    try:
+        server = create_router(
+            args.replica,
+            host=args.host,
+            port=args.port,
+            health_interval_s=args.health_interval,
+            health_timeout_s=args.health_timeout,
+            up_after=args.up_after,
+            down_after=args.down_after,
+            fanout_trees=args.fanout_trees,
+            fanout_shards=args.fanout_shards,
+            upstream_timeout_s=args.timeout,
+            sync_source=args.sync_source,
+            sync_dests=args.sync_dest or (),
+            sync_interval_s=args.sync_interval,
+            verbose=args.verbose,
+        )
+    except (ServingError, ValueError) as exc:
+        # Bad knob values and an unreadable sync source must fail loudly at
+        # startup, exactly like `repro serve` does.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    topology = server.router.describe()
+    in_service = topology["ring_size"]
+    print(
+        f"routing {len(args.replica)} replica(s) ({in_service} in service) "
+        f"on {server.url}",
+        flush=True,
+    )
+    for state in topology["replicas"]:
+        verdict = "up" if state["healthy"] else "down"
+        print(f"  - {state['url']} [{verdict}]", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _run_loadgen(args) -> int:
     from repro.exceptions import ReproError, ServingError
     from repro.loadgen import (
@@ -640,6 +731,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_predict(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "router":
+        return _run_router(args)
     elif args.command == "loadgen":
         return _run_loadgen(args)
     elif args.command == "accuracy":

@@ -21,9 +21,19 @@ from repro.ensemble.forest import (
     BaseForestClassifier,
     UDTForestClassifier,
 )
+from repro.ensemble.sharding import (
+    partition_members,
+    reduce_votes,
+    slice_forest_archive,
+    slice_members,
+)
 
 __all__ = [
     "AveragingForestClassifier",
     "BaseForestClassifier",
     "UDTForestClassifier",
+    "partition_members",
+    "reduce_votes",
+    "slice_forest_archive",
+    "slice_members",
 ]

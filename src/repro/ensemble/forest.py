@@ -274,13 +274,60 @@ class BaseForestClassifier(BaseTreeEstimator):
 
     # -- soft voting ----------------------------------------------------------
 
+    def _member_view(self, dataset: UncertainDataset, member: int) -> UncertainDataset:
+        """The evaluation dataset projected onto one member's feature subset."""
+        indices = self.tree_feature_indices_[member]
+        return dataset if indices is None else dataset.select_attributes(indices)
+
     def _member_views(self, dataset: UncertainDataset):
         """Yield ``(tree, projected dataset)`` pairs in fixed member order."""
-        for tree, indices in zip(self.trees_, self.tree_feature_indices_):
-            if indices is None:
-                yield tree, dataset
-            else:
-                yield tree, dataset.select_attributes(indices)
+        for member, tree in enumerate(self.trees_):
+            yield tree, self._member_view(dataset, member)
+
+    def _resolve_members(self, members) -> "list[int]":
+        """Validated member indices (``None`` = every member, in order)."""
+        n_members = len(self.trees_)
+        if members is None:
+            return list(range(n_members))
+        resolved = []
+        for member in members:
+            if isinstance(member, bool) or not isinstance(member, (int, np.integer)):
+                raise TreeError(f"member indices must be integers, got {member!r}")
+            index = int(member)
+            if not 0 <= index < n_members:
+                raise TreeError(
+                    f"member index {index} out of range for a forest of "
+                    f"{n_members} trees"
+                )
+            resolved.append(index)
+        return resolved
+
+    def member_votes(self, X, members=None) -> np.ndarray:
+        """Per-member vote matrices, stacked as ``(n_members, n_rows, n_classes)``.
+
+        Each member's matrix is exactly the ``classify_batch`` contribution
+        it adds during soft voting, so accumulating the stack in member
+        order and dividing by the *full* member count reproduces
+        ``predict_proba`` bit-for-bit (see
+        :func:`repro.ensemble.sharding.reduce_votes`).  ``members``
+        restricts the computation to a subset of member indices — the
+        router's forest fan-out asks each replica for only the shard it
+        owns.
+        """
+        self._check_fitted()
+        selected = self._resolve_members(members)
+        dataset = self._prepare_eval(self._coerce_eval(X))
+        n_classes = len(self._class_label_values)
+        if not selected:
+            return np.zeros((0, len(dataset), n_classes))
+        if not len(dataset):
+            return np.zeros((len(selected), 0, n_classes))
+        return np.stack(
+            [
+                self.trees_[member].classify_batch(self._member_view(dataset, member))
+                for member in selected
+            ]
+        )
 
     def _classify_dataset(self, dataset: UncertainDataset) -> np.ndarray:
         """Mean of the members' columnar ``classify_batch`` matrices.

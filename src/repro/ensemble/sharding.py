@@ -1,0 +1,136 @@
+"""Member-level sharding of fitted forests.
+
+A bagged forest is an embarrassingly divisible model: every member tree
+votes independently and the forest's ``predict_proba`` is the mean of the
+votes, accumulated in member order.  That makes two operations natural:
+
+* **slicing** — :func:`slice_members` derives a smaller fitted forest
+  holding a subset of the members (same schema, same class order), and
+  :func:`slice_forest_archive` does the same directly between persisted
+  ``kind: "forest"`` archives, so a deployment can place member shards of
+  a huge ensemble on different serving replicas;
+* **reduction** — :func:`reduce_votes` folds per-member vote matrices
+  (``BaseForestClassifier.member_votes``) back into the forest's
+  probabilities.  The accumulation order and the final division are the
+  same operations ``predict_proba`` performs, so a fan-out that gathers
+  member votes from N replicas and reduces them centrally is
+  **bit-identical** to classifying on one box — the property the router
+  tier's forest fan-out is tested against.
+
+``partition_members`` is the shared helper that splits ``range(n_members)``
+into contiguous shards; the router uses it to assign member ranges to
+replicas, and keeping it here means the assignment and the reduction can
+never disagree about shard boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble.forest import BaseForestClassifier
+from repro.exceptions import PersistenceError, TreeError
+
+__all__ = [
+    "partition_members",
+    "reduce_votes",
+    "slice_forest_archive",
+    "slice_members",
+]
+
+
+def partition_members(n_members: int, n_shards: int) -> "list[list[int]]":
+    """Split ``range(n_members)`` into ``n_shards`` contiguous index runs.
+
+    Shards differ in size by at most one (the first ``n_members % n_shards``
+    shards get the extra member), every member appears exactly once, and
+    concatenating the shards in order reproduces ``range(n_members)`` — the
+    invariant :func:`reduce_votes` relies on for bit-identical reduction.
+    """
+    if n_members < 1:
+        raise TreeError(f"n_members must be at least 1, got {n_members}")
+    if n_shards < 1:
+        raise TreeError(f"n_shards must be at least 1, got {n_shards}")
+    n_shards = min(n_shards, n_members)
+    base, extra = divmod(n_members, n_shards)
+    shards = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+def reduce_votes(votes, n_members: int) -> np.ndarray:
+    """Fold per-member vote matrices into forest probabilities.
+
+    ``votes`` is an iterable of ``(n_rows, n_classes)`` matrices in global
+    member order (concatenated shards are fine as long as shard order
+    matches member order); ``n_members`` is the member count of the *full*
+    forest.  Performs exactly the operations
+    ``BaseForestClassifier._classify_dataset`` performs — one running sum
+    in member order, one division at the end — so the result is
+    bit-identical to the unsharded ``predict_proba``.
+    """
+    if n_members < 1:
+        raise TreeError(f"n_members must be at least 1, got {n_members}")
+    total: "np.ndarray | None" = None
+    for matrix in votes:
+        matrix = np.asarray(matrix, dtype=float)
+        total = matrix if total is None else total + matrix
+    if total is None:
+        raise TreeError("reduce_votes needs at least one member vote matrix")
+    return total / n_members
+
+
+def slice_members(model: BaseForestClassifier, members) -> BaseForestClassifier:
+    """A fitted forest holding only the given member indices.
+
+    The slice shares the parent's trees, schema and class order (no copies,
+    no retraining); its ``predict_proba`` is the soft vote over just those
+    members.  Constructor params are carried over verbatim — including
+    ``n_estimators``, which describes how the *parent* was fitted; the
+    slice's real size is ``n_trees_``.
+    """
+    if not isinstance(model, BaseForestClassifier):
+        raise TreeError(
+            f"slice_members needs a fitted forest, got {type(model).__name__}"
+        )
+    model._check_fitted()
+    selected = model._resolve_members(members)
+    if not selected:
+        raise TreeError("cannot slice a forest down to zero members")
+    sliced = type(model)(**model.get_params(deep=False))
+    sliced.trees_ = [model.trees_[member] for member in selected]
+    sliced.tree_feature_indices_ = [
+        model.tree_feature_indices_[member] for member in selected
+    ]
+    sliced.attributes_ = model.attributes_
+    sliced._class_label_values = model._class_label_values
+    sliced.classes_ = np.asarray(model._class_label_values)
+    sliced.n_features_in_ = model.n_features_in_
+    for attribute in ("feature_names_in_", "feature_extents_"):
+        value = getattr(model, attribute, None)
+        if value is not None:
+            setattr(sliced, attribute, value)
+    return sliced
+
+
+def slice_forest_archive(source, destination, members) -> "BaseForestClassifier":
+    """Write a member-shard archive sliced out of a persisted forest.
+
+    Loads the ``kind: "forest"`` archive at ``source``, keeps only the
+    ``members`` indices, and saves the result to ``destination`` (same
+    format, loadable by every serving replica).  Returns the sliced model.
+    """
+    from repro.api.persistence import load_model
+
+    model = load_model(source)
+    if not isinstance(model, BaseForestClassifier):
+        raise PersistenceError(
+            f"archive {str(source)!r} does not hold a forest; "
+            "only kind: \"forest\" archives can be member-sliced"
+        )
+    sliced = slice_members(model, members)
+    sliced.save(destination)
+    return sliced

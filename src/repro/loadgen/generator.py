@@ -84,6 +84,12 @@ class LoadGenerator:
     an exponential pause each user takes between requests.  ``seed``
     fixes the arrival schedule, the model selection, and the generated
     feature rows, so a run is reproducible end to end.
+
+    ``base_url`` may be a single endpoint — a replica or a router tier
+    (:mod:`repro.router`), which speak the same protocol — or a list of
+    URLs, which drives the whole set through a failing-over
+    :class:`~repro.serve.client.RouterClient`
+    (:meth:`~repro.serve.client.ServingClient.for_targets`).
     """
 
     def __init__(
@@ -102,7 +108,7 @@ class LoadGenerator:
             raise ValueError(f"spawn_rate must be positive, got {spawn_rate}")
         if think_time_s < 0:
             raise ValueError(f"think_time_s must be >= 0, got {think_time_s}")
-        self.base_url = base_url
+        self.base_url = base_url if isinstance(base_url, str) else list(base_url)
         self.users = int(users)
         self.spawn_rate = float(spawn_rate) if spawn_rate is not None else None
         self.think_time_s = float(think_time_s)
@@ -118,12 +124,17 @@ class LoadGenerator:
         about archives persisted in a format older than the current
         :data:`~repro.api.persistence.FORMAT_VERSION` — stale v1 archives
         still serve, but miss the v2 header fields the newer tooling reads.
+
+        Works against a single replica and against a router tier alike:
+        a router aggregates the listing across its replicas, so nameless
+        or duplicated entries (replicas observed mid-sync) are tolerated —
+        skipped and deduplicated rather than crashing the run.
         """
-        client = ServingClient(self.base_url, timeout=self.timeout_s)
+        client = ServingClient.for_targets(self.base_url, timeout=self.timeout_s)
         names: "list[str]" = []
         n_features: "dict[str, int]" = {}
         for info in client.models():
-            if info.error is not None:
+            if info.error is not None or not info.name or info.name in n_features:
                 continue
             names.append(info.name)
             n_features[info.name] = int(info.n_features or 4)
@@ -176,7 +187,7 @@ class LoadGenerator:
         records: "list[RequestRecord]" = []
         records_lock = threading.Lock()
         stop = threading.Event()
-        client = ServingClient(self.base_url, timeout=self.timeout_s)
+        client = ServingClient.for_targets(self.base_url, timeout=self.timeout_s)
 
         def worker(user_index: int, start_delay: float) -> None:
             user_rng = np.random.default_rng(

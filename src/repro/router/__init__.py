@@ -1,0 +1,52 @@
+"""Router tier: a distributed serving mesh over replica endpoints.
+
+The serving subsystem (:mod:`repro.serve`) runs one process per model
+directory; this package puts a stdlib-only front tier in front of N such
+replicas (``repro router`` on the CLI):
+
+* :class:`~repro.router.health.HealthChecker` — ``/healthz`` polling with
+  hysteresis, plus passive health from routed traffic;
+* :class:`~repro.router.ring.HashRing` — consistent hashing keyed by
+  model name, so each model's caches stay warm on its owner replica and
+  membership churn remaps only ~1/N of the key space;
+* :func:`~repro.router.sync.sync_archives` — atomic replication of model
+  archives from a source-of-truth directory to every replica's registry;
+* :class:`~repro.router.core.Router` — routing, failover, drain-on-deploy
+  and forest fan-out (sharded member votes reduced bit-identically to a
+  single process);
+* :func:`~repro.router.http.create_router` /
+  :class:`~repro.router.http.RouterHTTPServer` — the HTTP shell, speaking
+  the same wire protocol as a replica so existing clients point at either.
+
+Quickstart::
+
+    from repro.router import create_router
+    import threading
+
+    server = create_router(["http://127.0.0.1:8001", "http://127.0.0.1:8002"])
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+
+    from repro.serve import ServingClient
+    client = ServingClient(server.url)          # same protocol as a replica
+    client.predict("iris", [[5.1, 3.5, 1.4, 0.2]]).labels
+"""
+
+from repro.router.core import Router
+from repro.router.health import HealthChecker, ReplicaState
+from repro.router.http import RouterHTTPServer, create_router
+from repro.router.metrics import RouterMetrics
+from repro.router.ring import DEFAULT_VNODES, HashRing
+from repro.router.sync import SyncReport, sync_archives
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "HealthChecker",
+    "ReplicaState",
+    "Router",
+    "RouterHTTPServer",
+    "RouterMetrics",
+    "SyncReport",
+    "create_router",
+    "sync_archives",
+]

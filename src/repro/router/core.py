@@ -1,0 +1,468 @@
+"""The router: health-gated consistent-hash proxying with forest fan-out.
+
+:class:`Router` is the transport-independent heart of the tier — the HTTP
+front-end (:mod:`repro.router.http`) is a thin shell over it.  One router
+instance owns:
+
+* a :class:`~repro.router.health.HealthChecker` over the fixed replica
+  set, feeding verdict changes into
+* a :class:`~repro.router.ring.HashRing` over the *in-service* replicas
+  (healthy and not draining), rebuilt on every transition, keyed by model
+  name so each model's archive, prediction cache and coalescer stay warm
+  on its owner replica;
+* one :class:`~repro.serve.client.ServingClient` per replica (reused
+  across requests), with per-replica in-flight counters — the thing
+  :meth:`drain` waits on;
+* a TTL-cached model catalog aggregated from ``GET /v1/models`` across
+  in-service replicas (invalidated on ring changes);
+* a :class:`~repro.router.metrics.RouterMetrics` registry.
+
+Routing semantics:
+
+* transport failures (connection refused/reset — ``ServingError`` with
+  ``status None``) and upstream 502/503/504 walk the ring's successor
+  list; transport failures also feed passive health, so a dead replica
+  is ejected by live traffic without waiting for the prober;
+* 4xx answers — including 429 admission-control shedding with its
+  ``Retry-After`` hint — are real decisions by a live server and
+  propagate to the caller verbatim;
+* no in-service replica at all is a 503 with ``Retry-After`` set to one
+  health-check interval: by then the prober has re-examined everyone.
+
+**Forest fan-out**: for ``kind: "forest"`` models with at least
+``fanout_trees`` members, a predict is sharded across the first *k*
+owners of the model on the ring — each shard computes the per-member
+vote matrices of one contiguous member range (``{"votes": true,
+"members": [...]}``) and the router folds them back with
+:func:`repro.ensemble.sharding.reduce_votes` **in global member order**,
+which reproduces the single-process soft-vote reduction bit for bit
+(float addition is non-associative, so the fold order is the contract —
+see ``tests/router/test_router_e2e.py``).  Any shard failure falls back
+to plain single-replica routing, which is always correct.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.ensemble.sharding import partition_members, reduce_votes
+from repro.exceptions import ServingError
+from repro.router.health import HealthChecker
+from repro.router.metrics import RouterMetrics
+from repro.router.ring import DEFAULT_VNODES, HashRing
+from repro.router.sync import sync_archives
+from repro.serve.client import ServingClient
+
+__all__ = ["Router"]
+
+#: Upstream statuses worth retrying on another replica: the gateway-ish
+#: ones a restarting or shutting-down replica emits.  4xx (including 429)
+#: and 500 are deterministic answers and propagate.
+_RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+
+def _retryable(exc: ServingError) -> bool:
+    return exc.status is None or exc.status in _RETRYABLE_STATUSES
+
+
+class Router:
+    """Routes serving traffic across a fixed set of replica endpoints."""
+
+    def __init__(
+        self,
+        replicas,
+        *,
+        health_interval_s: float = 2.0,
+        health_timeout_s: float = 1.0,
+        up_after: int = 2,
+        down_after: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        fanout_trees: int = 32,
+        fanout_shards: int = 0,
+        upstream_timeout_s: float = 30.0,
+        sync_source=None,
+        sync_dests=(),
+        sync_interval_s: float = 0.0,
+        catalog_ttl_s: float = 2.0,
+        probe=None,
+    ) -> None:
+        urls = [url.rstrip("/") for url in replicas]
+        if len(set(urls)) != len(urls):
+            raise ServingError("replica URLs must be unique")
+        if fanout_trees < 2:
+            raise ServingError(f"fanout_trees must be at least 2, got {fanout_trees}")
+        if fanout_shards < 0:
+            raise ServingError(f"fanout_shards must be >= 0, got {fanout_shards}")
+        self.fanout_trees = int(fanout_trees)
+        self.fanout_shards = int(fanout_shards)  # 0 = every in-service replica
+        self.catalog_ttl_s = float(catalog_ttl_s)
+        self.sync_source = sync_source
+        self.sync_dests = [str(dest) for dest in sync_dests]
+        self.sync_interval_s = float(sync_interval_s)
+        if self.sync_dests and self.sync_source is None:
+            raise ServingError("sync destinations need a sync source directory")
+        self.metrics = RouterMetrics()
+        checker_kwargs = dict(
+            interval_s=health_interval_s,
+            timeout_s=health_timeout_s,
+            up_after=up_after,
+            down_after=down_after,
+            on_change=self._on_health_change,
+        )
+        if probe is not None:
+            checker_kwargs["probe"] = probe
+        self.health = HealthChecker(urls, **checker_kwargs)
+        self._clients = {
+            url: ServingClient(url, timeout=upstream_timeout_s)
+            for url in self.health.urls
+        }
+        self._ring_lock = threading.Lock()
+        self._ring = HashRing((), vnodes=vnodes)
+        self._inflight = {url: 0 for url in self.health.urls}
+        self._inflight_lock = threading.Condition()
+        self._catalog_lock = threading.Lock()
+        self._catalog: "dict | None" = None
+        self._catalog_at = 0.0
+        # Fan-out shards are dispatched concurrently so a sharded predict
+        # costs one upstream round-trip, not k of them.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(urls)), thread_name_prefix="repro-router-fanout"
+        )
+        self._sync_stop = threading.Event()
+        self._sync_thread: "threading.Thread | None" = None
+        self._closed = False
+        for url in self.health.urls:
+            self.metrics.set_replica_health(url, None)
+            self.metrics.set_replica_draining(url, False)
+        self.metrics.set_ring_size(0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Sync once, probe every replica once, then start the loops."""
+        if self.sync_source is not None and self.sync_dests:
+            self.sync_once()
+            if self.sync_interval_s > 0:
+                self._sync_thread = threading.Thread(
+                    target=self._sync_loop, name="repro-router-sync", daemon=True
+                )
+                self._sync_thread.start()
+        # A synchronous first sweep means the ring is populated before the
+        # first request arrives instead of one poll interval later.
+        self.health.check_once()
+        self.health.start()
+
+    def close(self) -> None:
+        self._closed = True
+        self._sync_stop.set()
+        if self._sync_thread is not None:
+            self._sync_thread.join(timeout=self.sync_interval_s + 1.0)
+            self._sync_thread = None
+        self.health.close()
+        self._executor.shutdown(wait=False)
+
+    # -- registry sync ---------------------------------------------------------
+
+    def sync_once(self):
+        """One archive sweep from the source of truth to every replica dir."""
+        return sync_archives(self.sync_source, self.sync_dests)
+
+    def _sync_loop(self) -> None:
+        while not self._sync_stop.wait(self.sync_interval_s):
+            try:
+                self.sync_once()
+            except Exception:  # noqa: BLE001 - the sync loop must never die
+                pass
+
+    # -- ring maintenance ------------------------------------------------------
+
+    def _on_health_change(self) -> None:
+        in_service = self.health.in_service_urls()
+        with self._ring_lock:
+            self._ring = self._ring.with_members(in_service)
+            ring = self._ring
+        for state in self.health.describe():
+            self.metrics.set_replica_health(state["url"], state["healthy"])
+            self.metrics.set_replica_draining(state["url"], state["draining"])
+        self.metrics.set_ring_size(len(ring))
+        with self._catalog_lock:
+            self._catalog = None
+
+    @property
+    def ring(self) -> HashRing:
+        with self._ring_lock:
+            return self._ring
+
+    def describe(self) -> dict:
+        """Topology snapshot for ``/healthz`` and ``/admin/replicas``."""
+        ring = self.ring
+        with self._inflight_lock:
+            inflight = dict(self._inflight)
+        replicas = []
+        for state in self.health.describe():
+            entry = dict(state)
+            entry["in_ring"] = state["url"] in ring
+            entry["inflight"] = inflight.get(state["url"], 0)
+            replicas.append(entry)
+        return {
+            "replicas": replicas,
+            "ring_size": len(ring),
+            "ring_members": list(ring.members),
+        }
+
+    # -- upstream calls --------------------------------------------------------
+
+    def _call(self, url: str, path: str, body: "dict | None" = None) -> dict:
+        """One tracked request to one replica (in-flight counted, health fed)."""
+        with self._inflight_lock:
+            self._inflight[url] += 1
+        try:
+            payload = self._clients[url].request_json(path, body)
+        except ServingError as exc:
+            if exc.status is None:
+                self.health.note_failure(url)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight[url] -= 1
+                self._inflight_lock.notify_all()
+        self.metrics.record_routed(url)
+        return payload
+
+    def _no_replica_error(self) -> ServingError:
+        self.metrics.record_unavailable()
+        return ServingError(
+            "no replica is in service",
+            status=503,
+            retry_after=self.health.interval_s,
+        )
+
+    def _route_call(self, key: str, path: str, body: "dict | None" = None) -> dict:
+        """Proxy one request to ``key``'s owner, failing over along the ring."""
+        ring = self.ring
+        if not ring:
+            raise self._no_replica_error()
+        targets = ring.owners(key, len(ring))
+        last_error: "ServingError | None" = None
+        for attempt, url in enumerate(targets):
+            if attempt:
+                self.metrics.record_retry()
+            try:
+                return self._call(url, path, body)
+            except ServingError as exc:
+                if not _retryable(exc):
+                    raise
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    # -- catalog ---------------------------------------------------------------
+
+    def catalog(self) -> "dict[str, dict]":
+        """Aggregated ``/v1/models`` entries by name, across the ring."""
+        now = time.monotonic()
+        with self._catalog_lock:
+            if self._catalog is not None and now - self._catalog_at < self.catalog_ttl_s:
+                return self._catalog
+        entries: "dict[str, dict]" = {}
+        for url in self.ring.members:
+            try:
+                payload = self._call(url, "/v1/models")
+            except ServingError:
+                continue
+            for entry in payload.get("models", []):
+                name = entry.get("name")
+                if not name:
+                    continue
+                known = entries.get(name)
+                # Replicas hold synced copies of the same archives; prefer
+                # whichever entry loaded cleanly if one replica had trouble.
+                if known is None or (known.get("error") and not entry.get("error")):
+                    entries[name] = entry
+        with self._catalog_lock:
+            self._catalog = entries
+            self._catalog_at = time.monotonic()
+        return entries
+
+    def models(self) -> "list[dict]":
+        """The aggregated listing, sorted by name like a replica's registry."""
+        if not self.ring:
+            raise self._no_replica_error()
+        return [entry for _, entry in sorted(self.catalog().items())]
+
+    def model(self, name: str) -> dict:
+        """Metadata of one model, proxied to its owner replica."""
+        return self._route_call(name, f"/v1/models/{name}")
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, model_name: str, payload: dict) -> dict:
+        """Route one ``:predict`` body; fan a large forest out across shards."""
+        started = time.perf_counter()
+        try:
+            response = self._predict(model_name, payload)
+        except ServingError as exc:
+            if exc.status == 429:
+                self.metrics.record_upstream_429()
+            self.metrics.record_error(exc.status or 503)
+            raise
+        self.metrics.record_latency(model_name, time.perf_counter() - started)
+        return response
+
+    def _predict(self, model_name: str, payload: dict) -> dict:
+        path = f"/v1/models/{model_name}:predict"
+        rows = payload.get("rows")
+        wants_votes = bool(payload.get("votes", False))
+        if (
+            not wants_votes
+            and isinstance(rows, list)
+            and rows
+            and len(self.ring) >= 2
+        ):
+            plan = self._fanout_plan(model_name)
+            if plan is not None:
+                try:
+                    return self._predict_fanout(model_name, payload, plan)
+                except ServingError as exc:
+                    if not _retryable(exc):
+                        raise
+                    # A shard could not be served anywhere; single-replica
+                    # routing is always a correct (if slower) answer.
+                    self.metrics.record_retry()
+        return self._route_call(model_name, path, payload)
+
+    def _fanout_plan(self, model_name: str) -> "tuple[int, list[str]] | None":
+        """``(n_trees, shard targets)`` when fan-out applies, else ``None``."""
+        entry = self.catalog().get(model_name)
+        if entry is None or entry.get("error"):
+            return None
+        if entry.get("model_kind") != "forest":
+            return None
+        n_trees = entry.get("n_trees")
+        if not isinstance(n_trees, int) or n_trees < self.fanout_trees:
+            return None
+        ring = self.ring
+        shards = len(ring) if self.fanout_shards == 0 else min(self.fanout_shards, len(ring))
+        shards = min(shards, n_trees)
+        if shards < 2:
+            return None
+        return n_trees, ring.owners(model_name, shards)
+
+    def _votes_shard(self, path: str, rows, members, order) -> dict:
+        """One member-range votes call, tried along ``order`` until served."""
+        body = {"rows": rows, "votes": True, "members": members}
+        last_error: "ServingError | None" = None
+        for attempt, url in enumerate(order):
+            if attempt:
+                self.metrics.record_retry()
+            try:
+                return self._call(url, path, body)
+            except ServingError as exc:
+                if not _retryable(exc):
+                    raise
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _predict_fanout(self, model_name: str, payload: dict, plan) -> dict:
+        n_trees, targets = plan
+        path = f"/v1/models/{model_name}:predict"
+        rows = payload["rows"]
+        parts = partition_members(n_trees, len(targets))
+        # Every replica holds the full synced archive, so a shard whose
+        # assigned owner dies mid-request can be served by any survivor:
+        # its failover order is the other targets, then the rest of the ring.
+        ring = self.ring
+        fallbacks = [url for url in ring.owners(model_name, len(ring))]
+        futures = []
+        for target, members in zip(targets, parts):
+            order = [target] + [url for url in fallbacks if url != target]
+            futures.append(
+                self._executor.submit(self._votes_shard, path, rows, list(members), order)
+            )
+        shards = []
+        errors: "list[BaseException]" = []
+        for future in futures:
+            try:
+                shards.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        classes = shards[0]["classes"]
+        totals = {int(shard["n_members_total"]) for shard in shards}
+        if len(totals) != 1 or any(shard["classes"] != classes for shard in shards):
+            # A replica mid-deploy answered from a different archive
+            # generation; reducing mixed generations could change answers,
+            # so treat it like a transient failure (the caller falls back).
+            raise ServingError(
+                f"replicas disagree on forest {model_name!r}; archives are syncing",
+                status=503,
+                retry_after=self.health.interval_s,
+            )
+        n_members_total = totals.pop()
+        if sum(int(shard["n_members"]) for shard in shards) != n_members_total:
+            raise ServingError(
+                f"forest {model_name!r} changed size mid-request; retry",
+                status=503,
+                retry_after=self.health.interval_s,
+            )
+        # Shards are contiguous member ranges in ascending order, so
+        # concatenating along the member axis restores the global member
+        # order and reduce_votes folds exactly like the single process.
+        votes = np.concatenate(
+            [np.asarray(shard["votes"], dtype=float) for shard in shards], axis=0
+        )
+        probabilities = reduce_votes(votes, n_members_total)
+        labels = [classes[int(index)] for index in np.argmax(probabilities, axis=1)]
+        self.metrics.record_fanout(len(shards))
+        response = {"model": model_name, "labels": labels, "classes": classes}
+        if payload.get("proba", True):
+            response["probabilities"] = probabilities.tolist()
+        return response
+
+    # -- drain-on-deploy -------------------------------------------------------
+
+    def drain(self, replica: str, *, timeout_s: float = 10.0) -> dict:
+        """Remove ``replica`` from the ring and wait out its in-flight work.
+
+        Returns ``{"replica", "draining", "drained", "waited_s",
+        "inflight"}``; ``drained`` is ``False`` when in-flight requests
+        remained at the deadline (the replica stays draining either way —
+        :meth:`undrain` puts it back).  Unknown replicas raise
+        :class:`~repro.exceptions.ServingError` (404).
+        """
+        url = replica.rstrip("/")
+        try:
+            self.health.set_draining(url, True)
+        except KeyError:
+            raise ServingError(f"unknown replica {replica!r}", status=404) from None
+        started = time.monotonic()
+        deadline = started + max(0.0, float(timeout_s))
+        with self._inflight_lock:
+            while self._inflight[url] > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_lock.wait(remaining)
+            inflight = self._inflight[url]
+        return {
+            "replica": url,
+            "draining": True,
+            "drained": inflight == 0,
+            "waited_s": time.monotonic() - started,
+            "inflight": inflight,
+        }
+
+    def undrain(self, replica: str) -> dict:
+        """Return a drained replica to service (health verdict permitting)."""
+        url = replica.rstrip("/")
+        try:
+            state = self.health.set_draining(url, False)
+        except KeyError:
+            raise ServingError(f"unknown replica {replica!r}", status=404) from None
+        return {"replica": url, "draining": False, "in_service": state.in_service}

@@ -1,0 +1,224 @@
+"""Replica health checking with hysteresis.
+
+The router polls every replica's ``GET /healthz`` on a fixed interval and
+keeps a per-replica up/down verdict.  Transitions are damped by hysteresis
+so one dropped packet cannot eject a healthy replica (and one lucky probe
+cannot re-admit a flapping one): a replica currently **up** goes down only
+after ``down_after`` consecutive failures, and a replica currently **down**
+comes back only after ``up_after`` consecutive successes.  The very first
+observation of a replica sets its state directly — at startup there is no
+history to damp against, and routing should begin immediately.
+
+Besides the active probe loop, the router feeds **passive** observations in
+through :meth:`HealthChecker.note_failure`: a transport-level error on a
+real routed request counts exactly like a failed probe, so a dead replica
+taking live traffic is ejected within the hysteresis budget instead of
+waiting for the poller to come around.
+
+State transitions invoke ``on_change`` (the router rebuilds its hash ring
+there), and every verdict updates the per-replica health gauge in the
+router's metric registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.error
+import urllib.request
+
+__all__ = ["HealthChecker", "ReplicaState"]
+
+
+def http_probe(url: str, timeout_s: float) -> bool:
+    """``True`` if ``GET <url>/healthz`` answers 200 within ``timeout_s``."""
+    try:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=timeout_s) as response:
+            return response.status == 200
+    except (urllib.error.URLError, OSError, ValueError):
+        return False
+
+
+class ReplicaState:
+    """One replica's health ledger: verdict, streaks, drain flag."""
+
+    __slots__ = (
+        "url", "healthy", "consecutive_up", "consecutive_down", "checks", "draining"
+    )
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+        self.healthy: "bool | None" = None  # None = never observed
+        self.consecutive_up = 0
+        self.consecutive_down = 0
+        self.checks = 0
+        self.draining = False
+
+    @property
+    def in_service(self) -> bool:
+        """Eligible for routing: observed healthy and not draining."""
+        return bool(self.healthy) and not self.draining
+
+    def describe(self) -> dict:
+        return {
+            "url": self.url,
+            "healthy": self.healthy,
+            "draining": self.draining,
+            "checks": self.checks,
+            "consecutive_up": self.consecutive_up,
+            "consecutive_down": self.consecutive_down,
+        }
+
+
+class HealthChecker:
+    """Polls a fixed replica set and applies hysteresis to the verdicts.
+
+    Parameters
+    ----------
+    urls:
+        Replica base URLs (the identifiers the ring routes over).
+    interval_s, timeout_s:
+        Poll period and per-probe timeout.
+    up_after, down_after:
+        Consecutive successes/failures required to flip an established
+        verdict (the first observation always sets it directly).
+    probe:
+        ``probe(url, timeout_s) -> bool`` — injectable for tests; defaults
+        to a real HTTP ``/healthz`` GET.
+    on_change:
+        Zero-argument callback invoked (outside the state lock) whenever
+        any replica's verdict or drain flag changes.
+    """
+
+    def __init__(
+        self,
+        urls,
+        *,
+        interval_s: float = 2.0,
+        timeout_s: float = 1.0,
+        up_after: int = 2,
+        down_after: int = 2,
+        probe=http_probe,
+        on_change=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if up_after < 1 or down_after < 1:
+            raise ValueError(
+                f"up_after/down_after must be at least 1, got {up_after}/{down_after}"
+            )
+        states = [ReplicaState(url.rstrip("/")) for url in urls]
+        if not states:
+            raise ValueError("the health checker needs at least one replica URL")
+        self.interval_s = float(interval_s)
+        self.timeout_s = float(timeout_s)
+        self.up_after = int(up_after)
+        self.down_after = int(down_after)
+        self.probe = probe
+        self.on_change = on_change
+        self._lock = threading.Lock()
+        self._states = {state.url: state for state in states}
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # -- state access ---------------------------------------------------------
+
+    @property
+    def urls(self) -> "list[str]":
+        return list(self._states)
+
+    def state(self, url: str) -> ReplicaState:
+        state = self._states.get(url.rstrip("/"))
+        if state is None:
+            raise KeyError(f"unknown replica {url!r}")
+        return state
+
+    def describe(self) -> "list[dict]":
+        with self._lock:
+            return [state.describe() for state in self._states.values()]
+
+    def in_service_urls(self) -> "list[str]":
+        """Replicas currently eligible for routing (healthy, not draining)."""
+        with self._lock:
+            return [url for url, state in self._states.items() if state.in_service]
+
+    # -- verdicts -------------------------------------------------------------
+
+    def _observe(self, state: ReplicaState, ok: bool) -> bool:
+        """Apply one observation; returns True if the verdict flipped."""
+        state.checks += 1
+        if ok:
+            state.consecutive_up += 1
+            state.consecutive_down = 0
+        else:
+            state.consecutive_down += 1
+            state.consecutive_up = 0
+        if state.healthy is None:
+            state.healthy = ok
+            return True
+        if state.healthy and not ok and state.consecutive_down >= self.down_after:
+            state.healthy = False
+            return True
+        if not state.healthy and ok and state.consecutive_up >= self.up_after:
+            state.healthy = True
+            return True
+        return False
+
+    def record(self, url: str, ok: bool) -> None:
+        """Feed one observation (probe result or passive traffic outcome)."""
+        with self._lock:
+            state = self._states.get(url.rstrip("/"))
+            if state is None:
+                return
+            changed = self._observe(state, ok)
+        if changed and self.on_change is not None:
+            self.on_change()
+
+    def note_failure(self, url: str) -> None:
+        """Passive health: a routed request could not reach this replica."""
+        self.record(url, False)
+
+    def check_once(self) -> "dict[str, bool]":
+        """Probe every replica once, synchronously; returns the raw results."""
+        results = {url: bool(self.probe(url, self.timeout_s)) for url in self.urls}
+        for url, ok in results.items():
+            self.record(url, ok)
+        return results
+
+    # -- drain flags ----------------------------------------------------------
+
+    def set_draining(self, url: str, draining: bool) -> ReplicaState:
+        with self._lock:
+            state = self._states.get(url.rstrip("/"))
+            if state is None:
+                raise KeyError(f"unknown replica {url!r}")
+            changed = state.draining != draining
+            state.draining = draining
+        if changed and self.on_change is not None:
+            self.on_change()
+        return state
+
+    # -- the poll loop --------------------------------------------------------
+
+    def start(self) -> None:
+        """Run :meth:`check_once` every ``interval_s`` in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router-health", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.check_once()
+            except Exception:  # noqa: BLE001 - the poller must never die
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s + self.timeout_s + 1.0)
+            self._thread = None

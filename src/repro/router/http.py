@@ -1,0 +1,231 @@
+"""Stdlib-only HTTP front-end for the router tier.
+
+The same shape as the serving front-end (:mod:`repro.serve.http`) — a
+:class:`http.server.ThreadingHTTPServer` whose handler threads share one
+:class:`~repro.router.core.Router` — and the same wire protocol, so every
+existing client (:class:`~repro.serve.client.ServingClient`, the load
+generator, the benchmark drivers) can point at a router instead of a
+replica without changing a line.
+
+Endpoints (all JSON unless negotiated otherwise):
+
+``GET /healthz``
+    ``{"status": "ok"|"degraded", "replicas": [...], "ring_size": N}`` —
+    ``degraded`` (still HTTP 200: the *router* is alive) when the ring is
+    empty.
+``GET /metrics``
+    Router metrics with the same ``Accept`` negotiation as a replica:
+    JSON snapshot by default, Prometheus text exposition under
+    ``Accept: text/plain``.
+``GET /v1/models``
+    The model catalog aggregated across in-service replicas.
+``GET /v1/models/<name>``
+    One model's metadata, proxied to its owner replica.
+``POST /v1/models/<name>:predict``
+    Routed prediction (forest fan-out included).  503 + ``Retry-After``
+    when no replica is in service; upstream 429s propagate with their
+    ``retry_after_s`` hint intact.
+``GET /admin/replicas``
+    Per-replica health/drain/in-flight detail.
+``POST /admin/drain`` / ``POST /admin/undrain``
+    Body ``{"replica": "<url>", "timeout_s": 10}`` — drain-on-deploy:
+    take the replica out of the ring, wait for its in-flight requests,
+    report ``{"drained": true|false, "waited_s": ..., "inflight": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ServingError
+from repro.router.core import Router
+from repro.serve.http import negotiate_metrics_format
+from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE
+
+__all__ = ["RouterHTTPServer", "create_router"]
+
+#: Maximum accepted request-body size (64 MiB), matching the serving tier.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the shared :class:`Router`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "RouterHTTPServer"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict, *, headers: "dict | None" = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        if status >= 400:
+            # Same keep-alive hygiene as the serving tier: an error sent
+            # before the body was drained must not poison the connection.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_serving_error(self, exc: ServingError) -> None:
+        payload: dict = {"error": str(exc)}
+        headers: dict = {}
+        if exc.retry_after is not None:
+            payload["retry_after_s"] = float(exc.retry_after)
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+        status = exc.status or 502
+        self._send_json(status, payload, headers=headers)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServingError("request body is empty; send a JSON object", status=400)
+        if length > _MAX_BODY_BYTES:
+            raise ServingError(f"request body exceeds {_MAX_BODY_BYTES} bytes", status=413)
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(f"request body is not valid JSON: {exc}", status=400) from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object", status=400)
+        return payload
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        router = self.server.router
+        router.metrics.record_request()
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                topology = router.describe()
+                topology["status"] = "ok" if topology["ring_size"] else "degraded"
+                self._send_json(200, topology)
+            elif path == "/metrics":
+                wanted = negotiate_metrics_format(self.headers.get("Accept"))
+                if wanted == "prometheus":
+                    self._send_text(
+                        200, router.metrics.render_prometheus(), PROMETHEUS_CONTENT_TYPE
+                    )
+                else:
+                    self._send_json(200, router.metrics.snapshot())
+            elif path == "/v1/models":
+                self._send_json(200, {"models": router.models()})
+            elif path == "/admin/replicas":
+                self._send_json(200, router.describe())
+            elif path.startswith("/v1/models/"):
+                name = path[len("/v1/models/"):]
+                self._send_json(200, router.model(name))
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ServingError as exc:
+            self._send_serving_error(exc)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        router = self.server.router
+        router.metrics.record_request()
+        try:
+            path = self.path.split("?", 1)[0]
+            if path.startswith("/v1/models/") and path.endswith(":predict"):
+                name = path[len("/v1/models/"):-len(":predict")]
+                if not name:
+                    raise ServingError("missing model name", status=404)
+                payload = self._read_json_body()
+                self._send_json(200, router.predict(name, payload))
+            elif path in ("/admin/drain", "/admin/undrain"):
+                payload = self._read_json_body()
+                replica = payload.get("replica")
+                if not isinstance(replica, str) or not replica:
+                    raise ServingError(
+                        'request needs a "replica" field (the replica base URL)',
+                        status=400,
+                    )
+                if path == "/admin/drain":
+                    timeout_s = payload.get("timeout_s", 10.0)
+                    if not isinstance(timeout_s, (int, float)) or timeout_s < 0:
+                        raise ServingError(
+                            '"timeout_s" must be a non-negative number', status=400
+                        )
+                    self._send_json(200, router.drain(replica, timeout_s=float(timeout_s)))
+                else:
+                    self._send_json(200, router.undrain(replica))
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ServingError as exc:
+            self._send_serving_error(exc)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`Router`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple, router: Router, *, verbose: bool = False) -> None:
+        self.router = router
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Shut down the listener, the health prober and the sync loop."""
+        self.shutdown()
+        self.server_close()
+        self.router.close()
+
+
+def create_router(
+    replicas,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    start: bool = True,
+    verbose: bool = False,
+    **router_kwargs,
+) -> RouterHTTPServer:
+    """Wire a :class:`Router` over ``replicas`` and bind its HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as ``server.url``.  ``start=True`` (the default) runs the
+    initial registry sync and a synchronous first health sweep before
+    binding, then starts the background loops — so the first request ever
+    received already sees a populated ring.  Remaining keyword arguments
+    go to :class:`~repro.router.core.Router` verbatim.
+    """
+    if not replicas:
+        raise ServingError("the router needs at least one replica URL")
+    router = Router(replicas, **router_kwargs)
+    try:
+        if start:
+            router.start()
+        return RouterHTTPServer((host, port), router, verbose=verbose)
+    except BaseException:
+        # A failed first sync or a port collision must not strand the
+        # prober/sync threads.
+        router.close()
+        raise

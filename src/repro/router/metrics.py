@@ -1,0 +1,176 @@
+"""Router metrics: health, routing and fan-out counters over one registry.
+
+Reuses the typed :class:`~repro.serve.metrics.MetricRegistry` families the
+serving tier exposes, so the router's ``GET /metrics`` speaks the same two
+formats as a replica's — the legacy JSON dict and Prometheus text
+exposition 0.0.4 under ``Accept`` negotiation — and the same scrape
+config covers both tiers.
+
+Families:
+
+* ``repro_router_replica_up{replica}`` — per-replica health gauge
+  (1 up, 0 down, -1 never observed) plus a drain gauge;
+* ``repro_router_ring_size`` — members currently in the hash ring;
+* ``repro_router_routed_total{replica}`` — requests proxied, by target;
+* ``repro_router_retries_total`` — failover hops after a replica error;
+* ``repro_router_fanout_total`` / ``repro_router_fanout_shards_total`` —
+  forest predictions sharded across replicas, and the shard count;
+* ``repro_router_unavailable_total`` — 503s served because no replica
+  was in service;
+* ``repro_router_upstream_429_total`` — replica admission-control
+  rejections propagated to the caller;
+* ``repro_router_request_latency_seconds{model}`` — end-to-end routed
+  latency, same buckets as the serving tier's histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.serve.metrics import LATENCY_BUCKETS, MetricRegistry
+
+__all__ = ["RouterMetrics"]
+
+
+class RouterMetrics:
+    """Counters and gauges describing one router process."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=latency_window)
+        self.registry = MetricRegistry()
+        registry = self.registry
+        self._requests = registry.counter(
+            "repro_router_requests_total", "HTTP requests received by the router."
+        )
+        self._replica_up = registry.gauge(
+            "repro_router_replica_up",
+            "Replica health verdict (1 up, 0 down, -1 never observed).",
+            ("replica",),
+        )
+        self._replica_draining = registry.gauge(
+            "repro_router_replica_draining",
+            "Replica drain flag (1 draining, 0 taking traffic).",
+            ("replica",),
+        )
+        self._ring_size = registry.gauge(
+            "repro_router_ring_size", "Replicas currently in the hash ring."
+        )
+        self._routed = registry.counter(
+            "repro_router_routed_total",
+            "Requests proxied to a replica, by target.",
+            ("replica",),
+        )
+        self._retries = registry.counter(
+            "repro_router_retries_total",
+            "Failover hops to a successor replica after an upstream error.",
+        )
+        self._fanout = registry.counter(
+            "repro_router_fanout_total",
+            "Forest predictions sharded across replicas.",
+        )
+        self._fanout_shards = registry.counter(
+            "repro_router_fanout_shards_total",
+            "Member shards dispatched by forest fan-out.",
+        )
+        self._unavailable = registry.counter(
+            "repro_router_unavailable_total",
+            "Requests answered 503 because no replica was in service.",
+        )
+        self._upstream_429 = registry.counter(
+            "repro_router_upstream_429_total",
+            "Upstream admission-control rejections (429) propagated.",
+        )
+        self._errors = registry.counter(
+            "repro_router_errors_total",
+            "Router error responses, by status code.",
+            ("status",),
+        )
+        self._latency = registry.histogram(
+            "repro_router_request_latency_seconds",
+            "End-to-end routed prediction latency (seconds), by model.",
+            ("model",),
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(self) -> None:
+        self._requests.inc()
+
+    def set_replica_health(self, replica: str, healthy: "bool | None") -> None:
+        self._replica_up.labels(replica).set(-1 if healthy is None else int(healthy))
+
+    def set_replica_draining(self, replica: str, draining: bool) -> None:
+        self._replica_draining.labels(replica).set(int(draining))
+
+    def set_ring_size(self, size: int) -> None:
+        self._ring_size.set(int(size))
+
+    def record_routed(self, replica: str) -> None:
+        self._routed.labels(replica).inc()
+
+    def record_retry(self) -> None:
+        self._retries.inc()
+
+    def record_fanout(self, n_shards: int) -> None:
+        self._fanout.inc()
+        self._fanout_shards.inc(int(n_shards))
+
+    def record_unavailable(self) -> None:
+        self._unavailable.inc()
+
+    def record_upstream_429(self) -> None:
+        self._upstream_429.inc()
+
+    def record_error(self, status: int) -> None:
+        self._errors.labels(str(int(status))).inc()
+
+    def record_latency(self, model: str, latency_seconds: float) -> None:
+        self._latency.observe_labels(float(latency_seconds), model)
+        with self._lock:
+            self._latencies.append(float(latency_seconds))
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON view of the router's state (the default ``GET /metrics``)."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=float)
+        snapshot = {
+            "request_count": self._requests.total(),
+            "routed": self._routed.as_dict(),
+            "retries": self._retries.total(),
+            "fanout": {
+                "requests": self._fanout.total(),
+                "shards": self._fanout_shards.total(),
+            },
+            "unavailable": self._unavailable.total(),
+            "upstream_429": self._upstream_429.total(),
+            "errors": self._errors.as_dict(),
+            "replicas": {
+                values[0]: child.value
+                for values, child in self._replica_up.children()
+            },
+            "ring_size": self._ring_size.children()[0][1].value,
+        }
+        if latencies.size:
+            snapshot["latency_ms"] = {
+                "count": int(latencies.size),
+                "mean": float(latencies.mean() * 1e3),
+                "p50": float(np.percentile(latencies, 50) * 1e3),
+                "p90": float(np.percentile(latencies, 90) * 1e3),
+                "p99": float(np.percentile(latencies, 99) * 1e3),
+            }
+        else:
+            snapshot["latency_ms"] = {
+                "count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            }
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """The full registry in Prometheus text exposition format 0.0.4."""
+        return self.registry.render_prometheus()

@@ -1,0 +1,108 @@
+"""Consistent hashing: a stable model → replica mapping.
+
+The router keys routing on the *model name*, not the request, so every
+request for one model lands on the same replica — its lazy-loaded archive,
+its per-model LRU prediction cache and its micro-batching coalescer all
+stay warm.  Consistent hashing makes that mapping stable under membership
+churn: each replica owns many small arcs of a hash circle (``replicas``
+virtual points per member), a key routes to the first point clockwise of
+its own hash, and adding or removing one member therefore remaps only the
+arcs that member owned — about ``1/N`` of the key space — instead of
+reshuffling every model onto a cold replica.
+
+Hashing is :func:`hashlib.blake2b` over UTF-8 bytes, so the ring is
+deterministic across processes, platforms and Python versions (no
+``PYTHONHASHSEED`` dependence): every router instance in a fleet computes
+the identical mapping from the identical member list.
+
+:meth:`HashRing.owners` generalises routing to the first *k* distinct
+members clockwise — the assignment the router's forest fan-out uses to
+spread member shards of one hot ensemble across several replicas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+#: Virtual points per member.  Enough that the largest/smallest ownership
+#: imbalance stays small at single-digit member counts, small enough that
+#: rebuilding the ring on a health transition is sub-millisecond.
+DEFAULT_VNODES = 64
+
+
+def _hash64(key: str) -> int:
+    """64-bit position of ``key`` on the circle (stable across processes)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash circle over a set of member identifiers.
+
+    Members are plain strings (the router uses replica base URLs).  The
+    ring is immutable once built — membership changes construct a new ring
+    via :meth:`with_members` — which keeps lookups lock-free for the many
+    handler threads that share one instance.
+    """
+
+    def __init__(self, members, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be at least 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        # Deduplicate but keep a canonical sorted order, so two routers fed
+        # the same member set build bit-identical rings regardless of the
+        # order health transitions arrived in.
+        self.members = tuple(sorted(set(members)))
+        points = []
+        for member in self.members:
+            for index in range(self.vnodes):
+                points.append((_hash64(f"{member}#{index}"), member))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [member for _, member in points]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __bool__(self) -> bool:
+        return bool(self.members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def with_members(self, members) -> "HashRing":
+        """A new ring over ``members`` with the same virtual-point count."""
+        return HashRing(members, vnodes=self.vnodes)
+
+    def route(self, key: str) -> str:
+        """The member owning ``key`` (first virtual point clockwise)."""
+        owners = self.owners(key, 1)
+        if not owners:
+            raise LookupError("cannot route on an empty ring")
+        return owners[0]
+
+    def owners(self, key: str, count: int) -> "list[str]":
+        """The first ``count`` *distinct* members clockwise of ``key``.
+
+        ``owners(key, 1)[0]`` is the routing target; the tail is the
+        deterministic failover/fan-out order.  Returns fewer members when
+        the ring holds fewer than ``count``.
+        """
+        if not self.members or count < 1:
+            return []
+        count = min(count, len(self.members))
+        start = bisect.bisect_right(self._positions, _hash64(key))
+        found: "list[str]" = []
+        seen = set()
+        for offset in range(len(self._owners)):
+            member = self._owners[(start + offset) % len(self._owners)]
+            if member not in seen:
+                seen.add(member)
+                found.append(member)
+                if len(found) == count:
+                    break
+        return found

@@ -1,0 +1,135 @@
+"""Registry sync: replicate model archives to replica model directories.
+
+A deployment keeps one source-of-truth directory of ``*.zip`` model
+archives; every serving replica watches its own registry directory
+(:class:`~repro.serve.registry.ModelRegistry` hot-reloads on mtime/size
+changes).  :func:`sync_archives` brings the replica directories up to date:
+
+* **change detection** is by ``(mtime_ns, size)``, the same signature the
+  registry's hot reload keys on — a copied archive keeps its source mtime
+  (``shutil.copystat``), so an unchanged source is recognised as in-sync
+  on every later pass without hashing file contents;
+* **atomicity**: each archive is copied to a ``.sync-tmp`` sibling in the
+  destination directory and moved into place with :func:`os.replace`.
+  The rename is atomic on POSIX, so a replica's registry either sees the
+  old complete archive or the new complete archive — never a half-written
+  zip (which would surface as a 500 on the next predict for that model);
+* **pruning** (opt-in ``delete=True``) removes destination archives whose
+  source has disappeared, so undeployed models stop serving.
+
+The router runs this in a background loop (``--sync-interval``); it is
+equally usable one-shot from scripts.  Failures on one archive or one
+destination are recorded in the returned report and do not stop the rest
+of the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ServingError
+
+__all__ = ["SyncReport", "sync_archives"]
+
+#: Suffix of the temporary file an archive is staged to before the atomic
+#: rename into place.  Lives in the destination directory (``os.replace``
+#: must not cross filesystems) but outside the registry's ``*.zip`` glob.
+_TMP_SUFFIX = ".sync-tmp"
+
+
+@dataclass
+class SyncReport:
+    """What one sync sweep did, per destination-relative archive path."""
+
+    copied: "list[str]" = field(default_factory=list)
+    unchanged: "list[str]" = field(default_factory=list)
+    deleted: "list[str]" = field(default_factory=list)
+    errors: "dict[str, str]" = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.copied or self.deleted)
+
+    def describe(self) -> dict:
+        return {
+            "copied": list(self.copied),
+            "unchanged": list(self.unchanged),
+            "deleted": list(self.deleted),
+            "errors": dict(self.errors),
+        }
+
+
+def _signature(path: Path) -> "tuple[int, int]":
+    stat = path.stat()
+    return stat.st_mtime_ns, stat.st_size
+
+
+def _copy_atomic(source: Path, destination: Path) -> None:
+    """Stage-then-rename copy that preserves the source's (mtime, size)."""
+    staging = destination.with_name(destination.name + _TMP_SUFFIX)
+    try:
+        shutil.copyfile(source, staging)
+        shutil.copystat(source, staging)
+        os.replace(staging, destination)
+    except BaseException:
+        # A failed copy must not leave staging litter for the next sweep
+        # to trip over (missing_ok flag only exists on 3.8+, which we have).
+        staging.unlink(missing_ok=True)
+        raise
+
+
+def sync_archives(
+    source_dir,
+    destinations,
+    *,
+    pattern: str = "*.zip",
+    delete: bool = False,
+) -> SyncReport:
+    """One sync sweep from ``source_dir`` to every directory in ``destinations``.
+
+    Destination directories are created if missing.  Returns a
+    :class:`SyncReport`; per-archive failures (a file replaced mid-copy, a
+    permission problem on one destination) land in ``report.errors`` keyed
+    by ``<destination>/<name>`` and never abort the remaining work.
+    """
+    source = Path(source_dir)
+    if not source.is_dir():
+        raise ServingError(f"sync source {str(source)!r} does not exist")
+    targets = [Path(destination) for destination in destinations]
+    if not targets:
+        raise ServingError("sync needs at least one destination directory")
+    report = SyncReport()
+    archives = sorted(path for path in source.glob(pattern) if path.is_file())
+    for target in targets:
+        try:
+            target.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            report.errors[str(target)] = str(exc)
+            continue
+        wanted = set()
+        for archive in archives:
+            destination = target / archive.name
+            label = str(destination)
+            wanted.add(archive.name)
+            try:
+                if destination.exists() and _signature(destination) == _signature(archive):
+                    report.unchanged.append(label)
+                    continue
+                _copy_atomic(archive, destination)
+                report.copied.append(label)
+            except OSError as exc:
+                report.errors[label] = str(exc)
+        if delete:
+            for stale in sorted(target.glob(pattern)):
+                if stale.name in wanted:
+                    continue
+                label = str(stale)
+                try:
+                    stale.unlink()
+                    report.deleted.append(label)
+                except OSError as exc:
+                    report.errors[label] = str(exc)
+    return report

@@ -32,7 +32,13 @@ Served probabilities are bit-identical to offline
 change results (see ``tests/property/test_serving_equivalence.py``).
 """
 
-from repro.serve.client import MetricsSnapshot, ModelInfo, PredictResult, ServingClient
+from repro.serve.client import (
+    MetricsSnapshot,
+    ModelInfo,
+    PredictResult,
+    RouterClient,
+    ServingClient,
+)
 from repro.serve.engine import PREDICT_ENGINES, InferenceEngine
 from repro.serve.http import ServingHTTPServer, create_server
 from repro.serve.metrics import (
@@ -57,6 +63,7 @@ __all__ = [
     "ModelRegistry",
     "PREDICT_ENGINES",
     "PredictResult",
+    "RouterClient",
     "ServingClient",
     "ServingHTTPServer",
     "ServingMetrics",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -43,7 +44,13 @@ import numpy as np
 
 from repro.exceptions import ServingError
 
-__all__ = ["MetricsSnapshot", "ModelInfo", "PredictResult", "ServingClient"]
+__all__ = [
+    "MetricsSnapshot",
+    "ModelInfo",
+    "PredictResult",
+    "RouterClient",
+    "ServingClient",
+]
 
 _MISSING = object()
 
@@ -189,12 +196,36 @@ class ServingClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
+    @classmethod
+    def for_targets(cls, targets, *, timeout: float = 30.0) -> "ServingClient":
+        """A client for one URL or a list of them, chosen by shape.
+
+        A single URL (or a one-element list) gives a plain
+        :class:`ServingClient`; several URLs give a :class:`RouterClient`
+        that fails over between them.  Lets the load generator, examples
+        and tests target a router, one replica, or a replica set through
+        one construction call.
+        """
+        if isinstance(targets, str):
+            return ServingClient(targets, timeout=timeout)
+        urls = list(targets)
+        if not urls:
+            raise ValueError("for_targets needs at least one base URL")
+        if len(urls) == 1:
+            return ServingClient(urls[0], timeout=timeout)
+        return RouterClient(urls, timeout=timeout)
+
     # -- transport -----------------------------------------------------------
 
     def _request(
-        self, path: str, body: "dict | None" = None, *, accept: str = "application/json"
+        self,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        accept: str = "application/json",
+        base_url: "str | None" = None,
     ):
-        url = f"{self.base_url}{path}"
+        url = f"{base_url if base_url is not None else self.base_url}{path}"
         data = None
         headers = {"Accept": accept}
         if body is not None:
@@ -242,6 +273,16 @@ class ServingClient:
         if not isinstance(payload, dict):
             raise ServingError(f"unexpected response payload from {url}")
         return payload
+
+    def request_json(self, path: str, body: "dict | None" = None) -> dict:
+        """One raw JSON request/response pair against the server.
+
+        ``body=None`` sends a GET, anything else a POST.  This is the
+        public escape hatch the router tier forwards traffic through: it
+        returns the server's payload verbatim (no typed wrapping), so a
+        proxy built on it cannot drop fields it does not know about.
+        """
+        return self._request(path, body=body)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -305,3 +346,76 @@ class ServingClient:
                 time.sleep(min(max(float(hint), 0.0), retry_max_wait_s))
                 continue
             return PredictResult.from_payload(payload)
+
+    def predict_votes(self, model: str, rows, *, members=None) -> dict:
+        """Per-member vote matrices of a forest's member shard.
+
+        ``POST /v1/models/<model>:predict`` with ``{"votes": true}``;
+        ``members`` restricts the computation to those member indices.
+        Returns the raw payload — ``votes`` (as a float ndarray of shape
+        ``(n_members, n_rows, n_classes)``), ``classes``, ``n_members`` and
+        ``n_members_total`` — for a reducer to fold with
+        :func:`repro.ensemble.sharding.reduce_votes`.
+        """
+        matrix = np.asarray(rows, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1) if matrix.size else matrix.reshape(0, 0)
+        body: dict = {"rows": matrix.tolist(), "votes": True}
+        if members is not None:
+            body["members"] = [int(member) for member in members]
+        payload = self._request(f"/v1/models/{model}:predict", body=body)
+        payload["votes"] = np.asarray(payload["votes"], dtype=float)
+        return payload
+
+
+class RouterClient(ServingClient):
+    """A :class:`ServingClient` that fails over across several base URLs.
+
+    The serving API is identical whether the other end is a single replica
+    or a router tier, so the only difference is transport-level: a request
+    that cannot *reach* its target (connection refused/reset — a
+    :class:`~repro.exceptions.ServingError` with ``status None``) is
+    retried on the next URL in the list.  HTTP-status errors (4xx/5xx,
+    including 429 shedding) are real answers from a live server and
+    propagate immediately.  The most recent working URL is remembered and
+    tried first on subsequent requests.
+    """
+
+    def __init__(self, base_urls, *, timeout: float = 30.0) -> None:
+        urls = [url.rstrip("/") for url in base_urls]
+        if not urls:
+            raise ValueError("RouterClient needs at least one base URL")
+        super().__init__(urls[0], timeout=timeout)
+        self.base_urls = urls
+        self._active = 0
+        self._lock = threading.Lock()
+
+    def _request(
+        self,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        accept: str = "application/json",
+        base_url: "str | None" = None,
+    ):
+        if base_url is not None:
+            return super()._request(path, body, accept=accept, base_url=base_url)
+        with self._lock:
+            start = self._active
+        last_error: "ServingError | None" = None
+        for attempt in range(len(self.base_urls)):
+            index = (start + attempt) % len(self.base_urls)
+            try:
+                result = super()._request(
+                    path, body, accept=accept, base_url=self.base_urls[index]
+                )
+            except ServingError as exc:
+                if exc.status is not None:
+                    raise
+                last_error = exc
+                continue
+            with self._lock:
+                self._active = index
+            return result
+        assert last_error is not None
+        raise last_error

@@ -66,7 +66,7 @@ from collections import OrderedDict, deque
 import numpy as np
 
 from repro.api.spec import first_non_finite_row
-from repro.exceptions import ServingError
+from repro.exceptions import ServingError, TreeError
 from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry, json_scalars
 
@@ -448,6 +448,35 @@ class InferenceEngine:
         labels = classes[np.argmax(probabilities, axis=1)] if len(probabilities) \
             else classes[:0]
         return labels, probabilities, json_scalars(model.classes_)
+
+    def predict_votes(self, model_name: str, rows, members=None):
+        """``(votes, classes, n_members_total)`` for a forest's member shard.
+
+        ``votes`` is the ``(n_members, n_rows, n_classes)`` stack of
+        per-member vote matrices (``members`` restricts it to those member
+        indices; ``None`` means every member), and ``n_members_total`` is
+        the full forest's member count — the divisor a fan-out reducer
+        needs.  The call is served directly from the model snapshot, not
+        through the coalescer or the prediction cache: member votes exist
+        for the router's forest fan-out, where each request already *is* a
+        batch and caching partial votes would only duplicate the reduced
+        results cached upstream.
+        """
+        if self._closed:
+            raise ServingError("the inference engine is closed", status=503)
+        model = self.registry.get(model_name)
+        if not hasattr(model, "member_votes"):
+            raise ServingError(
+                f"model {model_name!r} is not a forest; member votes are only "
+                "defined for kind: \"forest\" models",
+                status=400,
+            )
+        matrix = self._as_matrix(rows, int(model.n_features_in_))
+        try:
+            votes = model.member_votes(matrix, members=members)
+        except TreeError as exc:
+            raise ServingError(str(exc), status=400) from exc
+        return votes, json_scalars(model.classes_), len(model.trees_)
 
     # -- the coalescer -------------------------------------------------------
 

@@ -34,7 +34,11 @@ Endpoints (all JSON):
     overload sheds load fast instead of letting every request time out.
     Besides the shared queue bound, each model has its own admission quota
     (``max_queue_rows_per_model``), so one hot model 429s against its quota
-    while other models keep being admitted.
+    while other models keep being admitted.  For forest models the body may
+    instead carry ``{"votes": true, "members": [...]}`` to fetch the raw
+    per-member vote matrices of a member shard (``votes``/``n_members``/
+    ``n_members_total`` in the response) — the building block of the router
+    tier's forest fan-out (:mod:`repro.router`).
 """
 
 from __future__ import annotations
@@ -224,6 +228,38 @@ class _Handler(BaseHTTPRequestHandler):
             include_proba = payload.get("proba", True)
             if not isinstance(include_proba, bool):
                 raise ServingError('"proba" must be a boolean', status=400)
+            want_votes = payload.get("votes", False)
+            if not isinstance(want_votes, bool):
+                raise ServingError('"votes" must be a boolean', status=400)
+            members = payload.get("members")
+            if members is not None and not isinstance(members, list):
+                raise ServingError('"members" must be a list of member indices',
+                                   status=400)
+            if want_votes:
+                # Forest fan-out: per-member vote matrices for the requested
+                # member shard, reduced at the router (bit-identically to
+                # serving the whole forest here).
+                votes, classes, n_members_total = self.server.engine.predict_votes(
+                    name, rows, members=members
+                )
+                self.server.metrics.record_predict(
+                    votes.shape[1], time.perf_counter() - started, model=name
+                )
+                self._send_json(
+                    200,
+                    {
+                        "model": name,
+                        "classes": classes,
+                        "votes": votes,
+                        "n_members": votes.shape[0],
+                        "n_members_total": n_members_total,
+                    },
+                )
+                return
+            if members is not None:
+                raise ServingError(
+                    '"members" is only meaningful with "votes": true', status=400
+                )
             # predict_full derives labels, probabilities and classes from one
             # model snapshot, so a concurrent hot reload cannot mix models.
             labels, probabilities, classes = self.server.engine.predict_full(name, rows)

@@ -1,0 +1,136 @@
+"""Member sharding: partitioning, bit-identical reduction, archive slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import load_model
+from repro.api.spec import gaussian
+from repro.ensemble import (
+    UDTForestClassifier,
+    partition_members,
+    reduce_votes,
+    slice_forest_archive,
+    slice_members,
+)
+from repro.exceptions import PersistenceError, TreeError
+
+
+@pytest.fixture(scope="module")
+def forest():
+    rng = np.random.default_rng(13)
+    X = rng.normal(size=(60, 4))
+    y = np.where(X[:, 0] + X[:, 3] > 0, "hi", "lo")
+    return UDTForestClassifier(
+        n_estimators=7, spec=gaussian(w=0.1, s=6), random_state=1,
+        feature_subsample="sqrt",
+    ).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return np.random.default_rng(17).normal(size=(15, 4))
+
+
+# -- partition_members --------------------------------------------------------
+
+@pytest.mark.parametrize("n_members,n_shards", [
+    (1, 1), (6, 2), (7, 3), (5, 5), (3, 8), (100, 7),
+])
+def test_partition_covers_everything_in_order(n_members, n_shards):
+    shards = partition_members(n_members, n_shards)
+    assert len(shards) == min(n_shards, n_members)
+    flattened = [member for shard in shards for member in shard]
+    assert flattened == list(range(n_members))
+    sizes = {len(shard) for shard in shards}
+    assert max(sizes) - min(sizes) <= 1
+    assert all(shard for shard in shards)
+
+
+def test_partition_validation():
+    with pytest.raises(TreeError):
+        partition_members(0, 2)
+    with pytest.raises(TreeError):
+        partition_members(5, 0)
+
+
+# -- reduce_votes -------------------------------------------------------------
+
+def test_member_votes_reduce_bit_identically_to_predict_proba(forest, rows):
+    votes = forest.member_votes(rows)
+    assert votes.shape == (forest.n_trees_, len(rows), len(forest.classes_))
+    reduced = reduce_votes(votes, forest.n_trees_)
+    assert np.array_equal(reduced, forest.predict_proba(rows))
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+def test_sharded_votes_reduce_bit_identically(forest, rows, n_shards):
+    """The router's exact fan-out recipe: per-shard member votes gathered
+    in shard order, concatenated, reduced once — bitwise equal to the
+    single-process soft vote regardless of the shard count."""
+    shards = partition_members(forest.n_trees_, n_shards)
+    gathered = [forest.member_votes(rows, members=shard) for shard in shards]
+    stacked = np.concatenate(gathered, axis=0)
+    reduced = reduce_votes(stacked, forest.n_trees_)
+    assert np.array_equal(reduced, forest.predict_proba(rows))
+
+
+def test_reduce_votes_validation():
+    with pytest.raises(TreeError):
+        reduce_votes([np.zeros((2, 2))], 0)
+    with pytest.raises(TreeError):
+        reduce_votes(np.zeros((0, 2, 2)), 3)
+
+
+def test_member_votes_rejects_bad_indices(forest, rows):
+    with pytest.raises(TreeError):
+        forest.member_votes(rows, members=[0, forest.n_trees_])
+    with pytest.raises(TreeError):
+        forest.member_votes(rows, members=[-1])
+
+
+# -- slicing ------------------------------------------------------------------
+
+def test_slice_members_votes_match_the_parent(forest, rows):
+    members = [1, 3, 4]
+    sliced = slice_members(forest, members)
+    assert sliced.n_trees_ == 3
+    assert list(sliced.classes_) == list(forest.classes_)
+    assert np.array_equal(sliced.member_votes(rows), forest.member_votes(rows, members=members))
+    expected = reduce_votes(forest.member_votes(rows, members=members), 3)
+    assert np.array_equal(sliced.predict_proba(rows), expected)
+
+
+def test_slice_members_validation(forest):
+    with pytest.raises(TreeError):
+        slice_members(forest, [])
+    with pytest.raises(TreeError):
+        slice_members(forest, [99])
+    with pytest.raises(TreeError):
+        slice_members("not a forest", [0])
+
+
+def test_slice_forest_archive_round_trip(tmp_path, forest, rows):
+    source = tmp_path / "full.zip"
+    forest.save(source)
+    shard_path = tmp_path / "shard.zip"
+    sliced = slice_forest_archive(source, shard_path, [0, 2, 5])
+    reloaded = load_model(shard_path)
+    assert reloaded.n_trees_ == sliced.n_trees_ == 3
+    assert np.array_equal(reloaded.predict_proba(rows), sliced.predict_proba(rows))
+    expected = reduce_votes(forest.member_votes(rows, members=[0, 2, 5]), 3)
+    assert np.array_equal(reloaded.predict_proba(rows), expected)
+
+
+def test_slice_forest_archive_rejects_non_forests(tmp_path, forest):
+    from repro.api import UDTClassifier
+
+    rng = np.random.default_rng(23)
+    X = rng.normal(size=(30, 2))
+    y = np.where(X[:, 0] > 0, "a", "b")
+    tree = UDTClassifier(spec=gaussian(w=0.1, s=5), min_split_weight=4.0).fit(X, y)
+    tree_path = tmp_path / "tree.zip"
+    tree.save(tree_path)
+    with pytest.raises(PersistenceError):
+        slice_forest_archive(tree_path, tmp_path / "out.zip", [0])

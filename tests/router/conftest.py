@@ -1,0 +1,98 @@
+"""Shared fixtures for the router-tier tests.
+
+One small forest (large enough to cross the tests' fan-out threshold) and
+one single-tree model are trained per session; each test builds isolated
+replica model directories from them via the router's own archive sync, so
+the replicas serve exactly what a production deployment would.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import UDTClassifier
+from repro.api.spec import gaussian
+from repro.ensemble import UDTForestClassifier
+from repro.router import create_router
+from repro.router.sync import sync_archives
+from repro.serve import create_server
+
+
+@pytest.fixture(scope="session")
+def router_forest():
+    """A fitted 6-member forest (>= the tests' fan-out threshold of 4)."""
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(50, 3))
+    y = np.where(X[:, 0] - X[:, 2] > 0, "up", "down")
+    return UDTForestClassifier(
+        n_estimators=6, spec=gaussian(w=0.1, s=6), random_state=0
+    ).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def router_tree():
+    """A fitted single-tree model (never fans out)."""
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(40, 3))
+    y = np.where(X[:, 1] > 0, "pos", "neg")
+    return UDTClassifier(spec=gaussian(w=0.1, s=6), min_split_weight=4.0).fit(X, y)
+
+
+@pytest.fixture(scope="session")
+def router_rows():
+    """Deterministic unseen feature rows matching both models."""
+    return np.random.default_rng(11).normal(size=(12, 3))
+
+
+@pytest.fixture
+def source_dir(tmp_path, router_forest, router_tree):
+    """The source-of-truth archive directory (what a deploy publishes)."""
+    source = tmp_path / "source"
+    source.mkdir()
+    router_forest.save(source / "forest.zip")
+    router_tree.save(source / "tree.zip")
+    return source
+
+
+@pytest.fixture
+def replica_servers(tmp_path, source_dir):
+    """Two live replica servers over synced copies of the source archives."""
+    dirs = [tmp_path / "replica-0", tmp_path / "replica-1"]
+    sync_archives(source_dir, dirs)
+    servers = []
+    try:
+        for directory in dirs:
+            server = create_server(directory, port=0)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            servers.append(server)
+        yield servers
+    finally:
+        for server in servers:
+            server.close()
+
+
+@pytest.fixture
+def router_server(replica_servers):
+    """A started router over both replicas, fan-out threshold lowered to 4.
+
+    ``up_after=1`` / ``down_after=1`` make health transitions take effect
+    on the next observation, so the kill-a-replica tests converge within
+    one (short) health-check interval.
+    """
+    server = create_router(
+        [replica.url for replica in replica_servers],
+        port=0,
+        fanout_trees=4,
+        health_interval_s=0.2,
+        health_timeout_s=0.5,
+        up_after=1,
+        down_after=1,
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        yield server
+    finally:
+        server.close()

@@ -1,0 +1,116 @@
+"""Health checker: hysteresis, passive failures, drain flags, callbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.router.health import HealthChecker
+
+URLS = ["http://replica-a:1", "http://replica-b:2"]
+
+
+def make_checker(verdicts, **kwargs):
+    """A checker whose probe reads scripted verdicts from ``verdicts``."""
+    kwargs.setdefault("probe", lambda url, timeout_s: verdicts[url])
+    return HealthChecker(URLS, **kwargs)
+
+
+def test_first_observation_sets_the_verdict_directly():
+    verdicts = {URLS[0]: True, URLS[1]: False}
+    checker = make_checker(verdicts, up_after=3, down_after=3)
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is True
+    assert checker.state(URLS[1]).healthy is False
+    assert checker.in_service_urls() == [URLS[0]]
+
+
+def test_down_needs_down_after_consecutive_failures():
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts, down_after=2)
+    checker.check_once()
+    verdicts[URLS[0]] = False
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is True  # one failure is damped
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is False  # second in a row flips it
+
+
+def test_up_needs_up_after_consecutive_successes_and_flap_resets():
+    verdicts = {url: False for url in URLS}
+    checker = make_checker(verdicts, up_after=2)
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is False
+    verdicts[URLS[0]] = True
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is False  # one success is damped
+    verdicts[URLS[0]] = False
+    checker.check_once()  # the flap resets the success streak
+    verdicts[URLS[0]] = True
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is False
+    checker.check_once()
+    assert checker.state(URLS[0]).healthy is True
+
+
+def test_note_failure_counts_like_a_failed_probe():
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts, down_after=2)
+    checker.check_once()
+    checker.note_failure(URLS[1])
+    checker.note_failure(URLS[1])
+    assert checker.state(URLS[1]).healthy is False
+    assert checker.in_service_urls() == [URLS[0]]
+
+
+def test_unknown_urls_are_ignored_by_record_and_rejected_by_drain():
+    checker = make_checker({url: True for url in URLS})
+    checker.record("http://stranger:9", True)  # no crash, no new state
+    assert set(checker.urls) == set(URLS)
+    with pytest.raises(KeyError):
+        checker.set_draining("http://stranger:9", True)
+
+
+def test_draining_removes_from_service_without_touching_health():
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts)
+    checker.check_once()
+    checker.set_draining(URLS[0], True)
+    assert checker.state(URLS[0]).healthy is True
+    assert checker.state(URLS[0]).in_service is False
+    assert checker.in_service_urls() == [URLS[1]]
+    checker.set_draining(URLS[0], False)
+    assert checker.in_service_urls() == URLS
+
+
+def test_on_change_fires_only_on_transitions():
+    changes = []
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts, down_after=2, on_change=lambda: changes.append(1))
+    checker.check_once()  # both first observations -> change per replica
+    first = len(changes)
+    assert first >= 1
+    checker.check_once()  # steady state -> no change
+    assert len(changes) == first
+    verdicts[URLS[0]] = False
+    checker.check_once()  # damped failure -> still no change
+    assert len(changes) == first
+    checker.check_once()  # verdict flips -> change
+    assert len(changes) == first + 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        HealthChecker([])
+    with pytest.raises(ValueError):
+        HealthChecker(URLS, interval_s=0)
+    with pytest.raises(ValueError):
+        HealthChecker(URLS, up_after=0)
+
+
+def test_describe_reports_every_replica():
+    checker = make_checker({url: True for url in URLS})
+    checker.check_once()
+    described = {entry["url"]: entry for entry in checker.describe()}
+    assert set(described) == set(URLS)
+    assert all(entry["healthy"] for entry in described.values())
+    assert all(entry["checks"] == 1 for entry in described.values())

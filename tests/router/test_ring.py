@@ -1,0 +1,94 @@
+"""Consistent-hash ring: determinism, balance, and the ~1/N remap bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.router.ring import DEFAULT_VNODES, HashRing
+
+MEMBERS = [f"http://10.0.0.{index}:8000" for index in range(1, 6)]
+
+
+def test_route_is_deterministic_across_instances():
+    first = HashRing(MEMBERS)
+    second = HashRing(list(reversed(MEMBERS)))  # construction order is irrelevant
+    keys = [f"model-{index}" for index in range(200)]
+    assert [first.route(key) for key in keys] == [second.route(key) for key in keys]
+
+
+def test_route_only_returns_members():
+    ring = HashRing(MEMBERS)
+    for index in range(100):
+        assert ring.route(f"key-{index}") in MEMBERS
+
+
+def test_empty_ring_refuses_to_route():
+    ring = HashRing([])
+    assert not ring
+    assert len(ring) == 0
+    assert ring.owners("anything", 3) == []
+    with pytest.raises(LookupError):
+        ring.route("anything")
+
+
+def test_owners_are_distinct_and_lead_with_the_route():
+    ring = HashRing(MEMBERS)
+    for index in range(50):
+        key = f"model-{index}"
+        owners = ring.owners(key, 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.route(key)
+        assert all(owner in MEMBERS for owner in owners)
+
+
+def test_owners_caps_at_membership():
+    ring = HashRing(MEMBERS[:2])
+    assert len(ring.owners("key", 10)) == 2
+
+
+def test_membership_change_remaps_about_one_nth():
+    """Dropping one of N members remaps ~1/N of the keys (and only onto
+    survivors); the statistical bound is generous but rules out the
+    modulo-hashing failure mode where nearly everything moves."""
+    n = len(MEMBERS)
+    full = HashRing(MEMBERS)
+    dropped = MEMBERS[2]
+    reduced = full.with_members([member for member in MEMBERS if member != dropped])
+    keys = [f"model-{index}" for index in range(2000)]
+    moved = 0
+    for key in keys:
+        before = full.route(key)
+        after = reduced.route(key)
+        if before != after:
+            moved += 1
+            # Only keys the dropped member owned are allowed to move.
+            assert before == dropped
+    fraction = moved / len(keys)
+    assert 0 < fraction < 2.5 / n  # ideal is 1/N = 0.2; allow vnode imbalance
+
+
+def test_rejoin_restores_the_original_mapping():
+    full = HashRing(MEMBERS)
+    rejoined = full.with_members(MEMBERS[1:]).with_members(MEMBERS)
+    keys = [f"model-{index}" for index in range(500)]
+    assert [full.route(key) for key in keys] == [rejoined.route(key) for key in keys]
+
+
+def test_ownership_is_roughly_balanced():
+    ring = HashRing(MEMBERS)
+    counts = {member: 0 for member in MEMBERS}
+    for index in range(5000):
+        counts[ring.route(f"key-{index}")] += 1
+    expected = 5000 / len(MEMBERS)
+    for member, count in counts.items():
+        assert 0.4 * expected < count < 1.9 * expected, (member, count)
+
+
+def test_vnodes_validation_and_contains():
+    with pytest.raises(ValueError):
+        HashRing(MEMBERS, vnodes=0)
+    ring = HashRing(MEMBERS)
+    assert ring.vnodes == DEFAULT_VNODES
+    assert MEMBERS[0] in ring
+    assert "http://elsewhere:9" not in ring

@@ -1,0 +1,167 @@
+"""End-to-end property: routing never changes answers.
+
+The tentpole guarantees of the router tier, demonstrated on live replica
+subprocesses-in-threads:
+
+* predictions through the router — including forest fan-out, where member
+  shards are computed on different replicas and soft-vote-reduced at the
+  router — are **bit-identical** to a single replica and to the offline
+  model;
+* killing one of N replicas mid-run yields at worst transient 503s, never
+  a wrong answer, and the ring re-converges within one health-check
+  interval.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServingError
+from repro.loadgen import LoadGenerator
+from repro.loadgen.shapes import make_shape
+from repro.serve import RouterClient, ServingClient
+
+
+def test_router_predictions_bit_identical_to_direct_and_offline(
+    router_server, replica_servers, router_forest, router_tree, router_rows
+):
+    through_router = ServingClient(router_server.url)
+    direct = ServingClient(replica_servers[0].url)
+
+    routed = through_router.predict("forest", router_rows)
+    assert router_server.router.metrics.snapshot()["fanout"]["requests"] == 1
+    served = direct.predict("forest", router_rows)
+    offline = router_forest.predict_proba(router_rows)
+    assert routed.labels == served.labels
+    assert np.array_equal(routed.probabilities, served.probabilities)
+    assert np.array_equal(routed.probabilities, offline)
+    assert routed.classes == served.classes
+
+    routed_tree = through_router.predict("tree", router_rows)
+    served_tree = direct.predict("tree", router_rows)
+    assert routed_tree.labels == served_tree.labels
+    assert np.array_equal(routed_tree.probabilities, served_tree.probabilities)
+    assert np.array_equal(
+        routed_tree.probabilities, router_tree.predict_proba(router_rows)
+    )
+
+
+def test_fanout_matches_without_proba_and_single_row(router_server, replica_servers,
+                                                     router_rows):
+    through_router = ServingClient(router_server.url)
+    direct = ServingClient(replica_servers[1].url)
+    routed = through_router.predict("forest", router_rows[0], proba=False)
+    served = direct.predict("forest", router_rows[0], proba=False)
+    assert routed.labels == served.labels
+    assert routed.probabilities is None
+
+
+def test_killing_a_replica_keeps_answers_right_and_ring_reconverges(
+    router_server, replica_servers, router_forest, router_rows
+):
+    client = ServingClient(router_server.url)
+    expected_proba = router_forest.predict_proba(router_rows)
+    expected = ServingClient(replica_servers[0].url).predict("forest", router_rows)
+    assert np.array_equal(expected.probabilities, expected_proba)
+
+    victim = replica_servers[0]
+    transient = 0
+    served = 0
+    for round_index in range(30):
+        if round_index == 5:
+            victim.close()  # kill one of the two replicas mid-run
+        try:
+            result = client.predict("forest", router_rows)
+        except ServingError as exc:
+            # The only acceptable failure is unavailability, never a wrong
+            # or malformed answer.
+            assert exc.status in (503, None), exc
+            transient += 1
+            continue
+        served += 1
+        assert result.labels == expected.labels
+        assert np.array_equal(result.probabilities, expected_proba)
+    assert served >= 20  # the survivor carried the load
+
+    # The ring drops the dead replica within one health-check interval
+    # (interval 0.2s, down_after=1) — passive failures usually beat the
+    # prober to it.
+    deadline = time.monotonic() + 5 * router_server.router.health.interval_s
+    while time.monotonic() < deadline:
+        if router_server.router.describe()["ring_members"] == [replica_servers[1].url]:
+            break
+        time.sleep(0.05)
+    assert router_server.router.describe()["ring_members"] == [replica_servers[1].url]
+
+    # With the ring converged on the survivor there are no shards to fan
+    # out to, and answers are still bit-identical.
+    result = client.predict("forest", router_rows)
+    assert np.array_equal(result.probabilities, expected_proba)
+
+
+def test_router_client_fails_over_across_replicas(replica_servers, router_rows):
+    dead = "http://127.0.0.1:1"
+    client = RouterClient([dead, replica_servers[0].url])
+    result = client.predict("forest", router_rows[:2])
+    assert len(result.labels) == 2
+    # The working URL is remembered; a later call does not retry the dead one.
+    assert client.base_urls[client._active] == replica_servers[0].url
+
+
+def test_loadgen_discovers_and_drives_through_the_router(router_server):
+    generator = LoadGenerator(router_server.url, users=2, timeout_s=10.0, seed=0)
+    names, n_features = generator.discover_models()
+    assert names == ["forest", "tree"]
+    assert n_features == {"forest": 3, "tree": 3}
+    run = generator.run(make_shape("steady"), rate=20.0, duration_s=0.5)
+    assert run.offered > 0
+    assert all(record.status == 200 for record in run.records)
+
+
+def test_loadgen_accepts_a_target_list(replica_servers):
+    generator = LoadGenerator(
+        ["http://127.0.0.1:1", replica_servers[0].url], users=2, timeout_s=10.0, seed=0
+    )
+    names, _ = generator.discover_models()
+    assert names == ["forest", "tree"]
+
+
+def test_drain_waits_for_inflight_and_sheds_to_survivor(
+    router_server, replica_servers, router_rows, router_forest
+):
+    client = ServingClient(router_server.url)
+    client.predict("tree", router_rows)  # warm both replicas' registries
+    report = router_server.router.drain(replica_servers[0].url, timeout_s=5.0)
+    assert report["drained"] is True
+    # Traffic keeps flowing, bit-identically, on the remaining replica.
+    result = client.predict("forest", router_rows)
+    assert np.array_equal(result.probabilities, router_forest.predict_proba(router_rows))
+    snapshot = router_server.router.metrics.snapshot()
+    survivor = replica_servers[1].url
+    assert snapshot["routed"].get(survivor, 0) >= 1
+
+
+def test_votes_requests_route_without_fanning_out(router_server, router_forest,
+                                                  router_rows):
+    client = ServingClient(router_server.url)
+    before = router_server.router.metrics.snapshot()["fanout"]["requests"]
+    payload = client.predict_votes("forest", router_rows, members=[1, 3])
+    assert payload["n_members"] == 2
+    assert payload["n_members_total"] == 6
+    assert payload["votes"].shape == (2, len(router_rows), 2)
+    after = router_server.router.metrics.snapshot()["fanout"]["requests"]
+    assert after == before  # a votes request is already a shard; no re-fan-out
+
+
+@pytest.mark.parametrize("bad_body,expected", [
+    ({"rows": "nope"}, 400),
+    ({}, 400),
+])
+def test_replica_side_validation_errors_propagate(router_server, bad_body, expected):
+    client = ServingClient(router_server.url)
+    with pytest.raises(ServingError) as error:
+        client.request_json("/v1/models/forest:predict", bad_body)
+    assert error.value.status == expected

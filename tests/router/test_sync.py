@@ -1,0 +1,116 @@
+"""Archive sync: signature-based copying, atomicity, pruning, error capture."""
+
+from __future__ import annotations
+
+import zipfile
+
+import pytest
+
+from repro.exceptions import ServingError
+from repro.router.sync import sync_archives
+
+
+def make_archive(path, payload: bytes) -> None:
+    with zipfile.ZipFile(path, "w") as archive:
+        archive.writestr("model.json", payload)
+
+
+def test_copies_new_archives_and_creates_destinations(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    make_archive(source / "b.zip", b"beta")
+    dests = [tmp_path / "r1" / "models", tmp_path / "r2" / "models"]
+    report = sync_archives(source, dests)
+    assert len(report.copied) == 4
+    assert report.changed
+    assert not report.errors
+    for dest in dests:
+        assert sorted(path.name for path in dest.glob("*.zip")) == ["a.zip", "b.zip"]
+        assert (dest / "a.zip").read_bytes() == (source / "a.zip").read_bytes()
+
+
+def test_unchanged_archives_are_skipped_on_the_second_sweep(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    dest = tmp_path / "dest"
+    sync_archives(source, [dest])
+    report = sync_archives(source, [dest])
+    assert report.copied == []
+    assert report.unchanged == [str(dest / "a.zip")]
+    assert not report.changed
+
+
+def test_mtime_preserved_so_registry_reload_detection_works(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    dest = tmp_path / "dest"
+    sync_archives(source, [dest])
+    src_stat = (source / "a.zip").stat()
+    dst_stat = (dest / "a.zip").stat()
+    assert dst_stat.st_mtime_ns == src_stat.st_mtime_ns
+    assert dst_stat.st_size == src_stat.st_size
+
+
+def test_changed_source_is_recopied(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    dest = tmp_path / "dest"
+    sync_archives(source, [dest])
+    make_archive(source / "a.zip", b"alpha but retrained with more payload")
+    report = sync_archives(source, [dest])
+    assert report.copied == [str(dest / "a.zip")]
+    assert (dest / "a.zip").read_bytes() == (source / "a.zip").read_bytes()
+
+
+def test_no_staging_litter_and_destination_always_a_valid_zip(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    dest = tmp_path / "dest"
+    for _ in range(3):
+        sync_archives(source, [dest])
+        leftovers = [path.name for path in dest.iterdir() if path.suffix != ".zip"]
+        assert leftovers == []
+        with zipfile.ZipFile(dest / "a.zip") as archive:
+            assert archive.namelist() == ["model.json"]
+
+
+def test_delete_prunes_archives_missing_from_the_source(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "keep.zip", b"keep")
+    dest = tmp_path / "dest"
+    dest.mkdir()
+    make_archive(dest / "stale.zip", b"stale")
+    report = sync_archives(source, [dest], delete=True)
+    assert report.deleted == [str(dest / "stale.zip")]
+    assert sorted(path.name for path in dest.glob("*.zip")) == ["keep.zip"]
+    # Without delete=True the stale archive stays.
+    make_archive(dest / "stale.zip", b"stale")
+    sync_archives(source, [dest])
+    assert (dest / "stale.zip").exists()
+
+
+def test_missing_source_and_empty_destinations_are_errors(tmp_path):
+    with pytest.raises(ServingError):
+        sync_archives(tmp_path / "nowhere", [tmp_path / "dest"])
+    source = tmp_path / "source"
+    source.mkdir()
+    with pytest.raises(ServingError):
+        sync_archives(source, [])
+
+
+def test_one_bad_destination_does_not_stop_the_others(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    make_archive(source / "a.zip", b"alpha")
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where a directory should be")
+    good = tmp_path / "good"
+    report = sync_archives(source, [blocked, good])
+    assert str(blocked) in report.errors or str(blocked / "a.zip") in report.errors
+    assert (good / "a.zip").exists()

@@ -421,3 +421,56 @@ class TestServeParser:
             build_parser().parse_args(
                 ["serve", "--models", "m", "--predict-engine", "warp"]
             )
+
+
+class TestRouterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["router", "--replica", "http://127.0.0.1:8001"]
+        )
+        assert args.replica == ["http://127.0.0.1:8001"]
+        assert args.port == 8080
+        assert args.health_interval == 2.0
+        assert args.up_after == 2
+        assert args.down_after == 2
+        assert args.fanout_trees == 32
+        assert args.fanout_shards == 0
+        assert args.sync_source is None
+        assert args.sync_dest is None
+        assert args.sync_interval == 10.0
+
+    def test_replica_is_required_and_repeatable(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["router"])
+        args = build_parser().parse_args(
+            ["router", "--replica", "http://a:1", "--replica", "http://b:2"]
+        )
+        assert args.replica == ["http://a:1", "http://b:2"]
+
+    def test_sync_dest_without_source_exits_2(self, tmp_path, capsys):
+        assert main([
+            "router", "--replica", "http://127.0.0.1:1",
+            "--sync-dest", str(tmp_path),
+        ]) == 2
+        assert "--sync-source" in capsys.readouterr().err
+
+    def test_missing_sync_source_exits_2(self, tmp_path, capsys):
+        assert main([
+            "router", "--replica", "http://127.0.0.1:1",
+            "--sync-source", str(tmp_path / "nope"),
+            "--sync-dest", str(tmp_path / "dest"),
+        ]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_fanout_trees_exits_2(self, capsys):
+        assert main([
+            "router", "--replica", "http://127.0.0.1:1", "--fanout-trees", "1",
+        ]) == 2
+        assert "fanout_trees" in capsys.readouterr().err
+
+    def test_duplicate_replicas_exit_2(self, capsys):
+        assert main([
+            "router", "--replica", "http://127.0.0.1:1",
+            "--replica", "http://127.0.0.1:1/",
+        ]) == 2
+        assert "unique" in capsys.readouterr().err
