@@ -1,0 +1,260 @@
+"""Tracing overhead gate: sampled requests must stay near-free.
+
+Launches the distributed topology once — two ``repro serve`` replicas and
+one ``repro router`` in front, none with local sampling enabled — and
+drives the same open-loop steady workload three times through the router
+with the **load generator as the tracing edge**, minting trace ids for
+0%, 10% and 100% of requests.  The propagated ``X-Repro-Sampled: 1``
+context makes the router and both replicas record full span trees for
+every sampled request, so the 100% run pays the whole observability tax:
+span bookkeeping on the hot path at every tier plus ring-buffer commits.
+
+The lane gates on two properties:
+
+* **overhead** — the routed p99 at 100% sampling stays under ``1.15 x``
+  the p99 at 0% sampling plus a fixed slack (shared CI runners are noisy;
+  the slack absorbs scheduler jitter, not design regressions);
+* **correctness** — a traced, fanned-out forest prediction is
+  bit-identical to the offline model, and the minted trace id is actually
+  joinable from the router's ``/debug/traces`` buffer (so the gate can
+  never pass vacuously with tracing silently disabled).
+
+``BENCH_tracing.json`` lands in ``benchmarks/results/`` with all three
+runs' latency summaries and the overhead ratio.  Collected by the CI
+benchmark smoke lane (``bench_tracing_overhead``); run standalone with
+``PYTHONPATH=src:benchmarks python benchmarks/bench_tracing_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from helpers import save_json_artifact
+
+RATE = 25.0
+DURATION_S = 4.0
+USERS = 8
+SAMPLE_RATES = (0.0, 0.1, 1.0)
+#: p99 at 100% sampling must stay under p99 at 0% * MAX_OVERHEAD + SLACK_MS.
+MAX_OVERHEAD = 1.15
+SLACK_MS = 25.0
+
+
+def _train_models(source_dir: Path):
+    from repro.api import UDTClassifier
+    from repro.api.spec import gaussian
+    from repro.ensemble import UDTForestClassifier
+
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    forest = UDTForestClassifier(
+        n_estimators=8, spec=gaussian(w=0.1, s=8), random_state=0
+    ).fit(X, y)
+    forest.save(source_dir / "forest.zip")
+    tree = UDTClassifier(spec=gaussian(w=0.1, s=8), min_split_weight=4.0).fit(X, y)
+    tree.save(source_dir / "tree.zip")
+    return forest
+
+
+def _start(command: "list[str]", what: str):
+    """Launch a subprocess that prints ``... on http://host:port``."""
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if " on http://" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        raise RuntimeError(f"{what} did not print its URL within 30s")
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=1.0):
+                return process, url
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"{what} at {url} never became healthy")
+
+
+def _stop(process) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+def _measure(url: str, sample_rate: float):
+    from repro.loadgen import LoadGenerator, summarize
+    from repro.loadgen.shapes import make_shape
+
+    # The same seed for every rate: identical arrival schedule and row
+    # payloads, so the only thing that varies between runs is tracing.
+    generator = LoadGenerator(
+        url, users=USERS, timeout_s=10.0, seed=0, trace_sample_rate=sample_rate
+    )
+    run = generator.run(make_shape("steady"), rate=RATE, duration_s=DURATION_S)
+    return summarize(run)
+
+
+def _trace_is_joinable(router_url: str, trace_id: str) -> bool:
+    """True once the router's buffer holds the trace (commit is post-response)."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+            f"{router_url}/debug/traces?trace_id={trace_id}", timeout=5.0
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        if payload["traces"]:
+            names = {span["name"] for span in payload["traces"][0]["spans"]}
+            return "router.predict" in names
+        time.sleep(0.05)
+    return False
+
+
+def main() -> int:
+    from repro.obs.trace import SAMPLED_HEADER, TRACE_ID_HEADER, new_trace_id
+    from repro.serve import ServingClient
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        source = root / "source"
+        source.mkdir()
+        forest = _train_models(source)
+        replica_dirs = [root / "replica-0", root / "replica-1"]
+
+        processes = []
+        try:
+            replica_urls = []
+            for directory in replica_dirs:
+                directory.mkdir()
+                process, url = _start(
+                    [sys.executable, "-m", "repro", "serve",
+                     "--models", str(directory), "--port", "0",
+                     "--max-batch", "32", "--max-wait-ms", "1.0"],
+                    "replica",
+                )
+                processes.append(process)
+                replica_urls.append(url)
+            router_command = [
+                sys.executable, "-m", "repro", "router", "--port", "0",
+                "--health-interval", "0.5", "--up-after", "1", "--down-after", "2",
+                "--fanout-trees", "4",
+                "--sync-source", str(source), "--sync-interval", "5",
+            ]
+            for url in replica_urls:
+                router_command += ["--replica", url]
+            for directory in replica_dirs:
+                router_command += ["--sync-dest", str(directory)]
+            router_process, router_url = _start(router_command, "router")
+            processes.append(router_process)
+
+            # Bit-identity under tracing: a sampled, fanned-out forest
+            # prediction must equal the offline model exactly, and its
+            # trace id must be joinable from the router's buffer.
+            rows = np.random.default_rng(11).normal(size=(16, 3))
+            trace_id = new_trace_id()
+            routed = ServingClient(router_url).predict(
+                "forest", rows,
+                headers={TRACE_ID_HEADER: trace_id, SAMPLED_HEADER: "1"},
+            )
+            if not np.array_equal(routed.probabilities, forest.predict_proba(rows)):
+                print("FAIL: traced forest predictions are not bit-identical")
+                return 1
+            if not _trace_is_joinable(router_url, trace_id):
+                print(
+                    "FAIL: the sampled trace never appeared in the router's "
+                    "/debug/traces — the overhead gate would be vacuous"
+                )
+                return 1
+            print(f"bit-identity + joinability checks passed (trace {trace_id})")
+
+            # Warm both models through the router before measuring.
+            ServingClient(router_url).predict("forest", rows[:2])
+            ServingClient(router_url).predict("tree", rows[:2])
+            summaries = {
+                rate: _measure(router_url, rate) for rate in SAMPLE_RATES
+            }
+        finally:
+            for process in processes:
+                _stop(process)
+
+    for rate, summary in summaries.items():
+        if summary["n_200"] == 0:
+            print(f"FAIL: the sampling={rate:g} run served no successful request")
+            return 1
+    full = summaries[1.0]
+    if full["traces"]["n_sampled"] != full["offered"]:
+        print(
+            f"FAIL: sampling=1.0 minted {full['traces']['n_sampled']} trace ids "
+            f"for {full['offered']} requests"
+        )
+        return 1
+
+    baseline_p99 = summaries[0.0]["latency_ms"]["p99"]
+    traced_p99 = full["latency_ms"]["p99"]
+    budget_ms = baseline_p99 * MAX_OVERHEAD + SLACK_MS
+    ratio = traced_p99 / baseline_p99 if baseline_p99 > 0 else float("inf")
+    records = [
+        {"target": "router", "trace_sample_rate": rate, **summaries[rate]}
+        for rate in SAMPLE_RATES
+    ]
+    path = save_json_artifact(
+        "tracing",
+        records,
+        params={
+            "rate": RATE, "duration_s": DURATION_S, "users": USERS,
+            "replicas": 2, "sample_rates": list(SAMPLE_RATES),
+            "max_overhead": MAX_OVERHEAD, "slack_ms": SLACK_MS,
+        },
+        extra={
+            "overhead": {
+                "baseline_p99_ms": baseline_p99,
+                "traced_p99_ms": traced_p99,
+                "ratio": ratio,
+                "budget_ms": budget_ms,
+            },
+            "bit_identical": True,
+        },
+    )
+    print(f"wrote {path}")
+    for rate in SAMPLE_RATES:
+        latency = summaries[rate]["latency_ms"]
+        print(
+            f"sampling {rate:>4g}: p99 {latency['p99']:.1f} ms, "
+            f"p50 {latency['p50']:.1f} ms, "
+            f"{summaries[rate]['traces']['n_sampled']} traced"
+        )
+    if traced_p99 > budget_ms:
+        print(
+            f"FAIL: p99 at 100% sampling {traced_p99:.1f} ms exceeds "
+            f"{MAX_OVERHEAD:g}x baseline + {SLACK_MS:g} ms = {budget_ms:.1f} ms"
+        )
+        return 1
+    print(f"tracing overhead gate passed (ratio {ratio:.2f}, budget {budget_ms:.1f} ms)")
+    return 0
+
+
+def bench_tracing_overhead(benchmark):
+    """CI smoke entry point: the whole gate must pass."""
+    assert benchmark(main) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Observability quickstart: one traced request through the whole mesh.
+
+Run with::
+
+    python examples/tracing_quickstart.py
+
+Builds the distributed topology in one process — two serving replicas
+and a router sampling 100 % of requests — turns on structured JSON
+logging, and sends a single forest prediction through the router.  The
+forest fans out across both replicas, so the request leaves spans in
+*three* trace buffers: the router's (``router.predict`` / ``fanout`` /
+``route`` / ``reduce``) and each replica's (``server.predict`` /
+``queue_wait`` / ``batch_assembly`` / ``inference``).  The script then
+does exactly what ``repro trace <id> --target ...`` does: fetches every
+tier's ``GET /debug/traces``, joins the spans on the trace id the client
+got back in ``X-Repro-Trace-Id``, and prints the single request tree.
+
+The same trace id also appears on matching structured log lines (the
+formatter stamps the active trace context), so logs, metrics and traces
+cross-reference through one id.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import gaussian
+from repro.ensemble import UDTForestClassifier
+from repro.obs import configure_logging
+from repro.obs.trace import HOPS_HEADER, TRACE_ID_HEADER, format_trace_tree
+from repro.router import create_router, sync_archives
+from repro.serve import ServingClient, create_server
+
+
+def collect_spans(urls, trace_id, timeout_s=5.0):
+    """Join one trace across every tier's buffer (commit is post-response,
+    so poll until the router and a replica have both contributed)."""
+    spans = {}
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for url in urls:
+            with urllib.request.urlopen(
+                f"{url}/debug/traces?trace_id={trace_id}", timeout=5.0
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            for entry in payload["traces"]:
+                for span in entry["spans"]:
+                    spans[span["span_id"]] = span
+        if {"router", "serve"} <= {span["service"] for span in spans.values()}:
+            break
+        time.sleep(0.02)
+    return list(spans.values())
+
+
+def main() -> None:
+    # Structured JSON logs on stderr; every line emitted while a trace is
+    # active carries its trace_id (watch for router_failover, replica_up...).
+    configure_logging("info", "json")
+
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 3))
+    y = np.where(X[:, 0] + X[:, 2] > 0, "pos", "neg")
+    forest = UDTForestClassifier(
+        n_estimators=8, spec=gaussian(w=0.1, s=8), random_state=0
+    ).fit(X, y)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "source"
+        source.mkdir()
+        forest.save(source / "forest.zip")
+        replica_dirs = [Path(tmp) / "replica-a", Path(tmp) / "replica-b"]
+        sync_archives(source, replica_dirs)
+
+        # Replicas need no tracing flags: a propagated sampled context is
+        # always honoured, so the edge's sampling decision rules the mesh.
+        replicas = []
+        for directory in replica_dirs:
+            server = create_server(directory, port=0, max_wait_ms=1.0)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            replicas.append(server)
+
+        # The router is the edge here: it mints a 128-bit trace id for
+        # every request (sample rate 1.0) and propagates the context
+        # downstream.  (Production: `repro router --trace-sample-rate 0.1
+        # --trace-slow-ms 250` — sample 10 %, plus every slow request.)
+        router = create_router(
+            [server.url for server in replicas],
+            fanout_trees=4,
+            health_interval_s=0.5,
+            up_after=1,
+            trace_sample_rate=1.0,
+        )
+        threading.Thread(target=router.serve_forever, daemon=True).start()
+        print(f"router on {router.url}, replicas on "
+              f"{[server.url for server in replicas]}\n")
+
+        # One routed forest prediction: fans out across both replicas.
+        client = ServingClient(router.url)
+        rows = rng.normal(size=(12, 3))
+        result = client.predict("forest", rows)
+        assert np.array_equal(result.probabilities, forest.predict_proba(rows))
+
+        # The response headers identify the trace and the work done; use
+        # urllib to show exactly what any HTTP client sees.
+        body = json.dumps({"rows": rows.tolist()}).encode()
+        request = urllib.request.Request(
+            f"{router.url}/v1/models/forest:predict",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            trace_id = response.headers[TRACE_ID_HEADER]
+            hops = response.headers[HOPS_HEADER]
+        print(f"traced request {trace_id}: {hops} upstream hop(s)\n")
+
+        # Join the trace across all three buffers and print the tree —
+        # the CLI equivalent is:
+        #   repro trace <id> --target <router> --target <replica> ...
+        urls = [router.url] + [server.url for server in replicas]
+        spans = collect_spans(urls, trace_id)
+        print(format_trace_tree(spans))
+
+        router.close()
+        for server in replicas:
+            server.close()
+
+
+if __name__ == "__main__":
+    main()

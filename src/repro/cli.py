@@ -23,6 +23,8 @@ library::
         --replica http://127.0.0.1:8002 --port 8080      # routing front tier
     python -m repro loadgen --url http://127.0.0.1:8000 --shape spike \
         --slo budgets.json --output BENCH_loadgen.json   # open-loop load + SLO gate
+    python -m repro trace <trace-id> --target http://127.0.0.1:8080 \
+        --target http://127.0.0.1:8001                   # join + print one trace tree
 
 ``predict`` and ``serve`` accept both single-tree and forest archives; an
 archive written by a *newer* library (format version above this build's)
@@ -52,6 +54,7 @@ from repro.eval import (
     format_table,
 )
 from repro.data.uci import TABLE2_DATASETS
+from repro.obs.log import LOG_FORMATS, LOG_LEVELS
 
 __all__ = ["build_parser", "main"]
 
@@ -93,6 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
                                   "processes; very large pdf stores additionally build "
                                   "per-attribute split contexts in parallel threads "
                                   "(1 = sequential)")
+
+    def add_obs_flags(sub: argparse.ArgumentParser, *, tracing: bool = True) -> None:
+        """The observability knobs shared by the serving-side commands."""
+        if tracing:
+            sub.add_argument("--trace-sample-rate", type=float, default=0.0,
+                             metavar="RATE",
+                             help="trace this fraction of requests arriving without "
+                                  "an upstream trace context (0 disables minting; "
+                                  "propagated sampled traces are always recorded)")
+            sub.add_argument("--trace-slow-ms", type=float, default=None, metavar="MS",
+                             help="also keep the trace of any request slower than "
+                                  "this threshold, sampled or not")
+            sub.add_argument("--trace-buffer", type=_positive_int, default=2048,
+                             metavar="SPANS",
+                             help="spans kept in the in-process /debug/traces ring")
+            sub.add_argument("--trace-export", default=None, metavar="PATH",
+                             help="append every committed span to this JSONL file")
+        sub.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                         help="emit structured logs at this level (unset: quiet)")
+        sub.add_argument("--log-format", choices=LOG_FORMATS, default=None,
+                         help="structured log encoding (default json; implies "
+                              "--log-level info when only this is given)")
 
     subparsers.add_parser("example", help="run the Table 1 handcrafted example")
     subparsers.add_parser("datasets", help="list the Table 2 dataset stand-ins")
@@ -208,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load every model at startup instead of on first request")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    add_obs_flags(serve)
 
     router = subparsers.add_parser(
         "router",
@@ -249,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 syncs once at startup only)")
     router.add_argument("--verbose", action="store_true",
                         help="log every HTTP request to stderr")
+    add_obs_flags(router)
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -283,6 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "makes the command exit 1")
     loadgen.add_argument("--output", default=None, metavar="PATH",
                          help="write the BENCH_loadgen.json artifact here")
+    loadgen.add_argument("--trace-sample-rate", type=float, default=0.0, metavar="RATE",
+                         help="mint a sampled trace id on this fraction of requests; "
+                              "the ids land in the report for joining against the "
+                              "servers' /debug/traces buffers")
+    add_obs_flags(loadgen, tracing=False)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="fetch /debug/traces from routers/replicas, join the buffers on "
+             "trace id, and pretty-print span trees",
+    )
+    trace.add_argument("trace_id", nargs="?", default=None,
+                       help="print this trace's joined span tree "
+                            "(omit to list recent traces instead)")
+    trace.add_argument("--target", action="append", required=True, metavar="URL",
+                       help="base URL of one router or replica whose "
+                            "/debug/traces to fetch (repeatable)")
+    trace.add_argument("--model", default=None,
+                       help="only traces touching this model")
+    trace.add_argument("--min-ms", type=float, default=None, metavar="MS",
+                       help="only traces at least this long")
+    trace.add_argument("--limit", type=_positive_int, default=20,
+                       help="most recent traces to list per target")
+    trace.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                       help="per-target fetch timeout")
 
     return parser
 
@@ -490,10 +542,20 @@ def _check_archive_versions(models_dir) -> "str | None":
     return None
 
 
+def _configure_obs_logging(args) -> None:
+    """Turn structured logging on when either ``--log-*`` flag was given."""
+    if args.log_level is None and args.log_format is None:
+        return
+    from repro.obs.log import configure_logging
+
+    configure_logging(args.log_level or "info", args.log_format or "json")
+
+
 def _run_serve(args) -> int:
     from repro.exceptions import ServingError
     from repro.serve import create_server
 
+    _configure_obs_logging(args)
     version_error = _check_archive_versions(args.models)
     if version_error is not None:
         print(f"error: {version_error}", file=sys.stderr)
@@ -514,6 +576,10 @@ def _run_serve(args) -> int:
             workers=args.workers,
             preload=args.preload,
             verbose=args.verbose,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_slow_ms=args.trace_slow_ms,
+            trace_buffer=args.trace_buffer,
+            trace_export=args.trace_export,
         )
     except ServingError as exc:
         # Bad knob values (request-timeout <= 0, negative cache sizes, a
@@ -538,6 +604,7 @@ def _run_router(args) -> int:
     from repro.exceptions import ServingError
     from repro.router import create_router
 
+    _configure_obs_logging(args)
     if args.sync_dest and not args.sync_source:
         print("error: --sync-dest requires --sync-source", file=sys.stderr)
         return 2
@@ -557,6 +624,10 @@ def _run_router(args) -> int:
             sync_dests=args.sync_dest or (),
             sync_interval_s=args.sync_interval,
             verbose=args.verbose,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_slow_ms=args.trace_slow_ms,
+            trace_buffer=args.trace_buffer,
+            trace_export=args.trace_export,
         )
     except (ServingError, ValueError) as exc:
         # Bad knob values and an unreadable sync source must fail loudly at
@@ -594,6 +665,7 @@ def _run_loadgen(args) -> int:
         write_loadgen_report,
     )
 
+    _configure_obs_logging(args)
     shape_names = args.shape or ["steady"]
     try:
         shapes = [make_shape(name) for name in shape_names]
@@ -624,6 +696,7 @@ def _run_loadgen(args) -> int:
             think_time_s=args.think_time,
             timeout_s=args.timeout,
             seed=args.seed,
+            trace_sample_rate=args.trace_sample_rate,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -661,6 +734,18 @@ def _run_loadgen(args) -> int:
         rows,
     ))
 
+    n_sampled = sum(record["traces"]["n_sampled"] for record in records)
+    if n_sampled:
+        print(f"sampled {n_sampled} trace id(s); worth chasing:", flush=True)
+        for record in records:
+            for sample in record["traces"]["samples"][:3]:
+                print(
+                    f"  - {sample['trace_id']}  shape={record['shape']} "
+                    f"model={sample['model']} status={sample['status']} "
+                    f"{sample['latency_ms']:.1f} ms",
+                    flush=True,
+                )
+
     if args.output is not None:
         path = write_loadgen_report(
             records,
@@ -674,6 +759,7 @@ def _run_loadgen(args) -> int:
                 "think_time_s": args.think_time,
                 "seed": args.seed,
                 "shapes": shape_names,
+                "trace_sample_rate": args.trace_sample_rate,
             },
         )
         print(f"wrote {path}", flush=True)
@@ -685,6 +771,99 @@ def _run_loadgen(args) -> int:
                 print(f"SLO VIOLATION: {violation}", file=sys.stderr)
             return 1
         print(f"SLO check passed for {len(records)} shape(s)", flush=True)
+    return 0
+
+
+def _run_trace(args) -> int:
+    """Join ``/debug/traces`` across targets; list traces or print one tree."""
+    import json
+    import time as time_module
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    from repro.obs.trace import format_trace_tree
+
+    params: "dict[str, str]" = {"limit": str(args.limit)}
+    if args.trace_id:
+        params["trace_id"] = args.trace_id
+    if args.model:
+        params["model"] = args.model
+    if args.min_ms is not None:
+        params["min_ms"] = str(args.min_ms)
+    query = urllib.parse.urlencode(params)
+
+    merged: "dict[str, dict]" = {}
+    reached = 0
+    for target in args.target:
+        url = f"{target.rstrip('/')}/debug/traces?{query}"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"warning: cannot fetch {url}: {exc}", file=sys.stderr)
+            continue
+        reached += 1
+        for entry in payload.get("traces", []):
+            known = merged.get(entry["trace_id"])
+            if known is None:
+                merged[entry["trace_id"]] = {
+                    "trace_id": entry["trace_id"],
+                    "start_s": entry["start_s"],
+                    "duration_ms": entry["duration_ms"],
+                    "spans": {
+                        span["span_id"]: span for span in entry["spans"]
+                    },
+                }
+                continue
+            known["start_s"] = min(known["start_s"], entry["start_s"])
+            known["duration_ms"] = max(known["duration_ms"], entry["duration_ms"])
+            for span in entry["spans"]:
+                known["spans"].setdefault(span["span_id"], span)
+    if reached == 0:
+        print("error: no target answered /debug/traces", file=sys.stderr)
+        return 2
+
+    if args.trace_id:
+        entry = merged.get(args.trace_id)
+        if entry is None:
+            print(
+                f"error: trace {args.trace_id!r} not found on any target "
+                f"(buffers are bounded rings — it may have been evicted)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"trace {entry['trace_id']}  ({len(entry['spans'])} spans)")
+        print(format_trace_tree(entry["spans"].values()))
+        return 0
+
+    if not merged:
+        print("no traces buffered on the targets (is tracing sampled on?)")
+        return 0
+    entries = sorted(merged.values(), key=lambda e: e["start_s"], reverse=True)
+    rows = []
+    for entry in entries[: args.limit]:
+        spans = list(entry["spans"].values())
+        services = sorted({span.get("service", "?") for span in spans})
+        models = sorted(
+            {span["model"] for span in spans if span.get("model")}
+        )
+        started = time_module.strftime(
+            "%H:%M:%S", time_module.localtime(entry["start_s"])
+        )
+        rows.append(
+            (
+                entry["trace_id"],
+                started,
+                f"{entry['duration_ms']:.1f}",
+                len(spans),
+                ",".join(services),
+                ",".join(models) or "-",
+            )
+        )
+    print(format_table(
+        ("trace id", "start", "ms", "spans", "services", "models"), rows
+    ))
     return 0
 
 
@@ -735,6 +914,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_router(args)
     elif args.command == "loadgen":
         return _run_loadgen(args)
+    elif args.command == "trace":
+        return _run_trace(args)
     elif args.command == "accuracy":
         experiment = AccuracyExperiment(
             args.dataset, scale=args.scale, n_samples=args.samples,

@@ -32,6 +32,7 @@ import numpy as np
 from repro.api.persistence import FORMAT_VERSION
 from repro.exceptions import ServingError
 from repro.loadgen.shapes import TrafficShape, arrival_times
+from repro.obs.trace import SAMPLED_HEADER, TRACE_ID_HEADER, new_trace_id
 from repro.serve.client import ServingClient
 
 __all__ = ["LoadGenerator", "RequestRecord", "ShapeRun"]
@@ -55,6 +56,10 @@ class RequestRecord:
     latency_s: float
     service_s: float
     status: int
+    #: The trace id this request was sent with, when the generator's
+    #: ``trace_sample_rate`` sampled it — the key for joining the record
+    #: against ``/debug/traces`` on the router and the replicas.
+    trace_id: "str | None" = None
 
     @property
     def ok(self) -> bool:
@@ -84,6 +89,10 @@ class LoadGenerator:
     an exponential pause each user takes between requests.  ``seed``
     fixes the arrival schedule, the model selection, and the generated
     feature rows, so a run is reproducible end to end.
+    ``trace_sample_rate`` makes the generator a tracing edge: that
+    fraction of requests is sent with a freshly minted, sampled
+    ``X-Repro-Trace-Id``, and the id lands in the request's record (and
+    the report) for joining against the servers' ``/debug/traces``.
 
     ``base_url`` may be a single endpoint — a replica or a router tier
     (:mod:`repro.router`), which speak the same protocol — or a list of
@@ -101,6 +110,7 @@ class LoadGenerator:
         think_time_s: float = 0.0,
         timeout_s: float = 10.0,
         seed: "int | None" = None,
+        trace_sample_rate: float = 0.0,
     ) -> None:
         if users < 1:
             raise ValueError(f"users must be >= 1, got {users}")
@@ -108,12 +118,17 @@ class LoadGenerator:
             raise ValueError(f"spawn_rate must be positive, got {spawn_rate}")
         if think_time_s < 0:
             raise ValueError(f"think_time_s must be >= 0, got {think_time_s}")
+        if not 0.0 <= float(trace_sample_rate) <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be within [0, 1], got {trace_sample_rate}"
+            )
         self.base_url = base_url if isinstance(base_url, str) else list(base_url)
         self.users = int(users)
         self.spawn_rate = float(spawn_rate) if spawn_rate is not None else None
         self.think_time_s = float(think_time_s)
         self.timeout_s = float(timeout_s)
         self.seed = seed
+        self.trace_sample_rate = float(trace_sample_rate)
 
     # -- target discovery ----------------------------------------------------
 
@@ -205,9 +220,25 @@ class LoadGenerator:
                 if item is None:
                     return
                 index, scheduled, model = item
+                # The generator is the tracing edge here: it mints the
+                # trace id and marks the request sampled, so a routed
+                # request is traced end to end whatever the server-side
+                # rates are — and the record keeps the id for joining.
+                trace_id = None
+                headers = None
+                if (
+                    self.trace_sample_rate > 0
+                    and user_rng.random() < self.trace_sample_rate
+                ):
+                    trace_id = new_trace_id()
+                    headers = {TRACE_ID_HEADER: trace_id, SAMPLED_HEADER: "1"}
                 started = time.monotonic()
                 try:
-                    client.predict(model, rows[model][index % len(rows[model])])
+                    client.predict(
+                        model,
+                        rows[model][index % len(rows[model])],
+                        headers=headers,
+                    )
                     status = 200
                 except ServingError as exc:
                     status = exc.status or 0
@@ -219,6 +250,7 @@ class LoadGenerator:
                     latency_s=finished - scheduled,
                     service_s=finished - started,
                     status=status,
+                    trace_id=trace_id,
                 )
                 with records_lock:
                     records.append(record)

@@ -85,7 +85,37 @@ def summarize(run: ShapeRun) -> dict:
         "latency_ms": _quantiles_ms(ok_latencies),
         "per_model": per_model,
         "models": list(run.models),
+        "traces": _trace_samples(run),
     }
+
+
+def _trace_samples(run: ShapeRun, cap: int = 10) -> dict:
+    """Sampled trace ids worth chasing: every error first, then the slowest.
+
+    The ids join the run against the servers' ``/debug/traces`` buffers
+    (``repro trace <id> <targets...>``), so a bad percentile in the report
+    leads straight to the span tree that explains it.
+    """
+    traced = [record for record in run.records if record.trace_id]
+    errors = [record for record in traced if record.status != 200]
+    slowest = sorted(traced, key=lambda record: record.latency_s, reverse=True)
+    samples = []
+    seen: set = set()
+    for record in [*errors, *slowest]:
+        if record.trace_id in seen:
+            continue
+        if len(samples) >= cap:
+            break
+        seen.add(record.trace_id)
+        samples.append(
+            {
+                "trace_id": record.trace_id,
+                "model": record.model,
+                "status": record.status,
+                "latency_ms": record.latency_s * 1000.0,
+            }
+        )
+    return {"n_sampled": len(traced), "samples": samples}
 
 
 def write_loadgen_report(

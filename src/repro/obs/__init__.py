@@ -1,0 +1,55 @@
+"""Observability: distributed tracing and structured logging (stdlib-only).
+
+Two complementary tiers over the metrics registry:
+
+* :mod:`repro.obs.trace` — per-request distributed traces.  A trace id is
+  minted at the edge, propagated via ``X-Repro-*`` headers across the
+  router → replica → engine path, and the resulting span tree is buffered
+  in-process behind ``GET /debug/traces`` and joined across the mesh by
+  ``repro trace``.
+* :mod:`repro.obs.log` — structured JSON/text logging with automatic
+  ``trace_id`` correlation, configured once per process via
+  ``--log-level`` / ``--log-format``.
+"""
+
+from repro.obs.log import EventLogger, configure_logging, get_logger
+from repro.obs.trace import (
+    HOPS_HEADER,
+    NO_TRACE,
+    SAMPLED_HEADER,
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    UPSTREAM_HEADER,
+    RequestTrace,
+    Span,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    current_trace_id,
+    debug_traces_payload,
+    format_trace_tree,
+    new_span_id,
+    new_trace_id,
+)
+
+__all__ = [
+    "EventLogger",
+    "HOPS_HEADER",
+    "NO_TRACE",
+    "RequestTrace",
+    "SAMPLED_HEADER",
+    "SPAN_ID_HEADER",
+    "Span",
+    "TRACE_ID_HEADER",
+    "TraceBuffer",
+    "TraceContext",
+    "Tracer",
+    "UPSTREAM_HEADER",
+    "configure_logging",
+    "current_trace_id",
+    "debug_traces_payload",
+    "format_trace_tree",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+]

@@ -1,0 +1,183 @@
+"""Structured logging with trace correlation, on stdlib ``logging``.
+
+The serving tier's operational events — replica health flips, failovers,
+model reloads, engine shedding — were previously either silent or ad-hoc
+``print``/stderr lines.  This module gives them one shape: an **event name**
+plus flat key/value fields, rendered either as one JSON object per line
+(``--log-format json``, machine-ingestable) or as a terse human-readable
+line (``--log-format text``).  When a traced request is in flight on the
+emitting thread, the formatter stamps the line with its ``trace_id`` (via
+:func:`repro.obs.trace.current_trace_id`), so logs, ``/debug/traces`` and
+``repro trace`` all join on the same id.
+
+Libraries stay quiet by default: the ``repro`` logger gets a
+``NullHandler`` at import and emits nothing until a process entry point
+calls :func:`configure_logging` (the ``--log-level`` / ``--log-format``
+flags on ``repro serve`` / ``router`` / ``loadgen``).  Records still
+propagate to the root logger, so embedding applications — and pytest's
+``caplog`` — can capture them with their own handlers.
+
+Usage::
+
+    from repro.obs.log import get_logger
+    _log = get_logger(__name__)
+    _log.warning("replica_down", replica=url, reason="connect", failures=3)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "EventLogger",
+    "JsonLogFormatter",
+    "LOG_FORMATS",
+    "LOG_LEVELS",
+    "TextLogFormatter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: The namespace every repro logger hangs under.
+ROOT_LOGGER = "repro"
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+LOG_FORMATS = ("json", "text")
+
+#: Marker attribute on handlers installed by :func:`configure_logging`,
+#: so reconfiguring replaces ours without touching anyone else's.
+_HANDLER_MARK = "_repro_obs_handler"
+
+# Quiet-by-default: a NullHandler keeps logging's "no handler" last-resort
+# warning path off while leaving propagation to root (caplog etc.) intact.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def _timestamp(created: float) -> str:
+    """ISO-8601 UTC with millisecond precision, e.g. 2026-08-08T14:03:07.123Z."""
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    return f"{base}.{int((created % 1.0) * 1000):03d}Z"
+
+
+def _record_payload(record: logging.LogRecord) -> dict:
+    payload = {
+        "ts": _timestamp(record.created),
+        "level": record.levelname.lower(),
+        "logger": record.name,
+        "event": record.getMessage(),
+    }
+    fields = getattr(record, "repro_fields", None)
+    trace_id = None
+    if fields:
+        trace_id = fields.get("trace_id")
+    if trace_id is None:
+        trace_id = current_trace_id()
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    if fields:
+        for key, value in fields.items():
+            if key != "trace_id":
+                payload[key] = value
+    if record.exc_info and record.exc_info[1] is not None:
+        exc = record.exc_info[1]
+        payload["exception"] = f"{type(exc).__name__}: {exc}"
+    return payload
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; non-serialisable values degrade to str()."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(_record_payload(record), default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable: ``ts LEVEL event key=value ...`` (same fields)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = _record_payload(record)
+        head = (
+            f"{payload.pop('ts')} {payload.pop('level').upper():7s} "
+            f"{payload.pop('event')}"
+        )
+        payload.pop("logger", None)
+        tail = " ".join(f"{key}={value}" for key, value in payload.items())
+        return f"{head} {tail}".rstrip()
+
+
+def configure_logging(
+    level: str = "info", fmt: str = "json", stream=None
+) -> logging.Logger:
+    """Install the structured handler on the ``repro`` logger.
+
+    Called from process entry points (the CLI); safe to call repeatedly —
+    a previous handler installed here is replaced, handlers installed by
+    anyone else are left alone.  Returns the configured logger.
+    """
+    level_name = str(level).lower()
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    fmt_name = str(fmt).lower()
+    if fmt_name not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {fmt!r}; expected one of {', '.join(LOG_FORMATS)}"
+        )
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if fmt_name == "json" else TextLogFormatter()
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level_name.upper()))
+    # Once a process opts in, its own handler is the sink of record — double
+    # emission through a root handler would corrupt line-oriented ingestion.
+    logger.propagate = False
+    return logger
+
+
+class EventLogger:
+    """Thin wrapper binding event names + fields to a stdlib logger."""
+
+    __slots__ = ("stdlib",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self.stdlib = logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self.stdlib.isEnabledFor(level):
+            self.stdlib.log(level, event, extra={"repro_fields": fields})
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> EventLogger:
+    """An :class:`EventLogger` under the ``repro`` namespace.
+
+    Pass ``__name__``; modules outside the package are nested under
+    ``repro.`` so one :func:`configure_logging` call governs them all.
+    """
+    qualified = name if name == ROOT_LOGGER or name.startswith(
+        f"{ROOT_LOGGER}."
+    ) else f"{ROOT_LOGGER}.{name}"
+    return EventLogger(logging.getLogger(qualified))

@@ -1,0 +1,718 @@
+"""Distributed tracing: contexts, spans, bounded buffers, JSONL export.
+
+The serving mesh answers aggregate questions through ``/metrics`` — but when
+one routed prediction is slow, histograms cannot say *where* the time went:
+router failover, ring fan-out, replica queue wait, batch coalescing,
+worker-pool inference, or vote reduction.  This module is the per-request
+tier: a request is stamped with a 128-bit **trace id** at the edge (the
+router, ``ServingClient``, or the load generator), the id travels with the
+request via ``X-Repro-Trace-Id`` / ``X-Repro-Span-Id`` / ``X-Repro-Sampled``
+headers, and every process along the way records **spans** — named, timed
+segments forming a tree — into a bounded in-process ring buffer served at
+``GET /debug/traces``.  ``repro trace`` joins the router's and the replicas'
+buffers on the trace id and prints the whole tree.
+
+Sampling is **head-based**: the edge decides once (``sample_rate``), and the
+decision is propagated, so a trace is always either complete or absent —
+never a fragment.  Two escape hatches keep the buffer useful at low rates:
+
+* an incoming ``X-Repro-Sampled: 1`` header is always honoured, whatever the
+  local rate — the edge's decision wins;
+* ``slow_ms`` commits an *unsampled* request's spans anyway when its root
+  span exceeds the threshold, so the pathological requests worth debugging
+  are captured even at ``sample_rate 0``.
+
+Everything is stdlib-only and the hot path is guarded: a disabled tracer
+(``sample_rate 0``, no ``slow_ms``) hands out the :data:`NO_TRACE` null
+object, whose every method is a no-op, so serving code can call
+``trace.record(...)`` unconditionally.
+
+Span timing uses ``time.perf_counter()`` for durations and ``time.time()``
+for start timestamps, so spans from different processes land on one shared
+(wall-clock) axis when joined.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict, deque
+
+__all__ = [
+    "HOPS_HEADER",
+    "NO_TRACE",
+    "RequestTrace",
+    "SAMPLED_HEADER",
+    "SPAN_ID_HEADER",
+    "Span",
+    "TRACE_ID_HEADER",
+    "TraceBuffer",
+    "TraceContext",
+    "Tracer",
+    "UPSTREAM_HEADER",
+    "current_trace_id",
+    "debug_traces_payload",
+    "format_trace_tree",
+    "new_span_id",
+    "new_trace_id",
+]
+
+#: Propagation headers.  ``X-Repro-Trace-Id`` carries the 128-bit trace id,
+#: ``X-Repro-Span-Id`` the caller's span (the parent of the callee's root),
+#: and ``X-Repro-Sampled`` the head-based sampling decision (``"1"``/``"0"``).
+TRACE_ID_HEADER = "X-Repro-Trace-Id"
+SPAN_ID_HEADER = "X-Repro-Span-Id"
+SAMPLED_HEADER = "X-Repro-Sampled"
+
+#: Response headers the router adds: how many upstream calls served the
+#: request (1 = no failover) and which replica finally answered.
+HOPS_HEADER = "X-Repro-Hops"
+UPSTREAM_HEADER = "X-Repro-Upstream"
+
+_TRACE_ID_LEN = 32  # 128 bits, lowercase hex
+_SPAN_ID_LEN = 16  # 64 bits, lowercase hex
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+_current_trace_id: "contextvars.ContextVar[str | None]" = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def current_trace_id() -> "str | None":
+    """The trace id of the request being handled on this thread, if any.
+
+    Set by :meth:`Tracer.begin` and cleared by :meth:`RequestTrace.finish`;
+    the structured-log formatter reads it so every log line emitted while a
+    traced request is in flight carries the same ``trace_id`` the span tree
+    does.
+    """
+    return _current_trace_id.get()
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex digits)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex digits)."""
+    return os.urandom(8).hex()
+
+
+def _valid_id(value, length: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == length
+        and all(ch in _HEX_DIGITS for ch in value)
+    )
+
+
+class TraceContext:
+    """The propagated triple: trace id, parent span id, sampling decision."""
+
+    __slots__ = ("trace_id", "parent_id", "sampled")
+
+    def __init__(
+        self, trace_id: str, parent_id: "str | None" = None, sampled: bool = True
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+
+    @classmethod
+    def mint(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new root context — what an edge creates."""
+        return cls(new_trace_id(), None, sampled)
+
+    @classmethod
+    def from_headers(cls, headers) -> "TraceContext | None":
+        """Parse an incoming context, or ``None`` when the request has none.
+
+        ``headers`` is any mapping with ``.get`` (``http.client.HTTPMessage``
+        matches header names case-insensitively; plain dicts must use the
+        canonical names).  A malformed trace id is treated as absent rather
+        than crashing the request; a malformed span id degrades to "no
+        parent".  A missing ``X-Repro-Sampled`` header counts as sampled —
+        an upstream that bothered to send a trace id wants the trace.
+        """
+        if headers is None:
+            return None
+        trace_id = headers.get(TRACE_ID_HEADER)
+        if trace_id is not None:
+            trace_id = trace_id.strip().lower()
+        if not _valid_id(trace_id, _TRACE_ID_LEN):
+            return None
+        parent_id = headers.get(SPAN_ID_HEADER)
+        if parent_id is not None:
+            parent_id = parent_id.strip().lower()
+            if not _valid_id(parent_id, _SPAN_ID_LEN):
+                parent_id = None
+        sampled = headers.get(SAMPLED_HEADER)
+        return cls(trace_id, parent_id, sampled is None or str(sampled).strip() != "0")
+
+    def headers(self, span_id: "str | None" = None) -> "dict[str, str]":
+        """Propagation headers for an outgoing call.
+
+        ``span_id`` names the caller-side span the callee's root should hang
+        under (defaults to this context's parent — i.e. pass-through).
+        """
+        propagated = {
+            TRACE_ID_HEADER: self.trace_id,
+            SAMPLED_HEADER: "1" if self.sampled else "0",
+        }
+        parent = span_id if span_id is not None else self.parent_id
+        if parent is not None:
+            propagated[SPAN_ID_HEADER] = parent
+        return propagated
+
+
+class Span:
+    """One named, timed segment of a trace.
+
+    ``start_s`` is wall-clock epoch seconds (cross-process joinable);
+    ``duration_ms`` is measured with a monotonic clock.  ``status`` is
+    ``"ok"`` or ``"error"``; ``tags`` carries small JSON-able annotations
+    (row counts, upstream URLs, hop counts, ...).
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "service",
+        "model",
+        "start_s",
+        "duration_ms",
+        "status",
+        "tags",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: "str | None",
+        name: str,
+        service: str,
+        *,
+        model: "str | None" = None,
+        start_s: float = 0.0,
+        duration_ms: float = 0.0,
+        status: str = "ok",
+        tags: "dict | None" = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.service = service
+        self.model = model
+        self.start_s = float(start_s)
+        self.duration_ms = float(duration_ms)
+        self.status = status
+        self.tags = tags if tags is not None else {}
+
+    def to_dict(self) -> dict:
+        entry = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "service": self.service,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+        }
+        if self.model is not None:
+            entry["model"] = self.model
+        if self.tags:
+            entry["tags"] = dict(self.tags)
+        return entry
+
+
+class SpanHandle:
+    """A live span: context manager that records itself when it ends.
+
+    An exception escaping the ``with`` block marks the span ``"error"`` and
+    tags it with the exception message; ``end()`` is idempotent, so the
+    explicit-call and context-manager styles can be mixed safely.
+    """
+
+    __slots__ = ("_trace", "span", "_start_perf", "_ended")
+
+    def __init__(self, trace: "RequestTrace", span: Span) -> None:
+        self._trace = trace
+        self.span = span
+        self._start_perf = time.perf_counter()
+        self._ended = False
+
+    @property
+    def span_id(self) -> str:
+        return self.span.span_id
+
+    def set_tag(self, key: str, value) -> None:
+        self.span.tags[key] = value
+
+    def end(self, status: "str | None" = None) -> Span:
+        if not self._ended:
+            self._ended = True
+            self.span.duration_ms = (time.perf_counter() - self._start_perf) * 1e3
+            if status is not None:
+                self.span.status = status
+            self._trace._add(self.span)
+        return self.span
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc is not None:
+            self.span.tags.setdefault("error", f"{type(exc).__name__}: {exc}")
+            self.end(status="error")
+        else:
+            self.end()
+
+
+class RequestTrace:
+    """Span collector for one request in one process.
+
+    Spans accumulate here (thread-safely: handler threads and the engine's
+    coalescer both record) and are committed to the tracer's ring buffer at
+    :meth:`finish` — immediately for sampled requests, or retroactively for
+    unsampled ones whose root span crossed the tracer's ``slow_ms``
+    threshold.  The first :meth:`span` becomes the **root**: its parent is
+    the propagated upstream span, and it is the default parent of every
+    later span.
+    """
+
+    __slots__ = ("tracer", "ctx", "_lock", "_spans", "_root", "_finished", "_token")
+
+    def __init__(self, tracer: "Tracer", ctx: TraceContext) -> None:
+        self.tracer = tracer
+        self.ctx = ctx
+        self._lock = threading.Lock()
+        self._spans: "list[Span]" = []
+        self._root: "SpanHandle | None" = None
+        self._finished = False
+        self._token = _current_trace_id.set(ctx.trace_id)
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def trace_id(self) -> str:
+        return self.ctx.trace_id
+
+    @property
+    def sampled(self) -> bool:
+        return self.ctx.sampled
+
+    def _default_parent(self) -> "str | None":
+        root = self._root
+        return root.span_id if root is not None else self.ctx.parent_id
+
+    def span(
+        self,
+        name: str,
+        *,
+        model: "str | None" = None,
+        parent_id: "str | None" = None,
+        tags: "dict | None" = None,
+    ) -> SpanHandle:
+        """Start a live span; it records itself on ``end()`` / ``with`` exit."""
+        parent = parent_id if parent_id is not None else self._default_parent()
+        handle = SpanHandle(
+            self,
+            Span(
+                self.ctx.trace_id,
+                new_span_id(),
+                parent,
+                name,
+                self.tracer.service,
+                model=model,
+                start_s=time.time(),
+                tags=dict(tags) if tags else {},
+            ),
+        )
+        if self._root is None:
+            self._root = handle
+        return handle
+
+    def record(
+        self,
+        name: str,
+        *,
+        start_s: float,
+        duration_s: float,
+        model: "str | None" = None,
+        parent_id: "str | None" = None,
+        tags: "dict | None" = None,
+        status: str = "ok",
+    ) -> str:
+        """Record an already-measured span (the engine's after-the-fact path).
+
+        Returns the new span id, so callers can hang children under it.
+        """
+        span = Span(
+            self.ctx.trace_id,
+            new_span_id(),
+            parent_id if parent_id is not None else self._default_parent(),
+            name,
+            self.tracer.service,
+            model=model,
+            start_s=start_s,
+            duration_ms=float(duration_s) * 1e3,
+            status=status,
+            tags=dict(tags) if tags else {},
+        )
+        self._add(span)
+        return span.span_id
+
+    def _add(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def headers(self, span_id: "str | None" = None) -> "dict[str, str]":
+        """Propagation headers; default parent is this process's root span."""
+        if span_id is None and self._root is not None:
+            span_id = self._root.span_id
+        return self.ctx.headers(span_id)
+
+    def finish(self) -> bool:
+        """Commit the collected spans; ``True`` if the trace was kept.
+
+        Idempotent.  Clears the thread's ``current_trace_id`` either way.
+        """
+        if self._finished:
+            return False
+        self._finished = True
+        try:
+            _current_trace_id.reset(self._token)
+        except ValueError:
+            # finish() on a different thread than begin(): the contextvar
+            # token is not ours to reset there, and the trace commits anyway.
+            pass
+        with self._lock:
+            spans = list(self._spans)
+        root = self._root.span if self._root is not None else None
+        if root is not None:
+            root_duration = root.duration_ms
+        else:
+            root_duration = max((span.duration_ms for span in spans), default=0.0)
+        return self.tracer.commit(spans, self.ctx.sampled, root_duration)
+
+
+class _NullSpan:
+    """The span of :data:`NO_TRACE`: absorbs calls, parents nothing."""
+
+    __slots__ = ()
+    span_id = None
+    span = None
+
+    def set_tag(self, key, value) -> None:
+        pass
+
+    def end(self, status=None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullTrace:
+    """No-op stand-in returned for untraced requests; falsy on purpose."""
+
+    __slots__ = ()
+    trace_id = None
+    sampled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name, **_kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name, **_kwargs) -> None:
+        return None
+
+    def headers(self, span_id=None) -> dict:
+        return {}
+
+    def finish(self) -> bool:
+        return False
+
+
+#: Shared null trace: serving code calls ``trace.record(...)`` and
+#: ``trace.span(...)`` unconditionally; untraced requests pay only the call.
+NO_TRACE = _NullTrace()
+
+
+class TraceBuffer:
+    """Bounded ring of committed spans, grouped into traces on read."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace buffer capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._dropped = 0
+
+    def add(self, spans) -> None:
+        with self._lock:
+            for span in spans:
+                if len(self._spans) == self.capacity:
+                    self._dropped += 1
+                self._spans.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring since startup (0 = nothing lost)."""
+        with self._lock:
+            return self._dropped
+
+    def spans(self) -> "list[Span]":
+        with self._lock:
+            return list(self._spans)
+
+    def traces(
+        self,
+        *,
+        trace_id: "str | None" = None,
+        model: "str | None" = None,
+        min_duration_ms: "float | None" = None,
+        limit: int = 50,
+    ) -> "list[dict]":
+        """Grouped traces, most recent first, optionally filtered.
+
+        ``model`` keeps traces any of whose spans carry that model;
+        ``min_duration_ms`` gates on the trace duration (the root span's,
+        or the longest span's when the root lives in another process).
+        """
+        grouped: "OrderedDict[str, list[Span]]" = OrderedDict()
+        for span in self.spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        entries = []
+        for tid, spans in grouped.items():
+            if trace_id is not None and tid != trace_id:
+                continue
+            if model is not None and model not in {
+                span.model for span in spans if span.model is not None
+            }:
+                continue
+            span_ids = {span.span_id for span in spans}
+            roots = [
+                span
+                for span in spans
+                if span.parent_id is None or span.parent_id not in span_ids
+            ]
+            duration_ms = max(
+                (span.duration_ms for span in (roots or spans)), default=0.0
+            )
+            if min_duration_ms is not None and duration_ms < min_duration_ms:
+                continue
+            entries.append(
+                {
+                    "trace_id": tid,
+                    "start_s": min((span.start_s for span in spans), default=0.0),
+                    "duration_ms": duration_ms,
+                    "n_spans": len(spans),
+                    "services": sorted({span.service for span in spans}),
+                    "models": sorted(
+                        {span.model for span in spans if span.model is not None}
+                    ),
+                    "spans": [span.to_dict() for span in spans],
+                }
+            )
+        entries.reverse()  # insertion order is oldest-first
+        return entries[: max(0, int(limit))]
+
+
+class Tracer:
+    """Per-process tracing policy: sampling, slow capture, buffer, export.
+
+    One tracer per serving/router process, shared by every handler thread.
+    ``sample_rate`` is the head-based probability applied to requests that
+    arrive *without* a trace context (the edge decision); ``slow_ms``
+    additionally commits any request whose root span exceeds it, sampled or
+    not; ``export_path`` appends every committed span as one JSON line.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        *,
+        sample_rate: float = 0.0,
+        slow_ms: "float | None" = None,
+        buffer_size: int = 2048,
+        export_path=None,
+        seed: "int | None" = None,
+    ) -> None:
+        if not 0.0 <= float(sample_rate) <= 1.0:
+            raise ValueError(
+                f"trace sample rate must be within [0, 1], got {sample_rate}"
+            )
+        if slow_ms is not None and float(slow_ms) < 0:
+            raise ValueError(f"trace slow threshold must be >= 0, got {slow_ms}")
+        self.service = str(service)
+        self.sample_rate = float(sample_rate)
+        self.slow_ms = None if slow_ms is None else float(slow_ms)
+        self.buffer = TraceBuffer(buffer_size)
+        self.export_path = str(export_path) if export_path is not None else None
+        # random.Random is not thread-safe for concurrent .random() calls;
+        # one small lock keeps the sampling decision race-free.
+        import random
+
+        self._random = random.Random(seed)
+        self._rand_lock = threading.Lock()
+        self._export_lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this process ever *initiates* traces on its own."""
+        return self.sample_rate > 0.0 or self.slow_ms is not None
+
+    def describe(self) -> dict:
+        return {
+            "service": self.service,
+            "sample_rate": self.sample_rate,
+            "slow_ms": self.slow_ms,
+            "buffer_capacity": self.buffer.capacity,
+            "buffered_spans": len(self.buffer),
+            "dropped_spans": self.buffer.dropped,
+        }
+
+    def begin(self, headers=None) -> "RequestTrace | _NullTrace":
+        """The trace for one incoming request (or :data:`NO_TRACE`).
+
+        An incoming sampled context is always honoured — the edge decided.
+        An incoming *unsampled* context stays untraced unless ``slow_ms``
+        is set (slow capture needs the spans to exist).  Headerless
+        requests make this process the edge: mint and sample locally.
+        """
+        ctx = TraceContext.from_headers(headers)
+        if ctx is not None:
+            if ctx.sampled or self.slow_ms is not None:
+                return RequestTrace(self, ctx)
+            return NO_TRACE
+        if not self.enabled:
+            return NO_TRACE
+        with self._rand_lock:
+            sampled = self._random.random() < self.sample_rate
+        if not sampled and self.slow_ms is None:
+            return NO_TRACE
+        return RequestTrace(self, TraceContext.mint(sampled))
+
+    def commit(self, spans, sampled: bool, root_duration_ms: float) -> bool:
+        """Keep one request's spans if sampled — or slow enough to matter."""
+        if not spans:
+            return False
+        keep = sampled or (
+            self.slow_ms is not None and root_duration_ms >= self.slow_ms
+        )
+        if not keep:
+            return False
+        if not sampled:
+            # Mark retroactive captures so `repro trace` can say why an
+            # unsampled request is in the buffer.
+            for span in spans:
+                if span.parent_id is None or span.name.startswith(("server.", "router.")):
+                    span.tags.setdefault("slow_capture", True)
+        self.buffer.add(spans)
+        if self.export_path is not None:
+            lines = "".join(
+                json.dumps(span.to_dict(), sort_keys=False) + "\n" for span in spans
+            )
+            with self._export_lock:
+                with open(self.export_path, "a", encoding="utf-8") as handle:
+                    handle.write(lines)
+        return True
+
+
+def debug_traces_payload(tracer: Tracer, query: str = "") -> dict:
+    """The ``GET /debug/traces`` response body for one tracer.
+
+    ``query`` is the raw URL query string; supported parameters are
+    ``trace_id``, ``model``, ``min_ms`` and ``limit``.  Invalid numeric
+    parameters raise ``ValueError`` (the HTTP layers turn that into a 400).
+    """
+    params = urllib.parse.parse_qs(query, keep_blank_values=False)
+
+    def first(name: str) -> "str | None":
+        values = params.get(name)
+        return values[0] if values else None
+
+    min_ms = first("min_ms")
+    limit = first("limit")
+    payload = tracer.describe()
+    payload["traces"] = tracer.buffer.traces(
+        trace_id=first("trace_id"),
+        model=first("model"),
+        min_duration_ms=float(min_ms) if min_ms is not None else None,
+        limit=int(limit) if limit is not None else 50,
+    )
+    return payload
+
+
+def format_trace_tree(spans, *, indent: str = "  ") -> str:
+    """Pretty-print one trace's spans as an indented tree.
+
+    ``spans`` are span dicts (:meth:`Span.to_dict` / ``/debug/traces``
+    entries, possibly merged from several processes); duplicates by span id
+    are dropped, children sort by start time, and spans whose parent is
+    missing from the set (it lives in an unfetched buffer) are promoted to
+    roots rather than silently dropped.
+    """
+    unique: "OrderedDict[str, dict]" = OrderedDict()
+    for span in spans:
+        entry = span.to_dict() if isinstance(span, Span) else dict(span)
+        if entry.get("span_id") and entry["span_id"] not in unique:
+            unique[entry["span_id"]] = entry
+    by_parent: "dict[str | None, list[dict]]" = {}
+    for entry in unique.values():
+        parent = entry.get("parent_id")
+        if parent is not None and parent not in unique:
+            parent = None
+        by_parent.setdefault(parent, []).append(entry)
+    for children in by_parent.values():
+        children.sort(key=lambda entry: entry.get("start_s", 0.0))
+
+    lines: "list[str]" = []
+
+    def describe(entry: dict) -> str:
+        bits = [
+            f"{entry.get('name', '?')}",
+            f"{entry.get('duration_ms', 0.0):.2f} ms",
+            f"[{entry.get('service', '?')}]",
+        ]
+        if entry.get("model"):
+            bits.append(f"model={entry['model']}")
+        if entry.get("status") and entry["status"] != "ok":
+            bits.append(f"status={entry['status']}")
+        for key, value in (entry.get("tags") or {}).items():
+            bits.append(f"{key}={value}")
+        return "  ".join(bits)
+
+    def walk(entry: dict, depth: int) -> None:
+        lines.append(f"{indent * depth}{describe(entry)}")
+        for child in by_parent.get(entry["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -51,6 +51,8 @@ import numpy as np
 
 from repro.ensemble.sharding import partition_members, reduce_votes
 from repro.exceptions import ServingError
+from repro.obs.log import get_logger
+from repro.obs.trace import NO_TRACE
 from repro.router.health import HealthChecker
 from repro.router.metrics import RouterMetrics
 from repro.router.ring import DEFAULT_VNODES, HashRing
@@ -58,6 +60,8 @@ from repro.router.sync import sync_archives
 from repro.serve.client import ServingClient
 
 __all__ = ["Router"]
+
+_log = get_logger(__name__)
 
 #: Upstream statuses worth retrying on another replica: the gateway-ish
 #: ones a restarting or shutting-down replica emits.  4xx (including 429)
@@ -216,12 +220,18 @@ class Router:
 
     # -- upstream calls --------------------------------------------------------
 
-    def _call(self, url: str, path: str, body: "dict | None" = None) -> dict:
+    def _call(
+        self,
+        url: str,
+        path: str,
+        body: "dict | None" = None,
+        headers: "dict | None" = None,
+    ) -> dict:
         """One tracked request to one replica (in-flight counted, health fed)."""
         with self._inflight_lock:
             self._inflight[url] += 1
         try:
-            payload = self._clients[url].request_json(path, body)
+            payload = self._clients[url].request_json(path, body, headers=headers)
         except ServingError as exc:
             if exc.status is None:
                 self.health.note_failure(url)
@@ -241,23 +251,65 @@ class Router:
             retry_after=self.health.interval_s,
         )
 
-    def _route_call(self, key: str, path: str, body: "dict | None" = None) -> dict:
-        """Proxy one request to ``key``'s owner, failing over along the ring."""
+    def _route_call(
+        self,
+        key: str,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        trace=NO_TRACE,
+        meta: "dict | None" = None,
+    ) -> dict:
+        """Proxy one request to ``key``'s owner, failing over along the ring.
+
+        Each upstream attempt becomes one ``route`` span (tagged with the
+        target and attempt number), so a failover shows up in the trace as
+        an errored span followed by the successor's.  ``meta`` (when given)
+        is filled with ``hops`` — the number of upstream calls it took —
+        and the final ``upstream``; the HTTP layer surfaces both as
+        ``X-Repro-Hops`` / ``X-Repro-Upstream`` response headers.
+        """
         ring = self.ring
         if not ring:
             raise self._no_replica_error()
         targets = ring.owners(key, len(ring))
+        route_started = time.perf_counter()
         last_error: "ServingError | None" = None
         for attempt, url in enumerate(targets):
             if attempt:
                 self.metrics.record_retry()
+            span = trace.span(
+                "route", model=key, tags={"upstream": url, "attempt": attempt}
+            )
             try:
-                return self._call(url, path, body)
+                result = self._call(url, path, body, headers=trace.headers(span.span_id))
             except ServingError as exc:
+                span.set_tag("error", str(exc))
+                span.end(status="error")
                 if not _retryable(exc):
+                    if meta is not None:
+                        meta["hops"] = attempt + 1
+                        meta["upstream"] = url
                     raise
+                _log.warning(
+                    "router_failover",
+                    key=key,
+                    upstream=url,
+                    status=exc.status,
+                    attempt=attempt,
+                    reason=str(exc),
+                )
                 last_error = exc
+                continue
+            span.end()
+            self.metrics.record_stage("route", time.perf_counter() - route_started)
+            if meta is not None:
+                meta["hops"] = attempt + 1
+                meta["upstream"] = url
+            return result
         assert last_error is not None
+        if meta is not None:
+            meta["hops"] = len(targets)
         raise last_error
 
     # -- catalog ---------------------------------------------------------------
@@ -300,11 +352,24 @@ class Router:
 
     # -- prediction ------------------------------------------------------------
 
-    def predict(self, model_name: str, payload: dict) -> dict:
-        """Route one ``:predict`` body; fan a large forest out across shards."""
+    def predict(
+        self,
+        model_name: str,
+        payload: dict,
+        *,
+        trace=NO_TRACE,
+        meta: "dict | None" = None,
+    ) -> dict:
+        """Route one ``:predict`` body; fan a large forest out across shards.
+
+        ``trace`` is the caller's request trace (spans for every routing
+        decision are recorded into it); ``meta`` is an out-parameter dict
+        filled with ``hops`` / ``upstream`` (and ``shards`` when fan-out
+        served the request) for response headers.
+        """
         started = time.perf_counter()
         try:
-            response = self._predict(model_name, payload)
+            response = self._predict(model_name, payload, trace, meta)
         except ServingError as exc:
             if exc.status == 429:
                 self.metrics.record_upstream_429()
@@ -313,7 +378,9 @@ class Router:
         self.metrics.record_latency(model_name, time.perf_counter() - started)
         return response
 
-    def _predict(self, model_name: str, payload: dict) -> dict:
+    def _predict(
+        self, model_name: str, payload: dict, trace=NO_TRACE, meta: "dict | None" = None
+    ) -> dict:
         path = f"/v1/models/{model_name}:predict"
         rows = payload.get("rows")
         wants_votes = bool(payload.get("votes", False))
@@ -326,14 +393,20 @@ class Router:
             plan = self._fanout_plan(model_name)
             if plan is not None:
                 try:
-                    return self._predict_fanout(model_name, payload, plan)
+                    return self._predict_fanout(model_name, payload, plan, trace, meta)
                 except ServingError as exc:
                     if not _retryable(exc):
                         raise
                     # A shard could not be served anywhere; single-replica
                     # routing is always a correct (if slower) answer.
                     self.metrics.record_retry()
-        return self._route_call(model_name, path, payload)
+                    _log.warning(
+                        "router_fanout_fallback",
+                        model=model_name,
+                        status=exc.status,
+                        reason=str(exc),
+                    )
+        return self._route_call(model_name, path, payload, trace=trace, meta=meta)
 
     def _fanout_plan(self, model_name: str) -> "tuple[int, list[str]] | None":
         """``(n_trees, shard targets)`` when fan-out applies, else ``None``."""
@@ -352,27 +425,69 @@ class Router:
             return None
         return n_trees, ring.owners(model_name, shards)
 
-    def _votes_shard(self, path: str, rows, members, order) -> dict:
-        """One member-range votes call, tried along ``order`` until served."""
+    def _votes_shard(
+        self, path: str, rows, members, order, trace=NO_TRACE, parent_id=None
+    ):
+        """One member-range votes call, tried along ``order`` until served.
+
+        Returns ``(payload, hops)`` — the shard's response and how many
+        upstream calls it took.  Runs on an executor thread, so its
+        ``route`` spans are recorded straight into the (thread-safe)
+        request trace, parented under the fan-out span.
+        """
         body = {"rows": rows, "votes": True, "members": members}
+        member_range = f"{members[0]}-{members[-1]}" if members else ""
         last_error: "ServingError | None" = None
         for attempt, url in enumerate(order):
             if attempt:
                 self.metrics.record_retry()
+            span = trace.span(
+                "route",
+                parent_id=parent_id,
+                tags={"upstream": url, "attempt": attempt, "members": member_range},
+            )
             try:
-                return self._call(url, path, body)
+                result = self._call(
+                    url, path, body, headers=trace.headers(span.span_id)
+                )
             except ServingError as exc:
+                span.set_tag("error", str(exc))
+                span.end(status="error")
                 if not _retryable(exc):
                     raise
+                _log.warning(
+                    "router_failover",
+                    upstream=url,
+                    status=exc.status,
+                    attempt=attempt,
+                    members=member_range,
+                    reason=str(exc),
+                )
                 last_error = exc
+                continue
+            span.end()
+            return result, attempt + 1
         assert last_error is not None
         raise last_error
 
-    def _predict_fanout(self, model_name: str, payload: dict, plan) -> dict:
+    def _predict_fanout(
+        self,
+        model_name: str,
+        payload: dict,
+        plan,
+        trace=NO_TRACE,
+        meta: "dict | None" = None,
+    ) -> dict:
         n_trees, targets = plan
         path = f"/v1/models/{model_name}:predict"
         rows = payload["rows"]
         parts = partition_members(n_trees, len(targets))
+        fanout_span = trace.span(
+            "fanout",
+            model=model_name,
+            tags={"shards": len(targets), "n_trees": n_trees},
+        )
+        fanout_perf = time.perf_counter()
         # Every replica holds the full synced archive, so a shard whose
         # assigned owner dies mid-request can be served by any survivor:
         # its failover order is the other targets, then the rest of the ring.
@@ -382,17 +497,35 @@ class Router:
         for target, members in zip(targets, parts):
             order = [target] + [url for url in fallbacks if url != target]
             futures.append(
-                self._executor.submit(self._votes_shard, path, rows, list(members), order)
+                self._executor.submit(
+                    self._votes_shard,
+                    path,
+                    rows,
+                    list(members),
+                    order,
+                    trace,
+                    fanout_span.span_id,
+                )
             )
         shards = []
+        hops = 0
         errors: "list[BaseException]" = []
         for future in futures:
             try:
-                shards.append(future.result())
+                shard, shard_hops = future.result()
+                shards.append(shard)
+                hops += shard_hops
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
         if errors:
+            fanout_span.set_tag("error", str(errors[0]))
+            fanout_span.end(status="error")
             raise errors[0]
+        fanout_span.end()
+        self.metrics.record_stage("fanout", time.perf_counter() - fanout_perf)
+        if meta is not None:
+            meta["hops"] = hops
+            meta["shards"] = len(shards)
         classes = shards[0]["classes"]
         totals = {int(shard["n_members_total"]) for shard in shards}
         if len(totals) != 1 or any(shard["classes"] != classes for shard in shards):
@@ -414,11 +547,22 @@ class Router:
         # Shards are contiguous member ranges in ascending order, so
         # concatenating along the member axis restores the global member
         # order and reduce_votes folds exactly like the single process.
+        reduce_wall = time.time()
+        reduce_perf = time.perf_counter()
         votes = np.concatenate(
             [np.asarray(shard["votes"], dtype=float) for shard in shards], axis=0
         )
         probabilities = reduce_votes(votes, n_members_total)
         labels = [classes[int(index)] for index in np.argmax(probabilities, axis=1)]
+        reduce_s = time.perf_counter() - reduce_perf
+        self.metrics.record_stage("reduce", reduce_s)
+        trace.record(
+            "reduce",
+            start_s=reduce_wall,
+            duration_s=reduce_s,
+            model=model_name,
+            tags={"n_members": int(n_members_total), "rows": len(labels)},
+        )
         self.metrics.record_fanout(len(shards))
         response = {"model": model_name, "labels": labels, "classes": classes}
         if payload.get("proba", True):

@@ -16,8 +16,11 @@ taking live traffic is ejected within the hysteresis budget instead of
 waiting for the poller to come around.
 
 State transitions invoke ``on_change`` (the router rebuilds its hash ring
-there), and every verdict updates the per-replica health gauge in the
-router's metric registry.
+there), every verdict updates the per-replica health gauge in the
+router's metric registry, and every transition — ``replica_up``,
+``replica_down``, ``replica_draining`` / ``replica_undrained`` — emits a
+structured log event carrying the replica URL, the reason, and the
+consecutive-observation streak that tripped the hysteresis.
 """
 
 from __future__ import annotations
@@ -26,7 +29,11 @@ import threading
 import urllib.error
 import urllib.request
 
+from repro.obs.log import get_logger
+
 __all__ = ["HealthChecker", "ReplicaState"]
+
+_log = get_logger(__name__)
 
 
 def http_probe(url: str, timeout_s: float) -> bool:
@@ -167,13 +174,36 @@ class HealthChecker:
 
     def record(self, url: str, ok: bool) -> None:
         """Feed one observation (probe result or passive traffic outcome)."""
+        snapshot: "dict | None" = None
         with self._lock:
             state = self._states.get(url.rstrip("/"))
             if state is None:
                 return
             changed = self._observe(state, ok)
-        if changed and self.on_change is not None:
-            self.on_change()
+            if changed:
+                snapshot = state.describe()
+        if changed:
+            self._log_transition(snapshot)
+            if self.on_change is not None:
+                self.on_change()
+
+    def _log_transition(self, snapshot: dict) -> None:
+        """One structured event per verdict flip (called outside the lock)."""
+        if snapshot["checks"] == 1:
+            reason = "first observation"
+        elif snapshot["healthy"]:
+            reason = f"{snapshot['consecutive_up']} consecutive successes"
+        else:
+            reason = f"{snapshot['consecutive_down']} consecutive failures"
+        emit = _log.info if snapshot["healthy"] else _log.warning
+        emit(
+            "replica_up" if snapshot["healthy"] else "replica_down",
+            replica=snapshot["url"],
+            reason=reason,
+            checks=snapshot["checks"],
+            consecutive_up=snapshot["consecutive_up"],
+            consecutive_down=snapshot["consecutive_down"],
+        )
 
     def note_failure(self, url: str) -> None:
         """Passive health: a routed request could not reach this replica."""
@@ -195,8 +225,15 @@ class HealthChecker:
                 raise KeyError(f"unknown replica {url!r}")
             changed = state.draining != draining
             state.draining = draining
-        if changed and self.on_change is not None:
-            self.on_change()
+        if changed:
+            _log.info(
+                "replica_draining" if draining else "replica_undrained",
+                replica=state.url,
+                reason="drain requested" if draining else "returned to service",
+                healthy=state.healthy,
+            )
+            if self.on_change is not None:
+                self.on_change()
         return state
 
     # -- the poll loop --------------------------------------------------------

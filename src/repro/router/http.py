@@ -24,7 +24,13 @@ Endpoints (all JSON unless negotiated otherwise):
 ``POST /v1/models/<name>:predict``
     Routed prediction (forest fan-out included).  503 + ``Retry-After``
     when no replica is in service; upstream 429s propagate with their
-    ``retry_after_s`` hint intact.
+    ``retry_after_s`` hint intact.  Successful responses carry
+    ``X-Repro-Hops`` (upstream calls used: 1 = no failover; fan-out sums
+    its shards) and ``X-Repro-Upstream`` (the replica that answered, when
+    a single one did); traced requests also echo ``X-Repro-Trace-Id``.
+``GET /debug/traces``
+    The router's bounded span buffer, grouped into traces (filters:
+    ``trace_id``, ``model``, ``min_ms``, ``limit``).
 ``GET /admin/replicas``
     Per-replica health/drain/in-flight detail.
 ``POST /admin/drain`` / ``POST /admin/undrain``
@@ -40,11 +46,21 @@ import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.exceptions import ServingError
+from repro.obs.log import get_logger
+from repro.obs.trace import (
+    HOPS_HEADER,
+    TRACE_ID_HEADER,
+    UPSTREAM_HEADER,
+    Tracer,
+    debug_traces_payload,
+)
 from repro.router.core import Router
 from repro.serve.http import negotiate_metrics_format
 from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE
 
 __all__ = ["RouterHTTPServer", "create_router"]
+
+_log = get_logger(__name__)
 
 #: Maximum accepted request-body size (64 MiB), matching the serving tier.
 _MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -58,7 +74,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
-            super().log_message(format, *args)
+            _log.info(
+                "http_access",
+                client=self.address_string(),
+                request=format % args,
+            )
 
     def _send_json(self, status: int, payload: dict, *, headers: "dict | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -83,14 +103,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _send_serving_error(self, exc: ServingError) -> None:
+    def _send_serving_error(
+        self, exc: ServingError, *, headers: "dict | None" = None
+    ) -> None:
         payload: dict = {"error": str(exc)}
-        headers: dict = {}
+        merged: dict = dict(headers or {})
         if exc.retry_after is not None:
             payload["retry_after_s"] = float(exc.retry_after)
-            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+            merged["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
         status = exc.status or 502
-        self._send_json(status, payload, headers=headers)
+        self._send_json(status, payload, headers=merged)
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -128,6 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, router.metrics.snapshot())
             elif path == "/v1/models":
                 self._send_json(200, {"models": router.models()})
+            elif path == "/debug/traces":
+                parts = self.path.split("?", 1)
+                query = parts[1] if len(parts) == 2 else ""
+                try:
+                    payload = debug_traces_payload(self.server.tracer, query)
+                except ValueError as exc:
+                    raise ServingError(str(exc), status=400) from exc
+                self._send_json(200, payload)
             elif path == "/admin/replicas":
                 self._send_json(200, router.describe())
             elif path.startswith("/v1/models/"):
@@ -140,18 +170,68 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _response_headers(self, trace, meta: dict) -> "dict | None":
+        """Routing/trace response headers: hops, final upstream, trace id."""
+        headers: dict = {}
+        hops = meta.get("hops")
+        if hops:
+            headers[HOPS_HEADER] = str(hops)
+        upstream = meta.get("upstream")
+        if upstream:
+            headers[UPSTREAM_HEADER] = upstream
+        if trace:
+            headers[TRACE_ID_HEADER] = trace.trace_id
+        return headers or None
+
+    def _handle_predict(self, path: str, trace) -> None:
+        router = self.server.router
+        root = None
+        meta: dict = {}
+        try:
+            name = path[len("/v1/models/"):-len(":predict")]
+            if not name:
+                raise ServingError("missing model name", status=404)
+            payload = self._read_json_body()
+            root = trace.span("router.predict", model=name)
+            response = router.predict(name, payload, trace=trace, meta=meta)
+        except ServingError as exc:
+            if root is not None:
+                root.set_tag("error", str(exc))
+                root.end(status="error")
+            self._send_serving_error(exc, headers=self._response_headers(trace, meta))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            if root is not None:
+                root.set_tag("error", f"{type(exc).__name__}: {exc}")
+                root.end(status="error")
+            self._send_json(
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                headers=self._response_headers(trace, meta),
+            )
+        else:
+            if root is not None:
+                if meta.get("hops"):
+                    root.set_tag("hops", meta["hops"])
+                if meta.get("shards"):
+                    root.set_tag("shards", meta["shards"])
+                if meta.get("upstream"):
+                    root.set_tag("upstream", meta["upstream"])
+                root.end()
+            self._send_json(200, response, headers=self._response_headers(trace, meta))
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         router = self.server.router
         router.metrics.record_request()
+        path = self.path.split("?", 1)[0]
+        if path.startswith("/v1/models/") and path.endswith(":predict"):
+            trace = self.server.tracer.begin(self.headers)
+            try:
+                self._handle_predict(path, trace)
+            finally:
+                trace.finish()
+            return
         try:
-            path = self.path.split("?", 1)[0]
-            if path.startswith("/v1/models/") and path.endswith(":predict"):
-                name = path[len("/v1/models/"):-len(":predict")]
-                if not name:
-                    raise ServingError("missing model name", status=404)
-                payload = self._read_json_body()
-                self._send_json(200, router.predict(name, payload))
-            elif path in ("/admin/drain", "/admin/undrain"):
+            if path in ("/admin/drain", "/admin/undrain"):
                 payload = self._read_json_body()
                 replica = payload.get("replica")
                 if not isinstance(replica, str) or not replica:
@@ -182,9 +262,20 @@ class RouterHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple, router: Router, *, verbose: bool = False) -> None:
+    def __init__(
+        self,
+        address: tuple,
+        router: Router,
+        *,
+        verbose: bool = False,
+        tracer: "Tracer | None" = None,
+    ) -> None:
         self.router = router
         self.verbose = verbose
+        # A default (rate-0) tracer still honours propagated sampled
+        # contexts and serves /debug/traces — a router behind a tracing
+        # edge needs no flags of its own.
+        self.tracer = tracer if tracer is not None else Tracer("router")
         super().__init__(address, _Handler)
 
     @property
@@ -206,6 +297,10 @@ def create_router(
     port: int = 0,
     start: bool = True,
     verbose: bool = False,
+    trace_sample_rate: float = 0.0,
+    trace_slow_ms: "float | None" = None,
+    trace_buffer: int = 2048,
+    trace_export=None,
     **router_kwargs,
 ) -> RouterHTTPServer:
     """Wire a :class:`Router` over ``replicas`` and bind its HTTP server.
@@ -214,16 +309,29 @@ def create_router(
     available as ``server.url``.  ``start=True`` (the default) runs the
     initial registry sync and a synchronous first health sweep before
     binding, then starts the background loops — so the first request ever
-    received already sees a populated ring.  Remaining keyword arguments
-    go to :class:`~repro.router.core.Router` verbatim.
+    received already sees a populated ring.  The ``trace_*`` arguments
+    configure the router-side :class:`~repro.obs.trace.Tracer` — the
+    router is usually the tracing *edge*, so ``trace_sample_rate`` here
+    decides which requests get traced end to end.  Remaining keyword
+    arguments go to :class:`~repro.router.core.Router` verbatim.
     """
     if not replicas:
         raise ServingError("the router needs at least one replica URL")
+    try:
+        tracer = Tracer(
+            "router",
+            sample_rate=trace_sample_rate,
+            slow_ms=trace_slow_ms,
+            buffer_size=trace_buffer,
+            export_path=trace_export,
+        )
+    except ValueError as exc:
+        raise ServingError(str(exc)) from exc
     router = Router(replicas, **router_kwargs)
     try:
         if start:
             router.start()
-        return RouterHTTPServer((host, port), router, verbose=verbose)
+        return RouterHTTPServer((host, port), router, verbose=verbose, tracer=tracer)
     except BaseException:
         # A failed first sync or a port collision must not strand the
         # prober/sync threads.

@@ -20,7 +20,10 @@ Families:
 * ``repro_router_upstream_429_total`` — replica admission-control
   rejections propagated to the caller;
 * ``repro_router_request_latency_seconds{model}`` — end-to-end routed
-  latency, same buckets as the serving tier's histogram.
+  latency, same buckets as the serving tier's histogram;
+* ``repro_router_stage_latency_seconds{stage}`` — where routed time goes:
+  ``route`` (single-replica proxy), ``fanout`` (shard dispatch + joins)
+  and ``reduce`` (vote concatenation and soft-vote fold).
 """
 
 from __future__ import annotations
@@ -95,6 +98,12 @@ class RouterMetrics:
             ("model",),
             buckets=LATENCY_BUCKETS,
         )
+        self._stage_latency = registry.histogram(
+            "repro_router_stage_latency_seconds",
+            "Router pipeline stage latency (seconds): route, fanout, reduce.",
+            ("stage",),
+            buckets=LATENCY_BUCKETS,
+        )
 
     # -- recording -----------------------------------------------------------
 
@@ -128,6 +137,14 @@ class RouterMetrics:
 
     def record_error(self, status: int) -> None:
         self._errors.labels(str(int(status))).inc()
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One pipeline-stage timing (``route``, ``fanout`` or ``reduce``).
+
+        Prometheus-only on purpose: the JSON ``snapshot()`` is pinned by
+        golden tests and stays byte-compatible.
+        """
+        self._stage_latency.observe_labels(float(seconds), stage)
 
     def record_latency(self, model: str, latency_seconds: float) -> None:
         self._latency.observe_labels(float(latency_seconds), model)

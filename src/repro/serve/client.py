@@ -224,14 +224,19 @@ class ServingClient:
         *,
         accept: str = "application/json",
         base_url: "str | None" = None,
+        headers: "dict | None" = None,
     ):
         url = f"{base_url if base_url is not None else self.base_url}{path}"
         data = None
-        headers = {"Accept": accept}
+        request_headers = {"Accept": accept}
+        if headers:
+            # Extra request headers — the trace-propagation path
+            # (X-Repro-Trace-Id and friends) for the router and loadgen.
+            request_headers.update(headers)
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
+            request_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=request_headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 raw = response.read()
@@ -274,15 +279,22 @@ class ServingClient:
             raise ServingError(f"unexpected response payload from {url}")
         return payload
 
-    def request_json(self, path: str, body: "dict | None" = None) -> dict:
+    def request_json(
+        self,
+        path: str,
+        body: "dict | None" = None,
+        *,
+        headers: "dict | None" = None,
+    ) -> dict:
         """One raw JSON request/response pair against the server.
 
         ``body=None`` sends a GET, anything else a POST.  This is the
         public escape hatch the router tier forwards traffic through: it
         returns the server's payload verbatim (no typed wrapping), so a
         proxy built on it cannot drop fields it does not know about.
+        ``headers`` adds extra request headers (trace propagation).
         """
-        return self._request(path, body=body)
+        return self._request(path, body=body, headers=headers)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -317,12 +329,15 @@ class ServingClient:
         proba: bool = True,
         retries_429: int = 0,
         retry_max_wait_s: float = 2.0,
+        headers: "dict | None" = None,
     ) -> PredictResult:
         """``POST /v1/models/<model>:predict`` for ``rows``.
 
         ``rows`` is any 2-D array-like (or a single flat row); ``proba``
         controls whether per-class probabilities are included in the
-        response.
+        response.  ``headers`` adds extra request headers — pass a minted
+        trace context (``X-Repro-Trace-Id`` etc.) to trace the request
+        through the mesh.
 
         When the server sheds load (429), the request is retried up to
         ``retries_429`` times, sleeping the server's ``retry_after`` hint
@@ -337,7 +352,9 @@ class ServingClient:
         attempts_left = max(0, int(retries_429))
         while True:
             try:
-                payload = self._request(f"/v1/models/{model}:predict", body=body)
+                payload = self._request(
+                    f"/v1/models/{model}:predict", body=body, headers=headers
+                )
             except ServingError as exc:
                 if exc.status != 429 or attempts_left <= 0:
                     raise
@@ -347,7 +364,9 @@ class ServingClient:
                 continue
             return PredictResult.from_payload(payload)
 
-    def predict_votes(self, model: str, rows, *, members=None) -> dict:
+    def predict_votes(
+        self, model: str, rows, *, members=None, headers: "dict | None" = None
+    ) -> dict:
         """Per-member vote matrices of a forest's member shard.
 
         ``POST /v1/models/<model>:predict`` with ``{"votes": true}``;
@@ -363,7 +382,9 @@ class ServingClient:
         body: dict = {"rows": matrix.tolist(), "votes": True}
         if members is not None:
             body["members"] = [int(member) for member in members]
-        payload = self._request(f"/v1/models/{model}:predict", body=body)
+        payload = self._request(
+            f"/v1/models/{model}:predict", body=body, headers=headers
+        )
         payload["votes"] = np.asarray(payload["votes"], dtype=float)
         return payload
 
@@ -397,9 +418,12 @@ class RouterClient(ServingClient):
         *,
         accept: str = "application/json",
         base_url: "str | None" = None,
+        headers: "dict | None" = None,
     ):
         if base_url is not None:
-            return super()._request(path, body, accept=accept, base_url=base_url)
+            return super()._request(
+                path, body, accept=accept, base_url=base_url, headers=headers
+            )
         with self._lock:
             start = self._active
         last_error: "ServingError | None" = None
@@ -407,7 +431,11 @@ class RouterClient(ServingClient):
             index = (start + attempt) % len(self.base_urls)
             try:
                 result = super()._request(
-                    path, body, accept=accept, base_url=self.base_urls[index]
+                    path,
+                    body,
+                    accept=accept,
+                    base_url=self.base_urls[index],
+                    headers=headers,
                 )
             except ServingError as exc:
                 if exc.status is not None:

@@ -67,10 +67,14 @@ import numpy as np
 
 from repro.api.spec import first_non_finite_row
 from repro.exceptions import ServingError, TreeError
+from repro.obs.log import get_logger
+from repro.obs.trace import NO_TRACE
 from repro.serve.metrics import ServingMetrics
 from repro.serve.registry import ModelRegistry, json_scalars
 
 __all__ = ["InferenceEngine", "PREDICT_ENGINES", "invoke_model"]
+
+_log = get_logger(__name__)
 
 
 def invoke_model(model, matrix: np.ndarray, predict_engine: str) -> np.ndarray:
@@ -107,11 +111,31 @@ class _Pending:
     of being classified.  ``taken`` is set when the coalescer claims the
     entry for a batch — from that point cancellation can no longer prevent
     the work, only the delivery.
+
+    ``batch_key`` partitions the queue into compatible work: ``None`` for
+    plain probability requests, ``("votes", members_tuple)`` for member-vote
+    requests — only entries with equal keys (and the same model snapshot)
+    coalesce into one batch.  ``trace`` is the caller's request trace (or
+    :data:`~repro.obs.trace.NO_TRACE`); the coalescer records queue-wait /
+    batch-assembly / inference spans into it after serving the batch.
     """
 
-    __slots__ = ("rows", "model", "event", "result", "error", "cancelled", "taken")
+    __slots__ = (
+        "rows",
+        "model",
+        "event",
+        "result",
+        "error",
+        "cancelled",
+        "taken",
+        "batch_key",
+        "trace",
+        "enqueued_wall",
+        "enqueued_perf",
+        "taken_perf",
+    )
 
-    def __init__(self, rows: np.ndarray, model) -> None:
+    def __init__(self, rows: np.ndarray, model, batch_key=None, trace=NO_TRACE) -> None:
         self.rows = rows
         self.model = model
         self.event = threading.Event()
@@ -119,6 +143,11 @@ class _Pending:
         self.error: BaseException | None = None
         self.cancelled = False
         self.taken = False
+        self.batch_key = batch_key
+        self.trace = trace if trace is not None else NO_TRACE
+        self.enqueued_wall = 0.0
+        self.enqueued_perf = 0.0
+        self.taken_perf = 0.0
 
 
 class InferenceEngine:
@@ -314,17 +343,17 @@ class InferenceEngine:
             while len(cache) > self.cache_size:
                 cache.popitem(last=False)
 
-    def predict_proba(self, model_name: str, rows) -> np.ndarray:
+    def predict_proba(self, model_name: str, rows, *, trace=NO_TRACE) -> np.ndarray:
         """Class probabilities ``(n, n_classes)`` for ``rows``, micro-batched.
 
         Blocks until the coalescer has served the request.  Raises
         :class:`~repro.exceptions.ServingError` for unknown models, malformed
         rows, engine shutdown, and coalescer timeouts.
         """
-        _, probabilities = self._predict_with_model(model_name, rows)
+        _, probabilities = self._predict_with_model(model_name, rows, trace=trace)
         return probabilities
 
-    def _predict_with_model(self, model_name: str, rows):
+    def _predict_with_model(self, model_name: str, rows, *, trace=NO_TRACE):
         """``(model, probabilities)`` — one model snapshot drives everything.
 
         The snapshot fetched here is validated against, cached against, and
@@ -345,6 +374,8 @@ class InferenceEngine:
         miss_positions = list(range(n_rows))
         keys: list = []
         if cache is not None:
+            lookup_wall = time.time()
+            lookup_perf = time.perf_counter()
             keys = [self._cache_key(row) for row in matrix]
             hits = 0
             miss_positions = []
@@ -358,68 +389,18 @@ class InferenceEngine:
                     else:
                         miss_positions.append(position)
             self.metrics.record_cache(hits=hits, misses=len(miss_positions))
+            if trace:
+                trace.record(
+                    "cache_lookup",
+                    start_s=lookup_wall,
+                    duration_s=time.perf_counter() - lookup_perf,
+                    model=model_name,
+                    tags={"hits": hits, "misses": len(miss_positions)},
+                )
 
         if miss_positions:
-            pending = _Pending(matrix[miss_positions], model)
-            n_missing = len(miss_positions)
-            with self._condition:
-                if self._closed:
-                    raise ServingError("the inference engine is closed", status=503)
-                if (
-                    self._total_queued_rows
-                    and self._total_queued_rows + n_missing > self.max_queue_rows
-                ):
-                    # Admission control: shed at enqueue time.  An empty
-                    # queue admits any request (even one larger than the
-                    # bound — it is served whole, exactly as before), so the
-                    # bound throttles concurrency, never request size.
-                    self.metrics.record_rejected(n_missing, model=model_name)
-                    raise ServingError(
-                        f"inference queue is full ({self._total_queued_rows} rows "
-                        f"queued, max_queue_rows={self.max_queue_rows}); retry later",
-                        status=429,
-                        retry_after=self._retry_after_s,
-                    )
-                model_queued = self._queued_rows.get(model_name, 0)
-                if (
-                    model_queued
-                    and model_queued + n_missing > self.max_queue_rows_per_model
-                ):
-                    # Per-model quota: one hot model exhausting its share is
-                    # shed while other models' admission budget stays open.
-                    # The same empty-queue rule applies per model, so the
-                    # quota throttles a model's concurrency, never its
-                    # request size.
-                    self.metrics.record_rejected(n_missing, model=model_name)
-                    raise ServingError(
-                        f"inference queue for model {model_name!r} is full "
-                        f"({model_queued} rows queued, "
-                        f"max_queue_rows_per_model={self.max_queue_rows_per_model}); "
-                        "retry later",
-                        status=429,
-                        retry_after=self._retry_after_s,
-                    )
-                self._queue.append((model_name, pending))
-                self._adjust_queued(model_name, n_missing)
-                self._condition.notify_all()
-            if not pending.event.wait(self.request_timeout_s):
-                if self._cancel(model_name, pending):
-                    raise ServingError(
-                        f"inference timed out after {self.request_timeout_s:.1f}s "
-                        "(request abandoned before classification)",
-                        status=504,
-                    )
-                # The coalescer claimed the batch in the same instant the
-                # timeout fired; the rows are being classified, but this
-                # caller is no longer listening for the answer.
-                raise ServingError(
-                    f"inference timed out after {self.request_timeout_s:.1f}s", status=504
-                )
-            if pending.error is not None:
-                error = pending.error
-                if isinstance(error, ServingError):
-                    raise error
-                raise ServingError(str(error), status=400) from error
+            pending = _Pending(matrix[miss_positions], model, trace=trace)
+            self._enqueue_and_wait(model_name, pending)
             assert pending.result is not None
             for offset, position in enumerate(miss_positions):
                 results[position] = pending.result[offset]
@@ -427,40 +408,115 @@ class InferenceEngine:
                     self._cache_put(cache, keys[position], pending.result[offset])
         return model, np.stack(results)
 
-    def predict(self, model_name: str, rows):
+    def _enqueue_and_wait(self, model_name: str, pending: _Pending) -> None:
+        """Admit ``pending`` into the queue and block until it is served.
+
+        Shared by the probability and member-vote paths: admission control
+        (shared bound + per-model quota, both shedding with 429 at enqueue
+        time), the timeout/cancellation dance, and error delivery are
+        identical for both kinds of batch.
+        """
+        n_missing = len(pending.rows)
+        with self._condition:
+            if self._closed:
+                raise ServingError("the inference engine is closed", status=503)
+            if (
+                self._total_queued_rows
+                and self._total_queued_rows + n_missing > self.max_queue_rows
+            ):
+                # Admission control: shed at enqueue time.  An empty
+                # queue admits any request (even one larger than the
+                # bound — it is served whole, exactly as before), so the
+                # bound throttles concurrency, never request size.
+                self.metrics.record_rejected(n_missing, model=model_name)
+                raise ServingError(
+                    f"inference queue is full ({self._total_queued_rows} rows "
+                    f"queued, max_queue_rows={self.max_queue_rows}); retry later",
+                    status=429,
+                    retry_after=self._retry_after_s,
+                )
+            model_queued = self._queued_rows.get(model_name, 0)
+            if (
+                model_queued
+                and model_queued + n_missing > self.max_queue_rows_per_model
+            ):
+                # Per-model quota: one hot model exhausting its share is
+                # shed while other models' admission budget stays open.
+                # The same empty-queue rule applies per model, so the
+                # quota throttles a model's concurrency, never its
+                # request size.
+                self.metrics.record_rejected(n_missing, model=model_name)
+                raise ServingError(
+                    f"inference queue for model {model_name!r} is full "
+                    f"({model_queued} rows queued, "
+                    f"max_queue_rows_per_model={self.max_queue_rows_per_model}); "
+                    "retry later",
+                    status=429,
+                    retry_after=self._retry_after_s,
+                )
+            pending.enqueued_wall = time.time()
+            pending.enqueued_perf = time.perf_counter()
+            self._queue.append((model_name, pending))
+            self._adjust_queued(model_name, n_missing)
+            self._condition.notify_all()
+        if not pending.event.wait(self.request_timeout_s):
+            if self._cancel(model_name, pending):
+                raise ServingError(
+                    f"inference timed out after {self.request_timeout_s:.1f}s "
+                    "(request abandoned before classification)",
+                    status=504,
+                )
+            # The coalescer claimed the batch in the same instant the
+            # timeout fired; the rows are being classified, but this
+            # caller is no longer listening for the answer.
+            raise ServingError(
+                f"inference timed out after {self.request_timeout_s:.1f}s", status=504
+            )
+        if pending.error is not None:
+            error = pending.error
+            if isinstance(error, ServingError):
+                raise error
+            raise ServingError(str(error), status=400) from error
+
+    def predict(self, model_name: str, rows, *, trace=NO_TRACE):
         """``(labels, probabilities)`` for ``rows``.
 
         Labels are the argmax of the probabilities over the model's
         ``classes_`` — the same reduction ``predict`` applies offline.
         """
-        labels, probabilities, _ = self.predict_full(model_name, rows)
+        labels, probabilities, _ = self.predict_full(model_name, rows, trace=trace)
         return labels, probabilities
 
-    def predict_full(self, model_name: str, rows):
+    def predict_full(self, model_name: str, rows, *, trace=NO_TRACE):
         """``(labels, probabilities, classes)`` from one model snapshot.
 
         ``classes`` are JSON-ready scalars in probability-column order; all
         three pieces come from the same model object, so a concurrent hot
         reload cannot pair one model's probabilities with another's labels.
         """
-        model, probabilities = self._predict_with_model(model_name, rows)
+        model, probabilities = self._predict_with_model(model_name, rows, trace=trace)
         classes = np.asarray(model.classes_)
         labels = classes[np.argmax(probabilities, axis=1)] if len(probabilities) \
             else classes[:0]
         return labels, probabilities, json_scalars(model.classes_)
 
-    def predict_votes(self, model_name: str, rows, members=None):
+    def predict_votes(self, model_name: str, rows, members=None, *, trace=NO_TRACE):
         """``(votes, classes, n_members_total)`` for a forest's member shard.
 
         ``votes`` is the ``(n_members, n_rows, n_classes)`` stack of
         per-member vote matrices (``members`` restricts it to those member
         indices; ``None`` means every member), and ``n_members_total`` is
         the full forest's member count — the divisor a fan-out reducer
-        needs.  The call is served directly from the model snapshot, not
-        through the coalescer or the prediction cache: member votes exist
-        for the router's forest fan-out, where each request already *is* a
-        batch and caching partial votes would only duplicate the reduced
-        results cached upstream.
+        needs.  Vote requests ride the same coalescer as probability
+        requests: per-member classification is row-independent, so stacking
+        concurrent shard requests for the *same member subset* into one
+        ``member_votes`` call returns bit-identical matrices while paying
+        the per-call setup once — exactly the economics that made routed
+        fan-out the hot path worth batching.  Member indices are resolved
+        *before* enqueueing, so a request naming an out-of-range member
+        fails alone (400), never the batch it would have joined.  The
+        prediction cache is not consulted: caching partial votes would only
+        duplicate the reduced results cached upstream.
         """
         if self._closed:
             raise ServingError("the inference engine is closed", status=503)
@@ -473,10 +529,25 @@ class InferenceEngine:
             )
         matrix = self._as_matrix(rows, int(model.n_features_in_))
         try:
-            votes = model.member_votes(matrix, members=members)
+            selected = tuple(model._resolve_members(members))
         except TreeError as exc:
             raise ServingError(str(exc), status=400) from exc
-        return votes, json_scalars(model.classes_), len(model.trees_)
+        classes = json_scalars(model.classes_)
+        n_members_total = len(model.trees_)
+        if matrix.shape[0] == 0 or not selected:
+            # Nothing to classify: answer from the snapshot without waking
+            # the coalescer (shape matches member_votes exactly).
+            return (
+                np.zeros((len(selected), matrix.shape[0], len(model.classes_))),
+                classes,
+                n_members_total,
+            )
+        pending = _Pending(
+            matrix, model, batch_key=("votes", selected), trace=trace
+        )
+        self._enqueue_and_wait(model_name, pending)
+        assert pending.result is not None
+        return pending.result, classes, n_members_total
 
     # -- the coalescer -------------------------------------------------------
 
@@ -508,24 +579,32 @@ class InferenceEngine:
             self._condition.notify_all()
             return True
 
-    def _take_batch(self, name: str, model) -> list:
+    def _take_batch(self, name: str, model, batch_key) -> list:
         """Pop queued requests for ``name`` up to ``max_batch`` rows (locked).
 
-        Only requests validated against the same ``model`` snapshot join the
-        batch; requests that raced a hot reload wait for the next tick and
-        are then served by their own snapshot.  Cancelled entries are
-        dropped here — abandoned work never reaches ``_invoke`` (their row
-        counters were already released by :meth:`_cancel`).
+        Only requests validated against the same ``model`` snapshot *and*
+        carrying the same ``batch_key`` (probabilities vs one member-vote
+        subset) join the batch; requests that raced a hot reload wait for
+        the next tick and are then served by their own snapshot.  Cancelled
+        entries are dropped here — abandoned work never reaches ``_invoke``
+        (their row counters were already released by :meth:`_cancel`).
         """
         taken: list = []
         kept: deque = deque()
         total = 0
+        now_perf = time.perf_counter()
         for qname, pending in self._queue:
             if pending.cancelled:
                 continue
             fits = not taken or total + len(pending.rows) <= self.max_batch
-            if qname == name and pending.model is model and fits:
+            if (
+                qname == name
+                and pending.model is model
+                and pending.batch_key == batch_key
+                and fits
+            ):
                 pending.taken = True
+                pending.taken_perf = now_perf
                 taken.append(pending)
                 total += len(pending.rows)
             else:
@@ -582,6 +661,9 @@ class InferenceEngine:
                     return  # closed and drained
                 name = self._queue[0][0]
                 model = self._queue[0][1].model
+                batch_key = self._queue[0][1].batch_key
+                linger_wall = time.time()
+                linger_perf = time.perf_counter()
                 if self.max_wait_ms > 0 and self.max_batch > 1:
                     # Linger for stragglers: better batches at the cost of at
                     # most max_wait_ms extra latency for the first request.
@@ -596,7 +678,7 @@ class InferenceEngine:
                         if remaining <= 0:
                             break
                         self._condition.wait(remaining)
-                taken = self._take_batch(name, model)
+                taken = self._take_batch(name, model, batch_key)
             if not taken:
                 continue
             try:
@@ -605,13 +687,59 @@ class InferenceEngine:
                     if len(taken) == 1
                     else np.concatenate([pending.rows for pending in taken])
                 )
-                probabilities = self._invoke(name, model, matrix)
+                assembled_perf = time.perf_counter()
+                invoke_wall = time.time()
+                if batch_key is None:
+                    output = self._invoke(name, model, matrix)
+                else:
+                    # A member-vote batch: one stacked classification for
+                    # the shared member subset, split per request along the
+                    # rows axis (axis 1 of the (members, rows, classes)
+                    # stack).  Row independence keeps the split exact.
+                    output = model.member_votes(matrix, members=list(batch_key[1]))
+                inference_s = time.perf_counter() - assembled_perf
                 self.metrics.record_batch(matrix.shape[0], model=name)
+                self.metrics.record_stage("batch_wait", name, assembled_perf - linger_perf)
+                self.metrics.record_stage("inference", name, inference_s)
                 offset = 0
                 for pending in taken:
                     count = len(pending.rows)
-                    pending.result = probabilities[offset:offset + count]
+                    if batch_key is None:
+                        pending.result = output[offset:offset + count]
+                    else:
+                        pending.result = output[:, offset:offset + count, :]
                     offset += count
+                batch_rows = int(matrix.shape[0])
+                for pending in taken:
+                    queue_wait_s = pending.taken_perf - pending.enqueued_perf
+                    self.metrics.record_stage("queue_wait", name, queue_wait_s)
+                    trace = pending.trace
+                    if trace:
+                        trace.record(
+                            "queue_wait",
+                            start_s=pending.enqueued_wall,
+                            duration_s=queue_wait_s,
+                            model=name,
+                            tags={"rows": len(pending.rows)},
+                        )
+                        trace.record(
+                            "batch_assembly",
+                            start_s=linger_wall,
+                            duration_s=assembled_perf - linger_perf,
+                            model=name,
+                            tags={"batch_rows": batch_rows, "n_requests": len(taken)},
+                        )
+                        trace.record(
+                            "inference",
+                            start_s=invoke_wall,
+                            duration_s=inference_s,
+                            model=name,
+                            tags={
+                                "batch_rows": batch_rows,
+                                "engine": self.predict_engine,
+                                "votes": batch_key is not None,
+                            },
+                        )
             except BaseException as exc:  # noqa: BLE001 - delivered to callers
                 for pending in taken:
                     pending.error = exc

@@ -24,6 +24,13 @@ Endpoints (all JSON):
     typed metric registry is served in Prometheus text exposition format
     instead (per-model latency histograms, queue gauges, worker-pool
     utilisation).
+``GET /debug/traces``
+    The process's bounded trace ring buffer (:mod:`repro.obs.trace`) as
+    JSON, filterable via ``?trace_id=``, ``?model=``, ``?min_ms=`` and
+    ``?limit=``.  Populated when tracing is enabled (``--trace-sample-rate``
+    / ``--trace-slow-ms``) or when an upstream (router, client, loadgen)
+    propagates a sampled ``X-Repro-Trace-Id``; ``repro trace`` joins these
+    buffers across the mesh.
 ``POST /v1/models/<name>:predict``
     Body ``{"rows": [[...], ...], "proba": true}`` → ``{"labels": [...],
     "probabilities": [[...]], "classes": [...]}``.  Malformed bodies, shape
@@ -51,11 +58,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.exceptions import DatasetError, ServingError, SpecError, TreeError
+from repro.obs.log import get_logger
+from repro.obs.trace import TRACE_ID_HEADER, Tracer, debug_traces_payload
 from repro.serve.engine import InferenceEngine
 from repro.serve.metrics import PROMETHEUS_CONTENT_TYPE, ServingMetrics
 from repro.serve.registry import ModelRegistry
 
 __all__ = ["ServingHTTPServer", "create_server", "negotiate_metrics_format"]
+
+_log = get_logger(__name__)
 
 #: Maximum accepted request-body size (64 MiB) — a plain-guard against
 #: unbounded reads, not a tuning knob.
@@ -118,7 +129,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
-            super().log_message(format, *args)
+            _log.info(
+                "http_access", client=self.address_string(), request=format % args
+            )
 
     def _send_json(self, status: int, payload: dict, *, headers: dict | None = None) -> None:
         body = json.dumps(_jsonable(payload)).encode("utf-8")
@@ -146,15 +159,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
-    def _send_serving_error(self, exc: ServingError) -> None:
+    def _send_serving_error(
+        self, exc: ServingError, *, headers: "dict | None" = None
+    ) -> None:
         payload: dict = {"error": str(exc)}
-        headers: dict = {}
+        merged: dict = dict(headers or {})
         if exc.retry_after is not None:
             # The header is spec-limited to whole seconds; the JSON body
             # carries the fractional hint for clients that can use it.
             payload["retry_after_s"] = float(exc.retry_after)
-            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
-        self._send_json(exc.status or 400, payload, headers=headers)
+            merged["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+        self._send_json(exc.status or 400, payload, headers=merged)
+
+    def _trace_headers(self, trace) -> "dict | None":
+        """Response headers echoing the request's trace id (if traced)."""
+        if trace:
+            return {TRACE_ID_HEADER: trace.trace_id}
+        return None
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -196,6 +217,15 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._send_json(200, self.server.metrics.snapshot())
+            elif path == "/debug/traces":
+                query = self.path.split("?", 1)[1] if "?" in self.path else ""
+                try:
+                    payload = debug_traces_payload(self.server.tracer, query)
+                except ValueError as exc:
+                    raise ServingError(
+                        f"bad /debug/traces query: {exc}", status=400
+                    ) from exc
+                self._send_json(200, payload)
             elif path == "/v1/models":
                 self._send_json(200, {"models": self.server.registry.describe()})
             elif path.startswith("/v1/models/"):
@@ -210,7 +240,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self.server.metrics.record_request()
+        # The tracer decides here whether this request is traced: an incoming
+        # sampled X-Repro-Trace-Id is always honoured (the edge decided), a
+        # headerless request samples locally.  NO_TRACE makes the rest free.
+        trace = self.server.tracer.begin(self.headers)
+        try:
+            self._handle_predict(trace)
+        finally:
+            trace.finish()
+
+    def _handle_predict(self, trace) -> None:
         started = time.perf_counter()
+        root = None
         try:
             path = self.path.split("?", 1)[0]
             if not (path.startswith("/v1/models/") and path.endswith(":predict")):
@@ -219,6 +260,10 @@ class _Handler(BaseHTTPRequestHandler):
             name = path[len("/v1/models/"):-len(":predict")]
             if not name:
                 raise ServingError("missing model name", status=404)
+            # The root replica-side span: body parsing, queueing, batching
+            # and inference all happen under it, parented onto the caller's
+            # propagated span so the tree joins across processes.
+            root = trace.span("server.predict", model=name)
             payload = self._read_json_body()
             if "rows" not in payload:
                 raise ServingError('request needs a "rows" field', status=400)
@@ -240,11 +285,15 @@ class _Handler(BaseHTTPRequestHandler):
                 # member shard, reduced at the router (bit-identically to
                 # serving the whole forest here).
                 votes, classes, n_members_total = self.server.engine.predict_votes(
-                    name, rows, members=members
+                    name, rows, members=members, trace=trace
                 )
                 self.server.metrics.record_predict(
                     votes.shape[1], time.perf_counter() - started, model=name
                 )
+                root.set_tag("rows", int(votes.shape[1]))
+                root.set_tag("votes", True)
+                root.set_tag("n_members", int(votes.shape[0]))
+                root.end()
                 self._send_json(
                     200,
                     {
@@ -254,6 +303,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "n_members": votes.shape[0],
                         "n_members_total": n_members_total,
                     },
+                    headers=self._trace_headers(trace),
                 )
                 return
             if members is not None:
@@ -262,7 +312,9 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             # predict_full derives labels, probabilities and classes from one
             # model snapshot, so a concurrent hot reload cannot mix models.
-            labels, probabilities, classes = self.server.engine.predict_full(name, rows)
+            labels, probabilities, classes = self.server.engine.predict_full(
+                name, rows, trace=trace
+            )
             response = {
                 "model": name,
                 "labels": labels,
@@ -275,12 +327,26 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.metrics.record_predict(
                 len(labels), time.perf_counter() - started, model=name
             )
-            self._send_json(200, response)
+            root.set_tag("rows", len(labels))
+            root.end()
+            self._send_json(200, response, headers=self._trace_headers(trace))
         except ServingError as exc:
-            self._send_serving_error(exc)
+            if root is not None:
+                root.set_tag("error", str(exc))
+                root.set_tag("status", exc.status or 400)
+                root.end(status="error")
+            self._send_serving_error(exc, headers=self._trace_headers(trace))
         except (SpecError, DatasetError, TreeError, ValueError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            if root is not None:
+                root.set_tag("error", str(exc))
+                root.end(status="error")
+            self._send_json(
+                400, {"error": str(exc)}, headers=self._trace_headers(trace)
+            )
         except Exception as exc:  # noqa: BLE001 - last-resort 500
+            if root is not None:
+                root.set_tag("error", f"{type(exc).__name__}: {exc}")
+                root.end(status="error")
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
 
@@ -307,11 +373,16 @@ class ServingHTTPServer(ThreadingHTTPServer):
         engine: InferenceEngine,
         metrics: ServingMetrics,
         *,
+        tracer: "Tracer | None" = None,
         verbose: bool = False,
     ) -> None:
         self.registry = registry
         self.engine = engine
         self.metrics = metrics
+        # A disabled tracer still serves /debug/traces (empty) and still
+        # honours incoming sampled contexts, so a replica behind a sampling
+        # router needs no flags of its own.
+        self.tracer = tracer if tracer is not None else Tracer("serve")
         self.verbose = verbose
         super().__init__(address, _Handler)
 
@@ -342,6 +413,10 @@ def create_server(
     request_timeout_s: float = 30.0,
     workers: int = 1,
     preload: bool = False,
+    trace_sample_rate: float = 0.0,
+    trace_slow_ms: "float | None" = None,
+    trace_buffer: int = 2048,
+    trace_export=None,
     verbose: bool = False,
 ) -> ServingHTTPServer:
     """Wire registry → engine → HTTP server over a model directory.
@@ -359,6 +434,16 @@ def create_server(
 
     if workers < 1:
         raise ServingError(f"workers must be at least 1, got {workers}")
+    try:
+        tracer = Tracer(
+            "serve",
+            sample_rate=trace_sample_rate,
+            slow_ms=trace_slow_ms,
+            buffer_size=trace_buffer,
+            export_path=trace_export,
+        )
+    except ValueError as exc:
+        raise ServingError(str(exc)) from exc
     registry = ModelRegistry(models_dir)
     metrics = ServingMetrics()
     pool = (
@@ -385,7 +470,9 @@ def create_server(
     try:
         if preload:
             registry.load_all()
-        return ServingHTTPServer((host, port), registry, engine, metrics, verbose=verbose)
+        return ServingHTTPServer(
+            (host, port), registry, engine, metrics, tracer=tracer, verbose=verbose
+        )
     except BaseException:
         # A failed preload (corrupt archive) or bind (port in use) must not
         # strand the coalescer thread and the pool's worker processes.

@@ -548,6 +548,13 @@ class ServingMetrics:
             "repro_pool_fallbacks_total",
             "Batches served in-process because the pool refused or failed.",
         )
+        self._stage_latency = registry.histogram(
+            "repro_stage_latency_seconds",
+            "Per-stage serving latency (seconds): queue_wait, batch_wait, "
+            "inference — the same stages the trace spans carry.",
+            ("stage", "model"),
+            buckets=LATENCY_BUCKETS,
+        )
         self._gauges: dict = {}
 
     # -- recording -----------------------------------------------------------
@@ -575,6 +582,21 @@ class ServingMetrics:
     def record_batch(self, size: int, model: "str | None" = None) -> None:
         """Count one coalesced model invocation of ``size`` rows."""
         self._batch_rows.observe_labels(int(size), model if model is not None else "")
+
+    def record_stage(
+        self, stage: str, model: "str | None", seconds: float
+    ) -> None:
+        """Record one per-stage latency observation (Prometheus-only family).
+
+        Stages mirror the replica-side trace spans — ``queue_wait`` (enqueue
+        to batch claim), ``batch_wait`` (coalescer linger + assembly) and
+        ``inference`` (the model invocation) — so a histogram regression and
+        a slow trace point at the same place.  No legacy JSON slot: the
+        ``snapshot()`` byte-compatibility contract stays untouched.
+        """
+        self._stage_latency.observe_labels(
+            float(seconds), stage, model if model is not None else ""
+        )
 
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
         """Count prediction-cache lookups."""

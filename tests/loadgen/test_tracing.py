@@ -1,0 +1,73 @@
+"""The load generator as a tracing edge: minted ids, report samples."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.loadgen import LoadGenerator, make_shape, summarize
+
+
+def _run(server, rate_s, **kwargs):
+    generator = LoadGenerator(
+        server.url, users=4, seed=0, trace_sample_rate=rate_s, **kwargs
+    )
+    return generator.run(make_shape("steady"), rate=20.0, duration_s=1.0)
+
+
+def test_invalid_sample_rate_rejected(server):
+    with pytest.raises(ValueError):
+        LoadGenerator(server.url, trace_sample_rate=1.5)
+    with pytest.raises(ValueError):
+        LoadGenerator(server.url, trace_sample_rate=-0.1)
+
+
+def test_rate_zero_mints_no_trace_ids(server):
+    run = _run(server, 0.0)
+    assert run.offered > 0
+    assert all(record.trace_id is None for record in run.records)
+    assert summarize(run)["traces"] == {"n_sampled": 0, "samples": []}
+
+
+def test_rate_one_traces_every_request(server):
+    run = _run(server, 1.0)
+    assert run.offered > 0
+    ids = [record.trace_id for record in run.records]
+    assert all(tid is not None and len(tid) == 32 for tid in ids)
+    assert len(set(ids)) == len(ids)  # one fresh id per request
+
+    traces = summarize(run)["traces"]
+    assert traces["n_sampled"] == run.offered
+    assert 0 < len(traces["samples"]) <= 10
+    sample = traces["samples"][0]
+    assert set(sample) == {"trace_id", "model", "status", "latency_ms"}
+    assert sample["trace_id"] in set(ids)
+    assert sample["model"] == "demo"
+
+
+def test_fractional_rate_traces_a_subset_deterministically(server):
+    run_a = _run(server, 0.5)
+    traced = [record for record in run_a.records if record.trace_id is not None]
+    assert 0 < len(traced) < run_a.offered
+
+
+def test_minted_ids_appear_in_server_debug_traces(server):
+    """The generator's id IS the trace id: joinable via /debug/traces."""
+    run = _run(server, 1.0)
+    traced = [record for record in run.records if record.status == 200]
+    assert traced
+    trace_id = traced[0].trace_id
+    deadline = time.monotonic() + 5.0
+    payload = {"traces": []}
+    while time.monotonic() < deadline and not payload["traces"]:
+        with urllib.request.urlopen(
+            f"{server.url}/debug/traces?trace_id={trace_id}", timeout=5.0
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        time.sleep(0.02)
+    assert len(payload["traces"]) == 1
+    names = {span["name"] for span in payload["traces"][0]["spans"]}
+    assert "server.predict" in names

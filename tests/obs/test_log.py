@@ -1,0 +1,142 @@
+"""Tests for structured logging (:mod:`repro.obs.log`)."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER,
+    EventLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def restore_logging():
+    """Undo whatever a test's configure_logging call did to the repro logger."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    before_handlers = list(logger.handlers)
+    before_level = logger.level
+    before_propagate = logger.propagate
+    yield logger
+    logger.handlers = before_handlers
+    logger.setLevel(before_level)
+    logger.propagate = before_propagate
+
+
+def _configure(stream, level="info", fmt="json"):
+    return configure_logging(level, fmt, stream=stream)
+
+
+class TestConfigure:
+    def test_json_lines_carry_event_and_fields(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream)
+        get_logger("repro.test").info("replica_down", replica="http://x", failures=3)
+        entry = json.loads(stream.getvalue())
+        assert entry["event"] == "replica_down"
+        assert entry["replica"] == "http://x"
+        assert entry["failures"] == 3
+        assert entry["level"] == "info"
+        assert entry["logger"] == "repro.test"
+        assert entry["ts"].endswith("Z")
+
+    def test_text_format(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream, fmt="text")
+        get_logger("repro.test").warning("router_failover", attempt=1)
+        line = stream.getvalue().strip()
+        assert "WARNING" in line
+        assert "router_failover" in line
+        assert "attempt=1" in line
+
+    def test_level_filters(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream, level="warning")
+        log = get_logger("repro.test")
+        log.info("quiet_event")
+        log.warning("loud_event")
+        assert "quiet_event" not in stream.getvalue()
+        assert "loud_event" in stream.getvalue()
+
+    def test_reconfigure_replaces_own_handler_only(self, restore_logging):
+        logger = restore_logging
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        first = io.StringIO()
+        second = io.StringIO()
+        _configure(first)
+        _configure(second)
+        get_logger("repro.test").info("only_once")
+        assert first.getvalue() == ""
+        assert "only_once" in second.getvalue()
+        assert foreign in logger.handlers
+        logger.removeHandler(foreign)
+
+    def test_invalid_level_and_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+        with pytest.raises(ValueError):
+            configure_logging("info", "xml")
+
+    def test_quiet_by_default_but_propagates_for_caplog(self, caplog):
+        # Without configure_logging the library must not print anything,
+        # yet records still reach root handlers (how caplog sees them).
+        with caplog.at_level(logging.INFO, logger=ROOT_LOGGER):
+            get_logger("repro.test").info("visible_to_caplog", key="v")
+        assert any(
+            record.getMessage() == "visible_to_caplog" for record in caplog.records
+        )
+
+
+class TestTraceCorrelation:
+    def test_log_lines_stamped_with_current_trace_id(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream)
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        get_logger("repro.test").info("mid_request")
+        trace.finish()
+        get_logger("repro.test").info("after_request")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines[0]["trace_id"] == trace.trace_id
+        assert "trace_id" not in lines[1]
+
+    def test_explicit_trace_id_field_wins(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream)
+        get_logger("repro.test").info("evt", trace_id="deadbeef")
+        assert json.loads(stream.getvalue())["trace_id"] == "deadbeef"
+
+
+class TestGetLogger:
+    def test_names_nest_under_repro(self):
+        assert get_logger("mymodule").stdlib.name == "repro.mymodule"
+        assert get_logger("repro.serve").stdlib.name == "repro.serve"
+        assert get_logger("repro").stdlib.name == "repro"
+
+    def test_event_logger_levels(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream, level="debug")
+        log = EventLogger(logging.getLogger("repro.levels"))
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        levels = [
+            json.loads(line)["level"] for line in stream.getvalue().splitlines()
+        ]
+        assert levels == ["debug", "info", "warning", "error"]
+
+    def test_non_serialisable_values_degrade_to_str(self, restore_logging):
+        stream = io.StringIO()
+        _configure(stream)
+        get_logger("repro.test").info("evt", obj=object())
+        entry = json.loads(stream.getvalue())
+        assert "object object" in entry["obj"]

@@ -1,0 +1,353 @@
+"""Unit tests for the tracing primitives in :mod:`repro.obs.trace`."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NO_TRACE,
+    SAMPLED_HEADER,
+    SPAN_ID_HEADER,
+    TRACE_ID_HEADER,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    current_trace_id,
+    debug_traces_payload,
+    format_trace_tree,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_id_is_128_bit_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)  # must parse as hex
+
+    def test_span_id_is_64_bit_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceContext:
+    def test_mint_and_round_trip_through_headers(self):
+        ctx = TraceContext.mint()
+        parsed = TraceContext.from_headers(ctx.headers(new_span_id()))
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.sampled is True
+
+    def test_missing_headers_is_no_context(self):
+        assert TraceContext.from_headers({}) is None
+        assert TraceContext.from_headers(None) is None
+
+    def test_malformed_trace_id_degrades_to_absent(self):
+        assert TraceContext.from_headers({TRACE_ID_HEADER: "zz"}) is None
+        assert TraceContext.from_headers({TRACE_ID_HEADER: "g" * 32}) is None
+
+    def test_malformed_span_id_degrades_to_no_parent(self):
+        headers = {TRACE_ID_HEADER: new_trace_id(), SPAN_ID_HEADER: "nope"}
+        ctx = TraceContext.from_headers(headers)
+        assert ctx is not None and ctx.parent_id is None
+
+    def test_missing_sampled_header_counts_as_sampled(self):
+        ctx = TraceContext.from_headers({TRACE_ID_HEADER: new_trace_id()})
+        assert ctx.sampled is True
+
+    def test_explicit_unsampled_header(self):
+        headers = {TRACE_ID_HEADER: new_trace_id(), SAMPLED_HEADER: "0"}
+        assert TraceContext.from_headers(headers).sampled is False
+
+
+class TestSampling:
+    def test_rate_zero_without_slow_ms_is_disabled(self):
+        tracer = Tracer("test", sample_rate=0.0)
+        assert not tracer.enabled
+        assert tracer.begin({}) is NO_TRACE
+
+    def test_rate_one_always_traces(self):
+        tracer = Tracer("test", sample_rate=1.0)
+        for _ in range(5):
+            trace = tracer.begin({})
+            assert trace is not NO_TRACE
+            trace.finish()
+
+    def test_incoming_sampled_context_always_honoured(self):
+        tracer = Tracer("test", sample_rate=0.0)  # locally disabled
+        ctx = TraceContext.mint()
+        trace = tracer.begin(ctx.headers())
+        assert trace is not NO_TRACE
+        assert trace.trace_id == ctx.trace_id
+        trace.finish()
+
+    def test_incoming_unsampled_context_stays_untraced(self):
+        tracer = Tracer("test", sample_rate=1.0)
+        headers = {TRACE_ID_HEADER: new_trace_id(), SAMPLED_HEADER: "0"}
+        assert tracer.begin(headers) is NO_TRACE
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer("test", sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer("test", sample_rate=-0.1)
+
+    def test_seeded_sampling_is_deterministic(self):
+        def decisions() -> "list[bool]":
+            tracer = Tracer("t", sample_rate=0.5, seed=42)
+            outcome = []
+            for _ in range(16):
+                trace = tracer.begin({})
+                outcome.append(bool(trace))
+                trace.finish()
+            return outcome
+
+        first, second = decisions(), decisions()
+        assert first == second
+        assert True in first and False in first
+
+
+class TestSpans:
+    def test_first_span_becomes_root_and_default_parent(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        root = trace.span("server.predict", model="m")
+        child = trace.span("queue_wait")
+        root.end()
+        child.end()
+        trace.finish()
+        spans = tracer.buffer.spans()
+        by_name = {span.name: span for span in spans}
+        assert by_name["server.predict"].parent_id is None
+        assert by_name["queue_wait"].parent_id == root.span_id
+
+    def test_propagated_parent_becomes_roots_parent(self):
+        tracer = Tracer("svc", sample_rate=0.0)
+        upstream_span = new_span_id()
+        headers = {TRACE_ID_HEADER: new_trace_id(), SPAN_ID_HEADER: upstream_span}
+        trace = tracer.begin(headers)
+        root = trace.span("server.predict")
+        root.end()
+        trace.finish()
+        assert tracer.buffer.spans()[0].parent_id == upstream_span
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        with pytest.raises(RuntimeError):
+            with trace.span("failing"):
+                raise RuntimeError("boom")
+        trace.finish()
+        span = tracer.buffer.spans()[0]
+        assert span.status == "error"
+        assert "boom" in span.tags["error"]
+
+    def test_record_after_the_fact(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        span_id = trace.record(
+            "inference", start_s=123.0, duration_s=0.25, model="m", tags={"rows": 3}
+        )
+        trace.finish()
+        span = tracer.buffer.spans()[0]
+        assert span.span_id == span_id
+        assert span.duration_ms == pytest.approx(250.0)
+        assert span.tags == {"rows": 3}
+
+    def test_headers_default_to_root_span_as_parent(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        root = trace.span("root")
+        headers = trace.headers()
+        assert headers[SPAN_ID_HEADER] == root.span_id
+        assert headers[TRACE_ID_HEADER] == trace.trace_id
+        assert headers[SAMPLED_HEADER] == "1"
+        root.end()
+        trace.finish()
+
+    def test_current_trace_id_set_between_begin_and_finish(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        assert current_trace_id() is None
+        trace = tracer.begin({})
+        assert current_trace_id() == trace.trace_id
+        trace.finish()
+        assert current_trace_id() is None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        trace.span("root").end()
+        assert trace.finish() is True
+        assert trace.finish() is False
+        assert len(tracer.buffer.spans()) == 1
+
+    def test_spans_recorded_from_other_threads(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        root = trace.span("root")
+
+        def record():
+            trace.record("worker", start_s=1.0, duration_s=0.01)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        root.end()
+        trace.finish()
+        assert len(tracer.buffer.spans()) == 5
+
+
+class TestNoTrace:
+    def test_falsy_and_inert(self):
+        assert not NO_TRACE
+        span = NO_TRACE.span("anything", model="m")
+        span.set_tag("k", "v")
+        span.end()
+        with NO_TRACE.span("ctx"):
+            pass
+        assert NO_TRACE.record("x", start_s=0.0, duration_s=0.0) is None
+        assert NO_TRACE.headers() == {}
+        assert NO_TRACE.finish() is False
+        assert NO_TRACE.trace_id is None
+
+
+class TestSlowCapture:
+    def test_unsampled_slow_request_is_committed_and_tagged(self):
+        tracer = Tracer("svc", sample_rate=0.0, slow_ms=5.0)
+        headers = {TRACE_ID_HEADER: new_trace_id(), SAMPLED_HEADER: "0"}
+        trace = tracer.begin(headers)
+        assert trace is not NO_TRACE  # spans must exist for slow capture
+        trace.record("server.predict", start_s=1.0, duration_s=0.050)
+        assert trace.finish() is True
+        span = tracer.buffer.spans()[0]
+        assert span.tags.get("slow_capture") is True
+
+    def test_unsampled_fast_request_is_dropped(self):
+        tracer = Tracer("svc", sample_rate=0.0, slow_ms=1000.0)
+        headers = {TRACE_ID_HEADER: new_trace_id(), SAMPLED_HEADER: "0"}
+        trace = tracer.begin(headers)
+        trace.record("server.predict", start_s=1.0, duration_s=0.001)
+        assert trace.finish() is False
+        assert len(tracer.buffer) == 0
+
+    def test_sampled_traces_are_not_tagged_slow(self):
+        tracer = Tracer("svc", sample_rate=1.0, slow_ms=0.0)
+        trace = tracer.begin({})
+        trace.span("root").end()
+        trace.finish()
+        assert "slow_capture" not in tracer.buffer.spans()[0].tags
+
+
+class TestBuffer:
+    def test_bounded_with_dropped_counter(self):
+        buffer = TraceBuffer(capacity=3)
+        tracer = Tracer("svc", sample_rate=1.0, buffer_size=3)
+        for _ in range(5):
+            trace = tracer.begin({})
+            trace.span("root").end()
+            trace.finish()
+        assert len(tracer.buffer) == 3
+        assert tracer.buffer.dropped == 2
+        assert buffer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_traces_group_filter_and_order(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        ids = []
+        for index in range(3):
+            trace = tracer.begin({})
+            ids.append(trace.trace_id)
+            trace.span("root", model=f"model-{index}").end()
+            trace.finish()
+        entries = tracer.buffer.traces()
+        assert [entry["trace_id"] for entry in entries] == list(reversed(ids))
+        only = tracer.buffer.traces(model="model-1")
+        assert [entry["trace_id"] for entry in only] == [ids[1]]
+        by_id = tracer.buffer.traces(trace_id=ids[0])
+        assert len(by_id) == 1 and by_id[0]["n_spans"] == 1
+        assert tracer.buffer.traces(limit=2)[0]["trace_id"] == ids[-1]
+
+    def test_min_duration_filter(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        trace.record("root", start_s=1.0, duration_s=0.5)
+        trace.finish()
+        assert tracer.buffer.traces(min_duration_ms=100.0)
+        assert not tracer.buffer.traces(min_duration_ms=1000.0)
+
+
+class TestExport:
+    def test_jsonl_export_appends_span_dicts(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer("svc", sample_rate=1.0, export_path=path)
+        trace = tracer.begin({})
+        trace.span("root", model="m").end()
+        trace.finish()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["name"] == "root"
+        assert entry["service"] == "svc"
+        assert entry["trace_id"] == trace.trace_id
+
+
+class TestDebugPayload:
+    def test_payload_shape_and_filters(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        trace = tracer.begin({})
+        trace.span("root", model="m").end()
+        trace.finish()
+        payload = debug_traces_payload(tracer, "model=m&limit=5")
+        assert payload["service"] == "svc"
+        assert payload["sample_rate"] == 1.0
+        assert len(payload["traces"]) == 1
+        assert debug_traces_payload(tracer, "model=other")["traces"] == []
+
+    def test_invalid_numeric_params_raise(self):
+        tracer = Tracer("svc", sample_rate=1.0)
+        with pytest.raises(ValueError):
+            debug_traces_payload(tracer, "min_ms=abc")
+        with pytest.raises(ValueError):
+            debug_traces_payload(tracer, "limit=xyz")
+
+
+class TestFormatTree:
+    def test_indented_tree_with_orphans_promoted(self):
+        tid = new_trace_id()
+        spans = [
+            {"trace_id": tid, "span_id": "a" * 16, "parent_id": None,
+             "name": "router.predict", "service": "router", "start_s": 1.0,
+             "duration_ms": 10.0, "status": "ok"},
+            {"trace_id": tid, "span_id": "b" * 16, "parent_id": "a" * 16,
+             "name": "route", "service": "router", "start_s": 1.001,
+             "duration_ms": 8.0, "status": "ok", "tags": {"attempt": 0}},
+            # Parent lives in an unfetched buffer: promoted to a root.
+            {"trace_id": tid, "span_id": "c" * 16, "parent_id": "f" * 16,
+             "name": "inference", "service": "serve", "start_s": 1.002,
+             "duration_ms": 2.0, "status": "ok", "model": "m"},
+        ]
+        text = format_trace_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("router.predict")
+        assert lines[1].startswith("  route")
+        assert "attempt=0" in lines[1]
+        assert any(line.startswith("inference") for line in lines)
+        assert "model=m" in text
+
+    def test_duplicate_span_ids_deduped(self):
+        span = {"trace_id": "t", "span_id": "a" * 16, "parent_id": None,
+                "name": "root", "service": "s", "start_s": 0.0,
+                "duration_ms": 1.0, "status": "ok"}
+        assert len(format_trace_tree([span, dict(span)]).splitlines()) == 1

@@ -1,0 +1,124 @@
+"""Structured log events emitted on health-state transitions.
+
+Every verdict flip and drain toggle must leave an auditable event —
+``replica_up`` / ``replica_down`` / ``replica_draining`` /
+``replica_undrained`` — carrying the replica URL, a human-readable
+reason, and the consecutive-observation streak that tripped the
+hysteresis.  Observations that do *not* flip the verdict must stay
+silent: a damped blip is not an incident.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.log import ROOT_LOGGER
+from repro.router.health import HealthChecker
+
+URLS = ["http://replica-a:1", "http://replica-b:2"]
+
+
+def make_checker(verdicts, **kwargs):
+    kwargs.setdefault("probe", lambda url, timeout_s: verdicts[url])
+    return HealthChecker(URLS, **kwargs)
+
+
+def _events(caplog):
+    """``(event, level, fields)`` for every captured repro record."""
+    return [
+        (record.getMessage(), record.levelname, getattr(record, "repro_fields", {}))
+        for record in caplog.records
+        if record.name.startswith(ROOT_LOGGER)
+    ]
+
+
+@pytest.fixture
+def health_log(caplog):
+    with caplog.at_level(logging.INFO, logger=ROOT_LOGGER):
+        yield caplog
+
+
+def test_first_observation_logs_a_transition(health_log):
+    verdicts = {URLS[0]: True, URLS[1]: False}
+    checker = make_checker(verdicts)
+    checker.check_once()
+    events = _events(health_log)
+    assert ("replica_up", "INFO") == (events[0][0], events[0][1])
+    assert events[0][2]["replica"] == URLS[0]
+    assert events[0][2]["reason"] == "first observation"
+    assert ("replica_down", "WARNING") == (events[1][0], events[1][1])
+    assert events[1][2]["replica"] == URLS[1]
+
+
+def test_replica_down_carries_streak_and_reason(health_log):
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts, down_after=2)
+    checker.check_once()
+    health_log.clear()
+
+    verdicts[URLS[0]] = False
+    checker.check_once()  # damped: no event
+    assert _events(health_log) == []
+    checker.check_once()  # second consecutive failure flips it
+    events = _events(health_log)
+    assert len(events) == 1
+    event, level, fields = events[0]
+    assert event == "replica_down"
+    assert level == "WARNING"
+    assert fields["replica"] == URLS[0]
+    assert fields["reason"] == "2 consecutive failures"
+    assert fields["consecutive_down"] == 2
+    assert fields["consecutive_up"] == 0
+
+
+def test_recovery_logs_replica_up_with_success_streak(health_log):
+    verdicts = {URLS[0]: False, URLS[1]: True}
+    checker = make_checker(verdicts, up_after=3)
+    checker.check_once()
+    health_log.clear()
+
+    verdicts[URLS[0]] = True
+    checker.check_once()
+    checker.check_once()
+    assert _events(health_log) == []  # still damped
+    checker.check_once()
+    events = _events(health_log)
+    assert len(events) == 1
+    event, level, fields = events[0]
+    assert event == "replica_up"
+    assert level == "INFO"
+    assert fields["reason"] == "3 consecutive successes"
+    assert fields["consecutive_up"] == 3
+
+
+def test_passive_failures_log_like_probe_failures(health_log):
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts, down_after=2)
+    checker.check_once()
+    health_log.clear()
+
+    checker.note_failure(URLS[1])
+    checker.note_failure(URLS[1])
+    events = _events(health_log)
+    assert [event for event, _, _ in events] == ["replica_down"]
+    assert events[0][2]["replica"] == URLS[1]
+
+
+def test_drain_toggle_logs_both_directions_once(health_log):
+    verdicts = {url: True for url in URLS}
+    checker = make_checker(verdicts)
+    checker.check_once()
+    health_log.clear()
+
+    checker.set_draining(URLS[0], True)
+    checker.set_draining(URLS[0], True)  # no-op: already draining, no event
+    checker.set_draining(URLS[0], False)
+    events = _events(health_log)
+    assert [event for event, _, _ in events] == [
+        "replica_draining", "replica_undrained",
+    ]
+    assert events[0][2]["reason"] == "drain requested"
+    assert events[0][2]["healthy"] is True
+    assert events[1][2]["reason"] == "returned to service"

@@ -1,0 +1,192 @@
+"""End-to-end tracing across the mesh: one routed request, one joined tree.
+
+The acceptance property of the observability tier: a routed forest
+prediction through a 2-replica mesh with fan-out produces **one joinable
+trace** — the router contributes ``router.predict`` / ``fanout`` /
+``route`` / ``reduce`` spans, each replica contributes its
+``server.predict`` / ``queue_wait`` / ``batch_assembly`` / ``inference``
+spans, and they all share the trace id the client got back in
+``X-Repro-Trace-Id``.  Tracing must not change answers: routed
+predictions stay bit-identical to the offline model.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.obs.trace import (
+    HOPS_HEADER,
+    TRACE_ID_HEADER,
+    UPSTREAM_HEADER,
+    format_trace_tree,
+)
+from repro.router import create_router
+
+
+@pytest.fixture
+def traced_router(replica_servers):
+    """A router sampling every request, fan-out threshold lowered to 4."""
+    server = create_router(
+        [replica.url for replica in replica_servers],
+        port=0,
+        fanout_trees=4,
+        health_interval_s=0.2,
+        health_timeout_s=0.5,
+        up_after=1,
+        down_after=1,
+        trace_sample_rate=1.0,
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        yield server
+    finally:
+        server.close()
+
+
+def _post_predict(url: str, model: str, rows):
+    body = json.dumps({"rows": rows}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/v1/models/{model}:predict",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=15.0) as response:
+        return response.headers, json.loads(response.read().decode("utf-8"))
+
+
+def _collect_spans(urls, trace_id, *, timeout_s: float = 5.0):
+    """Join the trace across every buffer, waiting out the commit races
+    (every tier sends its response before committing its spans)."""
+    spans: "dict[str, dict]" = {}
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for url in urls:
+            with urllib.request.urlopen(
+                f"{url}/debug/traces?trace_id={trace_id}", timeout=10.0
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            for entry in payload["traces"]:
+                for span in entry["spans"]:
+                    spans[span["span_id"]] = span
+        services = {span["service"] for span in spans.values()}
+        if {"router", "serve"} <= services:
+            return list(spans.values())
+        time.sleep(0.02)
+    return list(spans.values())
+
+
+def test_routed_fanout_produces_one_joinable_trace(
+    traced_router, replica_servers, router_forest, router_rows
+):
+    headers, payload = _post_predict(
+        traced_router.url, "forest", router_rows.tolist()
+    )
+    trace_id = headers.get(TRACE_ID_HEADER)
+    assert trace_id is not None and len(trace_id) == 32
+    # Fan-out across 2 replicas, one attempt each: 2 upstream calls.
+    assert headers.get(HOPS_HEADER) == "2"
+
+    # Tracing must not change the answer.
+    assert np.array_equal(
+        np.asarray(payload["probabilities"]),
+        router_forest.predict_proba(router_rows),
+    )
+
+    urls = [traced_router.url] + [replica.url for replica in replica_servers]
+    spans = _collect_spans(urls, trace_id)
+    assert all(span["trace_id"] == trace_id for span in spans)
+    by_name: "dict[str, list[dict]]" = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+
+    # Router-side coverage: root, fan-out, one route per shard, the reduce.
+    assert len(by_name["router.predict"]) == 1
+    assert len(by_name["fanout"]) == 1
+    assert len(by_name["route"]) == 2
+    assert len(by_name["reduce"]) == 1
+
+    root = by_name["router.predict"][0]
+    fanout = by_name["fanout"][0]
+    assert root["parent_id"] is None
+    assert root["tags"]["hops"] == 2
+    assert root["tags"]["shards"] == 2
+    assert fanout["parent_id"] == root["span_id"]
+    assert fanout["tags"]["shards"] == 2
+    assert fanout["tags"]["n_trees"] == 6
+    route_parents = {span["parent_id"] for span in by_name["route"]}
+    assert route_parents == {fanout["span_id"]}
+    assert by_name["reduce"][0]["tags"]["n_members"] == 6
+
+    # Replica-side coverage: each shard's server hangs under its route span.
+    route_ids = {span["span_id"] for span in by_name["route"]}
+    server_roots = by_name["server.predict"]
+    assert len(server_roots) == 2
+    assert {span["parent_id"] for span in server_roots} <= route_ids
+    for name in ("queue_wait", "batch_assembly", "inference"):
+        assert len(by_name[name]) == 2, name
+
+    # The joined tree renders as ONE tree rooted at the router.
+    tree = format_trace_tree(spans)
+    lines = tree.splitlines()
+    assert lines[0].startswith("router.predict")
+    assert sum(1 for line in lines if not line.startswith(" ")) == 1
+    assert "inference" in tree
+
+
+def test_single_replica_route_reports_hops_and_upstream(
+    traced_router, replica_servers, router_rows
+):
+    headers, _ = _post_predict(traced_router.url, "tree", router_rows.tolist())
+    assert headers.get(HOPS_HEADER) == "1"
+    assert headers.get(UPSTREAM_HEADER) in {
+        replica.url for replica in replica_servers
+    }
+    trace_id = headers[TRACE_ID_HEADER]
+    urls = [traced_router.url] + [replica.url for replica in replica_servers]
+    spans = _collect_spans(urls, trace_id)
+    names = [span["name"] for span in spans]
+    assert names.count("route") == 1
+    assert "fanout" not in names
+    assert "server.predict" in names
+
+
+def test_untraced_router_adds_hops_but_no_trace_header(
+    router_server, router_rows
+):
+    headers, _ = _post_predict(router_server.url, "tree", router_rows.tolist())
+    assert headers.get(HOPS_HEADER) == "1"
+    assert headers.get(TRACE_ID_HEADER) is None
+
+
+def test_repro_trace_cli_prints_the_joined_tree(
+    traced_router, replica_servers, router_rows, capsys
+):
+    headers, _ = _post_predict(
+        traced_router.url, "forest", router_rows.tolist()
+    )
+    trace_id = headers[TRACE_ID_HEADER]
+    urls = [traced_router.url] + [replica.url for replica in replica_servers]
+    _collect_spans(urls, trace_id)  # wait for every buffer to commit
+
+    argv = ["trace", trace_id]
+    for url in urls:
+        argv += ["--target", url]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert trace_id in out
+    assert "router.predict" in out
+    assert "fanout" in out
+    assert "inference" in out
+
+    # Listing mode (no trace id) shows the trace with both services.
+    assert cli.main(["trace", "--target", urls[0], "--target", urls[1]]) == 0
+    listing = capsys.readouterr().out
+    assert trace_id in listing
+    assert "router" in listing and "serve" in listing

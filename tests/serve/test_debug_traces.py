@@ -1,0 +1,162 @@
+"""Serving-tier tracing: /debug/traces, span coverage, header propagation."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.trace import (
+    SAMPLED_HEADER,
+    TRACE_ID_HEADER,
+    new_trace_id,
+)
+from repro.serve import ServingClient, create_server
+
+
+@pytest.fixture
+def traced_server(model_dir):
+    """A serving instance sampling every request."""
+    server = create_server(
+        model_dir, port=0, max_wait_ms=1.0, trace_sample_rate=1.0
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=5.0)
+
+
+def _post_predict(url: str, rows, extra_headers=None):
+    body = json.dumps({"rows": rows}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/v1/models/demo:predict",
+        data=body,
+        headers={"Content-Type": "application/json", **(extra_headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.headers, json.loads(response.read().decode("utf-8"))
+
+
+def _debug_traces(url: str, query: str = ""):
+    suffix = f"?{query}" if query else ""
+    with urllib.request.urlopen(f"{url}/debug/traces{suffix}", timeout=10.0) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _wait_for_trace(url: str, trace_id: str, timeout_s: float = 5.0):
+    """Poll until the trace commits — the handler sends the response first,
+    then finishes the trace, so an immediate read can race the commit."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        payload = _debug_traces(url, f"trace_id={trace_id}")
+        if payload["traces"]:
+            return payload
+        time.sleep(0.01)
+    raise AssertionError(f"trace {trace_id} never appeared in {url}/debug/traces")
+
+
+def test_sampled_predict_produces_full_span_tree(traced_server, serving_rows):
+    headers, _ = _post_predict(traced_server.url, serving_rows[:4].tolist())
+    trace_id = headers.get(TRACE_ID_HEADER)
+    assert trace_id is not None and len(trace_id) == 32
+
+    payload = _wait_for_trace(traced_server.url, trace_id)
+    assert payload["service"] == "serve"
+    assert len(payload["traces"]) == 1
+    entry = payload["traces"][0]
+    names = {span["name"] for span in entry["spans"]}
+    assert {"server.predict", "queue_wait", "batch_assembly", "inference"} <= names
+
+    by_name = {span["name"]: span for span in entry["spans"]}
+    root = by_name["server.predict"]
+    assert root["parent_id"] is None
+    assert root["model"] == "demo"
+    assert root["tags"]["rows"] == 4
+    # The engine-side spans hang under the request root.
+    assert by_name["inference"]["parent_id"] == root["span_id"]
+    assert by_name["queue_wait"]["tags"]["rows"] == 4
+    assert by_name["inference"]["tags"]["batch_rows"] >= 4
+
+
+def test_cache_hit_recorded_as_cache_lookup_span(traced_server, serving_rows):
+    rows = serving_rows[:2].tolist()
+    _post_predict(traced_server.url, rows)
+    headers, _ = _post_predict(traced_server.url, rows)  # full cache hit
+    payload = _wait_for_trace(traced_server.url, headers[TRACE_ID_HEADER])
+    names = {span["name"] for span in payload["traces"][0]["spans"]}
+    assert "cache_lookup" in names
+    assert "inference" not in names  # never reached the coalescer
+
+
+def test_incoming_sampled_context_honoured_without_local_flags(model_dir, serving_rows):
+    server = create_server(model_dir, port=0, max_wait_ms=1.0)  # tracing off
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        trace_id = new_trace_id()
+        # No propagated context: nothing is traced.
+        _post_predict(server.url, serving_rows[:2].tolist())
+        assert _debug_traces(server.url)["traces"] == []
+        # A propagated sampled context is always recorded.
+        headers, _ = _post_predict(
+            server.url,
+            serving_rows[:2].tolist(),
+            {TRACE_ID_HEADER: trace_id, SAMPLED_HEADER: "1"},
+        )
+        assert headers[TRACE_ID_HEADER] == trace_id
+        payload = _wait_for_trace(server.url, trace_id)
+        assert len(payload["traces"]) == 1
+    finally:
+        server.close()
+        thread.join(timeout=5.0)
+
+
+def test_model_and_min_ms_filters(traced_server, serving_rows):
+    headers, _ = _post_predict(traced_server.url, serving_rows[:2].tolist())
+    _wait_for_trace(traced_server.url, headers[TRACE_ID_HEADER])
+    assert _debug_traces(traced_server.url, "model=demo")["traces"]
+    assert _debug_traces(traced_server.url, "model=nope")["traces"] == []
+    assert _debug_traces(traced_server.url, "min_ms=999999")["traces"] == []
+
+
+def test_invalid_filter_is_a_400(traced_server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _debug_traces(traced_server.url, "min_ms=abc")
+    assert excinfo.value.code == 400
+
+
+def test_invalid_sample_rate_fails_at_startup(model_dir):
+    from repro.exceptions import ServingError
+
+    with pytest.raises(ServingError):
+        create_server(model_dir, port=0, trace_sample_rate=2.0)
+
+
+def test_trace_id_on_error_responses(traced_server):
+    body = json.dumps({"rows": [[1.0, 2.0, 3.0]]}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{traced_server.url}/v1/models/missing:predict",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10.0)
+    assert excinfo.value.code == 404
+    assert excinfo.value.headers.get(TRACE_ID_HEADER)
+
+
+def test_client_predict_passes_headers_through(traced_server, serving_rows):
+    client = ServingClient(traced_server.url)
+    trace_id = new_trace_id()
+    client.predict(
+        "demo",
+        serving_rows[:2],
+        headers={TRACE_ID_HEADER: trace_id, SAMPLED_HEADER: "1"},
+    )
+    payload = _wait_for_trace(traced_server.url, trace_id)
+    assert len(payload["traces"]) == 1

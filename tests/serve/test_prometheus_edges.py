@@ -1,0 +1,209 @@
+"""Edge cases of the Prometheus text exposition renderer.
+
+Three corners that bite real scrapes: the ``+Inf`` bucket must exist on
+every histogram child (PromQL's ``histogram_quantile`` breaks without
+it), families that have never observed anything must still render valid
+``_sum``/``_count`` series, and label values containing backslashes,
+quotes or newlines must survive a parse round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.serve.metrics import (
+    LATENCY_BUCKETS,
+    MetricRegistry,
+    _escape_label_value,
+)
+
+_SAMPLE_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?P<labels>.*)\})? (?P<value>\S+)$')
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def _unescape(value: str) -> str:
+    """Invert exposition-format label escaping (the scrape-side decode)."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_samples(text: str):
+    """``[(name, {label: value}, raw_value)]`` for every non-comment line."""
+    samples = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        if match.group("labels"):
+            for pair in _LABEL_RE.finditer(match.group("labels")):
+                labels[pair.group("key")] = _unescape(pair.group("value"))
+        samples.append((match.group("name"), labels, match.group("value")))
+    return samples
+
+
+class TestInfBucket:
+    def test_every_histogram_child_ends_with_inf_bucket(self):
+        registry = MetricRegistry()
+        hist = registry.histogram(
+            "h_seconds", "h.", ("model",), buckets=LATENCY_BUCKETS
+        )
+        hist.observe_labels(0.003, "a")
+        hist.observe_labels(99.0, "a")  # beyond the last finite bound
+        samples = _parse_samples(registry.render_prometheus())
+        inf_buckets = [
+            s for s in samples
+            if s[0] == "h_seconds_bucket" and s[1]["le"] == "+Inf"
+        ]
+        assert len(inf_buckets) == 1
+        assert inf_buckets[0][2] == "2"
+
+    def test_inf_bucket_equals_count_even_when_all_fit_finite_buckets(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", "h.", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+        }
+        assert samples[("h_bucket", "+Inf")] == "2"
+        assert samples[("h_count", None)] == "2"
+
+    def test_buckets_are_cumulative_and_ordered(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", "h.", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        bucket_values = [
+            int(value)
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+            if name == "h_bucket"
+        ]
+        assert bucket_values == [1, 2, 3, 4]  # monotone, +Inf == count
+
+    def test_overflow_only_observations_still_cumulative(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", "h.", buckets=(1.0,))
+        hist.observe(100.0)
+        samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+        }
+        assert samples[("h_bucket", "1")] == "0"
+        assert samples[("h_bucket", "+Inf")] == "1"
+        assert samples[("h_sum", None)] == "100"
+
+
+class TestZeroObservations:
+    def test_unlabelled_family_renders_zero_series(self):
+        registry = MetricRegistry()
+        registry.histogram("empty_h", "Never observed.", buckets=(1.0, 2.0))
+        samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+        }
+        assert samples[("empty_h_bucket", "1")] == "0"
+        assert samples[("empty_h_bucket", "2")] == "0"
+        assert samples[("empty_h_bucket", "+Inf")] == "0"
+        assert samples[("empty_h_sum", None)] == "0"
+        assert samples[("empty_h_count", None)] == "0"
+
+    def test_labelled_family_with_no_children_renders_header_only(self):
+        registry = MetricRegistry()
+        registry.histogram("lazy_h", "No children yet.", ("model",), buckets=(1.0,))
+        text = registry.render_prometheus()
+        assert "# HELP lazy_h No children yet." in text
+        assert "# TYPE lazy_h histogram" in text
+        assert "lazy_h_bucket" not in text  # no series until a label is touched
+
+    def test_touched_but_unobserved_child_renders_zeroes(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("lazy_h", "h.", ("model",), buckets=(1.0,))
+        hist.labels("demo")  # child created, nothing observed
+        samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+        }
+        assert samples[("lazy_h_bucket", "+Inf")] == "0"
+        assert samples[("lazy_h_count", None)] == "0"
+
+    def test_empty_counter_and_gauge_still_render(self):
+        registry = MetricRegistry()
+        registry.counter("c_total", "c.")
+        registry.gauge("g", "g.")
+        samples = dict(
+            (name, value)
+            for name, _, value in _parse_samples(registry.render_prometheus())
+        )
+        assert samples["c_total"] == "0"
+        assert samples["g"] == "0"
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            'quote " inside',
+            "back\\slash",
+            "new\nline",
+            'all \\ of " them\ntogether',
+            "trailing backslash\\",
+        ],
+    )
+    def test_label_value_round_trips_through_exposition(self, raw):
+        registry = MetricRegistry()
+        counter = registry.counter("c_total", "c.", ("model",))
+        counter.labels(raw).inc(3)
+        samples = _parse_samples(registry.render_prometheus())
+        assert samples == [("c_total", {"model": raw}, "3")]
+
+    def test_escaped_line_contains_no_raw_newline(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c_total", "c.", ("model",))
+        counter.labels("a\nb").inc()
+        text = registry.render_prometheus()
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1  # the newline never split the sample
+
+    def test_escape_helper_order_backslash_first(self):
+        # Escaping the backslash first keeps the encoding unambiguous:
+        # '\n' (literal backslash + n) must NOT collapse into a newline.
+        assert _escape_label_value("\\n") == "\\\\n"
+        assert _unescape(_escape_label_value("\\n")) == "\\n"
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("c_total", "line one\nline two")
+        text = registry.render_prometheus()
+        assert "# HELP c_total line one\\nline two" in text
+
+    def test_histogram_le_coexists_with_escaped_labels(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("h", "h.", ("model",), buckets=(1.0,))
+        hist.observe_labels(0.5, 'mo"del')
+        samples = [
+            (labels["model"], labels["le"], value)
+            for name, labels, value in _parse_samples(registry.render_prometheus())
+            if name == "h_bucket"
+        ]
+        assert samples == [('mo"del', "1", "1"), ('mo"del', "+Inf", "1")]
