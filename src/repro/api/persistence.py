@@ -1,4 +1,4 @@
-"""Versioned model persistence: JSON structure + NPZ arrays, one archive.
+"""Versioned model persistence: JSON structure + mmap-able arrays, one archive.
 
 A fitted tree (or a whole fitted classifier) can be shipped to a serving
 process without retraining:
@@ -8,24 +8,43 @@ process without retraining:
   Python's ``repr``-based float serialisation makes the round trip
   bit-exact), also exposed as ``DecisionTree.to_dict`` / ``from_dict``;
 * :func:`save_tree` / :func:`load_tree` — a single ``.zip`` archive holding
-  ``model.json`` (structure, labels, metadata) plus ``arrays.npz`` (all
-  class-distribution vectors in one float64 matrix), also exposed as
-  ``DecisionTree.save`` / ``load``;
+  ``model.json`` (structure, labels, metadata) plus the stacked
+  class-distribution matrix, also exposed as ``DecisionTree.save`` /
+  ``load``;
 * :func:`save_model` / :func:`load_model` — the same archive for a fitted
   :class:`~repro.core.udt.UDTClassifier` / ``AveragingClassifier``,
   including constructor params (specs serialise declaratively) and the
   fitted sklearn-style attributes — and, since format version 2, for the
   bagged forests of :mod:`repro.ensemble` (``kind: "forest"``: one
   ``model.json`` holding every member tree plus its feature-column subset,
-  all distribution vectors stacked into the shared ``arrays.npz`` matrix).
+  all distribution vectors stacked into one shared matrix);
+* :func:`model_from_payload` — rebuild a model from an already-parsed
+  ``model.json`` payload plus its distribution matrix, however that matrix
+  was obtained (mmap, npz, or a ``multiprocessing.shared_memory`` segment —
+  the zero-copy attach path used by the serving worker pool).
 
 Format history:
 
 * **v1** — single trees (``kind: "decision_tree"``) and single-tree
-  estimators (``kind: "estimator"``).
+  estimators (``kind: "estimator"``); arrays in compressed ``arrays.npz``.
 * **v2** — adds forest archives (``kind: "forest"``).  The v1 layouts are
   unchanged, so v1 archives load bit-identically under v2 (golden-fixture
   tested in ``tests/property/test_persistence_roundtrip.py``).
+* **v3** — replaces ``arrays.npz`` with ``arrays.bin``: the raw stacked
+  float64 matrix stored *uncompressed* in the zip, its start page-aligned
+  (4096 bytes) via local-header extra-field padding, and described by an
+  ``arrays`` header in ``model.json`` (member name, dtype, shape, order).
+  ``load_model`` memory-maps the member in place instead of decompressing a
+  copy, and every tree node holds a row *view* into the shared matrix.
+  Structure and JSON layout are otherwise identical to v2, so v3 round
+  trips are bit-identical to v2; :func:`save_model` / :func:`save_tree`
+  still emit v1/v2 on request (``format_version=``).
+
+Whatever the archive version, loaded nodes reference rows of one shared
+matrix (``model._shared_arrays``) — the v1/v2 path stacks the npz matrix in
+memory, the v3 path maps the file — so per-model memory is O(matrix), not
+O(matrix × nodes), and a serving parent can publish the matrix once to a
+whole worker pool.
 
 Every archive records ``format_version``; loading refuses versions newer
 than :data:`FORMAT_VERSION` (:class:`~repro.exceptions.FormatVersionError`)
@@ -39,6 +58,7 @@ from __future__ import annotations
 
 import io
 import json
+import struct
 import zipfile
 from pathlib import Path
 from typing import Hashable
@@ -57,22 +77,42 @@ __all__ = [
     "load_tree",
     "save_model",
     "load_model",
+    "model_from_payload",
     "read_model_metadata",
+    "read_model_payload_bytes",
 ]
 
 #: Current on-disk format version; bump on incompatible layout changes.
 #: v1: single trees and single-tree estimators.  v2: adds ``kind: "forest"``
-#: archives (the v1 layouts are unchanged and keep loading bit-identically).
-FORMAT_VERSION = 2
+#: archives.  v3: mmap-able uncompressed ``arrays.bin`` replaces
+#: ``arrays.npz`` (v1/v2 layouts keep loading bit-identically).
+FORMAT_VERSION = 3
 
 #: Name of the JSON member inside the archive.
 _JSON_MEMBER = "model.json"
 
-#: Name of the NPZ member inside the archive.
+#: Name of the NPZ member inside v1/v2 archives.
 _NPZ_MEMBER = "arrays.npz"
+
+#: Name of the raw array-block member inside v3 archives.
+_BIN_MEMBER = "arrays.bin"
+
+#: Alignment (bytes) of the raw array block's file offset: one page, so the
+#: mapped matrix shares clean page-cache pages across processes.
+_ALIGN = 4096
+
+#: Extra-field ID used for the alignment padding in the ``arrays.bin`` local
+#: header (the "zipalign" technique: padding lives in the header's extra
+#: field, so any zip reader still sees a perfectly ordinary stored member).
+_PAD_EXTRA_ID = 0xD935
 
 #: Node-dict keys whose values are class-distribution arrays.
 _ARRAY_KEYS = ("distribution", "fallback", "training_distribution")
+
+#: Internal marker set on restored leaf dicts whose stored distribution row
+#: can be adopted verbatim by :meth:`LeafNode.restored` (already normalised,
+#: no negative mass), skipping the constructor's renormalisation.
+_VERBATIM_KEY = "_verbatim"
 
 
 def _encode_scalar(value: Hashable, what: str):
@@ -87,11 +127,19 @@ def _encode_scalar(value: Hashable, what: str):
     )
 
 
-def _node_to_dict(node: TreeNode) -> dict:
+def _encode_array(value, raw: bool):
+    """One distribution vector: float64 ndarray (archive path) or list (JSON)."""
+    array = np.asarray(value, dtype=float)
+    return array if raw else array.tolist()
+
+
+def _node_to_dict(node: TreeNode, raw: bool = False) -> dict:
+    """Encode one node; ``raw=True`` keeps ndarrays (archive writers extract
+    them into the stacked matrix, so the list round trip is skipped)."""
     if isinstance(node, LeafNode):
         return {
             "type": "leaf",
-            "distribution": np.asarray(node.distribution, dtype=float).tolist(),
+            "distribution": _encode_array(node.distribution, raw),
             "training_weight": float(node.training_weight),
         }
     assert isinstance(node, InternalNode)
@@ -99,7 +147,7 @@ def _node_to_dict(node: TreeNode) -> dict:
         "attribute_index": int(node.attribute_index),
         "training_weight": float(node.training_weight),
         "training_distribution": (
-            np.asarray(node.training_distribution, dtype=float).tolist()
+            _encode_array(node.training_distribution, raw)
             if node.training_distribution is not None
             else None
         ),
@@ -109,8 +157,8 @@ def _node_to_dict(node: TreeNode) -> dict:
         encoded.update(
             type="num",
             split_point=float(node.split_point),
-            left=_node_to_dict(node.left),
-            right=_node_to_dict(node.right),
+            left=_node_to_dict(node.left, raw),
+            right=_node_to_dict(node.right, raw),
         )
     else:
         # Branch order is preserved (list of pairs, insertion order): batch
@@ -119,13 +167,11 @@ def _node_to_dict(node: TreeNode) -> dict:
         encoded.update(
             type="cat",
             branches=[
-                [_encode_scalar(category, "branch category"), _node_to_dict(child)]
+                [_encode_scalar(category, "branch category"), _node_to_dict(child, raw)]
                 for category, child in node.branches.items()
             ],
             fallback=(
-                np.asarray(node.fallback, dtype=float).tolist()
-                if node.fallback is not None
-                else None
+                _encode_array(node.fallback, raw) if node.fallback is not None else None
             ),
         )
     return encoded
@@ -134,11 +180,20 @@ def _node_to_dict(node: TreeNode) -> dict:
 def _node_from_dict(data: dict) -> TreeNode:
     node_type = data["type"]
     if node_type == "leaf":
-        distribution = np.asarray(data["distribution"], dtype=float)
-        leaf = LeafNode(
-            distribution,
-            training_weight=data.get("training_weight", 0.0),
-        )
+        distribution = data["distribution"]
+        training_weight = data.get("training_weight", 0.0)
+        if isinstance(distribution, np.ndarray):
+            # Archive path: the distribution is a row view into the shared
+            # matrix.  _restore_arrays precomputed (vectorised, whole matrix
+            # at once) whether the stored bits can be adopted verbatim —
+            # already normalised, no negative mass — in which case the
+            # constructor's checks and renormalisation are skipped entirely
+            # and the leaf keeps the zero-copy view.
+            if data.get(_VERBATIM_KEY):
+                return LeafNode.restored(distribution, float(training_weight))
+            return LeafNode(distribution, training_weight=training_weight)
+        distribution = np.asarray(distribution, dtype=float)
+        leaf = LeafNode(distribution, training_weight=training_weight)
         # Saved archives hold already-normalised distributions, but the
         # constructor's safety renormalisation (dist / sum) is not
         # bit-idempotent when the stored sum is 0.999... instead of exactly
@@ -175,8 +230,7 @@ def _node_from_dict(data: dict) -> TreeNode:
     raise PersistenceError(f"unknown node type {node_type!r}")
 
 
-def tree_to_dict(tree: DecisionTree) -> dict:
-    """Fully JSON-able encoding of a decision tree (arrays inlined)."""
+def _tree_dict(tree: DecisionTree, raw: bool) -> dict:
     from repro import __version__
 
     return {
@@ -192,8 +246,13 @@ def tree_to_dict(tree: DecisionTree) -> dict:
             for attribute in tree.attributes
         ],
         "class_labels": [_encode_scalar(v, "class label") for v in tree.class_labels],
-        "root": _node_to_dict(tree.root),
+        "root": _node_to_dict(tree.root, raw),
     }
+
+
+def tree_to_dict(tree: DecisionTree) -> dict:
+    """Fully JSON-able encoding of a decision tree (arrays inlined)."""
+    return _tree_dict(tree, raw=False)
 
 
 def _check_version(data: dict) -> None:
@@ -210,6 +269,22 @@ def _check_version(data: dict) -> None:
             archive_version=version,
             supported_version=FORMAT_VERSION,
         )
+
+
+def _resolve_format_version(format_version) -> int:
+    """Validate a requested save format version (``None`` = current)."""
+    if format_version is None:
+        return FORMAT_VERSION
+    try:
+        version = int(format_version)
+    except (TypeError, ValueError):
+        raise PersistenceError(f"invalid format_version: {format_version!r}") from None
+    if not 1 <= version <= FORMAT_VERSION:
+        raise PersistenceError(
+            f"cannot save format version {version}; this library "
+            f"writes versions 1..{FORMAT_VERSION}"
+        )
+    return version
 
 
 def _attributes_from_payload(entries: list) -> list[Attribute]:
@@ -234,18 +309,18 @@ def tree_from_dict(data: dict) -> DecisionTree:
     )
 
 
-# -- archive layer (JSON + NPZ in one zip) ------------------------------------
+# -- archive layer (JSON + array block in one zip) -----------------------------
 
 
 def _extract_arrays(node: dict, arrays: list) -> None:
     """Move distribution vectors out of ``node`` (in place) into ``arrays``.
 
     Values under the :data:`_ARRAY_KEYS` keys are replaced by an integer row
-    index into the stacked NPZ matrix; ``None`` values stay ``None``.
+    index into the stacked matrix; ``None`` values stay ``None``.
     """
     for key in _ARRAY_KEYS:
         value = node.get(key)
-        if isinstance(value, list):
+        if isinstance(value, (list, np.ndarray)):
             node[key] = {"npz": len(arrays)}
             arrays.append(value)
     if node["type"] == "num":
@@ -256,73 +331,217 @@ def _extract_arrays(node: dict, arrays: list) -> None:
             _extract_arrays(child, arrays)
 
 
-def _restore_arrays(node: dict, matrix: np.ndarray) -> None:
+def _verbatim_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows adoptable verbatim by :meth:`LeafNode.restored` (one vectorised
+    pass instead of a per-leaf sum): already normalised, no negative mass
+    beyond the constructor's -1e-12 tolerance."""
+    if matrix.size == 0:
+        return np.zeros(matrix.shape[0] if matrix.ndim else 0, dtype=bool)
+    verbatim = np.abs(matrix.sum(axis=1) - 1.0) <= 1e-9
+    if verbatim.any():
+        verbatim &= ~(matrix < -1e-12).any(axis=1)
+    return verbatim
+
+
+def _restore_arrays(node: dict, matrix: np.ndarray, verbatim: np.ndarray) -> None:
+    """Replace row references with zero-copy row *views* into ``matrix``.
+
+    No ``.tolist()`` round trip: every restored vector is a slice of the one
+    shared (read-only) matrix, whether that matrix came from the npz member
+    (v1/v2), an mmap of ``arrays.bin`` (v3), or a shared-memory segment.
+    """
     for key in _ARRAY_KEYS:
         value = node.get(key)
         if isinstance(value, dict):
-            node[key] = matrix[value["npz"]].tolist()
+            row = value["npz"]
+            node[key] = matrix[row]
+            if key == "distribution":
+                node[_VERBATIM_KEY] = bool(verbatim[row])
     if node["type"] == "num":
-        _restore_arrays(node["left"], matrix)
-        _restore_arrays(node["right"], matrix)
+        _restore_arrays(node["left"], matrix, verbatim)
+        _restore_arrays(node["right"], matrix, verbatim)
     elif node["type"] == "cat":
         for _, child in node["branches"]:
-            _restore_arrays(child, matrix)
+            _restore_arrays(child, matrix, verbatim)
 
 
-def _write_archive(path, payload: dict) -> None:
-    """Write ``payload`` as a zip of ``model.json`` + ``arrays.npz``.
+def _restore_payload_arrays(payload: dict, matrix: np.ndarray) -> None:
+    """Rewire every tree in ``payload`` onto row views of ``matrix``."""
+    verbatim = _verbatim_rows(matrix)
+    if "tree" in payload:
+        _restore_arrays(payload["tree"]["root"], matrix, verbatim)
+    for member in payload.get("trees") or ():
+        _restore_arrays(member["root"], matrix, verbatim)
+
+
+def _write_aligned_bin(archive: zipfile.ZipFile, matrix: np.ndarray) -> None:
+    """Append ``arrays.bin`` uncompressed with its data start page-aligned.
+
+    Alignment uses the zipalign technique: the local file header grows a
+    padding extra field so the *data* (not the header) starts on a 4096-byte
+    boundary, which keeps ``np.memmap`` views page-clean and shareable.
+    """
+    data = np.ascontiguousarray(matrix, dtype="<f8").tobytes()
+    info = zipfile.ZipInfo(_BIN_MEMBER)
+    info.compress_type = zipfile.ZIP_STORED
+    info.external_attr = 0o644 << 16
+    name_length = len(_BIN_MEMBER.encode("utf-8"))
+    data_start = archive.start_dir + 30 + name_length
+    pad = (-data_start) % _ALIGN
+    if 0 < pad < 4:
+        # An extra field needs a 4-byte header of its own.
+        pad += _ALIGN
+    if pad:
+        info.extra = struct.pack("<HH", _PAD_EXTRA_ID, pad - 4) + bytes(pad - 4)
+    archive.writestr(info, data)
+    if data and (archive.start_dir - len(data)) % _ALIGN:
+        raise PersistenceError("internal error: arrays.bin data is not page-aligned")
+
+
+def _write_archive(path, payload: dict, format_version: int) -> None:
+    """Write ``payload`` as a zip of ``model.json`` + the array block.
 
     All class-distribution vectors share one length (``n_classes``), so they
     stack into a single float64 matrix — exact, compact, and loadable
-    without parsing the JSON number grammar.
+    without parsing the JSON number grammar.  v1/v2 store the matrix as
+    compressed ``arrays.npz``; v3 stores it raw and page-aligned
+    (``arrays.bin``) so loaders mmap it instead of copying.
     """
+    if format_version < 2 and payload.get("kind") == "forest":
+        raise PersistenceError(
+            "forest archives need format version >= 2; "
+            f"requested version {format_version}"
+        )
     arrays: list = []
     if "tree" in payload:
         _extract_arrays(payload["tree"]["root"], arrays)
     for member in payload.get("trees") or ():
         # Forest archives: every member tree's vectors share the same
-        # n_classes length, so they all stack into the one NPZ matrix.
+        # n_classes length, so they all stack into the one matrix.
         _extract_arrays(member["root"], arrays)
     matrix = (
         np.asarray(arrays, dtype=np.float64) if arrays else np.zeros((0, 0), dtype=np.float64)
     )
-    npz_buffer = io.BytesIO()
-    np.savez_compressed(npz_buffer, distributions=matrix)
+    payload["format_version"] = format_version
+    if format_version >= 3:
+        payload["arrays"] = {
+            "member": _BIN_MEMBER,
+            "dtype": "<f8",
+            "shape": [int(matrix.shape[0]), int(matrix.shape[1])],
+            "order": "C",
+            "align": _ALIGN,
+        }
+    else:
+        payload.pop("arrays", None)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
         archive.writestr(_JSON_MEMBER, json.dumps(payload, indent=1, sort_keys=True))
-        archive.writestr(_NPZ_MEMBER, npz_buffer.getvalue())
+        if format_version >= 3:
+            _write_aligned_bin(archive, matrix)
+        else:
+            npz_buffer = io.BytesIO()
+            np.savez_compressed(npz_buffer, distributions=matrix)
+            archive.writestr(_NPZ_MEMBER, npz_buffer.getvalue())
 
 
-def _read_archive(path) -> dict:
+def _member_data_offset(path: Path, info: zipfile.ZipInfo) -> int:
+    """File offset of a stored member's first data byte.
+
+    Parses the member's local file header (which may carry a longer extra
+    field than the central directory's copy — that is where the alignment
+    padding lives), so the offset is exact for any zip writer.
+    """
+    with open(path, "rb") as stream:
+        stream.seek(info.header_offset)
+        header = stream.read(30)
+    if len(header) != 30 or header[:4] != b"PK\x03\x04":
+        raise PersistenceError(f"corrupt local file header for {info.filename!r}")
+    name_length, extra_length = struct.unpack("<HH", header[26:30])
+    return info.header_offset + 30 + name_length + extra_length
+
+
+def _read_matrix(
+    archive: zipfile.ZipFile, path: Path, payload: dict, mmap_arrays: bool
+) -> np.ndarray:
+    """The stacked distribution matrix, mapped in place when possible.
+
+    v3 archives (an ``arrays`` header in ``model.json``) memory-map the
+    uncompressed ``arrays.bin`` member directly from the archive file —
+    zero decompression, zero copy, pages shared with every other process
+    mapping the same file.  v1/v2 archives decompress ``arrays.npz`` into
+    one in-memory matrix.  Either way the result is read-only: every tree
+    node aliases rows of it.
+    """
+    header = payload.get("arrays")
+    if header is not None:
+        member = header.get("member", _BIN_MEMBER)
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(n) for n in header["shape"])
+        if len(shape) != 2:
+            raise PersistenceError(f"invalid arrays shape {shape!r}")
+        count = shape[0] * shape[1]
+        info = archive.getinfo(member)
+        if info.file_size != count * dtype.itemsize:
+            raise PersistenceError(
+                f"array block {member!r} holds {info.file_size} bytes, "
+                f"header promises {count * dtype.itemsize}"
+            )
+        if count == 0:
+            return np.zeros(shape, dtype=dtype)
+        if mmap_arrays and info.compress_type == zipfile.ZIP_STORED:
+            offset = _member_data_offset(path, info)
+            return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+        matrix = np.frombuffer(archive.read(member), dtype=dtype).reshape(shape)
+        return matrix
+    with np.load(io.BytesIO(archive.read(_NPZ_MEMBER))) as npz:
+        matrix = npz["distributions"]
+    matrix.setflags(write=False)
+    return matrix
+
+
+def _read_archive(path, mmap_arrays: bool = True) -> tuple[dict, np.ndarray]:
+    """Parse an archive into its payload (arrays restored as views) + matrix."""
+    path = Path(path)
     try:
-        with zipfile.ZipFile(Path(path)) as archive:
+        with zipfile.ZipFile(path) as archive:
             payload = json.loads(archive.read(_JSON_MEMBER))
-            with np.load(io.BytesIO(archive.read(_NPZ_MEMBER))) as npz:
-                matrix = npz["distributions"]
+            # Version gate BEFORE touching the array member: a future (v4+)
+            # archive must fail with FormatVersionError naming both versions,
+            # never with a confusing missing-member error from a layout this
+            # build does not know.
+            _check_version(payload)
+            matrix = _read_matrix(archive, path, payload, mmap_arrays)
     except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
-        raise PersistenceError(f"cannot read model archive {path!r}: {exc}") from exc
-    _check_version(payload)
-    if "tree" in payload:
-        _restore_arrays(payload["tree"]["root"], matrix)
-    for member in payload.get("trees") or ():
-        _restore_arrays(member["root"], matrix)
-    return payload
+        raise PersistenceError(f"cannot read model archive {str(path)!r}: {exc}") from exc
+    _restore_payload_arrays(payload, matrix)
+    return payload, matrix
 
 
-def save_tree(tree: DecisionTree, path) -> None:
-    """Serialise a bare decision tree to a ``model.json`` + ``arrays.npz`` zip."""
-    payload = tree_to_dict(tree)
+def save_tree(tree: DecisionTree, path, *, format_version: int | None = None) -> None:
+    """Serialise a bare decision tree to a versioned zip archive.
+
+    ``format_version`` selects the on-disk layout (default: current,
+    :data:`FORMAT_VERSION`); pass ``2`` to produce archives loadable by
+    older deployments.
+    """
+    version = _resolve_format_version(format_version)
+    payload = _tree_dict(tree, raw=True)
     payload["tree"] = {"root": payload.pop("root")}
-    _write_archive(path, payload)
+    _write_archive(path, payload, version)
 
 
-def load_tree(path) -> DecisionTree:
-    """Load a tree saved by :func:`save_tree` (or the tree of a saved model)."""
-    payload = _read_archive(path)
+def load_tree(path, *, mmap_arrays: bool = True) -> DecisionTree:
+    """Load a tree saved by :func:`save_tree` (or the tree of a saved model).
+
+    Leaf distributions are read-only views into one shared matrix, kept on
+    the tree as ``_shared_arrays`` (an ``np.memmap`` for v3 archives).
+    """
+    payload, matrix = _read_archive(path, mmap_arrays=mmap_arrays)
     payload["root"] = payload.pop("tree")["root"]
-    return tree_from_dict(payload)
+    tree = tree_from_dict(payload)
+    tree._shared_arrays = matrix
+    return tree
 
 
 # -- fitted estimators --------------------------------------------------------
@@ -378,30 +597,33 @@ def _estimator_payload(model, kind: str) -> dict:
     }
 
 
-def save_model(model, path) -> None:
+def save_model(model, path, *, format_version: int | None = None) -> None:
     """Serialise a fitted classifier (params + fitted state + tree(s)).
 
-    Single-tree estimators write ``kind: "estimator"`` archives (the v1
-    layout, unchanged); forests (anything fitted with a ``trees_`` list)
-    write ``kind: "forest"`` archives introduced by format version 2.
+    Single-tree estimators write ``kind: "estimator"`` archives; forests
+    (anything fitted with a ``trees_`` list) write ``kind: "forest"``
+    archives introduced by format version 2.  ``format_version`` selects
+    the on-disk layout (default: current, :data:`FORMAT_VERSION`); pass
+    ``2`` to produce archives loadable by older deployments.
     """
+    version = _resolve_format_version(format_version)
     if getattr(model, "trees_", None):
-        _save_forest(model, path)
+        _save_forest(model, path, version)
         return
     tree = getattr(model, "tree_", None)
     if tree is None:
         raise PersistenceError("cannot save an unfitted model; call fit() first")
-    tree_payload = tree_to_dict(tree)
+    tree_payload = _tree_dict(tree, raw=True)
     payload = _estimator_payload(model, "estimator")
     payload.update(
         tree={"root": tree_payload["root"]},
         attributes=tree_payload["attributes"],
         class_labels=tree_payload["class_labels"],
     )
-    _write_archive(path, payload)
+    _write_archive(path, payload, version)
 
 
-def _save_forest(model, path) -> None:
+def _save_forest(model, path, format_version: int) -> None:
     """``kind: "forest"`` archive: every member tree plus its column subset."""
     feature_indices = getattr(model, "tree_feature_indices_", None)
     if feature_indices is None:
@@ -421,7 +643,7 @@ def _save_forest(model, path) -> None:
         ],
         trees=[
             {
-                "root": _node_to_dict(tree.root),
+                "root": _node_to_dict(tree.root, raw=True),
                 "feature_indices": (
                     [int(i) for i in indices] if indices is not None else None
                 ),
@@ -429,7 +651,7 @@ def _save_forest(model, path) -> None:
             for tree, indices in zip(model.trees_, feature_indices)
         ],
     )
-    _write_archive(path, payload)
+    _write_archive(path, payload, format_version)
 
 
 def _estimator_classes() -> dict:
@@ -448,11 +670,14 @@ def _estimator_classes() -> dict:
 def read_model_metadata(path) -> dict:
     """Cheap metadata header of a saved archive, without loading the tree.
 
-    Reads only the ``model.json`` member (the NPZ distribution matrix stays
-    untouched, and the node dictionaries are not converted back into tree
-    objects), so a model registry can describe hundreds of archives without
-    paying the full load cost.  Works for both estimator and bare-tree
-    archives; estimator-only fields are ``None`` for trees.
+    Reads only the ``model.json`` member (the distribution matrix — npz or
+    raw ``arrays.bin`` — stays untouched, and the node dictionaries are not
+    converted back into tree objects), so a model registry can describe
+    hundreds of archives without paying the full load cost.  For v3
+    archives the returned ``arrays`` block mirrors the header that
+    describes the mmap layout (member, dtype, shape); it is ``None`` for
+    v1/v2.  Works for both estimator and bare-tree archives;
+    estimator-only fields are ``None`` for trees.
     """
     path = Path(path)
     try:
@@ -466,6 +691,7 @@ def read_model_metadata(path) -> dict:
     class_labels = payload.get("class_labels") or []
     kind = payload.get("kind")
     is_forest = kind == "forest"
+    arrays_header = payload.get("arrays")
     return {
         "kind": kind,
         # Collapsed tree/forest axis for listings: every archive holds
@@ -484,7 +710,30 @@ def read_model_metadata(path) -> dict:
         ],
         "engine": params.get("engine"),
         "strategy": params.get("strategy"),
+        "arrays": (
+            {
+                "member": arrays_header.get("member"),
+                "dtype": arrays_header.get("dtype"),
+                "shape": list(arrays_header.get("shape") or ()),
+            }
+            if isinstance(arrays_header, dict)
+            else None
+        ),
     }
+
+
+def read_model_payload_bytes(path) -> bytes:
+    """Raw bytes of the archive's ``model.json`` member.
+
+    The serving parent pairs these bytes with the model's shared matrix in
+    one ``multiprocessing.shared_memory`` segment, so pool workers rebuild
+    the model (:func:`model_from_payload`) without ever opening the archive.
+    """
+    try:
+        with zipfile.ZipFile(Path(path)) as archive:
+            return archive.read(_JSON_MEMBER)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise PersistenceError(f"cannot read model archive {str(path)!r}: {exc}") from exc
 
 
 def _restore_fitted_arrays(model, payload: dict, attributes) -> None:
@@ -547,30 +796,60 @@ def _load_forest(payload: dict):
     return model
 
 
-def load_model(path):
-    """Load a classifier saved by :func:`save_model`, ready to predict.
-
-    Handles both single-tree ``kind: "estimator"`` archives (format v1 and
-    v2 — the layout is identical) and ``kind: "forest"`` archives (v2).
-    """
-    payload = _read_archive(path)
+def _model_from_restored(payload: dict, matrix: np.ndarray, what: str):
+    """Estimator from a payload whose arrays are already restored to views."""
     kind = payload.get("kind")
     if kind == "forest":
-        return _load_forest(payload)
-    if kind != "estimator":
+        model = _load_forest(payload)
+    elif kind == "estimator":
+        model = _instantiate_estimator(payload)
+        model.tree_ = tree_from_dict(
+            {
+                "format_version": payload["format_version"],
+                "attributes": payload["attributes"],
+                "class_labels": payload["class_labels"],
+                "root": payload["tree"]["root"],
+            }
+        )
+        model.classes_ = np.asarray(model.tree_.class_labels)
+        _restore_fitted_arrays(model, payload, model.tree_.attributes)
+    else:
         raise PersistenceError(
-            f"archive {path!r} holds {kind!r}, not an estimator; "
+            f"archive {what} holds {kind!r}, not an estimator; "
             "use load_tree() for bare trees"
         )
-    model = _instantiate_estimator(payload)
-    model.tree_ = tree_from_dict(
-        {
-            "format_version": payload["format_version"],
-            "attributes": payload["attributes"],
-            "class_labels": payload["class_labels"],
-            "root": payload["tree"]["root"],
-        }
-    )
-    model.classes_ = np.asarray(model.tree_.class_labels)
-    _restore_fitted_arrays(model, payload, model.tree_.attributes)
+    # The one matrix every node views into.  Keeping it on the model both
+    # anchors the mmap's lifetime explicitly and gives the serving layer the
+    # exact block to publish over shared memory.
+    model._shared_arrays = matrix
     return model
+
+
+def load_model(path, *, mmap_arrays: bool = True):
+    """Load a classifier saved by :func:`save_model`, ready to predict.
+
+    Handles ``kind: "estimator"`` and ``kind: "forest"`` archives of every
+    supported format version.  For v3 archives the distribution matrix is
+    memory-mapped straight out of the zip (set ``mmap_arrays=False`` to
+    force an in-memory copy, e.g. when the archive file is about to be
+    deleted); for v1/v2 it is decompressed once.  In all cases tree nodes
+    hold read-only row views into the single shared matrix, exposed as
+    ``model._shared_arrays``.
+    """
+    payload, matrix = _read_archive(path, mmap_arrays=mmap_arrays)
+    return _model_from_restored(payload, matrix, repr(str(path)))
+
+
+def model_from_payload(payload: dict, matrix: np.ndarray):
+    """Rebuild a model from a parsed ``model.json`` payload plus its matrix.
+
+    The zero-copy attach path: ``payload`` is the archive's JSON (arrays
+    still encoded as row references) and ``matrix`` is the stacked
+    distribution matrix from *anywhere* — an mmap, a decompressed npz, or a
+    view into a ``multiprocessing.shared_memory`` segment published by the
+    serving parent.  Mutates ``payload`` in place (row references become
+    views) and returns the fitted estimator with ``_shared_arrays`` set.
+    """
+    _check_version(payload)
+    _restore_payload_arrays(payload, matrix)
+    return _model_from_restored(payload, matrix, "payload")

@@ -180,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(results are identical to --jobs 1)")
     train_forest.add_argument("--engine", choices=ENGINE_NAMES, default="columnar",
                               help="tree-construction engine for the members")
+    train_forest.add_argument("--format-version", type=int, default=None,
+                              choices=(2, 3), metavar="{2,3}",
+                              help="persistence format of the saved archive: "
+                                   "3 (default) stores an mmap-able array "
+                                   "block, 2 writes arrays.npz for older "
+                                   "deployments")
 
     predict = subparsers.add_parser(
         "predict", help="offline scoring: apply a saved model to a CSV of rows"
@@ -437,7 +443,7 @@ def _run_train_forest(args) -> int:
             bootstrap=not args.no_bootstrap,
             feature_subsample=_parse_feature_subsample(args.feature_subsample),
         ).fit(matrix, y)
-        model.save(args.model)
+        model.save(args.model, format_version=args.format_version)
     except (ReproError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -551,6 +557,26 @@ def _configure_obs_logging(args) -> None:
     configure_logging(args.log_level or "info", args.log_format or "json")
 
 
+def _shutdown_on_sigterm() -> None:
+    """Route SIGTERM through the KeyboardInterrupt shutdown path.
+
+    `kill <pid>` is the documented way to stop a background server, but the
+    default SIGTERM action skips ``finally`` blocks and finalizers — which
+    would leak the shared-memory segments the serving registry publishes
+    for its worker pool.  Raising KeyboardInterrupt instead lets
+    ``server.close()`` unlink them exactly like Ctrl-C does.
+    """
+    import signal
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except ValueError:
+        pass  # not the main thread (embedded use); keep the default action
+
+
 def _run_serve(args) -> int:
     from repro.exceptions import ServingError
     from repro.serve import create_server
@@ -591,6 +617,7 @@ def _run_serve(args) -> int:
     print(f"serving {len(names)} model(s) on {server.url}", flush=True)
     for name in names:
         print(f"  - {name}", flush=True)
+    _shutdown_on_sigterm()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -644,6 +671,7 @@ def _run_router(args) -> int:
     for state in topology["replicas"]:
         verdict = "up" if state["healthy"] else "down"
         print(f"  - {state['url']} [{verdict}]", flush=True)
+    _shutdown_on_sigterm()
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -300,6 +300,14 @@ class ColumnarPdfStore:
 
         The store is cached on the dataset, so training and batch
         classification of the same dataset flatten it only once.
+
+        The source pdf arrays may be read-only views (e.g. rows of a
+        memory-mapped v3 archive or of an attached shared-memory segment):
+        the build concatenates them into arrays the store owns and never
+        writes back through its inputs, so read-only data flows through
+        training and batch descent unchanged.  The node distributions the
+        descent *produces against* (leaf rows of the model's shared
+        matrix) are likewise only ever read.
         """
         cached = getattr(dataset, "_columnar_store", None)
         if cached is not None:

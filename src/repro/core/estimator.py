@@ -306,11 +306,17 @@ class BaseTreeEstimator(ParamsMixin):
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Serialise the fitted estimator (see :mod:`repro.api.persistence`)."""
+    def save(self, path, *, format_version: int | None = None) -> None:
+        """Serialise the fitted estimator (see :mod:`repro.api.persistence`).
+
+        ``format_version`` selects the archive layout; the default (current
+        version) stores distributions in a page-aligned, mmap-able block,
+        while ``format_version=2`` emits archives loadable by older
+        deployments.
+        """
         from repro.api.persistence import save_model
 
-        save_model(self, path)
+        save_model(self, path, format_version=format_version)
 
 
 def clone_estimator(estimator):

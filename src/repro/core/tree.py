@@ -70,6 +70,21 @@ class LeafNode(TreeNode):
         self.distribution = dist / total if total > 0 else np.full(dist.size, 1.0 / dist.size)
         self.training_weight = float(training_weight)
 
+    @classmethod
+    def restored(cls, distribution: np.ndarray, training_weight: float = 0.0) -> "LeafNode":
+        """Leaf adopting an already-validated distribution verbatim.
+
+        The persistence layer uses this for archive rows it has vectorised
+        checks for (normalised, non-negative): the array — typically a
+        read-only row view into the model's shared mmap/shared-memory
+        matrix — is stored as-is, without the constructor's renormalising
+        copy, so every leaf of a loaded model aliases the one matrix.
+        """
+        leaf = cls.__new__(cls)
+        leaf.distribution = distribution
+        leaf.training_weight = training_weight
+        return leaf
+
     @property
     def is_leaf(self) -> bool:
         return True
@@ -123,7 +138,11 @@ class InternalNode(TreeNode):
         self.left = left
         self.right = right
         self.branches = branches or {}
-        self.fallback = fallback
+        # Arrays end to end: coercing here lets every consumer (recursive
+        # and columnar classification, persistence) rely on ndarray
+        # semantics, while restored nodes pass row views of the shared
+        # matrix through np.asarray unchanged (no copy).
+        self.fallback = np.asarray(fallback, dtype=float) if fallback is not None else None
         self.training_weight = float(training_weight)
         self.training_distribution = training_distribution
         if self.is_numerical_test:
@@ -288,7 +307,7 @@ class DecisionTree:
             fallback = node.fallback
             if fallback is None:
                 fallback = np.full(len(self.class_labels), 1.0 / len(self.class_labels))
-            result += weight * unmatched * np.asarray(fallback)
+            result += weight * unmatched * fallback
 
     def predict(self, item: UncertainTuple) -> Hashable:
         """Single most probable class label for one tuple."""
@@ -372,9 +391,7 @@ class DecisionTree:
                 )
                 stack.append((node.branches[category], child_view))
             if unmatched_ids:
-                fallback = (
-                    np.asarray(node.fallback) if node.fallback is not None else uniform
-                )
+                fallback = node.fallback if node.fallback is not None else uniform
                 result[unmatched_ids] += (
                     np.asarray(unmatched_weights)[:, None] * fallback[None, :]
                 )
@@ -452,11 +469,16 @@ class DecisionTree:
 
         return tree_from_dict(data)
 
-    def save(self, path) -> None:
-        """Write the tree as a versioned ``model.json`` + ``arrays.npz`` archive."""
+    def save(self, path, *, format_version: int | None = None) -> None:
+        """Write the tree as a versioned archive (``model.json`` + arrays).
+
+        ``format_version`` selects the on-disk layout; the default (current
+        version) stores the distribution matrix as a page-aligned,
+        mmap-able block — see :mod:`repro.api.persistence`.
+        """
         from repro.api.persistence import save_tree
 
-        save_tree(self, path)
+        save_tree(self, path, format_version=format_version)
 
     @classmethod
     def load(cls, path) -> "DecisionTree":

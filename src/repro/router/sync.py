@@ -10,10 +10,15 @@ changes).  :func:`sync_archives` brings the replica directories up to date:
   (``shutil.copystat``), so an unchanged source is recognised as in-sync
   on every later pass without hashing file contents;
 * **atomicity**: each archive is copied to a ``.sync-tmp`` sibling in the
-  destination directory and moved into place with :func:`os.replace`.
-  The rename is atomic on POSIX, so a replica's registry either sees the
-  old complete archive or the new complete archive — never a half-written
-  zip (which would surface as a 500 on the next predict for that model);
+  destination directory, fsynced, and moved into place with
+  :func:`os.replace`.  The rename is atomic on POSIX, so a replica's
+  registry either sees the old complete archive or the new complete
+  archive — never a half-written zip (which would surface as a 500 on the
+  next predict for that model).  Replacing by rename also gives the new
+  file a *new inode*: a replica that has memory-mapped the old archive's
+  v3 array block (:mod:`repro.api.persistence`) keeps serving its pinned
+  snapshot from the old inode untouched until its registry remaps, which
+  is exactly the hot-reload drain contract of the serving tier;
 * **pruning** (opt-in ``delete=True``) removes destination archives whose
   source has disappeared, so undeployed models stop serving.
 
@@ -68,10 +73,21 @@ def _signature(path: Path) -> "tuple[int, int]":
 
 
 def _copy_atomic(source: Path, destination: Path) -> None:
-    """Stage-then-rename copy that preserves the source's (mtime, size)."""
+    """Stage-fsync-rename copy that preserves the source's (mtime, size).
+
+    The fsync before the rename matters for mmap-first archives: once the
+    rename publishes the new name, a replica may immediately memory-map the
+    array block, so the staged bytes must be durably complete — a crash
+    must never leave the *published* name pointing at partially written
+    data.  The old inode, if any replica still maps it, lives on until the
+    last mapping closes; ``os.replace`` only swaps the name.
+    """
     staging = destination.with_name(destination.name + _TMP_SUFFIX)
     try:
-        shutil.copyfile(source, staging)
+        with open(source, "rb") as stream_in, open(staging, "wb") as stream_out:
+            shutil.copyfileobj(stream_in, stream_out)
+            stream_out.flush()
+            os.fsync(stream_out.fileno())
         shutil.copystat(source, staging)
         os.replace(staging, destination)
     except BaseException:

@@ -615,29 +615,46 @@ class InferenceEngine:
 
     def _invoke(self, model_name: str, model, matrix: np.ndarray) -> np.ndarray:
         if self.pool is not None:
-            # The workers rebuild the model from its archive, addressed by
-            # path — but the batch was validated (and will be cached and
-            # labelled) against *this* snapshot.  The snapshot token pins
-            # the two together: workers serve only while the file on disk
-            # still is the snapshot's (mtime, size); if a hot reload raced
-            # the queue, fall back to classifying in-process with the exact
-            # snapshot object, so pool mode never mixes two models' outputs.
+            # The batch was validated (and will be cached and labelled)
+            # against *this* snapshot, so the workers must serve exactly it.
+            # Preferred path: the registry publishes the snapshot once as a
+            # shared-memory segment (archive JSON + the matrix the nodes
+            # view into) and workers attach by name + generation — zero
+            # archive I/O, one physical copy of the matrix for the whole
+            # pool.  Acquiring the segment pins it for this batch: a hot
+            # reload retiring it can unlink the memory only after we
+            # release (the remap's drain step).
             snapshot = self.registry.snapshot_token(model_name, model)
-            if snapshot is not None:
-                path, token = snapshot
+            segment = None
+            shared = getattr(self.registry, "shared_segment", None)
+            if shared is not None:
+                segment = shared(model_name, model)
+            if snapshot is not None or segment is not None:
+                path, token = snapshot if snapshot is not None else (None, None)
+                if path is None:
+                    path = segment.spec["model"]
                 try:
-                    result = self.pool.predict_proba(path, matrix, expected_token=token)
+                    result = self.pool.predict_proba(
+                        path,
+                        matrix,
+                        expected_token=token,
+                        segment=segment.spec if segment is not None else None,
+                    )
                 except Exception:
                     # A broken pool (worker OOM-killed, executor shut down)
                     # must degrade the server to in-process serving, not
                     # turn every subsequent request into an error: the
                     # snapshot in hand can always answer correctly.
                     result = None
+                finally:
+                    if segment is not None:
+                        segment.release()
                 if result is not None:
                     return result
-            # Refused token, pool breakage, or a reload that beat the
-            # snapshot: the batch is served in-process — visible in the
-            # pool-utilisation metrics as a fallback.
+            # Refused snapshot (token and segment both stale), pool
+            # breakage, or a reload that beat the queue: the batch is
+            # served in-process — visible in the pool-utilisation metrics
+            # as a fallback.
             self.metrics.record_pool_fallback()
         return invoke_model(model, matrix, self.predict_engine)
 

@@ -392,10 +392,13 @@ class ServingHTTPServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def close(self) -> None:
-        """Shut down the listener and the coalescer thread."""
+        """Shut down the listener, the coalescer thread, and shared memory."""
         self.shutdown()
         self.server_close()
         self.engine.close()
+        # After the engine drained, no batch pins a segment any more: every
+        # published model snapshot can be unlinked from shared memory.
+        self.registry.close()
 
 
 def create_server(
@@ -475,6 +478,8 @@ def create_server(
         )
     except BaseException:
         # A failed preload (corrupt archive) or bind (port in use) must not
-        # strand the coalescer thread and the pool's worker processes.
+        # strand the coalescer thread, the pool's worker processes, or any
+        # shared-memory segments already published for preloaded models.
         engine.close()
+        registry.close()
         raise

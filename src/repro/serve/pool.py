@@ -9,16 +9,22 @@ through the parent interpreter.
 
 Design constraints that make this correct:
 
-* **models are rebuilt per worker** — a persisted archive is loaded with
-  :func:`repro.api.persistence.load_model` inside each worker process (the
-  columnar pdf store is picklable *by reconstruction*, so shipping the
-  path, not the object, is both cheaper and always consistent with disk).
-  Workers cache the loaded model keyed by the file's ``(mtime_ns, size)``
-  and the engine passes the token its own snapshot was loaded from, so a
-  hot reload racing a queued batch makes the workers refuse (the engine
-  then serves that batch in-process from the exact snapshot) and the next
-  batch picks the retrained archive up — the registry's hot-reload rule,
-  without ever mixing two models' outputs.
+* **models are shared, not rebuilt** — the parent publishes each model
+  snapshot once as a :class:`~repro.serve.shm.SharedModelSegment` (archive
+  JSON + the distribution matrix every tree node views into) and workers
+  attach it by name + generation (:func:`repro.serve.shm.attach_model`):
+  zero archive I/O in the workers, and the matrix — the bulk of a model —
+  occupies physical memory once for the whole pool instead of once per
+  process.  Segments are generation-tokened, so a hot reload racing a
+  queued batch can never mix two models' outputs: workers either serve the
+  exact published snapshot or (segment already drained) refuse with
+  ``None`` and the engine serves that batch in-process from its own pinned
+  snapshot.
+* **archive-rebuild fallback** — when no segment is available (shared
+  memory unsupported, or the pool is driven directly by path), workers
+  fall back to loading the archive themselves, cached per ``(mtime_ns,
+  size)`` token exactly as before; ``expected_token`` pins that path the
+  same way the segment generation pins the shared path.
 * **bit-identical outputs** — every row of a batch is classified
   independently, so splitting a matrix with :func:`numpy.array_split` and
   concatenating the per-shard probability blocks in shard order returns
@@ -65,8 +71,10 @@ def _worker_context():
     context.set_forkserver_preload(["repro.serve.engine", "repro.serve.pool"])
     return context
 
-#: Per-process model cache: path -> (mtime_ns, size, loaded model).  Lives in
-#: the *worker* processes; the parent never populates it.
+#: Per-process model cache for the archive-rebuild fallback:
+#: path -> (mtime_ns, size, loaded model).  Lives in the *worker* processes;
+#: the parent never populates it.  (The shared-memory fast path keeps its
+#: own attachment cache in :mod:`repro.serve.shm`.)
 _WORKER_MODELS: dict = {}
 
 
@@ -95,11 +103,24 @@ def _worker_model(path: str, expected_token):
     return cached[1]
 
 
-def _worker_predict(path: str, predict_engine: str, expected_token, matrix):
-    """Classify one shard inside a worker process (``None`` = token refused)."""
+def _worker_predict(path: str, predict_engine: str, expected_token, segment, matrix):
+    """Classify one shard inside a worker process (``None`` = snapshot refused).
+
+    ``segment`` (a :class:`~repro.serve.shm.SharedModelSegment` spec dict)
+    selects the zero-copy path: attach the published segment and serve from
+    it, never touching the archive.  Without a spec — or if the segment has
+    already been drained — the worker falls back to the token-pinned
+    archive rebuild.
+    """
     from repro.serve.engine import invoke_model
 
-    model = _worker_model(path, expected_token)
+    model = None
+    if segment is not None:
+        from repro.serve.shm import attach_model
+
+        model = attach_model(segment)
+    if model is None:
+        model = _worker_model(path, expected_token)
     if model is None:
         return None
     return invoke_model(model, matrix, predict_engine)
@@ -161,19 +182,22 @@ class WorkerPool:
         return min(self.n_workers, by_size)
 
     def predict_proba(
-        self, model_path, matrix: np.ndarray, *, expected_token=None
+        self, model_path, matrix: np.ndarray, *, expected_token=None, segment=None
     ) -> "np.ndarray | None":
         """Class probabilities for ``matrix``, computed across the workers.
 
         The matrix is split into up to ``n_workers`` contiguous shards
         (never smaller than ``min_shard_rows``), each classified by a worker
-        against its own copy of the model at ``model_path``, and the
-        per-shard blocks are concatenated back in order — bit-identical to
-        one in-process ``predict_proba`` call.
+        against the shared model snapshot, and the per-shard blocks are
+        concatenated back in order — bit-identical to one in-process
+        ``predict_proba`` call.
 
-        ``expected_token`` (the archive's ``(mtime_ns, size)`` at snapshot
-        load time) pins the workers to exactly those bytes; if any worker
-        finds the file changed or gone, the call returns ``None`` and the
+        ``segment`` (a published :class:`~repro.serve.shm.SharedModelSegment`
+        spec) lets workers attach the snapshot over shared memory instead of
+        rebuilding from ``model_path``.  ``expected_token`` (the archive's
+        ``(mtime_ns, size)`` at snapshot load time) pins the archive
+        fallback to exactly those bytes.  If any worker cannot serve the
+        pinned snapshot either way, the call returns ``None`` and the
         caller serves its own model snapshot in-process instead.
         """
         executor = self._executor
@@ -190,7 +214,7 @@ class WorkerPool:
             self.metrics.record_pool(len(shards))
         futures = [
             executor.submit(
-                _worker_predict, path, self.predict_engine, expected_token, shard
+                _worker_predict, path, self.predict_engine, expected_token, segment, shard
             )
             for shard in shards
         ]

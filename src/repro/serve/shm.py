@@ -1,0 +1,225 @@
+"""Shared-memory model segments: publish once, attach from every worker.
+
+The worker pool used to rebuild each model from its zip archive inside every
+worker process — O(model × workers) memory and cold-start.  With persistence
+format v3 the loaded model already *is* one flat block (``model.json`` bytes
+plus the stacked distribution matrix the tree nodes view into), so the
+serving parent can publish exactly that block once as a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and let workers
+attach by name:
+
+* :class:`SharedModelSegment` — parent side.  Created per model snapshot
+  (name + generation token), it carries the archive's ``model.json`` bytes
+  followed by the page-aligned matrix.  The segment is reference-counted:
+  the engine acquires it around each pool batch, a hot reload ``retire()``-s
+  it, and the backing memory is unlinked only when the last in-flight batch
+  releases it — the drain step of the registry's atomic remap.
+* :func:`attach_model` — worker side.  Attaches by segment name, rebuilds
+  the model with :func:`repro.api.persistence.model_from_payload` (node
+  distributions are views straight into the mapped segment — no archive
+  I/O, no decompression, no per-node copies), and caches one attachment per
+  model name, closing the previous generation's mapping when a new one
+  arrives.
+
+Because the payload travels inside the segment, workers never read the
+archive file: a hot reload can rewrite the file freely while in-flight
+batches keep serving the pinned generation.  Attach failures (the segment
+was already unlinked) simply return ``None`` and the engine serves that
+batch in-process from its own snapshot — the same degradation contract the
+token-pinned archive path has always had.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import weakref
+from itertools import count
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedModelSegment", "attach_model", "segment_prefix"]
+
+#: Alignment of the matrix block inside the segment (one page, so the
+#: matrix pages are clean and shareable, mirroring the v3 archive layout).
+_ALIGN = 4096
+
+#: Distinguishes this process's segments in ``/dev/shm`` listings (tests
+#: assert no segments leak after a drain / registry close).
+_PREFIX = f"repro-shm-{os.getpid()}"
+
+_SEQUENCE = count()
+
+
+def segment_prefix() -> str:
+    """Name prefix of every segment published by this process."""
+    return _PREFIX
+
+
+def _cleanup(shm: shared_memory.SharedMemory) -> None:
+    """Unlink + close, tolerating every late-shutdown failure mode."""
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass
+
+
+class SharedModelSegment:
+    """One published model snapshot in shared memory (parent side).
+
+    Layout: ``model.json`` bytes at offset 0, the float64 distribution
+    matrix at the next page boundary.  ``spec`` is the pickle-small dict a
+    worker needs to attach and rebuild the model.
+    """
+
+    __slots__ = (
+        "spec", "nbytes", "_shm", "_lock", "_refs", "_retired", "_finalizer", "__weakref__"
+    )
+
+    def __init__(
+        self, model_name: str, generation: int, payload_bytes: bytes, matrix: np.ndarray
+    ) -> None:
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        json_size = len(payload_bytes)
+        matrix_offset = -(-json_size // _ALIGN) * _ALIGN
+        total = matrix_offset + matrix.nbytes
+        name = f"{_PREFIX}-{next(_SEQUENCE)}"
+        self._shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+        self._shm.buf[:json_size] = payload_bytes
+        if matrix.nbytes:
+            np.frombuffer(
+                self._shm.buf,
+                dtype=np.float64,
+                count=matrix.size,
+                offset=matrix_offset,
+            ).reshape(matrix.shape)[:] = matrix
+        self.spec = {
+            "model": model_name,
+            "name": name,
+            "generation": int(generation),
+            "json_size": json_size,
+            "matrix_offset": matrix_offset,
+            "dtype": "<f8",
+            "shape": [int(matrix.shape[0]), int(matrix.shape[1])],
+        }
+        self.nbytes = total
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._retired = False
+        # Backstop for registries that are dropped without close(): the
+        # segment is unlinked at garbage collection / interpreter exit
+        # instead of leaking in /dev/shm.
+        self._finalizer = weakref.finalize(self, _cleanup, self._shm)
+
+    @property
+    def name(self) -> str:
+        return self.spec["name"]
+
+    @property
+    def generation(self) -> int:
+        return self.spec["generation"]
+
+    def acquire(self) -> bool:
+        """Pin the segment for one in-flight batch; ``False`` if retired."""
+        with self._lock:
+            if self._retired:
+                return False
+            self._refs += 1
+            return True
+
+    def release(self) -> None:
+        """Drop one in-flight pin; a retired segment unlinks on the last one."""
+        with self._lock:
+            self._refs -= 1
+            drain = self._retired and self._refs <= 0
+        if drain:
+            self._finalizer()
+
+    def retire(self) -> None:
+        """Mark the segment dead (hot reload swapped a new generation in).
+
+        The backing memory is unlinked immediately when no batch holds a
+        pin, otherwise when the last in-flight batch releases — workers
+        attached to it keep serving their mapped copy either way.
+        """
+        with self._lock:
+            self._retired = True
+            drain = self._refs <= 0
+        if drain:
+            self._finalizer()
+
+    def unlinked(self) -> bool:
+        """Whether the backing shared memory has been unlinked already."""
+        return not self._finalizer.alive
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: Per-worker attachment cache: model name -> (segment name, shm, model).
+#: One generation per model is kept mapped; replacing it closes the old map.
+_ATTACHED: dict = {}
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        # numpy views of a previous generation may still be referenced
+        # somewhere in this worker; keeping the mapping is safe, double
+        # freeing it is not.
+        pass
+
+
+def attach_model(spec: dict):
+    """Worker-side: the model published under ``spec``, or ``None``.
+
+    Attaches the named segment, parses the embedded ``model.json`` and
+    rebuilds the estimator with node distributions viewing the mapped
+    matrix directly.  The result is cached per model name until the parent
+    publishes a new generation.  ``None`` means the segment is gone (the
+    parent retired it and the drain completed first) — the caller falls
+    back to its own serving path.
+    """
+    from repro.api.persistence import model_from_payload
+
+    key = spec["model"]
+    cached = _ATTACHED.get(key)
+    if cached is not None and cached[0] == spec["name"]:
+        return cached[2]
+    try:
+        # Python < 3.13 registers this attachment with the resource tracker
+        # exactly like a creation.  Pool workers share the parent's tracker
+        # process (forkserver/spawn inherit it), so the registration is a
+        # set no-op there and must NOT be compensated with unregister —
+        # that would erase the parent's own registration and make its
+        # eventual unlink() complain.  Ownership stays with the parent.
+        shm = shared_memory.SharedMemory(name=spec["name"])
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        payload = json.loads(bytes(shm.buf[: spec["json_size"]]))
+        shape = tuple(int(n) for n in spec["shape"])
+        if shape[0] * shape[1]:
+            matrix = np.frombuffer(
+                shm.buf,
+                dtype=np.dtype(spec["dtype"]),
+                count=shape[0] * shape[1],
+                offset=spec["matrix_offset"],
+            ).reshape(shape)
+            matrix.setflags(write=False)
+        else:
+            matrix = np.zeros(shape, dtype=np.float64)
+        model = model_from_payload(payload, matrix)
+    except Exception:
+        _close_quietly(shm)
+        return None
+    if cached is not None:
+        _close_quietly(cached[1])
+    _ATTACHED[key] = (spec["name"], shm, model)
+    return model

@@ -55,11 +55,21 @@ class TestArchives:
         path = tmp_path / "tree.udt"
         fitted.tree_.save(path)
         with zipfile.ZipFile(path) as archive:
-            assert sorted(archive.namelist()) == ["arrays.npz", "model.json"]
+            assert sorted(archive.namelist()) == ["arrays.bin", "model.json"]
             payload = json.loads(archive.read("model.json"))
         assert payload["format_version"] == FORMAT_VERSION
         assert payload["kind"] == "decision_tree"
         assert "root" not in payload  # structure lives only under tree.root
+        restored = DecisionTree.load(path)
+        assert restored.structure_signature() == fitted.tree_.structure_signature()
+
+    def test_tree_archive_layout_v2(self, fitted, tmp_path):
+        """``format_version=2`` keeps the legacy npz member for old readers."""
+        path = tmp_path / "tree.udt"
+        fitted.tree_.save(path, format_version=2)
+        with zipfile.ZipFile(path) as archive:
+            assert sorted(archive.namelist()) == ["arrays.npz", "model.json"]
+            assert json.loads(archive.read("model.json"))["format_version"] == 2
         restored = DecisionTree.load(path)
         assert restored.structure_signature() == fitted.tree_.structure_signature()
 

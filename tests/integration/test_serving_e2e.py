@@ -139,6 +139,47 @@ def test_worker_pool_cli_flag_matches_offline(model_dir):
     assert result.labels == list(offline.predict(rows))
 
 
+def test_sigterm_unlinks_shared_memory_segments(model_dir):
+    """``kill <pid>`` must drain the published SHM segments, not leak them.
+
+    SIGTERM's default action skips ``finally`` blocks and finalizers, so the
+    CLI installs a handler that routes it through the Ctrl-C shutdown path;
+    without it every ``kill`` of a pooled server would strand a
+    ``repro-shm-*`` segment in ``/dev/shm``.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        pytest.skip("POSIX shared memory is not visible on this platform")
+    rows = np.random.default_rng(59).normal(size=(4, 3))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        entry for entry in (_src_dir(), env.get("PYTHONPATH")) if entry
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--models", str(model_dir),
+         "--port", "0", "--workers", "2", "--cache-size", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        url = _read_url(process)
+        _wait_healthy(url)
+        ServingClient(url).predict("smoke", rows)
+        prefix = f"repro-shm-{process.pid}-"
+        segments = [p.name for p in shm_dir.iterdir() if p.name.startswith(prefix)]
+        assert segments, "pooled predict should have published a segment"
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=15.0) == 0
+        leaked = [p.name for p in shm_dir.iterdir() if p.name.startswith(prefix)]
+        assert leaked == []
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
 def test_overload_sheds_with_429_over_real_sockets(model_dir):
     """Clients ≫ capacity: fast 429s with Retry-After, served rows exact.
 

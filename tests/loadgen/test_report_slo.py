@@ -74,8 +74,10 @@ class TestReportEnvelope:
             [record], tmp_path / "BENCH_loadgen.json", {"rate": 10.0}
         )
         payload = json.loads(path.read_text())
+        from repro.api import FORMAT_VERSION
+
         assert payload["benchmark"] == "loadgen"
-        assert payload["model_format_version"] == 2
+        assert payload["model_format_version"] == FORMAT_VERSION
         assert payload["params"]["rate"] == 10.0
         assert payload["shapes"][0]["shape"] == "steady"
         assert "repro_version" in payload

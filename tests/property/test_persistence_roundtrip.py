@@ -3,7 +3,7 @@
 The satellite acceptance test for model persistence: for every fixture
 dataset (numerical, uniform-pdf, Iris-shaped, mixed categorical, and the
 handcrafted Table 1 example), a fitted classifier survives the
-``model.json`` + ``arrays.npz`` archive round trip with
+``model.json`` + array-block archive round trip with
 
 * an identical tree (``structure_signature`` equality covers topology,
   split points and leaf distributions), and
@@ -13,8 +13,16 @@ handcrafted Table 1 example), a fitted classifier survives the
 Backward compatibility is pinned by a golden fixture: a format-version-1
 archive committed under ``tests/fixtures/`` (written by the 1.3.x line,
 before forests existed) must keep loading and predicting bit-identically
-under format version 2.  Forest archives (``kind: "forest"``, format v2)
-round-trip under the same exactness bar.
+under the current code.  Forest archives (``kind: "forest"``) round-trip
+under the same exactness bar.
+
+Format version 3 replaces the compressed ``arrays.npz`` member with a raw,
+page-aligned ``arrays.bin`` block that ``load_model`` memory-maps.
+:class:`TestSharedMatrixViews` pins the zero-copy contract on *every*
+format version (leaf distributions are views into one shared matrix, never
+``tolist()`` round-trip copies), and :class:`TestCrossVersion` pins v2↔v3
+bit-identity plus the v3 on-disk layout (stored, page-aligned, described
+by the ``arrays`` header in ``model.json``).
 """
 
 from __future__ import annotations
@@ -144,6 +152,132 @@ class TestGoldenV1Archive:
         assert np.array_equal(
             upgraded.predict_proba(rows), model.predict_proba(rows)
         )
+
+
+def _leaves(tree):
+    return [node for node in tree.iter_nodes() if node.is_leaf]
+
+
+class TestSharedMatrixViews:
+    """Loaded nodes view one shared matrix — no ``tolist()`` copies.
+
+    ``load_model`` attaches the stacked distribution matrix to the model as
+    ``_shared_arrays``; every leaf's ``distribution`` (and every internal
+    node's fallback/training arrays) must be a row view into it on the v3
+    mmap path *and* on the legacy v1/v2 npz path.
+    """
+
+    def _assert_views(self, model, matrix):
+        assert matrix is not None and matrix.ndim == 2
+        assert not matrix.flags.writeable
+        trees = getattr(model, "trees_", None) or [model.tree_]
+        leaves = [leaf for tree in trees for leaf in _leaves(tree)]
+        assert leaves
+        for leaf in leaves:
+            assert np.shares_memory(leaf.distribution, matrix)
+            assert not leaf.distribution.flags.writeable
+
+    @pytest.mark.parametrize("format_version", [2, 3])
+    def test_tree_model_leaves_view_the_shared_matrix(
+        self, small_uncertain, tmp_path, format_version
+    ):
+        model = UDTClassifier().fit(small_uncertain)
+        path = tmp_path / "model.zip"
+        model.save(path, format_version=format_version)
+        assert read_model_metadata(path)["format_version"] == format_version
+        loaded = load_model(path)
+        self._assert_views(loaded, loaded._shared_arrays)
+        assert np.array_equal(
+            loaded.predict_proba(small_uncertain), model.predict_proba(small_uncertain)
+        )
+
+    @pytest.mark.parametrize("format_version", [2, 3])
+    def test_forest_members_share_one_matrix(
+        self, small_uncertain, tmp_path, format_version
+    ):
+        model = UDTForestClassifier(n_estimators=3, random_state=1).fit(small_uncertain)
+        path = tmp_path / "forest.zip"
+        model.save(path, format_version=format_version)
+        loaded = load_model(path)
+        self._assert_views(loaded, loaded._shared_arrays)
+
+    def test_v3_matrix_is_memory_mapped(self, small_uncertain, tmp_path):
+        model = UDTClassifier().fit(small_uncertain)
+        path = tmp_path / "model.zip"
+        model.save(path)
+        loaded = load_model(path)
+        assert isinstance(loaded._shared_arrays, np.memmap)
+        # Opting out of the mmap still reloads the same bits.
+        in_memory = load_model(path, mmap_arrays=False)
+        assert not isinstance(in_memory._shared_arrays, np.memmap)
+        assert np.array_equal(in_memory._shared_arrays, loaded._shared_arrays)
+
+    def test_golden_v1_archive_also_restores_views(self):
+        loaded = load_model(_FIXTURES / "golden_v1_model.zip")
+        self._assert_views(loaded, loaded._shared_arrays)
+
+
+class TestCrossVersion:
+    """v2 and v3 archives of one model are interchangeable bit-for-bit."""
+
+    def test_v2_and_v3_round_trips_are_bit_identical(self, dataset, tmp_path):
+        model = UDTClassifier().fit(dataset)
+        v2_path, v3_path = tmp_path / "v2.zip", tmp_path / "v3.zip"
+        model.save(v2_path, format_version=2)
+        model.save(v3_path, format_version=3)
+        v2, v3 = load_model(v2_path), load_model(v3_path)
+        assert v2.tree_.structure_signature() == v3.tree_.structure_signature()
+        assert np.array_equal(v2.predict_proba(dataset), v3.predict_proba(dataset))
+        assert np.array_equal(model.predict_proba(dataset), v3.predict_proba(dataset))
+
+    def test_v2_to_v3_migration_and_back(self, small_uncertain, tmp_path):
+        """load(v2) → save(v3) → load → save(v2) never moves a bit."""
+        model = UDTForestClassifier(n_estimators=3, random_state=2).fit(small_uncertain)
+        expected = model.predict_proba(small_uncertain)
+        a, b, c = (tmp_path / name for name in ("a.zip", "b.zip", "c.zip"))
+        model.save(a, format_version=2)
+        load_model(a).save(b, format_version=3)
+        load_model(b).save(c, format_version=2)
+        for path, version in ((a, 2), (b, 3), (c, 2)):
+            assert read_model_metadata(path)["format_version"] == version
+            assert np.array_equal(load_model(path).predict_proba(small_uncertain), expected)
+
+    def test_v3_array_block_is_stored_and_page_aligned(self, small_uncertain, tmp_path):
+        import zipfile
+
+        from repro.api.persistence import _member_data_offset
+
+        model = UDTClassifier().fit(small_uncertain)
+        path = tmp_path / "model.zip"
+        model.save(path)
+        with zipfile.ZipFile(path) as archive:
+            info = archive.getinfo("arrays.bin")
+            assert info.compress_type == zipfile.ZIP_STORED
+            offset = _member_data_offset(path, info)
+        assert offset % 4096 == 0
+        matrix = load_model(path)._shared_arrays
+        raw = np.fromfile(path, dtype="<f8", count=matrix.size, offset=offset)
+        assert np.array_equal(raw.reshape(matrix.shape), matrix)
+
+    def test_v3_metadata_exposes_the_arrays_header(self, small_uncertain, tmp_path):
+        model = UDTClassifier().fit(small_uncertain)
+        v3_path, v2_path = tmp_path / "v3.zip", tmp_path / "v2.zip"
+        model.save(v3_path)
+        model.save(v2_path, format_version=2)
+        header = read_model_metadata(v3_path)["arrays"]
+        assert header["member"] == "arrays.bin"
+        assert header["dtype"] == "<f8"
+        assert header["shape"] == list(load_model(v3_path)._shared_arrays.shape)
+        assert read_model_metadata(v2_path)["arrays"] is None
+
+    def test_save_rejects_unknown_format_versions(self, small_uncertain, tmp_path):
+        from repro.exceptions import PersistenceError
+
+        model = UDTClassifier().fit(small_uncertain)
+        with pytest.raises(PersistenceError):
+            model.save(tmp_path / "bad.zip", format_version=4)
+        with pytest.raises(PersistenceError):
+            model.save(tmp_path / "bad.zip", format_version=0)
 
 
 def test_leaf_distributions_reload_verbatim(tmp_path):

@@ -131,11 +131,13 @@ class TestTypedClientResults:
         assert len(snap) == len(snap.raw)
 
     def test_model_info_exposes_format_version(self, client):
+        from repro.api import FORMAT_VERSION
+
         info = client.models()[0]
         assert isinstance(info, ModelInfo)
-        assert info.format_version == 2
+        assert info.format_version == FORMAT_VERSION
         assert info.model_kind == "tree"
-        assert info["format_version"] == 2
+        assert info["format_version"] == FORMAT_VERSION
         assert info.get("missing-key") is None
 
     def test_model_info_reads_stale_v1_archive_version(self, tmp_path):

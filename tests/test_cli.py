@@ -202,12 +202,13 @@ def _future_archive(source_path, target_path, version: int = 99):
     import zipfile
 
     with zipfile.ZipFile(source_path) as source:
-        payload = json.loads(source.read("model.json"))
-        arrays = source.read("arrays.npz")
+        members = {name: source.read(name) for name in source.namelist()}
+    payload = json.loads(members["model.json"])
     payload["format_version"] = version
+    members["model.json"] = json.dumps(payload)
     with zipfile.ZipFile(target_path, "w") as target:
-        target.writestr("model.json", json.dumps(payload))
-        target.writestr("arrays.npz", arrays)
+        for name, data in members.items():
+            target.writestr(name, data)
 
 
 class TestTrainForestCommand:
