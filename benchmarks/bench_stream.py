@@ -1,0 +1,319 @@
+"""Streaming updates: incremental cost vs full retrain, and E2E freshness.
+
+The streaming subsystem (``repro.stream``) exists for two measurable
+promises, and this driver gates both:
+
+* **incremental update cost** — on a drifted-stream scenario (class ``a``
+  migrates to a feature region the fitted forest has never seen), applying
+  the drift batch with ``partial_fit`` — leaf statistics plus the
+  gain-triggered local re-splits that adapt the touched subtrees — must
+  cost **< 25 %** of retraining the forest from scratch on everything,
+  while landing within **2 %** of the full retrain's accuracy on the
+  drifted distribution.  The stale (never-updated) model's accuracy is
+  recorded alongside to show what the update buys, and the heavier
+  ``refresh_members`` recipe (retrain on the recent window) is recorded
+  ungated for comparison.
+* **end-to-end freshness** — with a real ``python -m repro serve``
+  subprocess over a source-of-truth directory, ``repro stream-train``
+  tailing a feed must turn appended rows into *changed served predictions*
+  (and a bumped ``update_generation`` in ``GET /v1/models``) without any
+  restart, within a fixed wall-clock bound of the append.
+
+Artifacts: ``stream.txt`` and ``BENCH_stream.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.spec import gaussian
+from repro.ensemble import UDTForestClassifier
+from repro.serve import ServingClient
+
+from helpers import BENCH_SCALE, save_artifact, save_json_artifact
+
+#: Pre-drift rows per class (scaled); the drift batch is ~5 % of the base.
+#: The floor keeps the cost ratio meaningful — below it, fixed per-call
+#: overheads dominate both sides and the fraction stops measuring anything.
+_BASE_PER_CLASS = max(300, int(3000 * BENCH_SCALE))
+_DRIFT_PER_CLASS = max(15, _BASE_PER_CLASS // 20)
+
+_N_FEATURES = 3
+_N_TREES = 5
+_SPEC = gaussian(w=0.05, s=8)
+
+#: Timing repetitions; the minimum is reported, like timeit.
+_REPEATS = 3
+
+#: Gate: incremental update cost as a fraction of the full retrain.
+_COST_FRACTION_GATE = 0.25
+
+#: Gate: accuracy deficit vs the full retrain on the drifted distribution.
+_ACCURACY_GAP_GATE = 0.02
+
+#: Gate: seconds from feed append to the served prediction reflecting it.
+_FRESHNESS_GATE_S = 30.0
+
+#: Seed size for the freshness leg.  It measures plumbing latency, not
+#: training cost, so it stays small — the appended stream (below) must
+#: outweigh the seed's class mass around the probe to flip it.
+_FRESH_PER_CLASS = 60
+_FRESH_STREAM_ROWS = 300
+
+
+def _clusters(rng, n_per_class, a_center):
+    X = np.vstack([
+        rng.normal(a_center, 0.6, size=(n_per_class, _N_FEATURES)),
+        rng.normal(4.0, 1.0, size=(n_per_class, _N_FEATURES)),
+    ])
+    y = ["a"] * n_per_class + ["b"] * n_per_class
+    return X, y
+
+
+def _forest():
+    return UDTForestClassifier(
+        n_estimators=_N_TREES, spec=_SPEC, random_state=0
+    )
+
+
+def _measure_offline() -> "list[dict]":
+    rng = np.random.default_rng(0)
+    X_base, y_base = _clusters(rng, _BASE_PER_CLASS, a_center=0.0)
+    # Drift: class "a" migrates to a fresh region the base forest never saw.
+    X_drift, y_drift = _clusters(rng, _DRIFT_PER_CLASS, a_center=9.0)
+    X_test, y_test = _clusters(np.random.default_rng(1), _DRIFT_PER_CLASS * 2,
+                               a_center=9.0)
+    X_all = np.vstack([X_base, X_drift])
+    y_all = y_base + y_drift
+
+    stale = _forest().fit(X_base, y_base)
+    stale_acc = stale.score(X_test, y_test)
+
+    window = 2 * _DRIFT_PER_CLASS
+    full_times, incr_times = [], []
+    full_acc = incr_acc = 0.0
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        retrained = _forest().fit(X_all, y_all)
+        full_times.append(time.perf_counter() - start)
+        full_acc = retrained.score(X_test, y_test)
+
+        # The gated path: one partial_fit over the drift batch.  Leaf
+        # statistics absorb the new mass and the impurity-gain trigger
+        # re-splits exactly the leaves the drift landed in.
+        streamed = _forest().fit(X_base, y_base)
+        start = time.perf_counter()
+        streamed.partial_fit(X_drift, y_drift, reservoir_size=window)
+        incr_times.append(time.perf_counter() - start)
+        incr_acc = streamed.score(X_test, y_test)
+
+    # Ungated comparison: the trainer's heavyweight recipe — stats-only
+    # routing followed by retraining every member on the recent window.
+    refreshed = _forest().fit(X_base, y_base)
+    start = time.perf_counter()
+    refreshed.partial_fit(
+        X_drift, y_drift, reservoir_size=window, resplit_min_weight=1e12
+    )
+    refreshed.refresh_members(fraction=1.0)
+    refresh_s = time.perf_counter() - start
+    refresh_acc = refreshed.score(X_test, y_test)
+
+    full_s, incr_s = min(full_times), min(incr_times)
+    return [
+        {
+            "mode": "stale",
+            "seconds": 0.0,
+            "drifted_accuracy": stale_acc,
+            "rows_trained": 2 * _BASE_PER_CLASS,
+        },
+        {
+            "mode": "full-retrain",
+            "seconds": full_s,
+            "drifted_accuracy": full_acc,
+            "rows_trained": len(X_all),
+        },
+        {
+            "mode": "incremental",
+            "seconds": incr_s,
+            "drifted_accuracy": incr_acc,
+            "rows_trained": len(X_drift),
+            "cost_fraction": incr_s / full_s,
+        },
+        {
+            "mode": "window-refresh",
+            "seconds": refresh_s,
+            "drifted_accuracy": refresh_acc,
+            "rows_trained": len(X_drift),
+            "cost_fraction": refresh_s / full_s,
+        },
+    ]
+
+
+def _spawn(command):
+    """Launch a subprocess that prints ``... on http://host:port``."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if " on http://" in line:
+            url = line.rsplit(" on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        raise RuntimeError("server did not print its URL within 30s")
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=1.0):
+                return process, url
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError(f"server at {url} never became healthy")
+
+
+def _measure_freshness(tmp_path: Path) -> dict:
+    """Feed append → ``repro stream-train`` publish → served prediction flips."""
+    serve_dir = tmp_path / "serving"
+    serve_dir.mkdir()
+    feed_dir = tmp_path / "feed"
+    feed_dir.mkdir()
+
+    rng = np.random.default_rng(2)
+    X, y = _clusters(rng, _FRESH_PER_CLASS, a_center=0.0)
+    seed_path = serve_dir / "demo.zip"
+    _forest().fit(X, y).save(seed_path)
+
+    probe = [[4.0] * _N_FEATURES]
+    process, url = _spawn(
+        [sys.executable, "-m", "repro", "serve", "--models", str(serve_dir),
+         "--port", "0", "--max-batch", "16", "--max-wait-ms", "1.0"]
+    )
+    try:
+        client = ServingClient(url)
+        before = client.predict("demo", probe)["labels"][0]
+        assert before == "b", f"probe should start as 'b', got {before!r}"
+
+        # The drift stream: the probe's region fills with "a" labels.
+        appended = time.monotonic()
+        with open(feed_dir / "rows.csv", "w") as handle:
+            for row in rng.normal(4.0, 0.3, size=(_FRESH_STREAM_ROWS, _N_FEATURES)):
+                handle.write(",".join(str(v) for v in row) + ",a\n")
+
+        # The real CLI trainer, publishing into the live serving directory.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stream-train", str(seed_path),
+             "--feed", str(feed_dir), "--publish", str(serve_dir),
+             "--name", "demo", "--interval", "0.2", "--iterations", "3"],
+            capture_output=True, text=True, timeout=120.0,
+            env=dict(os.environ, PYTHONPATH=str(
+                Path(__file__).resolve().parent.parent / "src"
+            )),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+        # Freshness: poll until the listing reports the new generation and
+        # the served prediction reflects the stream — no restart anywhere.
+        deadline = time.monotonic() + _FRESHNESS_GATE_S
+        generation = 0
+        after = before
+        while time.monotonic() < deadline:
+            [entry] = client.models()
+            generation = int(entry.get("update_generation") or 0)
+            after = client.predict("demo", probe)["labels"][0]
+            if generation >= 1 and after == "a":
+                break
+            time.sleep(0.2)
+        freshness_s = time.monotonic() - appended
+        return {
+            "mode": "e2e-freshness",
+            "prediction_before": before,
+            "prediction_after": after,
+            "served_generation": generation,
+            "freshness_s": freshness_s,
+            "rows_appended": _FRESH_STREAM_ROWS,
+        }
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def bench_stream(benchmark, tmp_path):
+    """Measure the streaming gates and write the artifacts."""
+    records = benchmark(_measure_offline)
+    records = list(records) + [_measure_freshness(tmp_path)]
+
+    by_mode = {record["mode"]: record for record in records}
+    fraction = by_mode["incremental"]["cost_fraction"]
+    assert fraction < _COST_FRACTION_GATE, (
+        f"incremental update cost {fraction:.1%} of a full retrain "
+        f"(gate: < {_COST_FRACTION_GATE:.0%}; "
+        f"full {by_mode['full-retrain']['seconds'] * 1e3:.1f} ms, "
+        f"incremental {by_mode['incremental']['seconds'] * 1e3:.1f} ms)"
+    )
+    gap = by_mode["full-retrain"]["drifted_accuracy"] - by_mode["incremental"][
+        "drifted_accuracy"
+    ]
+    assert gap <= _ACCURACY_GAP_GATE, (
+        f"incremental model trails the full retrain by {gap:.1%} on the "
+        f"drifted distribution (gate: <= {_ACCURACY_GAP_GATE:.0%})"
+    )
+    freshness = by_mode["e2e-freshness"]
+    assert freshness["served_generation"] >= 1, "publication never reached serving"
+    assert freshness["prediction_after"] == "a", (
+        "served prediction did not reflect the streamed update"
+    )
+    assert freshness["freshness_s"] < _FRESHNESS_GATE_S, (
+        f"feed-to-served freshness {freshness['freshness_s']:.1f}s "
+        f"(gate: < {_FRESHNESS_GATE_S:.0f}s)"
+    )
+
+    lines = [
+        f"{record['mode']:>14}: "
+        + ", ".join(
+            f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in record.items()
+            if key != "mode"
+        )
+        for record in records
+    ]
+    save_artifact(
+        "stream",
+        "Streaming updates: incremental cost, drifted accuracy, freshness",
+        "\n".join(lines),
+    )
+    save_json_artifact(
+        "stream",
+        records,
+        params={
+            "base_rows_per_class": _BASE_PER_CLASS,
+            "drift_rows_per_class": _DRIFT_PER_CLASS,
+            "n_trees": _N_TREES,
+            "cost_fraction_gate": _COST_FRACTION_GATE,
+            "accuracy_gap_gate": _ACCURACY_GAP_GATE,
+            "freshness_gate_s": _FRESHNESS_GATE_S,
+        },
+        extra={
+            "cost_fraction": fraction,
+            "accuracy_gap": gap,
+            "freshness_s": freshness["freshness_s"],
+        },
+    )

@@ -1,0 +1,119 @@
+"""Streaming updates quickstart: partial_fit, OOB refresh, trainer loop.
+
+Run with::
+
+    python examples/stream_quickstart.py
+
+Walks the streaming subsystem (`repro.stream`) end to end, in process:
+
+1. **partial_fit on a tree** — new uncertain tuples route down the fitted
+   tree with the paper's fractional-weight partition semantics, leaf
+   class-mass statistics update in place, and a leaf whose accumulated
+   buffer crosses the impurity-gain threshold is locally re-split —
+   bit-identical to building that subtree fresh on the buffered tuples.
+2. **OOB scoring and member refresh on a forest** — `oob_score=True`
+   estimates generalisation accuracy from the bootstrap leftovers, and
+   under drift `refresh_members` retrains the worst-scoring members on a
+   reservoir of recent stream rows.
+3. **The continuous trainer** — `ContinuousTrainer` tails an append-only
+   feed directory and atomically publishes versioned snapshots into a
+   serving source-of-truth directory, the same loop `repro stream-train`
+   runs as a daemon; a `ModelRegistry` (what `repro serve` reads from)
+   hot-reloads the new generation without any restart.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import UDTClassifier, UDTForestClassifier
+from repro.api import load_model
+from repro.api.spec import gaussian
+from repro.serve import ModelRegistry
+from repro.stream import ContinuousTrainer, FeedTailer
+
+
+def clusters(rng, n_per_class, a_center):
+    """Two Gaussian blobs; class "a" sits at ``a_center``, "b" at 4."""
+    X = np.vstack([
+        rng.normal(a_center, 0.6, size=(n_per_class, 3)),
+        rng.normal(4.0, 1.0, size=(n_per_class, 3)),
+    ])
+    return X, ["a"] * n_per_class + ["b"] * n_per_class
+
+
+def main():
+    rng = np.random.default_rng(0)
+    spec = gaussian(w=0.05, s=10)
+
+    # -- 1. Incremental updates on a single tree --------------------------
+    X, y = clusters(rng, 80, a_center=0.0)
+    tree = UDTClassifier(spec=spec, max_depth=4).fit(X, y)
+    print(f"tree fitted: {tree.tree_.n_nodes} nodes, generation "
+          f"{tree.update_generation_}")
+
+    # Drift: class "a" migrates to a region the tree has never seen.
+    X_drift, y_drift = clusters(rng, 30, a_center=9.0)
+    before = tree.score(X_drift, y_drift)
+    tree.partial_fit(X_drift, y_drift)
+    report = tree.last_update_report_
+    print(f"partial_fit: routed {report.n_tuples} tuples "
+          f"(weight {report.routed_weight:.1f}) into {report.touched_leaves} "
+          f"leaves, {report.n_resplits} local re-split(s)")
+    print(f"drifted accuracy {before:.2f} -> {tree.score(X_drift, y_drift):.2f}, "
+          f"generation {tree.update_generation_}")
+
+    # -- 2. Forest OOB scores and worst-member refresh --------------------
+    forest = UDTForestClassifier(
+        n_estimators=7, spec=spec, random_state=0, oob_score=True
+    ).fit(X, y)
+    print(f"\nforest OOB score {forest.oob_score_:.2f} "
+          f"(members: {np.round(forest.oob_member_scores_, 2)})")
+
+    # Stream the drift through every member; a reservoir keeps the recent
+    # window so refresh_members can retrain the weakest trees on it.
+    forest.partial_fit(X_drift, y_drift, reservoir_size=128)
+    print(f"pre-update member scores on the drift batch: "
+          f"{np.round(forest.stream_member_scores_, 2)}")
+    refreshed = forest.refresh_members(fraction=0.5)
+    print(f"refreshed members {refreshed}; drifted accuracy now "
+          f"{forest.score(X_drift, y_drift):.2f}, generation "
+          f"{forest.update_generation_}")
+
+    # -- 3. Feed -> trainer -> publish -> hot reload ----------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        feed_dir = Path(tmp) / "feed"
+        feed_dir.mkdir()
+        serve_dir = Path(tmp) / "models"
+
+        trainer = ContinuousTrainer(
+            forest, FeedTailer(feed_dir), serve_dir, "demo", interval_s=0.0
+        )
+        trainer.publish()  # the initial snapshot (run() does this itself)
+        registry = ModelRegistry(serve_dir)
+        print(f"\npublished generation "
+              f"{registry.get('demo').update_generation_} to {serve_dir}")
+
+        # Append labelled rows to the feed, exactly as producers would.
+        with open(feed_dir / "rows.csv", "a") as handle:
+            for row, label in zip(*clusters(rng, 25, a_center=9.0)):
+                handle.write(",".join(str(v) for v in row) + f",{label}\n")
+
+        result = trainer.run_once()
+        print(f"cycle {result.cycle}: rows={result.rows} "
+              f"updated={result.updated} published={result.published} "
+              f"generation={result.generation}")
+
+        # The registry (and therefore `repro serve`) picks the new snapshot
+        # up on the next request — no restart, no explicit reload call.
+        reloaded = registry.get("demo")
+        meta = load_model(serve_dir / "demo.zip")
+        print(f"registry now serves generation {reloaded.update_generation_} "
+              f"(trained_at {meta.trained_at_})")
+
+
+if __name__ == "__main__":
+    main()

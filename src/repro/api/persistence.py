@@ -582,6 +582,11 @@ def _estimator_payload(model, kind: str) -> dict:
         "repro_version": __version__,
         "kind": kind,
         "estimator_class": type(model).__name__,
+        # Model lineage: when the snapshot was last (re)trained and how many
+        # incremental partial_fit/refresh updates it carries — surfaced by
+        # read_model_metadata and the serving GET /v1/models listing.
+        "trained_at": getattr(model, "trained_at_", None),
+        "update_generation": int(getattr(model, "update_generation_", 0) or 0),
         "params": {
             name: _encode_param(name, value)
             for name, value in model.get_params(deep=False).items()
@@ -710,6 +715,9 @@ def read_model_metadata(path) -> dict:
         ],
         "engine": params.get("engine"),
         "strategy": params.get("strategy"),
+        # Lineage (None / 0 for archives written before streaming updates).
+        "trained_at": payload.get("trained_at"),
+        "update_generation": int(payload.get("update_generation") or 0),
         "arrays": (
             {
                 "member": arrays_header.get("member"),
@@ -751,6 +759,10 @@ def _restore_fitted_arrays(model, payload: dict, attributes) -> None:
         model.feature_extents_ = [
             tuple(extent) if extent is not None else None for extent in extents
         ]
+    # Lineage survives the round trip; pre-streaming archives load as
+    # generation 0 with no timestamp.
+    model.trained_at_ = payload.get("trained_at")
+    model.update_generation_ = int(payload.get("update_generation") or 0)
 
 
 def _instantiate_estimator(payload: dict):

@@ -23,6 +23,8 @@ library::
         --replica http://127.0.0.1:8002 --port 8080      # routing front tier
     python -m repro loadgen --url http://127.0.0.1:8000 --shape spike \
         --slo budgets.json --output BENCH_loadgen.json   # open-loop load + SLO gate
+    python -m repro stream-train seed.zip --feed feed/ \
+        --publish models/ --interval 2                   # continuous trainer
     python -m repro trace <trace-id> --target http://127.0.0.1:8080 \
         --target http://127.0.0.1:8001                   # join + print one trace tree
 
@@ -292,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="base URL of the serving instance to drive")
     loadgen.add_argument("--shape", action="append", default=None, metavar="NAME",
                          help="traffic shape to run (repeatable; default: steady); "
-                              "one of: steady, spike, diurnal, hotkey")
+                              "one of: steady, spike, diurnal, hotkey, drift")
     loadgen.add_argument("--rate", type=float, default=30.0,
                          help="base arrival rate in requests/second (shapes "
                               "multiply it over time)")
@@ -321,6 +323,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "the ids land in the report for joining against the "
                               "servers' /debug/traces buffers")
     add_obs_flags(loadgen, tracing=False)
+
+    stream_train = subparsers.add_parser(
+        "stream-train",
+        help="continuous trainer: tail a feed directory of labelled rows, "
+             "apply incremental updates to a saved model, and atomically "
+             "publish fresh snapshots into a serving model directory",
+    )
+    stream_train.add_argument(
+        "model",
+        help="seed model .zip archive to update incrementally (single tree "
+             "or forest; must already be fitted)",
+    )
+    stream_train.add_argument("--feed", required=True, metavar="DIR",
+                              help="feed directory of append-only *.csv "
+                                   "(features..., label) or *.jsonl "
+                                   "({\"features\": [...], \"label\": ...}) files")
+    stream_train.add_argument("--publish", required=True, metavar="DIR",
+                              help="model directory to publish snapshots into — "
+                                   "point it at a replica's --models dir (or a "
+                                   "router's --sync-source) for hot reload")
+    stream_train.add_argument("--name", default=None,
+                              help="published model name (default: the seed "
+                                   "archive's file stem)")
+    stream_train.add_argument("--interval", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="cadence of the poll/update/publish cycle")
+    stream_train.add_argument("--iterations", type=int, default=0, metavar="N",
+                              help="stop after N cycles (0 = run until "
+                                   "interrupted)")
+    stream_train.add_argument("--min-batch", type=_positive_int, default=1,
+                              help="buffer feed rows until at least this many "
+                                   "are pending before applying an update")
+    stream_train.add_argument("--resplit-gain", type=float, default=0.01,
+                              metavar="GAIN",
+                              help="entropy-gain threshold above which a leaf's "
+                                   "accumulated tuples trigger a local re-split")
+    stream_train.add_argument("--resplit-min-weight", type=float, default=8.0,
+                              metavar="WEIGHT",
+                              help="minimum accumulated tuple weight before a "
+                                   "leaf is considered for re-splitting")
+    stream_train.add_argument("--refresh-every", type=int, default=0, metavar="N",
+                              help="after every N applied updates, retrain the "
+                                   "worst-scoring forest members on the recent "
+                                   "window (0 disables; forests only)")
+    stream_train.add_argument("--refresh-fraction", type=float, default=0.25,
+                              help="fraction of forest members each refresh "
+                                   "retrains (the worst-scoring ones)")
+    stream_train.add_argument("--reservoir", type=_positive_int, default=4096,
+                              metavar="ROWS",
+                              help="recent-window tuples kept for member "
+                                   "refreshes (forests only)")
+    stream_train.add_argument("--format-version", type=int, default=None,
+                              choices=(2, 3), metavar="{2,3}",
+                              help="persistence format of published snapshots")
+    add_obs_flags(stream_train)
 
     trace = subparsers.add_parser(
         "trace",
@@ -802,6 +859,92 @@ def _run_loadgen(args) -> int:
     return 0
 
 
+def _run_stream_train(args) -> int:
+    from pathlib import Path
+
+    from repro.api import load_model
+    from repro.exceptions import PersistenceError, ReproError
+    from repro.stream import ContinuousTrainer, FeedTailer
+
+    _configure_obs_logging(args)
+    try:
+        model = load_model(args.model)
+    except PersistenceError as exc:
+        print(f"error: cannot load {args.model}: {exc}", file=sys.stderr)
+        return 2
+
+    # Trainer cycles are always-sampled spans; without an export sink (the
+    # trainer runs no HTTP surface to expose /debug/traces) tracing would
+    # buffer invisibly, so a Tracer is only built when --trace-export asks
+    # for one.
+    tracer = None
+    if args.trace_export is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(
+            "stream-train",
+            slow_ms=args.trace_slow_ms,
+            buffer_size=args.trace_buffer,
+            export_path=args.trace_export,
+        )
+
+    name = args.name or Path(args.model).stem
+    try:
+        trainer = ContinuousTrainer(
+            model,
+            FeedTailer(args.feed),
+            args.publish,
+            name,
+            interval_s=args.interval,
+            min_batch=args.min_batch,
+            refresh_every=args.refresh_every,
+            refresh_fraction=args.refresh_fraction,
+            resplit_gain=args.resplit_gain,
+            resplit_min_weight=args.resplit_min_weight,
+            reservoir_size=args.reservoir,
+            format_version=args.format_version,
+            tracer=tracer,
+        )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"stream-training {name!r}: feed={args.feed} publish={args.publish} "
+        f"interval={args.interval:g}s", flush=True
+    )
+
+    def on_cycle(result) -> None:
+        state = "published" if result.published else "idle"
+        print(
+            f"cycle {result.cycle}: rows={result.rows} "
+            f"updated={'yes' if result.updated else 'no'} "
+            f"refreshed={result.refreshed or '-'} {state} "
+            f"gen={result.generation} ({result.duration_s * 1000.0:.1f} ms)",
+            flush=True,
+        )
+
+    _shutdown_on_sigterm()
+    try:
+        trainer.run(
+            iterations=None if args.iterations == 0 else args.iterations,
+            on_cycle=on_cycle,
+        )
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = trainer.describe()
+    print(
+        f"stopped after {summary['cycles']} cycle(s): "
+        f"{summary['rows_ingested']} row(s) ingested, "
+        f"{summary['updates_applied']} update(s), "
+        f"{summary['publications']} snapshot(s) published", flush=True
+    )
+    return 0
+
+
 def _run_trace(args) -> int:
     """Join ``/debug/traces`` across targets; list traces or print one tree."""
     import json
@@ -942,6 +1085,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_router(args)
     elif args.command == "loadgen":
         return _run_loadgen(args)
+    elif args.command == "stream-train":
+        return _run_stream_train(args)
     elif args.command == "trace":
         return _run_trace(args)
     elif args.command == "accuracy":

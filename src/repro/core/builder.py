@@ -158,6 +158,41 @@ class TreeBuilder:
         tree = DecisionTree(root, dataset.attributes, dataset.class_labels)
         return BuildResult(tree=tree, stats=stats)
 
+    def root_split_gain(self, dataset: UncertainDataset) -> float:
+        """Dispersion gain the best root split of ``dataset`` would achieve.
+
+        The streaming updater (:mod:`repro.stream.updates`) uses this as its
+        re-split trigger.  The gain is computed exactly like :meth:`build`
+        computes it for the root node — same stopping rules, same candidate
+        enumeration — so a return value of at least ``min_dispersion_gain``
+        means a fresh build of ``dataset`` would actually split its root.
+        Returns 0.0 when a stopping rule fires or no candidate split is
+        valid.
+        """
+        tuples = dataset.tuples
+        if not tuples:
+            return 0.0
+        class_weights = self._class_weights(tuples, dataset)
+        total_weight = float(class_weights.sum())
+        homogeneous = int(np.count_nonzero(class_weights > _EPS)) <= 1
+        depth_exhausted = self.max_depth is not None and self.max_depth <= 0
+        if homogeneous or depth_exhausted or total_weight < self.min_split_weight:
+            return 0.0
+        node_stats = SplitSearchStats()
+        best_numerical = self._find_numerical_split(tuples, dataset, node_stats)
+        best_categorical = self._find_categorical_split(
+            tuples, dataset, frozenset(), node_stats
+        )
+        best: CandidateSplit | None = None
+        for candidate in (best_numerical, best_categorical):
+            if candidate is None or not candidate.is_valid:
+                continue
+            if best is None or candidate.dispersion < best.dispersion:
+                best = candidate
+        if best is None:
+            return 0.0
+        return max(0.0, float(self.measure.node_dispersion(class_weights) - best.dispersion))
+
     def _build_columnar(self, dataset: UncertainDataset, stats: BuildStats) -> TreeNode:
         store = ColumnarPdfStore.from_dataset(dataset, require_labels=True)
         n_attributes = len(store.numerical_indices)

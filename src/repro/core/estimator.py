@@ -31,6 +31,7 @@ single ``UncertainTuple``              label / ``(n_classes,)`` vector
 from __future__ import annotations
 
 import inspect
+from datetime import datetime, timezone
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -43,6 +44,11 @@ from repro.core.tree import DecisionTree
 from repro.exceptions import DatasetError, TreeError
 
 __all__ = ["BaseTreeEstimator", "clone_estimator"]
+
+
+def _utc_timestamp() -> str:
+    """Current UTC time as a compact ISO-8601 string (model lineage stamps)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds").replace("+00:00", "Z")
 
 
 def _input_length(X) -> int | None:
@@ -201,6 +207,42 @@ class BaseTreeEstimator(ParamsMixin):
         extents = getattr(self, "feature_extents_", None)
         return build_dataset(X, None, spec=self.spec, extents=extents, attribute_names=names)
 
+    def _coerce_update(self, X, y) -> UncertainDataset:
+        """Coerce a ``partial_fit`` batch: labelled rows under the *fitted* schema.
+
+        Unlike :meth:`_coerce_training` this never recomputes extents — the
+        streamed rows are converted with the pdf widths recorded at fit, so
+        a drifting stream cannot silently rescale the uncertainty model.
+        """
+        from repro.api.spec import build_dataset
+
+        if isinstance(X, UncertainDataset):
+            if y is not None:
+                raise DatasetError(
+                    "pass labels inside the UncertainDataset tuples, not as y"
+                )
+            return X
+        if isinstance(X, UncertainTuple):
+            raise DatasetError(
+                "partial_fit() needs a dataset or a 2-D array, not a single tuple"
+            )
+        if y is None:
+            raise DatasetError("partial_fit(X, y) on arrays requires class labels y")
+        X = self._normalise_eval_rows(X)
+        names = self._column_names(X) or getattr(self, "feature_names_in_", None)
+        extents = getattr(self, "feature_extents_", None)
+        return build_dataset(X, y, spec=self.spec, extents=extents, attribute_names=names)
+
+    def _stamp_fitted(self) -> None:
+        """Record lineage at fit time: trained_at_ / update_generation_."""
+        self.trained_at_ = _utc_timestamp()
+        self.update_generation_ = 0
+
+    def _bump_update_generation(self) -> None:
+        """Record lineage after an incremental update."""
+        self.update_generation_ = int(getattr(self, "update_generation_", 0) or 0) + 1
+        self.trained_at_ = _utc_timestamp()
+
     def _require_tree(self) -> DecisionTree:
         if self.tree_ is None:
             raise TreeError("the classifier has not been fitted yet; call fit() first")
@@ -239,6 +281,43 @@ class BaseTreeEstimator(ParamsMixin):
         self.build_stats_ = result.stats
         self.classes_ = np.asarray(dataset.class_labels)
         self.n_features_in_ = dataset.n_attributes
+        self._stamp_fitted()
+        return self
+
+    def partial_fit(
+        self,
+        X,
+        y: Sequence[Hashable] | None = None,
+        *,
+        resplit_gain: float = 0.01,
+        resplit_min_weight: float = 8.0,
+    ) -> "BaseTreeEstimator":
+        """Incrementally update the fitted tree with a batch of labelled rows.
+
+        ``X`` / ``y`` follow the :meth:`fit` contract, but are converted
+        with the feature extents recorded at fit and must only use class
+        labels seen then.  New tuples are routed down the tree, leaf
+        class-mass statistics are updated in place, and leaves whose
+        accumulated stream crosses the re-split trigger are locally rebuilt
+        (see :class:`repro.stream.updates.TreeUpdater`).  Each call bumps
+        ``update_generation_`` and restamps ``trained_at_``; the routing
+        report lands in ``last_update_report_``.
+
+        The estimator must already be fitted — the tree's schema (splits,
+        classes, extents) is what the stream updates.
+        """
+        self._check_fitted()
+        tree = self._require_tree()
+        dataset = self._prepare_training(self._coerce_update(X, y))
+        if not len(dataset):
+            return self
+        self.last_update_report_ = tree.partial_fit(
+            dataset,
+            builder=self._make_builder(),
+            resplit_gain=resplit_gain,
+            resplit_min_weight=resplit_min_weight,
+        )
+        self._bump_update_generation()
         return self
 
     def predict(self, X):

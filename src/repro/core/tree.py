@@ -400,6 +400,47 @@ class DecisionTree:
         result[positive] /= totals[positive, None]
         return result
 
+    # -- streaming updates -----------------------------------------------------
+
+    def partial_fit(
+        self,
+        dataset: UncertainDataset,
+        *,
+        builder=None,
+        resplit_gain: float = 0.01,
+        resplit_min_weight: float = 8.0,
+    ):
+        """Ingest a batch of labelled uncertain tuples into the trained tree.
+
+        Tuples are routed down the tree with *training* partition semantics
+        (fractional tuples, truncated pdfs); each leaf they reach adds the
+        arriving mass to its class distribution in place and buffers the
+        fractional tuple.  A leaf whose buffer crosses the re-split trigger
+        (``resplit_min_weight`` accumulated weight and at least
+        ``resplit_gain`` dispersion gain from its best split) is replaced by
+        a subtree built fresh from the buffered tuples — bit-identical to
+        building that subtree from scratch.  ``builder`` configures the
+        re-splits; pass the tree's original builder (the first call's
+        builder is retained by the cached updater, later calls may adjust
+        only the two threshold knobs).  Returns an
+        :class:`~repro.stream.updates.UpdateReport`.
+        """
+        from repro.stream.updates import TreeUpdater
+
+        updater = getattr(self, "_stream_updater", None)
+        if updater is None:
+            updater = TreeUpdater(
+                self,
+                builder=builder,
+                resplit_gain=resplit_gain,
+                resplit_min_weight=resplit_min_weight,
+            )
+            self._stream_updater = updater
+        else:
+            updater.resplit_gain = float(resplit_gain)
+            updater.resplit_min_weight = float(resplit_min_weight)
+        return updater.update(dataset)
+
     def structure_signature(self) -> tuple:
         """Hashable encoding of the tree's structure and split decisions.
 

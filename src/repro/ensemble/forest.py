@@ -134,6 +134,11 @@ class BaseForestClassifier(BaseTreeEstimator):
             )
         if self.n_jobs < 1:
             raise TreeError(f"n_jobs must be at least 1, got {self.n_jobs!r}")
+        if self.oob_score and not self.bootstrap:
+            raise TreeError(
+                "oob_score=True requires bootstrap=True: out-of-bag rows only "
+                "exist when members train on bootstrap resamples"
+            )
         self._subsample_count(8)  # validates feature_subsample's type/range
 
     def _subsample_count(self, n_features: int) -> "int | None":
@@ -264,13 +269,228 @@ class BaseForestClassifier(BaseTreeEstimator):
         self._class_label_values = dataset.class_labels
         self.classes_ = np.asarray(dataset.class_labels)
         self.n_features_in_ = dataset.n_attributes
+        if self.oob_score:
+            self._compute_oob(dataset, plans)
+        else:
+            self.oob_score_ = None
+            self.oob_member_scores_ = None
+        self.stream_member_scores_ = None
+        self._stream_reservoir = None
+        self._refresh_epoch = 0
+        self._stamp_fitted()
         return self
+
+    def _compute_oob(self, dataset: UncertainDataset, plans: list) -> None:
+        """Out-of-bag accuracy estimates from the members' bootstrap plans.
+
+        Each member is scored on the rows its bootstrap sample missed
+        (``oob_member_scores_``), and the forest-level ``oob_score_`` is the
+        accuracy of the soft vote over, per row, exactly the members that
+        did not train on it — the standard unbiased estimate of held-out
+        accuracy, for free from the training data.
+        """
+        n_rows = len(dataset)
+        n_classes = dataset.n_classes
+        label_indices = np.asarray(
+            [dataset.label_index(item.label) for item in dataset.tuples]
+        )
+        votes = np.zeros((n_rows, n_classes))
+        vote_counts = np.zeros(n_rows, dtype=np.int64)
+        member_scores = np.full(len(plans), np.nan)
+        for member, (rows, feature_indices) in enumerate(plans):
+            oob_mask = np.ones(n_rows, dtype=bool)
+            oob_mask[rows] = False
+            oob_rows = np.flatnonzero(oob_mask)
+            if not len(oob_rows):
+                continue
+            view = dataset.subset(oob_rows)
+            if feature_indices is not None:
+                view = view.select_attributes(feature_indices)
+            probabilities = self.trees_[member].classify_batch(view)
+            votes[oob_rows] += probabilities
+            vote_counts[oob_rows] += 1
+            member_scores[member] = float(
+                np.mean(np.argmax(probabilities, axis=1) == label_indices[oob_rows])
+            )
+        covered = vote_counts > 0
+        self.oob_member_scores_ = member_scores
+        if covered.any():
+            predicted = np.argmax(votes[covered], axis=1)
+            self.oob_score_ = float(np.mean(predicted == label_indices[covered]))
+        else:  # tiny datasets can leave every row in-bag for every member
+            self.oob_score_ = float("nan")
 
     @property
     def n_trees_(self) -> int:
         """Number of fitted member trees."""
         self._check_fitted()
         return len(self.trees_)
+
+    # -- streaming updates ------------------------------------------------------
+
+    def partial_fit(
+        self,
+        X,
+        y: Sequence[Hashable] | None = None,
+        *,
+        resplit_gain: float = 0.01,
+        resplit_min_weight: float = 8.0,
+        reservoir_size: int = 4096,
+        score_decay: float = 0.9,
+    ) -> "BaseForestClassifier":
+        """Incrementally update every member tree with a batch of labelled rows.
+
+        Because no member trained on a streamed row, the whole batch is
+        out-of-bag for every member: each member is scored on it *before*
+        the update and the accuracy folded into ``stream_member_scores_``
+        with exponential decay ``score_decay`` — the running OOB estimate
+        that :meth:`refresh_members` ranks members by.  The rows also enter
+        the recent-window reservoir refresh retrains from, and then update
+        each member tree through its feature subset (leaf mass + local
+        re-splits, see :meth:`repro.core.tree.DecisionTree.partial_fit`).
+        """
+        self._check_fitted()
+        if not 0.0 <= score_decay < 1.0:
+            raise TreeError(f"score_decay must be in [0, 1), got {score_decay!r}")
+        dataset = self._prepare_training(self._coerce_update(X, y))
+        if not len(dataset):
+            return self
+        self._score_stream_batch(dataset, decay=score_decay)
+        reservoir = getattr(self, "_stream_reservoir", None)
+        if reservoir is None:
+            from repro.stream.reservoir import StreamReservoir
+
+            reservoir = StreamReservoir(int(reservoir_size))
+            self._stream_reservoir = reservoir
+        reservoir.extend(dataset.tuples)
+        params = self._builder_params()
+        reports = []
+        for member, tree in enumerate(self.trees_):
+            reports.append(
+                tree.partial_fit(
+                    self._member_view(dataset, member),
+                    builder=TreeBuilder(**params),
+                    resplit_gain=resplit_gain,
+                    resplit_min_weight=resplit_min_weight,
+                )
+            )
+        self.last_update_report_ = reports
+        self._bump_update_generation()
+        return self
+
+    def _score_stream_batch(self, dataset: UncertainDataset, *, decay: float) -> None:
+        """Fold per-member accuracy on a fresh batch into the running scores.
+
+        The batch dataset carries its own label ordering, so labels are
+        mapped through the *forest's* classes before comparing with each
+        member's vote columns.
+        """
+        label_map = {label: i for i, label in enumerate(self._class_label_values)}
+        try:
+            label_indices = np.asarray(
+                [label_map[item.label] for item in dataset.tuples]
+            )
+        except KeyError as exc:
+            raise TreeError(
+                f"unknown class label {exc.args[0]!r}; streamed tuples must use "
+                "labels seen at fit time"
+            ) from exc
+        scores = getattr(self, "stream_member_scores_", None)
+        if scores is None:
+            scores = np.full(len(self.trees_), np.nan)
+        updated = scores.astype(float).copy()
+        for member, (tree, view) in enumerate(self._member_views(dataset)):
+            probabilities = tree.classify_batch(view)
+            accuracy = float(
+                np.mean(np.argmax(probabilities, axis=1) == label_indices)
+            )
+            if np.isnan(updated[member]):
+                updated[member] = accuracy
+            else:
+                updated[member] = decay * updated[member] + (1.0 - decay) * accuracy
+        self.stream_member_scores_ = updated
+
+    def _worst_members(self, fraction: float) -> "list[int]":
+        """The ``fraction`` worst-scoring member indices (lowest first)."""
+        if not 0.0 < fraction <= 1.0:
+            raise TreeError(f"fraction must be in (0, 1], got {fraction!r}")
+        scores = getattr(self, "stream_member_scores_", None)
+        if scores is None or np.all(np.isnan(scores)):
+            scores = getattr(self, "oob_member_scores_", None)
+        if scores is None or np.all(np.isnan(scores)):
+            raise TreeError(
+                "no member scores to rank by: fit with oob_score=True, stream "
+                "batches through partial_fit first, or pass members= explicitly"
+            )
+        count = max(1, int(math.ceil(fraction * len(self.trees_))))
+        # Unscored (nan) members sort last: a freshly refreshed member has no
+        # evidence against it yet and must not be refreshed again immediately.
+        order = np.argsort(np.where(np.isnan(scores), np.inf, scores), kind="stable")
+        return [int(index) for index in order[:count]]
+
+    def refresh_members(
+        self,
+        members=None,
+        *,
+        fraction: float = 0.25,
+        window: "Sequence[UncertainTuple] | None" = None,
+    ) -> "list[int]":
+        """Retrain the worst-scoring members on the recent-window reservoir.
+
+        ``members`` picks explicit member indices; by default the worst
+        ``fraction`` of the forest by ``stream_member_scores_`` (falling
+        back to the fit-time ``oob_member_scores_``) is chosen.  Each
+        refreshed member draws a fresh deterministic bootstrap/feature plan
+        — seeded by ``(random_state, member, refresh epoch)``, so refreshed
+        forests are reproducible from the stream alone — and retrains on
+        ``window`` (default: the reservoir filled by :meth:`partial_fit`).
+        Returns the refreshed member indices.
+        """
+        self._check_fitted()
+        if window is None:
+            reservoir = getattr(self, "_stream_reservoir", None)
+            window = reservoir.window() if reservoir is not None else []
+        else:
+            window = list(window)
+        if not window:
+            raise TreeError(
+                "refresh_members needs recent tuples: stream batches through "
+                "partial_fit first, or pass window= explicitly"
+            )
+        selected = (
+            self._worst_members(fraction) if members is None
+            else self._resolve_members(members)
+        )
+        if not selected:
+            return []
+        recent = UncertainDataset(
+            self.attributes_, window, class_labels=self._class_label_values
+        )
+        params = self._builder_params()
+        epoch = int(getattr(self, "_refresh_epoch", 0)) + 1
+        self._refresh_epoch = epoch
+        for member in selected:
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=int(self.random_state), spawn_key=(member, epoch)
+                )
+            )
+            rows = rng.integers(0, len(recent), size=len(recent)) if self.bootstrap else None
+            count = self._subsample_count(recent.n_attributes)
+            feature_indices = None
+            if count is not None:
+                feature_indices = sorted(
+                    int(i) for i in rng.choice(recent.n_attributes, size=count, replace=False)
+                )
+            result = _fit_planned(recent, rows, feature_indices, params)
+            self.trees_[member] = result.tree
+            self.tree_feature_indices_[member] = feature_indices
+            self.tree_build_stats_[member] = result.stats
+            scores = getattr(self, "stream_member_scores_", None)
+            if scores is not None:
+                scores[member] = np.nan  # fresh member: no evidence yet
+        self._bump_update_generation()
+        return list(selected)
 
     # -- soft voting ----------------------------------------------------------
 
@@ -428,6 +648,10 @@ class UDTForestClassifier(BaseForestClassifier):
     n_jobs:
         Worker processes for member training (1 = sequential; results are
         identical either way).
+    oob_score:
+        Compute out-of-bag accuracy estimates during :meth:`fit` (requires
+        ``bootstrap=True``): the forest-level ``oob_score_`` and per-member
+        ``oob_member_scores_``.
 
     Attributes
     ----------
@@ -435,6 +659,16 @@ class UDTForestClassifier(BaseForestClassifier):
         The fitted member :class:`~repro.core.tree.DecisionTree` objects.
     tree_feature_indices_:
         Per-member sorted feature-column subsets (``None`` = all features).
+    oob_score_, oob_member_scores_:
+        Out-of-bag accuracy of the forest / of each member on the rows its
+        bootstrap missed (``None`` unless fitted with ``oob_score=True``).
+    stream_member_scores_:
+        Decayed per-member accuracy on streamed :meth:`partial_fit` batches
+        (``None`` until the first batch); ranks members for
+        :meth:`refresh_members`.
+    trained_at_, update_generation_:
+        Model lineage: last (re)training timestamp and the number of
+        incremental updates applied since the full fit.
     classes_, n_features_in_, feature_extents_:
         As on the single-tree estimators.
     """
@@ -456,6 +690,7 @@ class UDTForestClassifier(BaseForestClassifier):
         random_state: int = 0,
         bootstrap: bool = True,
         feature_subsample=None,
+        oob_score: bool = False,
     ) -> None:
         self.strategy = strategy
         self.measure = measure
@@ -471,6 +706,7 @@ class UDTForestClassifier(BaseForestClassifier):
         self.random_state = random_state
         self.bootstrap = bootstrap
         self.feature_subsample = feature_subsample
+        self.oob_score = oob_score
         self.trees_ = None
         self.tree_ = None
         self.build_stats_ = None
@@ -503,6 +739,7 @@ class AveragingForestClassifier(MeanReductionMixin, BaseForestClassifier):
         random_state: int = 0,
         bootstrap: bool = True,
         feature_subsample=None,
+        oob_score: bool = False,
     ) -> None:
         self.strategy = strategy
         self.measure = measure
@@ -518,6 +755,7 @@ class AveragingForestClassifier(MeanReductionMixin, BaseForestClassifier):
         self.random_state = random_state
         self.bootstrap = bootstrap
         self.feature_subsample = feature_subsample
+        self.oob_score = oob_score
         self.trees_ = None
         self.tree_ = None
         self.build_stats_ = None

@@ -8,8 +8,9 @@ instance the way real traffic does — requests arrive on a schedule fixed
 in advance, whether or not earlier ones have completed:
 
 * :mod:`repro.loadgen.shapes` — traffic shapes: ``steady``, ``spike``,
-  ``diurnal`` rate profiles and ``hotkey`` model-selection skew, plus the
-  arrival-time scheduler (Poisson or deterministic);
+  ``diurnal`` rate profiles, ``hotkey`` model-selection skew and ``drift``
+  (the request population migrates mid-run — exercises the streaming
+  trainer), plus the arrival-time scheduler (Poisson or deterministic);
 * :mod:`repro.loadgen.generator` — the open-loop :class:`LoadGenerator`:
   a user pool with spawn-rate ramp-up and stochastic think time executes
   the scheduled arrivals against the HTTP API, recording per-request
@@ -37,6 +38,7 @@ from repro.loadgen.report import summarize, write_loadgen_report
 from repro.loadgen.shapes import (
     SHAPE_NAMES,
     DiurnalShape,
+    DriftShape,
     HotKeyShape,
     SpikeShape,
     SteadyShape,
@@ -48,6 +50,7 @@ from repro.loadgen.slo import SLOBudget, Violation, check_slo, load_budgets
 
 __all__ = [
     "DiurnalShape",
+    "DriftShape",
     "HotKeyShape",
     "LoadGenerator",
     "RequestRecord",

@@ -187,9 +187,16 @@ class LoadGenerator:
         models = list(models)
 
         offsets = arrival_times(shape, rate, duration_s, rng, poisson=poisson)
-        # Fix the whole workload up front: target model and feature row per
-        # arrival, so worker-thread scheduling jitter cannot change it.
-        targets = [shape.pick_model(rng, models) for _ in offsets]
+        # Fix the whole workload up front: target model, feature shift and
+        # feature row per arrival, so worker-thread scheduling jitter
+        # cannot change it.
+        targets = [
+            shape.pick_model_at(rng, models, float(offset) / duration_s)
+            for offset in offsets
+        ]
+        shifts = [
+            shape.feature_shift(float(offset) / duration_s) for offset in offsets
+        ]
         feature_counts = {
             name: discovered_features.get(name, 4) for name in models
         }
@@ -232,11 +239,14 @@ class LoadGenerator:
                 ):
                     trace_id = new_trace_id()
                     headers = {TRACE_ID_HEADER: trace_id, SAMPLED_HEADER: "1"}
+                row = rows[model][index % len(rows[model])]
+                if shifts[index]:
+                    row = row + shifts[index]
                 started = time.monotonic()
                 try:
                     client.predict(
                         model,
-                        rows[model][index % len(rows[model])],
+                        row,
                         headers=headers,
                     )
                     status = 200

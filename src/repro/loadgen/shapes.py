@@ -14,6 +14,14 @@ open-loop half of the harness.  Two hooks:
   the traffic onto the first (hottest) model, the serving-side analogue
   of a hot partition key.
 
+Shapes that change *what* the traffic looks like over the run get two
+further hooks: :meth:`TrafficShape.pick_model_at` (time-aware model
+selection, defaults to :meth:`~TrafficShape.pick_model`) and
+:meth:`TrafficShape.feature_shift` (an additive offset applied to the
+generated feature rows, default 0).  ``drift`` uses both to migrate the
+request population mid-run — the workload a streaming trainer
+(:mod:`repro.stream`) exists to keep up with.
+
 :func:`arrival_times` turns a shape plus a base rate and duration into the
 explicit arrival schedule: a non-homogeneous Poisson process (thinning)
 by default, or the deterministic equal-expectation schedule for
@@ -28,6 +36,7 @@ import numpy as np
 __all__ = [
     "SHAPE_NAMES",
     "DiurnalShape",
+    "DriftShape",
     "HotKeyShape",
     "SpikeShape",
     "SteadyShape",
@@ -53,6 +62,20 @@ class TrafficShape:
         if len(models) == 1:
             return models[0]
         return models[int(rng.integers(len(models)))]
+
+    def pick_model_at(
+        self, rng: np.random.Generator, models: "list[str]", t: float
+    ) -> str:
+        """Time-aware model selection at run fraction ``t``.
+
+        The default ignores ``t`` and delegates to :meth:`pick_model`, so
+        time-invariant shapes keep drawing the exact same rng sequence.
+        """
+        return self.pick_model(rng, models)
+
+    def feature_shift(self, t: float) -> float:
+        """Additive offset applied to feature rows at run fraction ``t``."""
+        return 0.0
 
     def describe(self) -> dict:
         """Shape parameters for the benchmark record."""
@@ -154,11 +177,83 @@ class HotKeyShape(TrafficShape):
         return {"shape": self.name, "hot_share": self.hot_share}
 
 
+class DriftShape(TrafficShape):
+    """Steady rate with the request *population* migrating mid-run.
+
+    Over a linear ramp between run fractions ``start`` and ``end`` the
+    preferred model moves from the first registered model to the last,
+    and the generated feature rows pick up an additive offset growing to
+    ``magnitude`` — so both the label mix (which model answers) and the
+    input distribution shift, the workload a streaming trainer exists to
+    keep up with.  ``hot_share`` of the requests follow the preference;
+    the rest stay uniform, keeping every model warm throughout.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        start: float = 0.4,
+        end: float = 0.6,
+        magnitude: float = 2.0,
+        hot_share: float = 0.8,
+    ) -> None:
+        if not 0.0 <= start < end <= 1.0:
+            raise ValueError(f"drift window must satisfy 0 <= start < end <= 1, "
+                             f"got [{start}, {end}]")
+        if magnitude < 0:
+            raise ValueError(f"drift magnitude must be >= 0, got {magnitude}")
+        if not 0.0 < hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in (0, 1], got {hot_share}")
+        self.start = float(start)
+        self.end = float(end)
+        self.magnitude = float(magnitude)
+        self.hot_share = float(hot_share)
+
+    def phase(self, t: float) -> float:
+        """How far the drift has progressed at ``t``: 0 before, 1 after."""
+        if t <= self.start:
+            return 0.0
+        if t >= self.end:
+            return 1.0
+        return (t - self.start) / (self.end - self.start)
+
+    def pick_model_at(
+        self, rng: np.random.Generator, models: "list[str]", t: float
+    ) -> str:
+        if not models:
+            raise ValueError("no models to pick from")
+        if len(models) == 1:
+            return models[0]
+        # Preference migrates from the first model to the last as the
+        # drift progresses; each request re-draws, so mid-ramp traffic is
+        # a blend rather than a hard cutover.
+        preferred = models[-1] if rng.random() < self.phase(t) else models[0]
+        if rng.random() < self.hot_share:
+            return preferred
+        return models[int(rng.integers(len(models)))]
+
+    def pick_model(self, rng: np.random.Generator, models: "list[str]") -> str:
+        return self.pick_model_at(rng, models, 0.0)
+
+    def feature_shift(self, t: float) -> float:
+        return self.magnitude * self.phase(t)
+
+    def describe(self) -> dict:
+        return {
+            "shape": self.name,
+            "drift_window": [self.start, self.end],
+            "magnitude": self.magnitude,
+            "hot_share": self.hot_share,
+        }
+
+
 _SHAPES = {
     SteadyShape.name: SteadyShape,
     SpikeShape.name: SpikeShape,
     DiurnalShape.name: DiurnalShape,
     HotKeyShape.name: HotKeyShape,
+    DriftShape.name: DriftShape,
 }
 
 #: Names accepted by :func:`make_shape` and ``repro loadgen --shape``.
@@ -166,7 +261,7 @@ SHAPE_NAMES = tuple(sorted(_SHAPES))
 
 
 def make_shape(name: str, **parameters) -> TrafficShape:
-    """Instantiate a shape by name (``steady``/``spike``/``diurnal``/``hotkey``)."""
+    """Instantiate a shape by name (``steady``/``spike``/``diurnal``/``hotkey``/``drift``)."""
     shape_class = _SHAPES.get(name)
     if shape_class is None:
         raise ValueError(f"unknown traffic shape {name!r}; expected one of {SHAPE_NAMES}")

@@ -363,6 +363,9 @@ class InferenceEngine:
         if self._closed:
             raise ServingError("the inference engine is closed", status=503)
         model = self.registry.get(model_name)
+        self.metrics.set_model_generation(
+            model_name, getattr(model, "update_generation_", 0) or 0
+        )
         n_features = int(model.n_features_in_)
         matrix = self._as_matrix(rows, n_features)
         n_rows = matrix.shape[0]
@@ -521,6 +524,9 @@ class InferenceEngine:
         if self._closed:
             raise ServingError("the inference engine is closed", status=503)
         model = self.registry.get(model_name)
+        self.metrics.set_model_generation(
+            model_name, getattr(model, "update_generation_", 0) or 0
+        )
         if not hasattr(model, "member_votes"):
             raise ServingError(
                 f"model {model_name!r} is not a forest; member votes are only "

@@ -555,6 +555,12 @@ class ServingMetrics:
             ("stage", "model"),
             buckets=LATENCY_BUCKETS,
         )
+        self._model_generation = registry.gauge(
+            "repro_model_update_generation",
+            "Streaming update generation of the served model snapshot "
+            "(incremental partial_fit/refresh updates since its full fit).",
+            ("model",),
+        )
         self._gauges: dict = {}
 
     # -- recording -----------------------------------------------------------
@@ -597,6 +603,17 @@ class ServingMetrics:
         self._stage_latency.observe_labels(
             float(seconds), stage, model if model is not None else ""
         )
+
+    def set_model_generation(self, model: str, generation) -> None:
+        """Expose the update generation of the snapshot a model serves from.
+
+        Set on every prediction right after the registry lookup, so the
+        continuous trainer's hot-reloaded publications become visible in
+        ``/metrics`` as soon as traffic touches the new snapshot.  Like
+        :meth:`record_stage` this is a Prometheus-only family — the
+        ``snapshot()`` byte-compatibility contract stays untouched.
+        """
+        self._model_generation.labels(model).set(int(generation))
 
     def record_cache(self, hits: int = 0, misses: int = 0) -> None:
         """Count prediction-cache lookups."""

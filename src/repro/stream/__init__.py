@@ -1,0 +1,43 @@
+"""Streaming updates: incremental learning for served uncertain-tree models.
+
+Three layers turn a trained model into one that tracks drifting traffic
+without full retrains or redeploys:
+
+* :mod:`repro.stream.updates` — :class:`TreeUpdater`, the core of
+  ``partial_fit``: routes new uncertain tuples down a trained tree with
+  training partition semantics, accumulates leaf class-mass statistics in
+  place, and locally re-splits a leaf (bit-identical to a fresh build on
+  its accumulated tuples) when an impurity-gain threshold is crossed;
+* :mod:`repro.stream.reservoir` — :class:`StreamReservoir`, the
+  recent-window buffer that OOB-driven forest member refresh retrains from;
+* :mod:`repro.stream.feed` / :mod:`repro.stream.trainer` —
+  :class:`FeedTailer` over an append-only CSV/JSONL feed directory and the
+  :class:`ContinuousTrainer` daemon (``repro stream-train``) that applies
+  partial_fit / refresh on a cadence and atomically publishes versioned
+  snapshots into the serving source-of-truth directory, where registry hot
+  reload and router sync propagate them across the mesh.
+
+Quickstart::
+
+    from repro import UDTForestClassifier
+    model = UDTForestClassifier(n_estimators=5, oob_score=True).fit(X, y)
+    model.partial_fit(X_new, y_new)        # incremental leaf updates + re-splits
+    model.refresh_members(fraction=0.25)   # retrain the worst-OOB members
+
+See ``examples/stream_quickstart.py`` for the full feed → trainer → serve
+loop.
+"""
+
+from repro.stream.feed import FeedTailer
+from repro.stream.reservoir import StreamReservoir
+from repro.stream.trainer import ContinuousTrainer, CycleResult
+from repro.stream.updates import TreeUpdater, UpdateReport
+
+__all__ = [
+    "ContinuousTrainer",
+    "CycleResult",
+    "FeedTailer",
+    "StreamReservoir",
+    "TreeUpdater",
+    "UpdateReport",
+]

@@ -1,0 +1,116 @@
+"""Tailing an append-only training feed (a directory of CSV / JSONL files).
+
+The continuous trainer's input is the simplest durable stream there is:
+producers append labelled rows to files in a directory, the trainer
+remembers a byte offset per file and reads only what was appended since the
+last poll.  Two row formats are accepted, distinguished by file suffix:
+
+* ``*.csv`` — numerical feature columns followed by the label in the last
+  column (the same layout ``repro train`` consumes); a header line, or any
+  line whose feature columns fail to parse as floats, is skipped;
+* ``*.jsonl`` — one JSON object per line: ``{"features": [...], "label": ...}``.
+
+Only *complete* lines (terminated by a newline) are consumed, so a producer
+appending a row in several writes is never half-read; the remainder stays in
+the file until the newline lands.  A file that shrinks (rotation) is re-read
+from the start.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["FeedTailer"]
+
+#: File suffixes the tailer consumes, in glob form.
+FEED_PATTERNS = ("*.csv", "*.jsonl")
+
+
+class FeedTailer:
+    """Incremental reader over an append-only feed directory."""
+
+    def __init__(self, feed_dir) -> None:
+        self.feed_dir = Path(feed_dir)
+        self._offsets: dict[Path, int] = {}
+        #: Rows successfully parsed over the tailer's lifetime.
+        self.rows_read = 0
+        #: Complete lines that failed to parse (malformed JSON, headers, …).
+        self.lines_skipped = 0
+
+    def poll(self) -> "tuple[list[list[float]], list[str]]":
+        """Read every complete row appended since the previous poll.
+
+        Returns ``(X, y)``: feature rows and string labels, in file-name
+        order and in append order within each file.  An absent feed
+        directory simply yields nothing (the producer may not have started
+        yet).
+        """
+        X: list[list[float]] = []
+        y: list[str] = []
+        if not self.feed_dir.is_dir():
+            return X, y
+        files = sorted(
+            path for pattern in FEED_PATTERNS for path in self.feed_dir.glob(pattern)
+        )
+        for path in files:
+            offset = self._offsets.get(path, 0)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            if size < offset:
+                offset = 0  # truncated/rotated: start over
+            if size == offset:
+                continue
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            end = chunk.rfind(b"\n")
+            if end < 0:
+                continue  # no complete line yet
+            self._offsets[path] = offset + end + 1
+            parse = self._parse_jsonl if path.suffix == ".jsonl" else self._parse_csv
+            for raw in chunk[: end + 1].splitlines():
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                row = parse(line)
+                if row is None:
+                    self.lines_skipped += 1
+                    continue
+                features, label = row
+                X.append(features)
+                y.append(label)
+                self.rows_read += 1
+        return X, y
+
+    @staticmethod
+    def _parse_csv(line: str) -> "tuple[list[float], str] | None":
+        parts = [part.strip() for part in line.split(",")]
+        if len(parts) < 2:
+            return None
+        try:
+            features = [float(part) for part in parts[:-1]]
+        except ValueError:
+            return None  # header or malformed row
+        return features, parts[-1]
+
+    @staticmethod
+    def _parse_jsonl(line: str) -> "tuple[list[float], str] | None":
+        try:
+            record = json.loads(line)
+            features = [float(value) for value in record["features"]]
+            label = record["label"]
+        except (ValueError, TypeError, KeyError):
+            return None
+        return features, str(label)
+
+    def describe(self) -> dict:
+        """Counters for logs and metrics."""
+        return {
+            "feed_dir": str(self.feed_dir),
+            "files": len(self._offsets),
+            "rows_read": self.rows_read,
+            "lines_skipped": self.lines_skipped,
+        }

@@ -1,0 +1,52 @@
+"""Recent-window reservoir of streamed training tuples.
+
+:meth:`~repro.ensemble.forest.BaseForestClassifier.refresh_members` retrains
+the worst-scoring forest members on *recent* data so the forest tracks
+drift; this module holds that data.  The reservoir is a deterministic
+sliding window (a bounded deque of the most recent tuples), not a random
+sample: under drift the newest tuples are exactly the ones a refreshed
+member should train on, and determinism keeps refreshed forests reproducible
+from the stream alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.dataset import UncertainTuple
+from repro.exceptions import TreeError
+
+__all__ = ["StreamReservoir"]
+
+
+class StreamReservoir:
+    """Bounded window over the most recently streamed tuples."""
+
+    def __init__(self, capacity: int) -> None:
+        if isinstance(capacity, bool) or not isinstance(capacity, int) or capacity < 1:
+            raise TreeError(f"reservoir capacity must be a positive integer, got {capacity!r}")
+        self.capacity = capacity
+        self._window: deque[UncertainTuple] = deque(maxlen=capacity)
+        #: Total number of tuples ever offered (including evicted ones).
+        self.seen = 0
+
+    def extend(self, items: Iterable[UncertainTuple]) -> None:
+        """Append tuples in stream order, evicting the oldest past capacity."""
+        for item in items:
+            self._window.append(item)
+            self.seen += 1
+
+    def window(self) -> list[UncertainTuple]:
+        """The retained tuples, oldest first."""
+        return list(self._window)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def describe(self) -> dict:
+        """Counters for logs and metrics."""
+        return {"capacity": self.capacity, "size": len(self._window), "seen": self.seen}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamReservoir(capacity={self.capacity}, size={len(self._window)}, seen={self.seen})"

@@ -1,0 +1,284 @@
+"""The continuous trainer: feed → partial_fit/refresh → atomic publish.
+
+:class:`ContinuousTrainer` closes the loop between the incremental-learning
+core and the serving mesh.  On a fixed cadence it
+
+1. polls a :class:`~repro.stream.feed.FeedTailer` for rows appended to the
+   feed directory since the last cycle,
+2. applies :meth:`partial_fit` to the model (and, for forests, periodically
+   :meth:`refresh_members` on the recent-window reservoir),
+3. writes a fresh model snapshot to a temporary file and atomically
+   ``os.replace``-renames it over ``<name>.zip`` in the serving
+   source-of-truth directory.
+
+The atomic rename changes the archive's ``(mtime_ns, size)`` stat pair,
+which is exactly what the serving registry's hot-reload check watches: the
+next request remaps the model (PR 9's atomic shm remap), the router's
+archive sync propagates the new file across replica dirs, and
+``GET /v1/models`` starts reporting the new ``update_generation`` — no
+process restarts anywhere.
+
+Every cycle is traced (``trainer.cycle`` with ``ingest`` / ``partial_fit``
+/ ``refresh`` / ``publish`` child spans) when a tracer is attached, and
+logged as structured events either way.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import TreeError
+from repro.obs import NO_TRACE, RequestTrace, TraceContext, Tracer, get_logger
+from repro.stream.feed import FeedTailer
+
+__all__ = ["ContinuousTrainer", "CycleResult"]
+
+
+@dataclass
+class CycleResult:
+    """Outcome of one trainer cycle."""
+
+    cycle: int
+    rows: int
+    updated: bool
+    refreshed: "list[int]"
+    published: bool
+    generation: int
+    duration_s: float
+
+
+class ContinuousTrainer:
+    """Daemon loop that keeps a served model fresh from an append-only feed.
+
+    Parameters
+    ----------
+    model:
+        A *fitted* estimator with ``partial_fit`` (single trees and forests;
+        forests additionally get periodic :meth:`refresh_members` calls).
+    feed:
+        A :class:`~repro.stream.feed.FeedTailer`, or a path to the feed
+        directory to tail.
+    publish_dir:
+        The serving source-of-truth directory; each publication atomically
+        replaces ``<name>.zip`` there.
+    name:
+        Published model name (the serving stack's model key).
+    interval_s:
+        Sleep between cycles in :meth:`run`.
+    min_batch:
+        Rows to accumulate before a ``partial_fit`` is applied; smaller
+        polls are carried over to the next cycle, never dropped.
+    refresh_every:
+        Refresh the worst members every N *updating* cycles (forests only;
+        0 disables refresh).
+    refresh_fraction, resplit_gain, resplit_min_weight, reservoir_size:
+        Passed through to ``refresh_members`` / ``partial_fit``.
+    format_version:
+        Archive format of published snapshots (``None`` = current).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when set, every cycle emits a
+        ``trainer.cycle`` span tree (cycles are low-volume, so each one is
+        sampled).
+    """
+
+    def __init__(
+        self,
+        model,
+        feed,
+        publish_dir,
+        name: str,
+        *,
+        interval_s: float = 2.0,
+        min_batch: int = 1,
+        refresh_every: int = 0,
+        refresh_fraction: float = 0.25,
+        resplit_gain: float = 0.01,
+        resplit_min_weight: float = 8.0,
+        reservoir_size: int = 4096,
+        format_version: "int | None" = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if not hasattr(model, "partial_fit"):
+            raise TreeError("the trainer needs a fitted estimator with partial_fit")
+        if min_batch < 1:
+            raise TreeError(f"min_batch must be at least 1, got {min_batch!r}")
+        if interval_s < 0:
+            raise TreeError(f"interval_s must be non-negative, got {interval_s!r}")
+        self.model = model
+        self.feed = feed if isinstance(feed, FeedTailer) else FeedTailer(feed)
+        self.publish_dir = Path(publish_dir)
+        self.publish_dir.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.interval_s = float(interval_s)
+        self.min_batch = int(min_batch)
+        self.refresh_every = int(refresh_every)
+        self.refresh_fraction = float(refresh_fraction)
+        self.resplit_gain = float(resplit_gain)
+        self.resplit_min_weight = float(resplit_min_weight)
+        self.reservoir_size = int(reservoir_size)
+        self.format_version = format_version
+        self.tracer = tracer
+        self._log = get_logger(__name__)
+        self._pending_X: "list[list[float]]" = []
+        self._pending_y: "list[str]" = []
+        #: Counters surfaced by :meth:`describe` (and the CLI's final line).
+        self.cycles = 0
+        self.rows_ingested = 0
+        self.updates_applied = 0
+        self.publications = 0
+
+    # -- one cycle -------------------------------------------------------------
+
+    def _trace(self):
+        if self.tracer is None:
+            return NO_TRACE
+        # Trainer cycles are their own edge and low-volume: always sampled.
+        return RequestTrace(self.tracer, TraceContext.mint(True))
+
+    def run_once(self) -> CycleResult:
+        """Execute one poll → update → publish cycle and return what happened."""
+        started = time.perf_counter()
+        self.cycles += 1
+        trace = self._trace()
+        updated = False
+        published = False
+        refreshed: "list[int]" = []
+        with trace.span("trainer.cycle", model=self.name, tags={"cycle": self.cycles}):
+            with trace.span("trainer.ingest", model=self.name) as ingest_span:
+                X, y = self.feed.poll()
+                ingest_span.set_tag("rows", len(X))
+            self._pending_X.extend(X)
+            self._pending_y.extend(y)
+            self.rows_ingested += len(X)
+            batch_rows = len(self._pending_X)
+            if batch_rows >= self.min_batch:
+                with trace.span(
+                    "trainer.partial_fit", model=self.name, tags={"rows": batch_rows}
+                ):
+                    self.model.partial_fit(
+                        self._pending_X,
+                        self._pending_y,
+                        resplit_gain=self.resplit_gain,
+                        resplit_min_weight=self.resplit_min_weight,
+                        **(
+                            {"reservoir_size": self.reservoir_size}
+                            if hasattr(self.model, "refresh_members")
+                            else {}
+                        ),
+                    )
+                self._pending_X = []
+                self._pending_y = []
+                self.updates_applied += 1
+                updated = True
+                if (
+                    self.refresh_every > 0
+                    and hasattr(self.model, "refresh_members")
+                    and self.updates_applied % self.refresh_every == 0
+                ):
+                    with trace.span("trainer.refresh", model=self.name) as refresh_span:
+                        refreshed = self.model.refresh_members(
+                            fraction=self.refresh_fraction
+                        )
+                        refresh_span.set_tag("members", refreshed)
+                with trace.span("trainer.publish", model=self.name):
+                    self.publish()
+                published = True
+        trace.finish()
+        generation = int(getattr(self.model, "update_generation_", 0) or 0)
+        result = CycleResult(
+            cycle=self.cycles,
+            rows=len(X),
+            updated=updated,
+            refreshed=refreshed,
+            published=published,
+            generation=generation,
+            duration_s=time.perf_counter() - started,
+        )
+        if updated:
+            self._log.info(
+                "trainer_update",
+                model=self.name,
+                cycle=self.cycles,
+                rows=batch_rows,
+                refreshed=refreshed,
+                generation=generation,
+            )
+        return result
+
+    def publish(self) -> Path:
+        """Atomically publish the current model as ``<name>.zip``.
+
+        The snapshot is written next to the target and renamed over it, so
+        the serving registry only ever sees complete archives and its
+        ``(mtime_ns, size)`` hot-reload check fires exactly once per
+        publication.  The temporary name does not match the registry's
+        ``*.zip`` discovery glob.
+        """
+        target = self.publish_dir / f"{self.name}.zip"
+        tmp = self.publish_dir / f"{self.name}.zip.tmp-{os.getpid()}"
+        try:
+            self.model.save(tmp, format_version=self.format_version)
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed save
+                tmp.unlink()
+        self.publications += 1
+        self._log.info(
+            "trainer_publish",
+            model=self.name,
+            path=str(target),
+            generation=int(getattr(self.model, "update_generation_", 0) or 0),
+        )
+        return target
+
+    # -- the daemon loop -------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        iterations: "int | None" = None,
+        stop_event: "threading.Event | None" = None,
+        on_cycle=None,
+    ) -> int:
+        """Cycle until ``iterations`` (``None`` = forever) or ``stop_event``.
+
+        Publishes the starting snapshot first, so a freshly pointed serving
+        directory has a model before the first feed row arrives.  Returns
+        the number of cycles executed.  ``on_cycle`` (when given) receives
+        each :class:`CycleResult` — the CLI uses it for progress lines.
+        """
+        if self.publications == 0:
+            self.publish()
+        executed = 0
+        while iterations is None or executed < iterations:
+            if stop_event is not None and stop_event.is_set():
+                break
+            result = self.run_once()
+            executed += 1
+            if on_cycle is not None:
+                on_cycle(result)
+            if iterations is not None and executed >= iterations:
+                break
+            if stop_event is not None:
+                if stop_event.wait(self.interval_s):
+                    break
+            elif self.interval_s > 0:
+                time.sleep(self.interval_s)
+        return executed
+
+    def describe(self) -> dict:
+        """Counters for logs, tests and the CLI's shutdown summary."""
+        return {
+            "model": self.name,
+            "cycles": self.cycles,
+            "rows_ingested": self.rows_ingested,
+            "updates_applied": self.updates_applied,
+            "publications": self.publications,
+            "generation": int(getattr(self.model, "update_generation_", 0) or 0),
+            "pending_rows": len(self._pending_X),
+            "feed": self.feed.describe(),
+        }

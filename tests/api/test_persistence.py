@@ -134,3 +134,65 @@ class TestModelArchives:
         assert np.array_equal(
             loaded.predict_proba(small_uncertain), model.predict_proba(small_uncertain)
         )
+
+
+class TestLineage:
+    """``trained_at`` / ``update_generation`` in archives (ISSUE 10 satellite b)."""
+
+    def test_lineage_round_trips(self, two_class_points, tmp_path):
+        from repro.api.persistence import read_model_metadata
+
+        model = UDTClassifier().fit(two_class_points)
+        assert model.update_generation_ == 0
+        assert isinstance(model.trained_at_, str) and model.trained_at_.endswith("Z")
+        model.partial_fit(
+            [item.mean_vector() for item in two_class_points.tuples[:5]],
+            [item.label for item in two_class_points.tuples[:5]],
+        )
+        path = tmp_path / "lineage.udt"
+        model.save(path)
+
+        metadata = read_model_metadata(path)
+        assert metadata["trained_at"] == model.trained_at_
+        assert metadata["update_generation"] == 1
+
+        loaded = load_model(path)
+        assert loaded.trained_at_ == model.trained_at_
+        assert loaded.update_generation_ == 1
+
+    def test_archive_without_lineage_loads_with_defaults(
+        self, two_class_points, tmp_path
+    ):
+        """Archives from writers predating the lineage fields stay loadable."""
+        from repro.api.persistence import read_model_metadata
+
+        model = UDTClassifier().fit(two_class_points)
+        path = tmp_path / "old.udt"
+        model.save(path)
+        stripped = tmp_path / "stripped.udt"
+        with zipfile.ZipFile(path) as source, zipfile.ZipFile(stripped, "w") as out:
+            for name in source.namelist():
+                data = source.read(name)
+                if name == "model.json":
+                    payload = json.loads(data)
+                    payload.pop("trained_at", None)
+                    payload.pop("update_generation", None)
+                    data = json.dumps(payload).encode("utf-8")
+                out.writestr(name, data)
+
+        metadata = read_model_metadata(stripped)
+        assert metadata["trained_at"] is None
+        assert metadata["update_generation"] == 0
+        loaded = load_model(stripped)
+        assert loaded.trained_at_ is None
+        assert loaded.update_generation_ == 0
+
+    def test_lineage_in_v2_archives(self, two_class_points, tmp_path):
+        from repro.api.persistence import read_model_metadata
+
+        model = UDTClassifier().fit(two_class_points)
+        path = tmp_path / "v2.udt"
+        model.save(path, format_version=2)
+        metadata = read_model_metadata(path)
+        assert metadata["trained_at"] == model.trained_at_
+        assert metadata["update_generation"] == 0

@@ -1,0 +1,178 @@
+"""Forest OOB scoring and the streaming update/refresh path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.spec import gaussian, point
+from repro.ensemble import AveragingForestClassifier, UDTForestClassifier
+from repro.exceptions import TreeError
+
+
+def clusters(rng, n_per_class=50, n_features=3, centers=(0.0, 4.0)):
+    X = np.vstack([
+        rng.normal(center, 1.0, size=(n_per_class, n_features)) for center in centers
+    ])
+    y = sum(([label] * n_per_class for label in ("a", "b", "c")[: len(centers)]), [])
+    return X, y
+
+
+class TestOOBScore:
+    def test_oob_score_computed_on_fit(self):
+        X, y = clusters(np.random.default_rng(0))
+        forest = UDTForestClassifier(
+            n_estimators=7, spec=gaussian(w=0.05, s=8), random_state=0, oob_score=True
+        ).fit(X, y)
+        assert 0.0 <= forest.oob_score_ <= 1.0
+        assert forest.oob_member_scores_.shape == (7,)
+        finite = forest.oob_member_scores_[~np.isnan(forest.oob_member_scores_)]
+        assert np.all((finite >= 0.0) & (finite <= 1.0))
+
+    def test_oob_score_tracks_held_out_accuracy(self):
+        # The satellite's acceptance check: OOB is an unbiased estimate of
+        # generalisation accuracy, so on an easy separable problem both it
+        # and held-out accuracy are high and close.
+        rng = np.random.default_rng(1)
+        X, y = clusters(rng, n_per_class=80)
+        X_test, y_test = clusters(rng, n_per_class=40)
+        forest = UDTForestClassifier(
+            n_estimators=9, spec=point(), random_state=0, oob_score=True
+        ).fit(X, y)
+        held_out = forest.score(X_test, y_test)
+        assert abs(forest.oob_score_ - held_out) < 0.1
+
+    def test_oob_requires_bootstrap(self):
+        with pytest.raises(TreeError, match="bootstrap"):
+            UDTForestClassifier(oob_score=True, bootstrap=False).fit(
+                np.zeros((4, 2)), ["a", "a", "b", "b"]
+            )
+
+    def test_oob_off_by_default(self):
+        X, y = clusters(np.random.default_rng(2), n_per_class=20)
+        forest = UDTForestClassifier(
+            n_estimators=3, spec=point(), random_state=0
+        ).fit(X, y)
+        assert forest.oob_score_ is None
+        assert forest.oob_member_scores_ is None
+
+    def test_oob_param_round_trips_get_params(self):
+        forest = AveragingForestClassifier(oob_score=True)
+        assert forest.get_params()["oob_score"] is True
+        clone = AveragingForestClassifier(**forest.get_params())
+        assert clone.oob_score is True
+
+    def test_oob_deterministic_across_fits(self):
+        X, y = clusters(np.random.default_rng(3), n_per_class=30)
+        scores = [
+            UDTForestClassifier(
+                n_estimators=5, spec=point(), random_state=7, oob_score=True
+            ).fit(X, y).oob_score_
+            for _ in range(2)
+        ]
+        assert scores[0] == scores[1]
+
+
+class TestForestPartialFit:
+    def test_partial_fit_updates_every_member(self):
+        X, y = clusters(np.random.default_rng(4))
+        forest = UDTForestClassifier(
+            n_estimators=5, spec=gaussian(w=0.05, s=8), random_state=0
+        ).fit(X[:60], y[:60])
+        forest.partial_fit(X[60:], y[60:])
+        assert len(forest.last_update_report_) == 5
+        assert forest.update_generation_ == 1
+        assert forest.stream_member_scores_.shape == (5,)
+
+    def test_stream_scores_measured_before_update(self):
+        X, y = clusters(np.random.default_rng(5))
+        forest = UDTForestClassifier(
+            n_estimators=5, spec=point(), random_state=0
+        ).fit(X, y)
+        # A perfectly learnable batch from the same distribution: the
+        # pre-update scores must already be high.
+        Xs, ys = clusters(np.random.default_rng(6), n_per_class=20)
+        forest.partial_fit(Xs, ys)
+        assert np.nanmean(forest.stream_member_scores_) > 0.8
+
+    def test_unknown_stream_label_rejected(self):
+        X, y = clusters(np.random.default_rng(7), n_per_class=20)
+        forest = UDTForestClassifier(
+            n_estimators=3, spec=point(), random_state=0
+        ).fit(X, y)
+        with pytest.raises(TreeError, match="unknown"):
+            forest.partial_fit(X[:2], ["zzz", "zzz"])
+
+    def test_score_decay_validated(self):
+        X, y = clusters(np.random.default_rng(8), n_per_class=20)
+        forest = UDTForestClassifier(
+            n_estimators=3, spec=point(), random_state=0
+        ).fit(X, y)
+        with pytest.raises(TreeError, match="score_decay"):
+            forest.partial_fit(X[:2], y[:2], score_decay=1.0)
+
+
+class TestRefreshMembers:
+    def fitted(self, rng, **kwargs):
+        X, y = clusters(rng)
+        forest = UDTForestClassifier(
+            n_estimators=5, spec=point(), random_state=0, **kwargs
+        ).fit(X, y)
+        return forest, X, y
+
+    def test_refresh_needs_a_window(self):
+        forest, X, y = self.fitted(np.random.default_rng(9))
+        with pytest.raises(TreeError, match="window"):
+            forest.refresh_members(fraction=0.4)
+
+    def test_refresh_retrains_worst_oob_members(self):
+        forest, X, y = self.fitted(np.random.default_rng(10), oob_score=True)
+        worst = np.argsort(
+            np.where(
+                np.isnan(forest.oob_member_scores_),
+                np.inf,
+                forest.oob_member_scores_,
+            ),
+            kind="stable",
+        )[:2]
+        old_trees = [forest.trees_[index] for index in worst]
+        forest.partial_fit(X[:30], y[:30], reservoir_size=64)
+        selected = forest.refresh_members(fraction=0.4)
+        assert len(selected) == 2
+        for index in selected:
+            assert forest.trees_[index] is not old_trees
+        # Refreshed members restart their streaming score from scratch.
+        assert np.all(np.isnan(forest.stream_member_scores_[selected]))
+
+    def test_refresh_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            forest, X, y = self.fitted(np.random.default_rng(11))
+            forest.partial_fit(X[:40], y[:40], reservoir_size=64)
+            forest.refresh_members(fraction=0.4)
+            results.append(
+                tuple(tree.structure_signature() for tree in forest.trees_)
+            )
+        assert results[0] == results[1]
+
+    def test_refresh_recovers_accuracy_under_drift(self):
+        rng = np.random.default_rng(12)
+        X, y = clusters(rng, n_per_class=60)
+        forest = UDTForestClassifier(
+            n_estimators=5, spec=point(), random_state=0
+        ).fit(X, y)
+        # Drift: class "a" migrates to a region the forest has never seen.
+        X_drift = np.vstack([
+            rng.normal(9.0, 0.5, size=(50, 3)), rng.normal(4.0, 1.0, size=(50, 3))
+        ])
+        y_drift = ["a"] * 50 + ["b"] * 50
+        stale = forest.score(X_drift, y_drift)
+        forest.partial_fit(X_drift, y_drift, reservoir_size=256)
+        forest.refresh_members(fraction=1.0)
+        assert forest.score(X_drift, y_drift) >= stale
+        assert forest.score(X_drift, y_drift) >= 0.9
+
+    def test_explicit_member_list_overrides_selection(self):
+        forest, X, y = self.fitted(np.random.default_rng(13))
+        forest.partial_fit(X[:30], y[:30], reservoir_size=64)
+        assert forest.refresh_members(members=[1, 3]) == [1, 3]

@@ -8,6 +8,7 @@ import pytest
 from repro.loadgen import (
     SHAPE_NAMES,
     DiurnalShape,
+    DriftShape,
     HotKeyShape,
     SpikeShape,
     SteadyShape,
@@ -18,7 +19,7 @@ from repro.loadgen import (
 
 class TestRegistry:
     def test_shape_names(self):
-        assert SHAPE_NAMES == ("diurnal", "hotkey", "spike", "steady")
+        assert SHAPE_NAMES == ("diurnal", "drift", "hotkey", "spike", "steady")
 
     @pytest.mark.parametrize("name", SHAPE_NAMES)
     def test_make_shape_round_trips(self, name):
@@ -43,6 +44,12 @@ class TestRegistry:
             DiurnalShape(amplitude=1.5)
         with pytest.raises(ValueError):
             HotKeyShape(hot_share=0.0)
+        with pytest.raises(ValueError):
+            DriftShape(start=0.6, end=0.4)
+        with pytest.raises(ValueError):
+            DriftShape(magnitude=-1.0)
+        with pytest.raises(ValueError):
+            DriftShape(hot_share=0.0)
 
 
 class TestRateMultipliers:
@@ -83,6 +90,73 @@ class TestModelSelection:
     def test_empty_model_list_rejected(self):
         with pytest.raises(ValueError):
             SteadyShape().pick_model(np.random.default_rng(0), [])
+
+    def test_pick_model_at_default_matches_pick_model(self):
+        # Time-invariant shapes must draw the exact same rng sequence
+        # through the time-aware hook, so adding it changed nothing.
+        models = ["a", "b", "c"]
+        for shape in (SteadyShape(), HotKeyShape()):
+            r1, r2 = np.random.default_rng(3), np.random.default_rng(3)
+            plain = [shape.pick_model(r1, models) for _ in range(200)]
+            timed = [shape.pick_model_at(r2, models, 0.7) for _ in range(200)]
+            assert plain == timed
+
+    def test_feature_shift_default_is_zero(self):
+        assert SteadyShape().feature_shift(0.9) == 0.0
+        assert SpikeShape().feature_shift(0.5) == 0.0
+
+
+class TestDrift:
+    def test_phase_ramp(self):
+        shape = DriftShape(start=0.4, end=0.6)
+        assert shape.phase(0.0) == 0.0
+        assert shape.phase(0.4) == 0.0
+        assert shape.phase(0.5) == pytest.approx(0.5)
+        assert shape.phase(0.6) == 1.0
+        assert shape.phase(1.0) == 1.0
+
+    def test_feature_shift_follows_phase(self):
+        shape = DriftShape(magnitude=2.0)
+        assert shape.feature_shift(0.0) == 0.0
+        assert shape.feature_shift(0.5) == pytest.approx(1.0)
+        assert shape.feature_shift(1.0) == pytest.approx(2.0)
+
+    def test_preference_migrates_first_to_last(self):
+        shape = DriftShape(hot_share=0.8)
+        rng = np.random.default_rng(0)
+        models = ["old", "mid", "new"]
+        early = [shape.pick_model_at(rng, models, 0.1) for _ in range(2000)]
+        late = [shape.pick_model_at(rng, models, 0.9) for _ in range(2000)]
+        # Before the ramp ~80% + uniform-share of traffic prefers the
+        # first model; after it the last model takes that share over.
+        assert early.count("old") / 2000 > 0.7
+        assert late.count("new") / 2000 > 0.7
+        # The uniform remainder keeps every model warm throughout.
+        assert early.count("new") > 0 and late.count("old") > 0
+
+    def test_mid_ramp_is_a_blend(self):
+        shape = DriftShape(start=0.0, end=1.0, hot_share=1.0)
+        rng = np.random.default_rng(1)
+        picks = [shape.pick_model_at(rng, ["old", "new"], 0.5) for _ in range(2000)]
+        assert 0.4 < picks.count("new") / 2000 < 0.6
+
+    def test_single_model_short_circuit(self):
+        rng = np.random.default_rng(0)
+        assert DriftShape().pick_model_at(rng, ["only"], 0.9) == "only"
+        assert DriftShape().pick_model(rng, ["only"]) == "only"
+
+    def test_rate_stays_steady(self):
+        shape = DriftShape()
+        assert [shape.rate_multiplier(t) for t in (0.0, 0.5, 0.99)] == [1.0, 1.0, 1.0]
+
+    def test_describe(self):
+        described = DriftShape(start=0.2, end=0.8, magnitude=3.0).describe()
+        assert described == {
+            "shape": "drift",
+            "drift_window": [0.2, 0.8],
+            "magnitude": 3.0,
+            "hot_share": 0.8,
+        }
 
 
 class TestArrivalTimes:

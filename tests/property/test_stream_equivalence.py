@@ -1,0 +1,121 @@
+"""Property tests for the streaming-update subsystem (ISSUE 10 satellite d).
+
+Two invariants:
+
+* **Stationary convergence** — on a stream drawn from the *same*
+  distribution as the fit data, a model updated with ``partial_fit``
+  stays within tolerance of a model refit from scratch on everything.
+* **Re-split bit-identity** — whenever a leaf's accumulated tuples trigger
+  a local re-split, the swapped-in subtree is structurally identical to
+  building that subtree fresh on exactly those accumulated tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import UDTClassifier
+from repro.api.spec import gaussian, point
+from repro.core.dataset import UncertainDataset
+from repro.stream import TreeUpdater
+
+
+def stationary_data(seed, n_per_class, n_features=3, separation=3.5):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([
+        rng.normal(0.0, 1.0, size=(n_per_class, n_features)),
+        rng.normal(separation, 1.0, size=(n_per_class, n_features)),
+    ])
+    y = ["a"] * n_per_class + ["b"] * n_per_class
+    order = rng.permutation(len(X))
+    return X[order], [y[i] for i in order]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_stationary_stream_converges_to_full_refit(seed):
+    X, y = stationary_data(seed, n_per_class=60)
+    X_test, y_test = stationary_data(seed + 1, n_per_class=40)
+    half = len(X) // 2
+
+    streamed = UDTClassifier(spec=point(), max_depth=6).fit(X[:half], y[:half])
+    for start in range(half, len(X), 10):
+        streamed.partial_fit(
+            X[start:start + 10], y[start:start + 10],
+            resplit_gain=0.01, resplit_min_weight=8.0,
+        )
+    refit = UDTClassifier(spec=point(), max_depth=6).fit(X, y)
+
+    streamed_acc = streamed.score(X_test, y_test)
+    refit_acc = refit.score(X_test, y_test)
+    assert streamed_acc >= refit_acc - 0.05
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    gap=st.floats(min_value=1.5, max_value=3.0),
+)
+def test_triggered_resplit_is_bit_identical_to_fresh_build(seed, gap):
+    rng = np.random.default_rng(seed)
+    X0 = np.vstack([
+        rng.normal(0.0, 1.0, size=(30, 2)), rng.normal(4.0, 1.0, size=(30, 2))
+    ])
+    y0 = ["a"] * 30 + ["b"] * 30
+    spec = gaussian(w=0.05, s=8)
+    live = UDTClassifier(spec=spec, max_depth=4).fit(X0, y0)
+    twin = UDTClassifier(spec=spec, max_depth=4).fit(X0, y0)
+
+    # A separable two-cluster stream concentrated around the 'b' region so
+    # some leaf accumulates enough gain to trigger.
+    Xs = np.vstack([
+        rng.normal(4.0, 0.3, size=(12, 2)),
+        rng.normal(4.0 + gap, 0.3, size=(12, 2)),
+    ])
+    ys = ["a"] * 12 + ["b"] * 12
+
+    # Capture, on the twin, the buffer each touched leaf accumulated.
+    twin_updater = TreeUpdater(
+        twin.tree_, twin._make_builder(), resplit_gain=float("inf")
+    )
+    batch = twin._prepare_training(twin._coerce_update(Xs, ys))
+    twin_updater.update(batch)
+
+    live.partial_fit(Xs, ys, resplit_gain=0.01, resplit_min_weight=4.0)
+
+    # Independently rebuild each subtree the trigger would fire for, swap
+    # it into the twin, and require whole-tree structural identity.
+    for state in list(twin_updater._states.values()):
+        if state.buffer_weight < 4.0:
+            continue
+        local = UncertainDataset(
+            batch.attributes, state.buffer, class_labels=batch.class_labels
+        )
+        builder = twin_updater.subtree_builder(state.depth)
+        if builder.root_split_gain(local) < 0.01:
+            continue
+        fresh = builder.build(local).tree.root
+        if state.parent is None:
+            twin.tree_.root = fresh
+        elif state.parent.is_numerical_test:
+            if state.slot == "left":
+                state.parent.left = fresh
+            else:
+                state.parent.right = fresh
+        else:
+            state.parent.branches[state.slot] = fresh
+    assert live.tree_.structure_signature() == twin.tree_.structure_signature()
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_partial_fit_preserves_probability_outputs(seed):
+    X, y = stationary_data(seed, n_per_class=40)
+    model = UDTClassifier(spec=point(), max_depth=5).fit(X[:40], y[:40])
+    model.partial_fit(X[40:], y[40:])
+    probabilities = model.predict_proba(X[:20])
+    assert probabilities.shape == (20, 2)
+    assert np.all(probabilities >= 0.0)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)

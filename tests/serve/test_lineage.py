@@ -1,0 +1,92 @@
+"""Model lineage in the serving listing and live hot-reload of updates.
+
+ISSUE 10 satellite b: ``GET /v1/models`` exposes each archive's
+``trained_at`` and ``update_generation``, so operators can tell which
+snapshot generation each replica is serving — and a streaming publication
+shows up in the listing (and in served predictions) without a restart.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingClient, create_server
+from repro.stream import ContinuousTrainer, FeedTailer
+
+
+@pytest.fixture
+def server(model_dir):
+    server = create_server(model_dir, port=0, max_batch=16, max_wait_ms=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def client(server):
+    return ServingClient(server.url)
+
+
+class TestLineageListing:
+    def test_models_listing_carries_lineage(self, client):
+        [entry] = client.models()
+        assert entry["update_generation"] == 0
+        assert isinstance(entry["trained_at"], str)
+        assert entry["trained_at"].endswith("Z")
+
+    def test_single_model_metadata_carries_lineage(self, client):
+        meta = client.model("demo")
+        assert meta["update_generation"] == 0
+        assert meta["trained_at"] is not None
+
+
+class TestLiveUpdatePropagation:
+    def test_published_update_reflected_without_restart(
+        self, server, client, model_dir, offline_model, tmp_path
+    ):
+        """A trainer publication into the live serving dir must change both
+        the listing's generation and the served predictions — no restart.
+        """
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        # Labelled rows that contradict the model in the "pos" region:
+        # enough one-sided mass flips the leaf statistics.
+        rows = np.random.default_rng(0).normal(2.0, 0.3, size=(200, 3))
+        with open(feed / "rows.csv", "w") as handle:
+            for row in rows:
+                handle.write(",".join(str(v) for v in row) + ",neg\n")
+        probe = [[2.0, 2.0, 2.0]]
+        assert client.predict("demo", probe)["labels"] == ["pos"]
+
+        trainer = ContinuousTrainer(
+            offline_model, FeedTailer(feed), model_dir, "demo",
+            resplit_gain=1e9,  # leaf-stat updates only, no re-splits
+        )
+        result = trainer.run_once()
+        assert result.published
+
+        [entry] = client.models()
+        assert entry["update_generation"] == 1
+        assert client.predict("demo", probe)["labels"] == ["neg"]
+
+    def test_metrics_export_model_generation(self, server, client, model_dir,
+                                             offline_model, tmp_path):
+        client.predict("demo", [[0.5, 0.5, 0.5]])
+        text = client.metrics_text()
+        assert 'repro_model_update_generation{model="demo"} 0' in text
+
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        with open(feed / "rows.csv", "w") as handle:
+            handle.write("0.1,0.2,0.3,neg\n")
+        ContinuousTrainer(
+            offline_model, FeedTailer(feed), model_dir, "demo"
+        ).run_once()
+        client.predict("demo", [[0.5, 0.6, 0.7]])
+        text = client.metrics_text()
+        assert 'repro_model_update_generation{model="demo"} 1' in text

@@ -1,0 +1,64 @@
+"""Shared fixtures for the streaming-subsystem tests.
+
+Two well-separated Gaussian clusters make a base distribution; a third
+cluster in a fresh feature region stands in for drift.  All data is
+deterministic, so update counts and re-split triggers are stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import UDTClassifier
+from repro.api.spec import gaussian
+from repro.ensemble import UDTForestClassifier
+
+
+def two_cluster_data(rng, n_per_class=40, n_features=3):
+    """Well-separated two-class point data: ``a`` near 0, ``b`` near 4."""
+    X = np.vstack([
+        rng.normal(0.0, 1.0, size=(n_per_class, n_features)),
+        rng.normal(4.0, 1.0, size=(n_per_class, n_features)),
+    ])
+    y = ["a"] * n_per_class + ["b"] * n_per_class
+    return X, y
+
+
+def drifted_data(rng, n_per_class=20, n_features=3):
+    """Post-drift data: class ``a`` migrates to a fresh region near 8."""
+    X = np.vstack([
+        rng.normal(8.0, 0.5, size=(n_per_class, n_features)),
+        rng.normal(4.0, 1.0, size=(n_per_class, n_features)),
+    ])
+    y = ["a"] * n_per_class + ["b"] * n_per_class
+    return X, y
+
+
+@pytest.fixture
+def base_data():
+    return two_cluster_data(np.random.default_rng(0))
+
+
+@pytest.fixture
+def stream_data():
+    return two_cluster_data(np.random.default_rng(1), n_per_class=25)
+
+
+@pytest.fixture
+def drift_data():
+    return drifted_data(np.random.default_rng(2))
+
+
+@pytest.fixture
+def fitted_tree(base_data):
+    X, y = base_data
+    return UDTClassifier(spec=gaussian(w=0.05, s=10), max_depth=4).fit(X, y)
+
+
+@pytest.fixture
+def fitted_forest(base_data):
+    X, y = base_data
+    return UDTForestClassifier(
+        n_estimators=5, spec=gaussian(w=0.05, s=10), random_state=0
+    ).fit(X, y)

@@ -1,0 +1,105 @@
+"""The ``repro stream-train`` command."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import load_model
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def seed_archive(tmp_path, fitted_tree):
+    path = tmp_path / "seed.zip"
+    fitted_tree.save(path)
+    return path
+
+
+def write_rows(path, X, y):
+    with open(path, "a") as handle:
+        for row, label in zip(X, y):
+            handle.write(",".join(str(value) for value in row) + f",{label}\n")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["stream-train", "seed.zip", "--feed", "feed/", "--publish", "models/"]
+        )
+        assert args.command == "stream-train"
+        assert args.interval == 2.0
+        assert args.iterations == 0
+        assert args.min_batch == 1
+        assert args.refresh_every == 0
+        assert args.resplit_gain == 0.01
+        assert args.name is None
+
+    def test_feed_and_publish_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream-train", "seed.zip"])
+
+
+class TestRun:
+    def test_bounded_run_publishes_updates(
+        self, tmp_path, seed_archive, stream_data, capsys
+    ):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        publish = tmp_path / "models"
+        X, y = stream_data
+        write_rows(feed / "rows.csv", X, y)
+        code = main([
+            "stream-train", str(seed_archive),
+            "--feed", str(feed), "--publish", str(publish),
+            "--interval", "0", "--iterations", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream-training 'seed'" in out
+        assert "cycle 1:" in out and "cycle 2:" in out
+        assert "1 update(s)" in out
+        published = load_model(publish / "seed.zip")
+        assert published.update_generation_ == 1
+
+    def test_name_override(self, tmp_path, seed_archive, capsys):
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        publish = tmp_path / "models"
+        code = main([
+            "stream-train", str(seed_archive),
+            "--feed", str(feed), "--publish", str(publish),
+            "--name", "renamed", "--interval", "0", "--iterations", "1",
+        ])
+        assert code == 0
+        assert (publish / "renamed.zip").exists()
+
+    def test_unloadable_seed_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.zip"
+        bogus.write_bytes(b"not a zip")
+        code = main([
+            "stream-train", str(bogus),
+            "--feed", str(tmp_path), "--publish", str(tmp_path / "out"),
+        ])
+        assert code == 2
+        assert "error: cannot load" in capsys.readouterr().err
+
+    def test_trace_export_writes_spans(self, tmp_path, seed_archive, stream_data):
+        import json
+
+        feed = tmp_path / "feed"
+        feed.mkdir()
+        X, y = stream_data
+        write_rows(feed / "rows.csv", X[:10], y[:10])
+        export = tmp_path / "spans.jsonl"
+        code = main([
+            "stream-train", str(seed_archive),
+            "--feed", str(feed), "--publish", str(tmp_path / "models"),
+            "--interval", "0", "--iterations", "1",
+            "--trace-export", str(export),
+        ])
+        assert code == 0
+        names = {
+            json.loads(line)["name"] for line in export.read_text().splitlines()
+        }
+        assert "trainer.cycle" in names and "trainer.publish" in names

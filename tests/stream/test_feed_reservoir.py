@@ -1,0 +1,116 @@
+"""FeedTailer and StreamReservoir: the trainer's input side."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dataset import UncertainTuple
+from repro.core.pdf import SampledPdf
+from repro.exceptions import TreeError
+from repro.stream import FeedTailer, StreamReservoir
+
+
+def csv_row(features, label):
+    return ",".join(str(value) for value in features) + f",{label}\n"
+
+
+class TestFeedTailer:
+    def test_missing_directory_yields_nothing(self, tmp_path):
+        tailer = FeedTailer(tmp_path / "absent")
+        assert tailer.poll() == ([], [])
+
+    def test_csv_rows_with_header(self, tmp_path):
+        (tmp_path / "a.csv").write_text(
+            "f0,f1,label\n" + csv_row([1.0, 2.0], "x") + csv_row([3.0, 4.0], "y")
+        )
+        tailer = FeedTailer(tmp_path)
+        X, y = tailer.poll()
+        assert X == [[1.0, 2.0], [3.0, 4.0]]
+        assert y == ["x", "y"]
+        assert tailer.lines_skipped == 1  # the header
+
+    def test_jsonl_rows(self, tmp_path):
+        lines = [
+            json.dumps({"features": [1.0, 2.0], "label": "x"}),
+            "not json at all",
+            json.dumps({"features": [3.0, 4.0], "label": 7}),
+        ]
+        (tmp_path / "a.jsonl").write_text("\n".join(lines) + "\n")
+        X, y = FeedTailer(tmp_path).poll()
+        assert X == [[1.0, 2.0], [3.0, 4.0]]
+        assert y == ["x", "7"]  # labels normalised to strings
+
+    def test_only_appended_rows_on_next_poll(self, tmp_path):
+        feed = tmp_path / "a.csv"
+        feed.write_text(csv_row([1.0], "x"))
+        tailer = FeedTailer(tmp_path)
+        assert tailer.poll() == ([[1.0]], ["x"])
+        assert tailer.poll() == ([], [])
+        with open(feed, "a") as handle:
+            handle.write(csv_row([2.0], "y"))
+        assert tailer.poll() == ([[2.0]], ["y"])
+
+    def test_partial_line_held_until_newline(self, tmp_path):
+        feed = tmp_path / "a.csv"
+        feed.write_text("1.0,x\n2.0")
+        tailer = FeedTailer(tmp_path)
+        assert tailer.poll() == ([[1.0]], ["x"])
+        with open(feed, "a") as handle:
+            handle.write(",y\n")
+        assert tailer.poll() == ([[2.0]], ["y"])
+
+    def test_truncated_file_reread_from_start(self, tmp_path):
+        feed = tmp_path / "a.csv"
+        feed.write_text(csv_row([1.0], "x") + csv_row([2.0], "y"))
+        tailer = FeedTailer(tmp_path)
+        tailer.poll()
+        feed.write_text(csv_row([3.0], "z"))  # rotation: file shrank
+        assert tailer.poll() == ([[3.0]], ["z"])
+
+    def test_multiple_files_in_name_order(self, tmp_path):
+        (tmp_path / "b.csv").write_text(csv_row([2.0], "b"))
+        (tmp_path / "a.csv").write_text(csv_row([1.0], "a"))
+        X, y = FeedTailer(tmp_path).poll()
+        assert y == ["a", "b"]
+
+    def test_describe_counters(self, tmp_path):
+        (tmp_path / "a.csv").write_text("header,row\n" + csv_row([1.0], "x"))
+        tailer = FeedTailer(tmp_path)
+        tailer.poll()
+        described = tailer.describe()
+        assert described["rows_read"] == 1
+        assert described["lines_skipped"] == 1
+        assert described["files"] == 1
+
+
+def make_tuple(value, label):
+    return UncertainTuple(features=(SampledPdf.point(value),), label=label)
+
+
+class TestStreamReservoir:
+    def test_capacity_validated(self):
+        for bad in (0, -1, 1.5, True, "8"):
+            with pytest.raises(TreeError):
+                StreamReservoir(bad)
+
+    def test_sliding_window_keeps_newest(self):
+        reservoir = StreamReservoir(3)
+        reservoir.extend(make_tuple(float(i), "a") for i in range(5))
+        assert len(reservoir) == 3
+        assert reservoir.seen == 5
+        kept = [item.features[0].mean() for item in reservoir.window()]
+        assert kept == [2.0, 3.0, 4.0]
+
+    def test_window_is_a_copy(self):
+        reservoir = StreamReservoir(2)
+        reservoir.extend([make_tuple(1.0, "a")])
+        window = reservoir.window()
+        window.clear()
+        assert len(reservoir) == 1
+
+    def test_describe(self):
+        reservoir = StreamReservoir(4)
+        reservoir.extend([make_tuple(1.0, "a"), make_tuple(2.0, "b")])
+        assert reservoir.describe() == {"capacity": 4, "size": 2, "seen": 2}

@@ -1,0 +1,177 @@
+"""ContinuousTrainer: the feed → partial_fit/refresh → publish loop."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import load_model
+from repro.api.persistence import read_model_metadata
+from repro.exceptions import TreeError
+from repro.serve.registry import ModelRegistry
+from repro.stream import ContinuousTrainer, FeedTailer
+
+
+def write_rows(path, X, y, mode="a"):
+    with open(path, mode) as handle:
+        for row, label in zip(X, y):
+            handle.write(",".join(str(value) for value in row) + f",{label}\n")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    feed = tmp_path / "feed"
+    feed.mkdir()
+    publish = tmp_path / "models"
+    return feed, publish
+
+
+class TestValidation:
+    def test_model_without_partial_fit_rejected(self, dirs):
+        feed, publish = dirs
+        with pytest.raises(TreeError, match="partial_fit"):
+            ContinuousTrainer(object(), feed, publish, "demo")
+
+    def test_bad_knobs_rejected(self, fitted_tree, dirs):
+        feed, publish = dirs
+        with pytest.raises(TreeError, match="min_batch"):
+            ContinuousTrainer(fitted_tree, feed, publish, "demo", min_batch=0)
+        with pytest.raises(TreeError, match="interval_s"):
+            ContinuousTrainer(fitted_tree, feed, publish, "demo", interval_s=-1.0)
+
+
+class TestCycles:
+    def test_empty_feed_cycle_does_nothing(self, fitted_tree, dirs):
+        feed, publish = dirs
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo")
+        result = trainer.run_once()
+        assert not result.updated and not result.published
+        assert result.rows == 0
+        assert trainer.updates_applied == 0
+
+    def test_rows_trigger_update_and_publish(self, fitted_tree, dirs, stream_data):
+        feed, publish = dirs
+        X, y = stream_data
+        write_rows(feed / "rows.csv", X, y)
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo")
+        result = trainer.run_once()
+        assert result.updated and result.published
+        assert result.rows == len(X)
+        assert result.generation == 1
+        archive = publish / "demo.zip"
+        assert archive.exists()
+        # No temporary snapshot file left behind, and nothing else matching
+        # the registry's *.zip discovery glob.
+        assert sorted(p.name for p in publish.iterdir()) == ["demo.zip"]
+        assert read_model_metadata(archive)["update_generation"] == 1
+
+    def test_min_batch_carries_rows_over(self, fitted_tree, dirs, stream_data):
+        feed, publish = dirs
+        X, y = stream_data
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo", min_batch=10)
+        write_rows(feed / "rows.csv", X[:4], y[:4])
+        first = trainer.run_once()
+        assert not first.updated
+        assert trainer.describe()["pending_rows"] == 4
+        write_rows(feed / "rows.csv", X[4:12], y[4:12])
+        second = trainer.run_once()
+        assert second.updated
+        assert trainer.describe()["pending_rows"] == 0
+        # All 12 rows landed in the one applied update.
+        assert trainer.rows_ingested == 12
+
+    def test_forest_refresh_every_n_updates(self, fitted_forest, dirs, stream_data):
+        feed, publish = dirs
+        X, y = stream_data
+        trainer = ContinuousTrainer(
+            fitted_forest, feed, publish, "forest",
+            refresh_every=2, refresh_fraction=0.4, reservoir_size=64,
+        )
+        write_rows(feed / "rows.csv", X[:10], y[:10])
+        assert trainer.run_once().refreshed == []
+        write_rows(feed / "rows.csv", X[10:20], y[10:20])
+        second = trainer.run_once()
+        assert len(second.refreshed) == 2  # ceil(0.4 * 5) worst members
+        # partial_fit + refresh both bump the generation.
+        assert second.generation == 3
+
+    def test_published_snapshot_loads_and_predicts(
+        self, fitted_tree, dirs, stream_data
+    ):
+        feed, publish = dirs
+        X, y = stream_data
+        write_rows(feed / "rows.csv", X, y)
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo")
+        trainer.run_once()
+        clone = load_model(publish / "demo.zip")
+        assert clone.update_generation_ == 1
+        rows = np.asarray(X[:5], dtype=float)
+        assert list(clone.predict(rows)) == list(fitted_tree.predict(rows))
+
+
+class TestRunLoop:
+    def test_run_publishes_initial_snapshot(self, fitted_tree, dirs):
+        feed, publish = dirs
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo", interval_s=0.0)
+        executed = trainer.run(iterations=2)
+        assert executed == 2
+        # The starting snapshot landed even though the feed stayed empty.
+        assert (publish / "demo.zip").exists()
+        assert trainer.publications == 1
+
+    def test_run_honours_stop_event(self, fitted_tree, dirs):
+        feed, publish = dirs
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo", interval_s=0.0)
+        stop = threading.Event()
+        stop.set()
+        assert trainer.run(iterations=5, stop_event=stop) == 0
+
+    def test_on_cycle_callback_sees_every_result(self, fitted_tree, dirs):
+        feed, publish = dirs
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo", interval_s=0.0)
+        seen = []
+        trainer.run(iterations=3, on_cycle=seen.append)
+        assert [result.cycle for result in seen] == [1, 2, 3]
+
+
+class TestServingHandoff:
+    def test_registry_hot_reloads_published_snapshot(
+        self, fitted_tree, dirs, stream_data
+    ):
+        """The end-to-end contract: a publication must flip the serving
+        registry's staleness check so the next request serves the update.
+        """
+        feed, publish = dirs
+        X, y = stream_data
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo")
+        trainer.publish()
+        registry = ModelRegistry(publish)
+        assert registry.get("demo").update_generation_ == 0
+
+        write_rows(feed / "rows.csv", X, y)
+        trainer.run_once()
+        # Same registry, no restart: the atomic replace changed the stat
+        # pair, so get() remaps and serves generation 1.
+        assert registry.get("demo").update_generation_ == 1
+        described = {entry["name"]: entry for entry in registry.describe()}
+        assert described["demo"]["update_generation"] == 1
+        assert described["demo"]["trained_at"] is not None
+
+    def test_trainer_cycle_spans_exported(self, fitted_tree, dirs, stream_data, tmp_path):
+        from repro.obs import Tracer
+
+        feed, publish = dirs
+        X, y = stream_data
+        write_rows(feed / "rows.csv", X, y)
+        tracer = Tracer("trainer-test", buffer_size=256)
+        trainer = ContinuousTrainer(fitted_tree, feed, publish, "demo", tracer=tracer)
+        trainer.run_once()
+        names = {
+            span["name"]
+            for trace in tracer.buffer.traces()
+            for span in trace["spans"]
+        }
+        assert {"trainer.cycle", "trainer.ingest",
+                "trainer.partial_fit", "trainer.publish"} <= names
